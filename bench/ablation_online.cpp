@@ -1,0 +1,102 @@
+// Ablation: the online-tuning extensions (the paper's future work, Section 6)
+// — workload forecasting with configuration prefetching, and minimal-
+// downtime reconfiguration planning.
+//
+// (a) Forecasting: over synthesized MG-RAST traces, report the forecaster's
+//     point accuracy vs naive persistence and its switch-probability
+//     calibration, then count how often prefetching the top-2 likely regimes
+//     has the needed configuration ready *before* the regime switch lands.
+// (b) Reconfiguration: ops lost applying a config change with a full restart
+//     vs a rolling restart across cluster sizes, and the payoff horizon at
+//     which reconfiguring becomes worthwhile.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/reconfigure.h"
+#include "workload/forecast.h"
+#include "workload/mgrast.h"
+
+using namespace rafiki;
+
+int main() {
+  // ---- (a) forecasting ----
+  double f_mae = 0.0, p_mae = 0.0;
+  double prefetch_hits = 0.0, switches = 0.0;
+  constexpr int kSeeds = 8;
+  for (int seed = 1; seed <= kSeeds; ++seed) {
+    const auto windows = workload::synthesize_mgrast_windows({}, 1000 + seed);
+    std::vector<double> series;
+    for (const auto& w : windows) series.push_back(w.read_ratio);
+    const auto eval = workload::evaluate_forecaster(series);
+    f_mae += eval.forecaster_mae;
+    p_mae += eval.persistence_mae;
+
+    // Prefetch coverage: before each window, prefetch the top-2 likely
+    // regimes' configurations (buckets of 0.1 RR); on a regime switch, was
+    // the new window's bucket among them?
+    workload::WorkloadForecaster forecaster;
+    auto regime_prev = forecaster.regime_of(series.front());
+    forecaster.observe(series.front());
+    for (std::size_t i = 1; i < series.size(); ++i) {
+      const auto ranked = forecaster.likely_next();
+      const auto regime_now = forecaster.regime_of(series[i]);
+      if (regime_now != regime_prev) {
+        ++switches;
+        for (std::size_t k = 0; k < 2 && k < ranked.size(); ++k) {
+          if (forecaster.regime_of(ranked[k].second) == regime_now) {
+            ++prefetch_hits;
+            break;
+          }
+        }
+      }
+      forecaster.observe(series[i]);
+      regime_prev = regime_now;
+    }
+  }
+  Table forecast({"metric", "value"});
+  forecast.add_row({"forecaster MAE (next-window RR)", Table::num(f_mae / kSeeds, 3)});
+  forecast.add_row({"naive persistence MAE", Table::num(p_mae / kSeeds, 3)});
+  forecast.add_row({"regime switches observed", Table::num(switches, 0)});
+  forecast.add_row({"top-2 prefetch had the config ready",
+                    Table::pct(100.0 * prefetch_hits / switches)});
+  benchutil::emit(forecast, "Forecasting ablation (8 synthesized 4-day traces)");
+
+  // ---- (b) reconfiguration ----
+  const double steady = 60000.0;
+  Table reconfig({"cluster size", "full restart ops lost", "rolling ops lost",
+                  "rolling saves", "worst capacity (full)", "worst capacity (rolling)"});
+  for (int nodes : {1, 2, 3, 4, 6}) {
+    const auto full = core::plan_full_restart(nodes, steady);
+    const auto rolling = core::plan_rolling_restart(nodes, steady);
+    reconfig.add_row({std::to_string(nodes), Table::ops(full.ops_lost),
+                      Table::ops(rolling.ops_lost),
+                      Table::pct(100.0 * (full.ops_lost - rolling.ops_lost) /
+                                 std::max(1.0, full.ops_lost)),
+                      Table::pct(100.0 * full.min_relative_capacity),
+                      Table::pct(100.0 * rolling.min_relative_capacity)});
+  }
+  benchutil::emit(reconfig, "Reconfiguration ablation (60 kops/s steady state)");
+
+  // Payoff horizon: with a 30% tuned gain, how long must the regime last for
+  // the reconfiguration to pay for itself?
+  const auto rolling2 = core::plan_rolling_restart(2, steady);
+  double horizon = 0.0;
+  for (double h = 0.0; h <= 3600.0; h += 5.0) {
+    if (core::reconfiguration_pays_off(steady, steady * 1.3, h, rolling2)) {
+      horizon = h;
+      break;
+    }
+  }
+  benchutil::note("payoff horizon for a +30% gain via rolling restart (2 nodes): " +
+                  Table::num(horizon / 60.0, 1) + " minutes — well inside MG-RAST's "
+                  "15-minute regime windows.");
+
+  benchutil::compare("forecaster point accuracy", "~persistence (memoryless regimes)",
+                     Table::num(f_mae / kSeeds, 3) + " vs " + Table::num(p_mae / kSeeds, 3));
+  benchutil::compare("prefetch readiness at switches", "high (top-2 regimes)",
+                     Table::pct(100.0 * prefetch_hits / switches));
+  benchutil::compare("rolling restarts cut reconfiguration cost", "yes (future work §6)",
+                     "see table");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Engine calibration diagnostic (not a paper table/figure).
+//
+// Prints throughput and internal counters for a grid of representative
+// configurations and read ratios. Used to verify that the simulated engine
+// sits in the paper's throughput regime and shows the qualitative
+// sensitivities Rafiki exploits (Section 4.4-4.6) before the real benches
+// are trusted. Run it whenever cost constants in hardware.h change.
+#include <cstdio>
+
+#include "engine/scylla.h"
+#include "engine/server.h"
+#include "util/table.h"
+#include "workload/generator.h"
+
+using namespace rafiki;
+
+namespace {
+
+engine::RunStats measure(const engine::Config& config, double read_ratio,
+                         bool scylla = false) {
+  workload::WorkloadSpec spec = workload::WorkloadSpec::with_read_ratio(read_ratio);
+  spec.value_bytes = 256;
+  workload::Generator generator(spec, /*seed=*/7);
+  engine::RunOptions opts;
+  opts.ops = 60000;
+  if (scylla) {
+    engine::ScyllaServer server(config);
+    server.preload(generator.preload_keys(), spec.value_bytes);
+    return server.run(generator, opts);
+  }
+  engine::Server server(config);
+  server.preload(generator.preload_keys(), spec.value_bytes);
+  return server.run(generator, opts);
+}
+
+void report(const char* label, const engine::Config& config, bool scylla = false) {
+  Table table({"RR", "kops/s", "probes/read", "file_hit", "os_hit", "disk_rd", "flushes",
+               "compactions", "sstables", "stall_s", "bind c/dr/dw/lr/lw"});
+  for (double rr : {0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    const auto stats = measure(config, rr, scylla);
+    char bind[64];
+    std::snprintf(bind, sizeof bind, "%.2f/%.2f/%.2f/%.2f/%.2f",
+                  stats.binding_fractions[0], stats.binding_fractions[1],
+                  stats.binding_fractions[2], stats.binding_fractions[3],
+                  stats.binding_fractions[4]);
+    table.add_row({Table::num(rr, 1), Table::num(stats.throughput_ops / 1000.0, 1),
+                   Table::num(stats.avg_sstables_probed, 2),
+                   Table::num(stats.file_cache_hit_rate, 2),
+                   Table::num(stats.os_cache_hit_rate, 2),
+                   std::to_string(stats.disk_random_reads), std::to_string(stats.flushes),
+                   std::to_string(stats.compactions),
+                   std::to_string(stats.final_sstable_count),
+                   Table::num(stats.write_stall_s, 2), bind});
+  }
+  std::printf("== %s ==\n%s\n", label, table.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  using engine::ParamId;
+  const auto defaults = engine::Config::defaults();
+  report("Cassandra defaults (SizeTiered)", defaults);
+  report("Leveled + big file cache (read-tuned)",
+         defaults.with(ParamId::kCompactionMethod, 1)
+             .with(ParamId::kFileCacheSizeMb, 2048)
+             .with(ParamId::kConcurrentCompactors, 4));
+  report("SizeTiered write-tuned (CW=64, MT=0.5)",
+         defaults.with(ParamId::kConcurrentWrites, 64)
+             .with(ParamId::kMemtableCleanupThreshold, 0.5));
+  report("Low CW=8", defaults.with(ParamId::kConcurrentWrites, 8));
+  report("ScyllaDB (auto-tuned) defaults", defaults, /*scylla=*/true);
+
+  // Figure 6 cross: CM x CW at RR=50%.
+  Table cross({"CM", "CW", "kops/s"});
+  for (int cm : {0, 1}) {
+    for (int cw : {16, 32, 64}) {
+      const auto stats = measure(defaults.with(ParamId::kCompactionMethod, cm)
+                                     .with(ParamId::kConcurrentWrites, cw),
+                                 0.5);
+      cross.add_row({cm ? "Leveled" : "SizeTiered", std::to_string(cw),
+                     Table::num(stats.throughput_ops / 1000.0, 1)});
+    }
+  }
+  std::printf("== CM x CW interdependence (RR=50%%) ==\n%s\n", cross.render().c_str());
+  return 0;
+}

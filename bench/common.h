@@ -1,0 +1,51 @@
+// Shared setup for the bench harnesses: paper-scale experiment budgets
+// (Section 4.2's 20 configurations x 11 workloads protocol) and uniform
+// output formatting. Every bench prints the table/figure it reproduces plus
+// a short "paper reported vs measured" comparison for EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/rafiki.h"
+#include "util/table.h"
+
+namespace rafiki::benchutil {
+
+/// The paper's data-collection protocol: 11 read ratios x 20 configurations,
+/// 5-minute (simulated) benchmark per point, ~9% of samples lost to harness
+/// faults (220 collected -> 200 usable).
+inline core::RafikiOptions paper_options(bool scylla = false) {
+  core::RafikiOptions options;
+  options.n_configs = 20;
+  options.collect.measure.ops = 80000;
+  options.collect.measure.warmup_ops = 12000;
+  options.collect.measure.noise_sd = 0.015;
+  options.collect.seed = 20171211;  // Middleware '17 conference date
+  options.scylla = scylla;
+  options.ensemble.n_nets = 20;
+  options.ensemble.train.max_epochs = 200;
+  options.ga.population = 48;
+  options.ga.generations = 70;
+  return options;
+}
+
+inline void section(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void emit(const Table& table, const std::string& title) {
+  section(title);
+  std::fputs(table.render().c_str(), stdout);
+}
+
+inline void note(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+/// One-line paper-vs-measured record, consumed by EXPERIMENTS.md.
+inline void compare(const std::string& metric, const std::string& paper,
+                    const std::string& measured) {
+  std::printf("  [paper-vs-measured] %-46s paper: %-18s measured: %s\n", metric.c_str(),
+              paper.c_str(), measured.c_str());
+}
+
+}  // namespace rafiki::benchutil

@@ -1,0 +1,84 @@
+// Figure 3: patterns of workload for MG-RAST — read/write ratio per
+// 15-minute window over 4 days, with abrupt regime transitions. Also
+// exercises the characterization pipeline (Section 3.3): stationary-window
+// search and the exponential key-reuse-distance fit.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "util/stats.h"
+#include "workload/characterize.h"
+#include "workload/mgrast.h"
+
+using namespace rafiki;
+
+namespace {
+
+std::string sparkline(const std::vector<double>& values) {
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  std::string out;
+  for (double v : values) {
+    const auto idx = static_cast<std::size_t>(std::clamp(v, 0.0, 0.999) * 8.0);
+    out += kLevels[idx];
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::section("Figure 3: MG-RAST workload pattern (4 days, 15-minute windows)");
+
+  const auto windows = workload::synthesize_mgrast_windows({}, /*seed=*/31);
+  std::printf("windows: %zu, read ratio per window (rows of 96 = 1 day), "
+              "' '=write-heavy .. '#'=read-only\n\n", windows.size());
+  std::vector<double> series;
+  series.reserve(windows.size());
+  for (const auto& w : windows) series.push_back(w.read_ratio);
+  for (std::size_t day = 0; day * 96 < series.size(); ++day) {
+    const auto begin = series.begin() + static_cast<std::ptrdiff_t>(day * 96);
+    const auto end = series.begin() +
+                     static_cast<std::ptrdiff_t>(std::min(series.size(), (day + 1) * 96));
+    std::printf("day %zu |%s|\n", day + 1, sparkline({begin, end}).c_str());
+  }
+
+  std::size_t read_heavy = 0, write_heavy = 0, mixed = 0, abrupt = 0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (series[i] >= 0.7) {
+      ++read_heavy;
+    } else if (series[i] <= 0.3) {
+      ++write_heavy;
+    } else {
+      ++mixed;
+    }
+    if (i && std::abs(series[i] - series[i - 1]) > 0.3) ++abrupt;
+  }
+  Table stats({"statistic", "value"});
+  stats.add_row({"read-heavy windows (RR >= 0.7)", Table::pct(100.0 * read_heavy / series.size())});
+  stats.add_row({"write-heavy windows (RR <= 0.3)", Table::pct(100.0 * write_heavy / series.size())});
+  stats.add_row({"mixed windows", Table::pct(100.0 * mixed / series.size())});
+  stats.add_row({"abrupt transitions (|dRR| > 0.3)", std::to_string(abrupt)});
+  stats.add_row({"mean RR", Table::num(mean(series), 3)});
+  benchutil::emit(stats, "Window statistics");
+
+  // Characterization pass over a query-level slice of the trace.
+  workload::WorkloadSpec base;
+  base.krd_mean = 20000.0;
+  const std::vector<workload::TraceWindow> slice(windows.begin(), windows.begin() + 48);
+  const auto records = workload::synthesize_mgrast_queries(slice, 4000, base, 900.0, 77);
+  const std::vector<double> candidates = {112.5, 225.0, 450.0, 900.0, 1800.0};
+  const auto ch = workload::characterize(records, candidates);
+
+  Table character({"characterization output", "value"});
+  character.add_row({"stationary window (s)", Table::num(ch.window_s, 1)});
+  character.add_row({"KRD exponential mean (queries)", Table::num(ch.krd_mean, 0)});
+  character.add_row({"insert fraction of writes", Table::num(ch.insert_fraction, 2)});
+  character.add_row({"mean payload (bytes)", Table::num(ch.mean_value_bytes, 0)});
+  benchutil::emit(character, "Section 3.3 characterization of the synthesized trace");
+
+  benchutil::compare("workload regime mix", "read-heavy most of the time, bursty writes",
+                     Table::pct(100.0 * read_heavy / series.size()) + " read-heavy, " +
+                         std::to_string(abrupt) + " abrupt transitions");
+  benchutil::compare("stationary RR window", "15 minutes",
+                     Table::num(ch.window_s / 60.0, 1) + " minutes");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Figure 4 + Section 4.8: throughput of Cassandra under the default
+// configuration vs Rafiki-optimized configurations across the read-ratio
+// sweep, with exhaustive-search reference points at three workloads.
+//
+// Protocol (paper): collect 220 points (20 noisy ones dropped), train the
+// surrogate on all remaining samples, GA-optimize per workload, then measure
+// the chosen configs against the live (simulated) store. The exhaustive
+// reference tests ~80 configurations per workload.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "collect/runner.h"
+#include "opt/baselines.h"
+#include "util/stats.h"
+
+using namespace rafiki;
+
+int main() {
+  auto options = benchutil::paper_options();
+  options.collect.fault_rate = 20.0 / 220.0;
+  core::Rafiki rafiki(options);
+  rafiki.set_key_params(engine::key_params());
+
+  benchutil::note("collecting training data (20 configs x 11 workloads)...");
+  const auto dataset = rafiki.collect();
+  std::printf("collected %zu usable samples\n", dataset.size());
+  rafiki.train(dataset);
+
+  collect::MeasureOptions verify = options.collect.measure;
+  verify.seed = 424242;  // measurement seeds unseen during training
+  auto measure_at = [&](const engine::Config& config, double rr) {
+    workload::WorkloadSpec workload = options.base_workload;
+    workload.read_ratio = rr;
+    return collect::measure_throughput(config, workload, verify);
+  };
+
+  // Exhaustive reference at three workloads, ~80 configs each (Section 4.8).
+  const auto space = rafiki.key_space();
+  const std::vector<std::size_t> grid_levels = {2, 2, 3, 3, 2};  // 72 configs
+  auto exhaustive_at = [&](double rr) {
+    return opt::grid_search(
+        space,
+        [&](std::span<const double> point) {
+          return measure_at(engine::Config::from_vector(engine::key_params(),
+                                                        {point.begin(), point.end()}),
+                            rr);
+        },
+        grid_levels);
+  };
+
+  Table fig({"RR%", "default ops/s", "Rafiki ops/s", "gain", "exhaustive ops/s",
+             "Rafiki config"});
+  std::vector<double> gains, read_heavy_gains, write_heavy_gains, mixed_gains;
+  std::vector<double> exhaustive_rrs = {0.1, 0.5, 0.9};
+  for (double rr : options.workload_grid) {
+    const double fallback = measure_at(engine::Config::defaults(), rr);
+    const auto optimized = rafiki.optimize(rr);
+    const double tuned = measure_at(optimized.config, rr);
+    const double gain = 100.0 * (tuned - fallback) / fallback;
+    gains.push_back(gain);
+    if (rr >= 0.7) read_heavy_gains.push_back(gain);
+    if (rr <= 0.3) write_heavy_gains.push_back(gain);
+    if (rr > 0.3 && rr < 0.7) mixed_gains.push_back(gain);
+
+    std::string exhaustive_cell = "-";
+    for (double err : exhaustive_rrs) {
+      if (std::abs(rr - err) < 1e-9) {
+        const auto best = exhaustive_at(rr);
+        exhaustive_cell = Table::ops(best.best_fitness);
+      }
+    }
+    fig.add_row({Table::num(rr * 100, 0), Table::ops(fallback), Table::ops(tuned),
+                 Table::pct(gain), exhaustive_cell, optimized.config.to_string()});
+  }
+  benchutil::emit(fig, "Figure 4: default vs Rafiki vs exhaustive (Cassandra)");
+
+  // Cross-application penalty (Section 1's 42.9% claim): run each regime's
+  // optimum under the opposite regime.
+  const auto read_opt = rafiki.optimize(0.9).config;
+  const auto write_opt = rafiki.optimize(0.1).config;
+  const double read_at_read = measure_at(read_opt, 0.9);
+  const double write_at_read = measure_at(write_opt, 0.9);
+  const double write_at_write = measure_at(write_opt, 0.1);
+  const double read_at_write = measure_at(read_opt, 0.1);
+  Table cross({"config", "@RR=90%", "@RR=10%", "penalty when misapplied"});
+  cross.add_row({"read-optimized", Table::ops(read_at_read), Table::ops(read_at_write),
+                 Table::pct(100.0 * (write_at_write - read_at_write) / write_at_write)});
+  cross.add_row({"write-optimized", Table::ops(write_at_read), Table::ops(write_at_write),
+                 Table::pct(100.0 * (read_at_read - write_at_read) / read_at_read)});
+  benchutil::emit(cross, "Cross-workload misconfiguration penalty");
+
+  benchutil::compare("read-heavy gain (RR >= 70%)", "41% avg (39-45%)",
+                     Table::pct(mean(read_heavy_gains)) + " avg (" +
+                         Table::pct(min_of(read_heavy_gains)) + ".." +
+                         Table::pct(max_of(read_heavy_gains)) + ")");
+  benchutil::compare("write-heavy gain (RR <= 30%)", "14% avg (6-24%)",
+                     Table::pct(mean(write_heavy_gains)) + " avg");
+  benchutil::compare("mixed gain", "35%", Table::pct(mean(mixed_gains)) + " avg");
+  benchutil::compare("overall average gain", "30%", Table::pct(mean(gains)));
+  benchutil::compare("misapplied-config degradation", "up to 42.9%",
+                     Table::pct(std::max(
+                         100.0 * (write_at_write - read_at_write) / write_at_write,
+                         100.0 * (read_at_read - write_at_read) / read_at_read)));
+  return 0;
+}

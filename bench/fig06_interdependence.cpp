@@ -1,0 +1,99 @@
+// Figure 6 + Section 4.6: interdependency between Compaction Method (CM) and
+// Concurrent Writes (CW). The paper's observation: the effect of changing CW
+// depends on which compaction strategy is active (their cells: CW 16->32
+// helps SizeTiered by ~30% but barely moves Leveled; CW 32->64 costs Leveled
+// ~12.7% but barely moves SizeTiered) — so a greedy one-parameter-at-a-time
+// sweep cannot find the optimum. We reproduce the cross at the write-leaning
+// workload where the simulator's CW response is richest and quantify the
+// interaction, then demonstrate the greedy-vs-GA consequence on the measured
+// store under an equal evaluation budget.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "collect/runner.h"
+#include "opt/baselines.h"
+#include "opt/ga.h"
+
+using namespace rafiki;
+
+int main() {
+  collect::MeasureOptions measure = benchutil::paper_options().collect.measure;
+  measure.seed = 661;
+  const double kReadRatio = 0.1;
+  auto measure_config = [&](const engine::Config& config) {
+    auto workload = workload::WorkloadSpec::with_read_ratio(kReadRatio);
+    return collect::measure_throughput(config, workload, measure);
+  };
+
+  const int cw_levels[] = {16, 32, 64, 96};
+  Table fig({"Compaction Method", "CW=16", "CW=32", "CW=64", "CW=96",
+             "effect 16->32", "effect 32->64"});
+  double effect[2][2];
+  for (int cm : {0, 1}) {
+    double tput[4];
+    int i = 0;
+    for (int cw : cw_levels) {
+      tput[i++] = measure_config(engine::Config::defaults()
+                                     .with(engine::ParamId::kCompactionMethod, cm)
+                                     .with(engine::ParamId::kConcurrentWrites, cw));
+    }
+    effect[cm][0] = 100.0 * (tput[1] - tput[0]) / tput[0];
+    effect[cm][1] = 100.0 * (tput[2] - tput[1]) / tput[1];
+    fig.add_row({cm ? "Leveled" : "SizeTiered", Table::ops(tput[0]), Table::ops(tput[1]),
+                 Table::ops(tput[2]), Table::ops(tput[3]), Table::pct(effect[cm][0]),
+                 Table::pct(effect[cm][1])});
+  }
+  benchutil::emit(fig, "Figure 6: CM x CW interdependency (RR=10%)");
+  benchutil::note("the sign of the CW steps flips within each row, and the step sizes "
+                  "depend on CM:\nno single CW value is optimal for both strategies.");
+
+  // The consequence (Section 4.6): greedy per-parameter tuning vs GA on the
+  // *measured* store over the key-parameter space, equal evaluation budgets.
+  std::vector<opt::Dimension> dims;
+  for (auto id : engine::key_params()) {
+    const auto& spec = engine::param_spec(id);
+    dims.push_back({std::string(spec.name),
+                    spec.type != engine::ParamType::kReal, spec.lo, spec.hi});
+  }
+  const opt::SearchSpace space(std::move(dims));
+  const auto objective = [&](std::span<const double> point) {
+    return measure_config(
+        engine::Config::from_vector(engine::key_params(), {point.begin(), point.end()}));
+  };
+  const auto greedy = opt::greedy_search(
+      space, objective, engine::Config::defaults().vector_for(engine::key_params()), 5, 2);
+  // The GA needs a real evaluation budget to exploit interdependencies —
+  // which is exactly why Rafiki runs it against the surrogate, where an
+  // evaluation costs microseconds instead of a 7-minute live benchmark
+  // (Section 4.8). Here we grant that budget against the simulator directly.
+  const auto ga = opt::ga_optimize(space, objective, benchutil::paper_options().ga);
+
+  Table consequence({"strategy", "best measured ops/s", "evaluations",
+                     "equivalent live-benchmark time"});
+  auto live_hours = [](std::size_t evals) {
+    return Table::num(static_cast<double>(evals) * 7.0 / 60.0, 1) + " h";
+  };
+  consequence.add_row({"greedy one-at-a-time", Table::ops(greedy.best_fitness),
+                       std::to_string(greedy.evaluations), live_hours(greedy.evaluations)});
+  consequence.add_row({"genetic algorithm", Table::ops(ga.best_fitness),
+                       std::to_string(ga.evaluations), live_hours(ga.evaluations)});
+  benchutil::emit(consequence, "Greedy vs GA on the live store (RR=10%)");
+  benchutil::note("the GA's budget is only affordable against the surrogate — "
+                  "which is Rafiki's design point.");
+
+  const double interaction =
+      std::abs(effect[0][0] - effect[1][0]) + std::abs(effect[0][1] - effect[1][1]);
+  benchutil::compare("CW effect depends on CM (step deltas)",
+                     "ST 16->32 +30% vs L ~0; L 32->64 -12.7% vs ST ~0",
+                     "16->32: ST " + Table::pct(effect[0][0]) + " vs L " +
+                         Table::pct(effect[1][0]) + "; 32->64: ST " +
+                         Table::pct(effect[0][1]) + " vs L " + Table::pct(effect[1][1]));
+  benchutil::compare("interaction magnitude (sum |step deltas|)", "tens of percent",
+                     Table::pct(interaction));
+  benchutil::compare("non-monotone CW response (greedy hazard)", "yes",
+                     (effect[0][0] > 0) != (effect[0][1] > 0) ? "yes (sign flip)" : "NO");
+  benchutil::compare("GA (full budget) vs greedy", "GA >= greedy",
+                     Table::pct(100.0 * (ga.best_fitness - greedy.best_fitness) /
+                                greedy.best_fitness));
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 7 + Section 4.7.1: surrogate prediction error for unseen
+// configurations and unseen workloads as a function of the number of
+// training samples (36..180 of the ~200 usable points). The paper finds the
+// curve levelling off around 180 samples at ~7.5% (configs) / ~5.6%
+// (workloads).
+#include <cstdio>
+
+#include "bench/common.h"
+#include "ml/metrics.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+using namespace rafiki;
+
+namespace {
+
+/// Error of an ensemble trained on `train_count` samples drawn from the
+/// training side of a dimension-wise split, evaluated on the test side.
+double holdout_error(const collect::Dataset& dataset, const core::RafikiOptions& options,
+                     bool by_config, std::size_t train_count, std::uint64_t seed) {
+  const auto split = by_config ? dataset.split_by_config(0.25, seed)
+                               : dataset.split_by_workload(0.25, seed);
+  auto train_indices = split.train;
+  Rng rng(seed ^ 0xabcd);
+  for (std::size_t i = train_indices.size(); i > 1; --i) {
+    std::swap(train_indices[i - 1], train_indices[rng.bounded(i)]);
+  }
+  if (train_indices.size() > train_count) train_indices.resize(train_count);
+
+  core::Rafiki model(options);
+  model.set_key_params(engine::key_params());
+  model.train(dataset.subset(train_indices));
+
+  std::vector<double> actual, predicted;
+  for (auto i : split.test) {
+    const auto& sample = dataset[i];
+    actual.push_back(sample.throughput);
+    predicted.push_back(model.predict(sample.workload.read_ratio, sample.config));
+  }
+  return ml::mape_percent(actual, predicted);
+}
+
+}  // namespace
+
+int main() {
+  auto options = benchutil::paper_options();
+  options.collect.fault_rate = 20.0 / 220.0;
+  core::Rafiki rafiki(options);
+  rafiki.set_key_params(engine::key_params());
+  benchutil::note("collecting the 200-sample training corpus...");
+  const auto dataset = rafiki.collect();
+  std::printf("collected %zu usable samples\n", dataset.size());
+
+  constexpr int kTrials = 4;
+  Table fig({"training samples", "unseen-config error", "unseen-workload error"});
+  double final_config_err = 0.0, final_workload_err = 0.0;
+  for (std::size_t n : {36u, 72u, 108u, 144u, 180u}) {
+    double config_err = 0.0, workload_err = 0.0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      config_err += holdout_error(dataset, options, true, n, 100 + trial);
+      workload_err += holdout_error(dataset, options, false, n, 200 + trial);
+    }
+    config_err /= kTrials;
+    workload_err /= kTrials;
+    fig.add_row({std::to_string(n), Table::pct(config_err), Table::pct(workload_err)});
+    final_config_err = config_err;
+    final_workload_err = workload_err;
+  }
+  benchutil::emit(fig, "Figure 7: prediction error vs number of training samples");
+
+  benchutil::compare("unseen-config error @180 samples", "7.5%",
+                     Table::pct(final_config_err));
+  benchutil::compare("unseen-workload error @180 samples", "5.6%",
+                     Table::pct(final_workload_err));
+  benchutil::compare("error levels off with more data", "yes (by 180)",
+                     "see curve above");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Figures 8 & 9 + Table 2's protocol: distribution of signed prediction
+// errors over ten randomized 75/25 splits, withholding whole configurations
+// (Figure 8) or whole workloads (Figure 9). The paper reports 7.5% / 5.6%
+// average absolute error with most mass within +-5% and little bias.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "ml/metrics.h"
+#include "util/histogram.h"
+#include "util/stats.h"
+
+using namespace rafiki;
+
+namespace {
+
+struct DimensionResult {
+  std::vector<double> errors;  // signed percent errors pooled over trials
+  double mean_abs = 0.0;
+};
+
+DimensionResult run_dimension(const collect::Dataset& dataset,
+                              const core::RafikiOptions& options, bool by_config) {
+  DimensionResult result;
+  constexpr int kTrials = 10;
+  double abs_sum = 0.0;
+  std::size_t abs_n = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto split = by_config ? dataset.split_by_config(0.25, 300 + trial)
+                                 : dataset.split_by_workload(0.25, 400 + trial);
+    core::Rafiki model(options);
+    model.set_key_params(engine::key_params());
+    model.train(dataset.subset(split.train));
+    std::vector<double> actual, predicted;
+    for (auto i : split.test) {
+      const auto& sample = dataset[i];
+      actual.push_back(sample.throughput);
+      predicted.push_back(model.predict(sample.workload.read_ratio, sample.config));
+    }
+    for (double e : ml::percent_errors(actual, predicted)) {
+      result.errors.push_back(e);
+      abs_sum += std::abs(e);
+      ++abs_n;
+    }
+  }
+  result.mean_abs = abs_n ? abs_sum / static_cast<double>(abs_n) : 0.0;
+  return result;
+}
+
+void report(const char* title, const DimensionResult& result, const char* paper_avg) {
+  Histogram histogram(-20.0, 20.0, 16);
+  histogram.add_all(result.errors);
+  benchutil::section(title);
+  std::fputs(histogram.render().c_str(), stdout);
+  std::size_t within5 = 0;
+  for (double e : result.errors) within5 += std::abs(e) <= 5.0;
+  std::printf("validations: %zu, mean signed error: %+.2f%%, mean |error|: %.2f%%, "
+              "within +-5%%: %.0f%%\n",
+              result.errors.size(), mean(result.errors), result.mean_abs,
+              100.0 * static_cast<double>(within5) /
+                  static_cast<double>(result.errors.size()));
+  benchutil::compare("average absolute error", paper_avg,
+                     Table::pct(result.mean_abs));
+  benchutil::compare("bias (mean signed error)", "close to zero",
+                     Table::pct(mean(result.errors)));
+}
+
+}  // namespace
+
+int main() {
+  auto options = benchutil::paper_options();
+  options.collect.fault_rate = 20.0 / 220.0;
+  core::Rafiki rafiki(options);
+  rafiki.set_key_params(engine::key_params());
+  benchutil::note("collecting the 200-sample training corpus...");
+  const auto dataset = rafiki.collect();
+  std::printf("collected %zu usable samples\n", dataset.size());
+
+  const auto config_dim = run_dimension(dataset, options, /*by_config=*/true);
+  report("Figure 8: error distribution, unseen configurations", config_dim, "7.5%");
+
+  const auto workload_dim = run_dimension(dataset, options, /*by_config=*/false);
+  report("Figure 9: error distribution, unseen workloads", workload_dim, "5.6%");
+
+  benchutil::compare("workload dimension easier than config dimension",
+                     "5.6% < 7.5%",
+                     Table::pct(workload_dim.mean_abs) + " vs " +
+                         Table::pct(config_dim.mean_abs));
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Google-benchmark microbenchmarks for the pieces Section 4.8 times:
+// surrogate evaluation (paper: ~45 us/sample in MATLAB), a full GA search
+// (paper: ~1.8 s for ~3,350 evaluations) and one live-store measurement
+// (paper: ~7 minutes of wall time per sample).
+#include <benchmark/benchmark.h>
+
+#include "collect/runner.h"
+#include "core/rafiki.h"
+#include "ml/ensemble.h"
+#include "util/rng.h"
+
+using namespace rafiki;
+
+namespace {
+
+/// Shared trained surrogate; training once keeps the microbenches honest
+/// (they time inference/search, not setup).
+const core::Rafiki& trained_rafiki() {
+  static core::Rafiki* instance = [] {
+    core::RafikiOptions options;
+    options.workload_grid = {0.0, 0.25, 0.5, 0.75, 1.0};
+    options.n_configs = 12;
+    options.collect.measure.ops = 20000;
+    options.collect.measure.warmup_ops = 4000;
+    options.ensemble.n_nets = 20;
+    options.ga.population = 48;
+    options.ga.generations = 70;
+    auto* rafiki = new core::Rafiki(options);
+    rafiki->set_key_params(engine::key_params());
+    rafiki->train(rafiki->collect());
+    return rafiki;
+  }();
+  return *instance;
+}
+
+void BM_SurrogatePredict(benchmark::State& state) {
+  const auto& rafiki = trained_rafiki();
+  const auto config = engine::Config::defaults();
+  double rr = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rafiki.predict(rr, config));
+    rr += 0.01;
+    if (rr > 1.0) rr = 0.0;
+  }
+}
+BENCHMARK(BM_SurrogatePredict);
+
+void BM_GaFullSearch(benchmark::State& state) {
+  const auto& rafiki = trained_rafiki();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rafiki.optimize(0.9));
+  }
+}
+BENCHMARK(BM_GaFullSearch)->Unit(benchmark::kMillisecond);
+
+void BM_LiveStoreMeasurement(benchmark::State& state) {
+  const auto workload = workload::WorkloadSpec::with_read_ratio(0.5);
+  collect::MeasureOptions options;
+  options.ops = static_cast<std::size_t>(state.range(0));
+  options.warmup_ops = options.ops / 8;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    options.seed = ++seed;
+    benchmark::DoNotOptimize(
+        collect::measure_throughput(engine::Config::defaults(), workload, options));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LiveStoreMeasurement)->Arg(20000)->Arg(80000)->Unit(benchmark::kMillisecond);
+
+void BM_EngineOpsThroughput(benchmark::State& state) {
+  // Raw simulator speed: how many simulated operations per real second.
+  workload::WorkloadSpec spec = workload::WorkloadSpec::with_read_ratio(0.5);
+  workload::Generator generator(spec, 3);
+  engine::Server server(engine::Config::defaults());
+  server.preload(generator.preload_keys(), spec.value_bytes);
+  std::vector<workload::Op> batch;
+  for (auto _ : state) {
+    state.PauseTiming();
+    batch = generator.batch(256);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(server.step(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_EngineOpsThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Table 1 + Section 4.6: maximum, default and minimum throughput over the
+// collected configuration set for three workloads (90%, 50%, 10% reads),
+// showing how impactful the five key parameters are. The paper reports the
+// best-vs-worst spread reaching 102.5% at RR=90%.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "collect/dataset.h"
+
+using namespace rafiki;
+
+int main() {
+  auto options = benchutil::paper_options();
+  const auto configs =
+      collect::sample_configs(engine::key_params(), options.n_configs, options.collect.seed);
+  collect::CollectOptions collect_options = options.collect;
+
+  benchutil::note("measuring 20 configurations x {90%, 50%, 10%} reads...");
+  const auto dataset = collect::collect_dataset(configs, {0.9, 0.5, 0.1},
+                                                options.base_workload, collect_options);
+
+  Table table({"workload", "maximum", "default", "minimum", "max % over min",
+               "default % over min"});
+  struct Row {
+    double rr;
+    double max_over_min;
+  };
+  std::vector<Row> rows;
+  for (double rr : {0.9, 0.5, 0.1}) {
+    double best = 0.0, worst = 1e18, fallback = 0.0;
+    for (const auto& sample : dataset.samples()) {
+      if (std::abs(sample.workload.read_ratio - rr) > 1e-9) continue;
+      best = std::max(best, sample.throughput);
+      worst = std::min(worst, sample.throughput);
+      if (sample.config == engine::Config::defaults()) fallback = sample.throughput;
+    }
+    const double max_over_min = 100.0 * (best - worst) / worst;
+    const double def_over_min = 100.0 * (fallback - worst) / worst;
+    rows.push_back({rr, max_over_min});
+    char label[48];
+    std::snprintf(label, sizeof label, "Average Throughput (read=%.0f%%)", rr * 100);
+    table.add_row({label, Table::ops(best), Table::ops(fallback), Table::ops(worst),
+                   Table::pct(max_over_min), Table::pct(def_over_min)});
+  }
+  benchutil::emit(table, "Table 1: max/default/min throughput over the config set");
+
+  benchutil::compare("spread @ read=90% (max % over min)", "102.5%",
+                     Table::pct(rows[0].max_over_min));
+  benchutil::compare("spread @ read=50%", "68.5%", Table::pct(rows[1].max_over_min));
+  benchutil::compare("spread @ read=10%", "30.7%", Table::pct(rows[2].max_over_min));
+  benchutil::compare("spread grows with read share", "yes",
+                     rows[0].max_over_min > rows[2].max_over_min ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Table 2 + Section 4.7.2: prediction-model performance for Cassandra —
+// average error, R^2 and RMSE for unseen configurations and unseen
+// workloads, comparing the 20-net pruned ensemble against a single network.
+// Ten randomized 75/25 trials per cell, as in the paper.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "ml/metrics.h"
+#include "util/stats.h"
+
+using namespace rafiki;
+
+namespace {
+
+struct Cell {
+  double error = 0.0;
+  double r2 = 0.0;
+  double rmse_ops = 0.0;
+};
+
+Cell evaluate(const collect::Dataset& dataset, core::RafikiOptions options,
+              bool by_config, std::size_t n_nets) {
+  options.ensemble.n_nets = n_nets;
+  if (n_nets == 1) options.ensemble.prune_fraction = 0.0;
+  constexpr int kTrials = 10;
+  Cell cell;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto split = by_config ? dataset.split_by_config(0.25, 500 + trial)
+                                 : dataset.split_by_workload(0.25, 600 + trial);
+    core::Rafiki model(options);
+    model.set_key_params(engine::key_params());
+    model.train(dataset.subset(split.train));
+    std::vector<double> actual, predicted;
+    for (auto i : split.test) {
+      const auto& sample = dataset[i];
+      actual.push_back(sample.throughput);
+      predicted.push_back(model.predict(sample.workload.read_ratio, sample.config));
+    }
+    cell.error += ml::mape_percent(actual, predicted);
+    cell.r2 += ml::r_squared(actual, predicted);
+    cell.rmse_ops += ml::rmse(actual, predicted);
+  }
+  cell.error /= kTrials;
+  cell.r2 /= kTrials;
+  cell.rmse_ops /= kTrials;
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  auto options = benchutil::paper_options();
+  options.collect.fault_rate = 20.0 / 220.0;
+  core::Rafiki rafiki(options);
+  rafiki.set_key_params(engine::key_params());
+  benchutil::note("collecting the 200-sample training corpus...");
+  const auto dataset = rafiki.collect();
+  std::printf("collected %zu usable samples\n", dataset.size());
+
+  benchutil::note("evaluating 4 cells x 10 randomized trials (this trains 40 ensembles)...");
+  const Cell c20 = evaluate(dataset, options, true, 20);
+  const Cell w20 = evaluate(dataset, options, false, 20);
+  const Cell c1 = evaluate(dataset, options, true, 1);
+  const Cell w1 = evaluate(dataset, options, false, 1);
+
+  Table table({"metric", "20 nets / config", "20 nets / workload", "1 net / config",
+               "1 net / workload"});
+  table.add_row({"Prediction error", Table::pct(c20.error), Table::pct(w20.error),
+                 Table::pct(c1.error), Table::pct(w1.error)});
+  table.add_row({"R^2", Table::num(c20.r2, 2), Table::num(w20.r2, 2),
+                 Table::num(c1.r2, 2), Table::num(w1.r2, 2)});
+  table.add_row({"Avg RMSE (ops/s)", Table::ops(c20.rmse_ops), Table::ops(w20.rmse_ops),
+                 Table::ops(c1.rmse_ops), Table::ops(w1.rmse_ops)});
+  benchutil::emit(table, "Table 2: prediction-model performance (Cassandra)");
+
+  benchutil::compare("20-net unseen-config error", "7.5% (R^2 0.74, RMSE 6,859)",
+                     Table::pct(c20.error) + " (R^2 " + Table::num(c20.r2, 2) +
+                         ", RMSE " + Table::ops(c20.rmse_ops) + ")");
+  benchutil::compare("20-net unseen-workload error", "5.6% (R^2 0.75, RMSE 6,157)",
+                     Table::pct(w20.error) + " (R^2 " + Table::num(w20.r2, 2) +
+                         ", RMSE " + Table::ops(w20.rmse_ops) + ")");
+  benchutil::compare("ensemble beats single net on configs", "7.5% vs 10.1%",
+                     Table::pct(c20.error) + " vs " + Table::pct(c1.error));
+  benchutil::compare("workload dim easier than config dim", "yes",
+                     w20.error < c20.error ? "yes" : "NO");
+  return 0;
+}

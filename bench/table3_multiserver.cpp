@@ -1,0 +1,76 @@
+// Table 3 + Section 4.9: improvement of Rafiki-selected configurations over
+// the default for a single server vs a two-server peer cluster. The paper's
+// two-server setup adds one more shooter and raises the replication factor
+// by one so each instance stores an equivalent number of keys.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "engine/cluster.h"
+
+using namespace rafiki;
+
+namespace {
+
+double cluster_throughput(const engine::Config& config, double rr, int servers,
+                          const workload::WorkloadSpec& base) {
+  workload::WorkloadSpec spec = base;
+  spec.read_ratio = rr;
+  engine::Cluster cluster(config, servers, /*replication_factor=*/servers);
+  {
+    workload::Generator preload_gen(spec, 1);
+    cluster.preload(preload_gen.preload_keys(), spec.value_bytes);
+  }
+  std::vector<workload::Generator> shooters;
+  for (int s = 0; s < servers; ++s) shooters.emplace_back(spec, 9000 + s);
+  engine::RunOptions opts;
+  opts.ops = 60000;
+  opts.seed = 31337;
+  return cluster.run(shooters, opts).throughput_ops;
+}
+
+}  // namespace
+
+int main() {
+  auto options = benchutil::paper_options();
+  core::Rafiki rafiki(options);
+  rafiki.set_key_params(engine::key_params());
+  benchutil::note("training the single-server surrogate (20 configs x 11 workloads)...");
+  rafiki.train(rafiki.collect());
+
+  const std::vector<double> read_ratios = {0.1, 0.5, 1.0};
+  Table table({"workload", "RR=10%", "RR=50%", "RR=100%"});
+  std::vector<std::string> single_row = {"Single Server Improve"};
+  std::vector<std::string> dual_row = {"Two Servers Improve"};
+  double single_sum = 0.0, dual_sum = 0.0;
+  for (double rr : read_ratios) {
+    const auto tuned = rafiki.optimize(rr).config;
+    const double s_def =
+        cluster_throughput(engine::Config::defaults(), rr, 1, options.base_workload);
+    const double s_opt = cluster_throughput(tuned, rr, 1, options.base_workload);
+    const double d_def =
+        cluster_throughput(engine::Config::defaults(), rr, 2, options.base_workload);
+    const double d_opt = cluster_throughput(tuned, rr, 2, options.base_workload);
+    const double s_gain = 100.0 * (s_opt - s_def) / s_def;
+    const double d_gain = 100.0 * (d_opt - d_def) / d_def;
+    single_row.push_back(Table::pct(s_gain));
+    dual_row.push_back(Table::pct(d_gain));
+    single_sum += s_gain;
+    dual_sum += d_gain;
+    std::printf("RR=%.0f%%: single %s -> %s, dual %s -> %s (config %s)\n", rr * 100,
+                Table::ops(s_def).c_str(), Table::ops(s_opt).c_str(),
+                Table::ops(d_def).c_str(), Table::ops(d_opt).c_str(),
+                tuned.to_string().c_str());
+  }
+  table.add_row(single_row);
+  table.add_row(dual_row);
+  benchutil::emit(table, "Table 3: Rafiki vs default, single vs two servers");
+
+  benchutil::compare("single-server improvements (RR 10/50/100)",
+                     "15.2% / 41.34% / 48.35%",
+                     single_row[1] + " / " + single_row[2] + " / " + single_row[3]);
+  benchutil::compare("two-server improvements (RR 10/50/100)", "3.2% / 67.37% / 51.4%",
+                     dual_row[1] + " / " + dual_row[2] + " / " + dual_row[3]);
+  benchutil::compare("average improvement single vs dual", "34% vs 40% (similar)",
+                     Table::pct(single_sum / 3.0) + " vs " + Table::pct(dual_sum / 3.0));
+  return 0;
+}

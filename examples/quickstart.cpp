@@ -1,0 +1,58 @@
+// Quickstart: tune the simulated Cassandra store for one workload.
+//
+//   1. Describe the workload (read ratio, key-reuse distance).
+//   2. Collect a small training lattice on the simulated server.
+//   3. Train the DNN surrogate ensemble.
+//   4. GA-search the key-parameter space against the surrogate.
+//   5. Verify the chosen configuration against the live (simulated) store.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "collect/runner.h"
+#include "core/rafiki.h"
+
+using namespace rafiki;
+
+int main() {
+  // A read-heavy metagenomics-like workload (Figure 3's common regime).
+  const double read_ratio = 0.85;
+
+  // Keep the demo quick: a reduced lattice instead of the paper's 20x11.
+  core::RafikiOptions options;
+  options.workload_grid = {0.0, 0.25, 0.5, 0.75, 1.0};
+  options.n_configs = 12;
+  options.collect.measure.ops = 30000;
+  options.ensemble.n_nets = 10;
+
+  core::Rafiki rafiki(options);
+  // Use the paper's five key parameters directly; run the full ANOVA screen
+  // yourself with rafiki.select_key_params() if you have a few minutes.
+  rafiki.set_key_params(engine::key_params());
+
+  std::puts("collecting training samples from the simulated store...");
+  const auto dataset = rafiki.collect();
+  std::printf("  %zu samples collected\n", dataset.size());
+
+  std::puts("training the surrogate ensemble (Levenberg-Marquardt + Bayesian reg.)...");
+  rafiki.train(dataset);
+
+  std::puts("searching the configuration space with the genetic algorithm...");
+  const auto result = rafiki.optimize(read_ratio);
+  std::printf("  best config: %s\n", result.config.to_string().c_str());
+  std::printf("  predicted throughput: %.0f ops/s (%zu surrogate calls in %.2f s)\n",
+              result.predicted_throughput, result.surrogate_evaluations,
+              result.wall_seconds);
+
+  // Verify against the live store with a fresh seed.
+  collect::MeasureOptions verify = options.collect.measure;
+  verify.seed = 777;
+  workload::WorkloadSpec workload = options.base_workload;
+  workload.read_ratio = read_ratio;
+  const double tuned = collect::measure_throughput(result.config, workload, verify);
+  const double fallback =
+      collect::measure_throughput(engine::Config::defaults(), workload, verify);
+  std::printf("\nmeasured on the store:  default %.0f ops/s  ->  tuned %.0f ops/s  (%+.1f%%)\n",
+              fallback, tuned, 100.0 * (tuned - fallback) / fallback);
+  return 0;
+}

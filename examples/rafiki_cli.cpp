@@ -1,0 +1,145 @@
+// rafiki_cli — file-based driver for the tuning pipeline, the way an
+// operations team would run it stage by stage:
+//
+//   rafiki_cli characterize <trace.csv>
+//       Parse an operational query log (t_s,kind,key,bytes) and print the
+//       stationary window, RR series and KRD fit (Section 3.3).
+//
+//   rafiki_cli collect <out.csv> [configs] [read-ratios]
+//       Benchmark the simulated store over the config x workload lattice and
+//       write the training corpus (Section 4.2). Defaults: 20 configs, the
+//       11-point RR grid.
+//
+//   rafiki_cli tune <corpus.csv> <read-ratio>
+//       Train the surrogate ensemble on a previously collected corpus and
+//       GA-search the best configuration for the given read ratio
+//       (Sections 3.6-3.7), verifying it against the simulator.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "collect/dataset.h"
+#include "core/rafiki.h"
+#include "workload/characterize.h"
+
+using namespace rafiki;
+
+namespace {
+
+int usage() {
+  std::fputs(
+      "usage:\n"
+      "  rafiki_cli characterize <trace.csv>\n"
+      "  rafiki_cli collect <out.csv> [n_configs] [rr0,rr1,...]\n"
+      "  rafiki_cli tune <corpus.csv> <read-ratio>\n",
+      stderr);
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int cmd_characterize(const std::string& path) {
+  const auto trace = workload::parse_trace_csv(read_file(path));
+  if (trace.empty()) {
+    std::fputs("trace is empty\n", stderr);
+    return 1;
+  }
+  const std::vector<double> candidates = {112.5, 225.0, 450.0, 900.0, 1800.0};
+  const auto ch = workload::characterize(trace, candidates);
+  std::printf("records:            %zu (%.1f h)\n", trace.size(),
+              (trace.back().t_s - trace.front().t_s) / 3600.0);
+  std::printf("stationary window:  %.1f s\n", ch.window_s);
+  std::printf("KRD (exp. mean):    %.0f queries\n", ch.krd_mean);
+  std::printf("insert fraction:    %.2f\n", ch.insert_fraction);
+  std::printf("mean payload:       %.0f bytes\n", ch.mean_value_bytes);
+  std::printf("windows:            %zu\n", ch.read_ratios.size());
+  for (std::size_t i = 0; i < ch.read_ratios.size(); ++i) {
+    std::printf("  window %3zu  RR=%.2f\n", i, ch.read_ratios[i]);
+  }
+  return 0;
+}
+
+int cmd_collect(const std::string& out_path, int n_configs,
+                const std::vector<double>& read_ratios) {
+  const auto configs = collect::sample_configs(engine::key_params(),
+                                               static_cast<std::size_t>(n_configs), 1);
+  collect::CollectOptions options;
+  std::printf("benchmarking %zu configs x %zu workloads (%zu measurements)...\n",
+              configs.size(), read_ratios.size(), configs.size() * read_ratios.size());
+  const auto dataset =
+      collect::collect_dataset(configs, read_ratios, workload::WorkloadSpec{}, options);
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << dataset.to_csv(engine::key_params());
+  std::printf("wrote %zu samples to %s\n", dataset.size(), out_path.c_str());
+  return 0;
+}
+
+int cmd_tune(const std::string& corpus_path, double read_ratio) {
+  const auto dataset = collect::Dataset::from_csv(read_file(corpus_path));
+  std::printf("loaded %zu samples; training the surrogate ensemble...\n", dataset.size());
+  core::Rafiki rafiki;
+  rafiki.set_key_params(engine::key_params());
+  rafiki.train(dataset);
+
+  const auto result = rafiki.optimize(read_ratio);
+  std::printf("best config for RR=%.0f%%: %s\n", read_ratio * 100,
+              result.config.to_string().c_str());
+  std::printf("surrogate estimate: %.0f ops/s (%zu evaluations, %.2f s)\n",
+              result.predicted_throughput, result.surrogate_evaluations,
+              result.wall_seconds);
+
+  workload::WorkloadSpec workload;
+  workload.read_ratio = read_ratio;
+  collect::MeasureOptions verify;
+  verify.seed = 4242;
+  const double tuned = collect::measure_throughput(result.config, workload, verify);
+  const double fallback =
+      collect::measure_throughput(engine::Config::defaults(), workload, verify);
+  std::printf("verified on the simulator: default %.0f -> tuned %.0f ops/s (%+.1f%%)\n",
+              fallback, tuned, 100.0 * (tuned - fallback) / fallback);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  if (command == "characterize" && argc == 3) {
+    return cmd_characterize(argv[2]);
+  }
+  if (command == "collect" && argc >= 3) {
+    const int n_configs = argc >= 4 ? std::atoi(argv[3]) : 20;
+    std::vector<double> read_ratios;
+    if (argc >= 5) {
+      std::stringstream list(argv[4]);
+      std::string token;
+      while (std::getline(list, token, ',')) read_ratios.push_back(std::stod(token));
+    } else {
+      for (int i = 0; i <= 10; ++i) read_ratios.push_back(i / 10.0);
+    }
+    if (n_configs < 1 || read_ratios.empty()) return usage();
+    return cmd_collect(argv[2], n_configs, read_ratios);
+  }
+  if (command == "tune" && argc == 4) {
+    const double rr = std::atof(argv[3]);
+    if (rr < 0.0 || rr > 1.0) return usage();
+    return cmd_tune(argv[2], rr);
+  }
+  return usage();
+}

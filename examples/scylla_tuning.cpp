@@ -1,0 +1,58 @@
+// Tuning ScyllaDB (Section 4.10): the engine's internal auto-tuner silently
+// ignores several user parameters, so Rafiki first discovers which knobs are
+// worth tuning (strip ignored, refill by ANOVA variance), then optimizes the
+// remaining space. Gains are smaller than for Cassandra — the auto-tuner
+// already covers part of the headroom — but real.
+#include <cstdio>
+
+#include "collect/runner.h"
+#include "core/rafiki.h"
+#include "engine/scylla.h"
+
+using namespace rafiki;
+
+int main() {
+  // Show the auto-tuner in action: request extreme values for an ignored
+  // parameter and watch the effective config discard them.
+  const auto requested =
+      engine::Config::defaults().with(engine::ParamId::kConcurrentWrites, 96);
+  const auto effective = engine::ScyllaServer::effective_config(requested, {});
+  std::printf("requested concurrent_writes=96 -> effective %d (auto-tuned)\n",
+              effective.get_int(engine::ParamId::kConcurrentWrites));
+
+  core::RafikiOptions options;
+  options.scylla = true;
+  options.workload_grid = {0.0, 0.25, 0.5, 0.75, 1.0};
+  options.n_configs = 14;
+  // ScyllaDB's tuner fluctuations demand longer measurements and more ANOVA
+  // replicates than the Cassandra quickstart, or the screen selects noise.
+  options.collect.measure.ops = 80000;
+  options.ensemble.n_nets = 10;
+  options.anova_repeats = 3;
+  core::Rafiki rafiki(options);
+
+  std::puts("\nselecting ScyllaDB key parameters (ANOVA, ignored params stripped)...");
+  const auto& params = rafiki.select_key_params();
+  for (auto id : params) {
+    std::printf("  - %s\n", std::string(engine::param_name(id)).c_str());
+  }
+
+  std::puts("collecting + training on the ScyllaDB model...");
+  rafiki.train(rafiki.collect());
+
+  const double read_ratio = 0.7;
+  const auto result = rafiki.optimize(read_ratio);
+  std::printf("\noptimized config: %s\n", result.config.to_string().c_str());
+
+  collect::MeasureOptions verify = options.collect.measure;
+  verify.seed = 888;
+  workload::WorkloadSpec workload = options.base_workload;
+  workload.read_ratio = read_ratio;
+  const double tuned = collect::measure_throughput(result.config, workload, verify);
+  const double fallback =
+      collect::measure_throughput(engine::Config::defaults(), workload, verify);
+  std::printf("measured @RR=70%%:  default %.0f ops/s  ->  tuned %.0f ops/s  (%+.1f%%)\n",
+              fallback, tuned, 100.0 * (tuned - fallback) / fallback);
+  std::puts("(the paper reports ~9-12% for ScyllaDB vs ~41% for Cassandra)");
+  return 0;
+}

@@ -1,0 +1,53 @@
+#include "collect/runner.h"
+
+#include "engine/scylla.h"
+#include "workload/generator.h"
+
+namespace rafiki::collect {
+namespace {
+
+template <typename ServerT>
+engine::RunStats drive(ServerT& server, const workload::WorkloadSpec& workload,
+                       const MeasureOptions& options) {
+  workload::Generator generator(workload, options.seed);
+  server.preload(generator.preload_keys(), workload.value_bytes, options.version_dup);
+
+  if (options.warmup_ops > 0) {
+    workload::WorkloadSpec warm = workload;
+    warm.read_ratio = options.warmup_read_ratio;
+    workload::Generator warm_generator(warm, options.seed ^ 0x5eed5eedull);
+    engine::RunOptions warm_opts;
+    warm_opts.ops = options.warmup_ops;
+    warm_opts.seed = options.seed ^ 1;
+    server.run(warm_generator, warm_opts);
+  }
+
+  engine::RunOptions run_opts;
+  run_opts.ops = options.ops;
+  run_opts.seed = options.seed;
+  run_opts.measurement_noise_sd = options.noise_sd;
+  run_opts.record_windows = options.record_windows;
+  run_opts.window_s = options.window_s;
+  return server.run(generator, run_opts);
+}
+
+}  // namespace
+
+engine::RunStats measure(const engine::Config& config, const workload::WorkloadSpec& workload,
+                         const MeasureOptions& options) {
+  if (options.scylla) {
+    engine::ScyllaServer server(config, options.hardware, /*fluctuation_seed=*/options.seed);
+    auto stats = drive(server.server(), workload, options);
+    return stats;
+  }
+  engine::Server server(config, options.hardware);
+  return drive(server, workload, options);
+}
+
+double measure_throughput(const engine::Config& config,
+                          const workload::WorkloadSpec& workload,
+                          const MeasureOptions& options) {
+  return measure(config, workload, options).throughput_ops;
+}
+
+}  // namespace rafiki::collect

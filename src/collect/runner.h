@@ -1,0 +1,45 @@
+// Measurement harness — the YCSB-equivalent "shooter" protocol of Section
+// 4.2: every data-collection event runs against a freshly reset server
+// (paper: a fresh Docker container) that is bulk-loaded with the dataset,
+// warmed with a short burst of mixed traffic, and then benchmarked for a
+// fixed operation budget standing in for the 5-minute measurement window.
+#pragma once
+
+#include <cstdint>
+
+#include "engine/config.h"
+#include "engine/server.h"
+#include "workload/spec.h"
+
+namespace rafiki::collect {
+
+struct MeasureOptions {
+  /// Operations in the measured window (the "5-minute benchmark").
+  std::size_t ops = 80000;
+  /// Unmeasured mixed traffic executed first so flush/compaction activity is
+  /// in steady state when measurement begins.
+  std::size_t warmup_ops = 8000;
+  double warmup_read_ratio = 0.3;
+  /// Harness measurement noise (multiplicative sd on reported throughput).
+  double noise_sd = 0.015;
+  /// Update-history duplication handed to Server::preload.
+  double version_dup = 0.65;
+  std::uint64_t seed = 1;
+  /// Benchmark the ScyllaDB engine model instead of the Cassandra one.
+  bool scylla = false;
+  /// Forwarded to RunOptions for time-series experiments (Figure 10).
+  bool record_windows = false;
+  double window_s = 10.0;
+  engine::Hardware hardware{};
+};
+
+/// One full measurement: fresh server + preload + warmup + benchmark.
+engine::RunStats measure(const engine::Config& config, const workload::WorkloadSpec& workload,
+                         const MeasureOptions& options = {});
+
+/// Convenience: mean throughput only.
+double measure_throughput(const engine::Config& config,
+                          const workload::WorkloadSpec& workload,
+                          const MeasureOptions& options = {});
+
+}  // namespace rafiki::collect

@@ -1,0 +1,62 @@
+// Online reconfiguration controller for dynamic workloads (Sections 1, 2.4.1).
+//
+// MG-RAST's read ratio shifts abruptly at the 15-minute scale; a static
+// configuration is suboptimal most of the time. The controller watches the
+// characterized read ratio per window, re-runs the GA against the trained
+// surrogate when the workload moves materially (seconds of work, Section
+// 4.8), memoizes optimized configurations per read-ratio bucket, and charges
+// a reconfiguration downtime when the configuration actually changes.
+#pragma once
+
+#include <cstddef>
+#include <map>
+
+#include "core/rafiki.h"
+
+namespace rafiki::core {
+
+struct OnlineTunerOptions {
+  /// Re-optimize when the window's RR moved at least this far from the RR
+  /// the current configuration was chosen for.
+  double rr_change_threshold = 0.15;
+  /// Memoization granularity for optimized configs.
+  double rr_bucket = 0.1;
+  /// Virtual seconds of degraded service when a new config is applied
+  /// (rolling restart); charged by the replay harness.
+  double reconfigure_downtime_s = 15.0;
+};
+
+class OnlineTuner {
+ public:
+  /// `rafiki` must already be trained; the tuner holds a reference.
+  OnlineTuner(const Rafiki& rafiki, OnlineTunerOptions options = {});
+
+  struct Decision {
+    engine::Config config;
+    bool reconfigured = false;
+    double predicted_throughput = 0.0;
+  };
+  /// Feeds the next observed window; returns the configuration to run with.
+  Decision on_window(double read_ratio);
+
+  /// Pre-computes (and caches) the optimized configuration for a forecast
+  /// read ratio (see workload::WorkloadForecaster), so an anticipated regime
+  /// switch pays no optimizer latency inside the critical window.
+  void prefetch(double read_ratio);
+
+  std::size_t reconfigurations() const noexcept { return reconfigurations_; }
+  std::size_t optimizer_runs() const noexcept { return optimizer_runs_; }
+  const OnlineTunerOptions& options() const noexcept { return options_; }
+
+ private:
+  const Rafiki* rafiki_;
+  OnlineTunerOptions options_;
+  std::map<int, Rafiki::OptimizeResult> cache_;  // bucket -> optimized result
+  engine::Config current_ = engine::Config::defaults();
+  double current_rr_ = -1.0;  // RR the current config was chosen for
+  bool have_config_ = false;
+  std::size_t reconfigurations_ = 0;
+  std::size_t optimizer_runs_ = 0;
+};
+
+}  // namespace rafiki::core

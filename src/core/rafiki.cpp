@@ -1,0 +1,151 @@
+#include "core/rafiki.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "engine/scylla.h"
+
+namespace rafiki::core {
+
+Rafiki::Rafiki(RafikiOptions options) : options_(std::move(options)) {
+  options_.collect.measure.scylla = options_.scylla;
+}
+
+const std::vector<ParamRanking>& Rafiki::rank_parameters() {
+  if (!ranking_.empty()) return ranking_;
+
+  workload::WorkloadSpec workload = options_.base_workload;
+  workload.read_ratio = options_.anova_read_ratio;
+
+  std::uint64_t seed_counter = options_.collect.seed;
+  for (const auto& spec : engine::param_registry()) {
+    // Vary this parameter alone, others at defaults (Section 3.4.1), with
+    // measurement replicates per level forming the ANOVA groups.
+    opt::SearchSpace one_dim({{std::string(spec.name),
+                               spec.type != engine::ParamType::kReal, spec.lo, spec.hi}});
+    const auto levels = one_dim.level_values(0, static_cast<std::size_t>(spec.anova_levels));
+
+    std::vector<std::vector<double>> groups;
+    for (double level : levels) {
+      const auto config = engine::Config::defaults().with(spec.id, level);
+      std::vector<double> group;
+      for (std::size_t r = 0; r < options_.anova_repeats; ++r) {
+        collect::MeasureOptions measure = options_.collect.measure;
+        measure.seed = ++seed_counter * 7919 + r;
+        group.push_back(collect::measure_throughput(config, workload, measure));
+      }
+      groups.push_back(std::move(group));
+    }
+
+    ParamRanking entry;
+    entry.id = spec.id;
+    entry.score = ml::level_mean_stddev(groups);
+    const auto anova = ml::one_way_anova(groups);
+    entry.f_statistic = anova.f_statistic;
+    entry.p_value = anova.p_value;
+    ranking_.push_back(entry);
+  }
+
+  std::sort(ranking_.begin(), ranking_.end(),
+            [](const ParamRanking& a, const ParamRanking& b) { return a.score > b.score; });
+  return ranking_;
+}
+
+const std::vector<engine::ParamId>& Rafiki::select_key_params() {
+  if (!key_params_.empty()) return key_params_;
+  const auto& ranking = rank_parameters();
+
+  std::vector<ParamRanking> usable;
+  for (const auto& entry : ranking) {
+    // Section 4.5: parameters that merely co-determine a canonical knob's
+    // mechanism (flush frequency) are skipped in favour of that knob.
+    if (engine::param_spec(entry.id).redundant_with != engine::ParamId::kCount) {
+      continue;
+    }
+    // Section 4.10: strip parameters ScyllaDB's auto-tuner ignores, then
+    // refill by variance until the count matches Cassandra's.
+    if (options_.scylla) {
+      const auto& ignored = engine::ScyllaServer::ignored_params();
+      if (std::find(ignored.begin(), ignored.end(), entry.id) != ignored.end()) {
+        continue;
+      }
+    }
+    usable.push_back(entry);
+  }
+
+  std::size_t k = options_.key_param_count;
+  if (k == 0) {
+    std::vector<ml::AnovaRanking> scored;
+    for (const auto& entry : usable) {
+      scored.push_back({std::string(engine::param_name(entry.id)), entry.score,
+                        entry.f_statistic, entry.p_value});
+    }
+    k = ml::distinct_drop_cutoff(scored, 3, 8);
+  }
+  k = std::min(k, usable.size());
+  for (std::size_t i = 0; i < k; ++i) key_params_.push_back(usable[i].id);
+  return key_params_;
+}
+
+void Rafiki::set_key_params(std::vector<engine::ParamId> params) {
+  key_params_ = std::move(params);
+}
+
+collect::Dataset Rafiki::collect() {
+  const auto& params = select_key_params();
+  const auto configs =
+      collect::sample_configs(params, options_.n_configs, options_.collect.seed);
+  return collect::collect_dataset(configs, options_.workload_grid, options_.base_workload,
+                                  options_.collect);
+}
+
+void Rafiki::train(const collect::Dataset& dataset) {
+  const auto& params = select_key_params();
+  surrogate_.fit(dataset.feature_matrix(params), dataset.targets(), options_.ensemble);
+}
+
+double Rafiki::predict(double read_ratio, const engine::Config& config) const {
+  if (!surrogate_.trained()) throw std::logic_error("Rafiki::predict: train() first");
+  std::vector<double> features;
+  features.reserve(key_params_.size() + 1);
+  features.push_back(read_ratio);
+  for (auto id : key_params_) features.push_back(config.get(id));
+  return surrogate_.predict(features);
+}
+
+opt::SearchSpace Rafiki::key_space() const {
+  if (key_params_.empty()) throw std::logic_error("Rafiki::key_space: no key params");
+  std::vector<opt::Dimension> dims;
+  for (auto id : key_params_) {
+    const auto& spec = engine::param_spec(id);
+    dims.push_back({std::string(spec.name), spec.type != engine::ParamType::kReal,
+                    spec.lo, spec.hi});
+  }
+  return opt::SearchSpace(std::move(dims));
+}
+
+Rafiki::OptimizeResult Rafiki::optimize(double read_ratio) const {
+  if (!surrogate_.trained()) throw std::logic_error("Rafiki::optimize: train() first");
+  const auto space = key_space();
+
+  std::vector<double> features(key_params_.size() + 1);
+  features[0] = read_ratio;
+  const auto objective = [&](std::span<const double> point) {
+    for (std::size_t i = 0; i < point.size(); ++i) features[i + 1] = point[i];
+    return surrogate_.predict(features);
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto ga = opt::ga_optimize(space, objective, options_.ga);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  OptimizeResult result;
+  result.config = engine::Config::from_vector(key_params_, ga.best_point);
+  result.predicted_throughput = ga.best_fitness;
+  result.surrogate_evaluations = ga.evaluations;
+  result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return result;
+}
+
+}  // namespace rafiki::core

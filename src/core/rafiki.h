@@ -1,0 +1,104 @@
+// The Rafiki middleware (Figure 1): the end-to-end pipeline of
+//   1. workload characterization          (workload/characterize.h)
+//   2. important-parameter identification (one-at-a-time ANOVA)
+//   3. data collection                    (collect/)
+//   4. surrogate modelling                (ml/ DNN ensemble)
+//   5. online configuration optimization  (opt/ genetic algorithm)
+// This class owns stages 2-5; stage 1 is a pure function of the trace and is
+// consumed through WorkloadSpec.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "collect/dataset.h"
+#include "engine/config.h"
+#include "ml/anova.h"
+#include "ml/ensemble.h"
+#include "opt/ga.h"
+#include "opt/space.h"
+#include "workload/spec.h"
+
+namespace rafiki::core {
+
+struct RafikiOptions {
+  /// The benchmarked workload grid: 11 read ratios in 10% steps (Section 4.2).
+  std::vector<double> workload_grid = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5,
+                                       0.6, 0.7, 0.8, 0.9, 1.0};
+  std::size_t n_configs = 20;
+  workload::WorkloadSpec base_workload{};
+  collect::CollectOptions collect{};
+
+  /// ANOVA screen settings: measurement replicates per parameter level, and
+  /// the representative workload it runs against.
+  std::size_t anova_repeats = 3;
+  double anova_read_ratio = 0.45;
+
+  /// Number of key parameters; 0 selects automatically with the paper's
+  /// "distinct drop in variance" heuristic.
+  std::size_t key_param_count = 5;
+
+  ml::EnsembleOptions ensemble{};
+  opt::GaOptions ga{};
+
+  /// Target the ScyllaDB engine model; parameter selection then applies the
+  /// Section 4.10 procedure (strip ignored params, refill by variance).
+  bool scylla = false;
+};
+
+struct ParamRanking {
+  engine::ParamId id{};
+  double score = 0.0;  ///< stddev of per-level mean throughput (Figure 5)
+  double f_statistic = 0.0;
+  double p_value = 1.0;
+};
+
+class Rafiki {
+ public:
+  explicit Rafiki(RafikiOptions options = RafikiOptions{});
+
+  /// Stage 2a: one-at-a-time sweep + ANOVA over every registered parameter,
+  /// sorted by descending score. Results are cached.
+  const std::vector<ParamRanking>& rank_parameters();
+
+  /// Stage 2b: choose the key parameters from the ranking (ScyllaDB variant
+  /// strips internally-ignored parameters first). Cached.
+  const std::vector<engine::ParamId>& select_key_params();
+
+  /// Bypass the ANOVA stage with a known-good selection (e.g. the paper's
+  /// five), useful for tests and cheaper benches.
+  void set_key_params(std::vector<engine::ParamId> params);
+
+  /// Stage 3: benchmark the workload grid against the sampled configs.
+  collect::Dataset collect();
+
+  /// Stage 4: fit the surrogate ensemble on a dataset.
+  void train(const collect::Dataset& dataset);
+  bool trained() const noexcept { return surrogate_.trained(); }
+  const ml::SurrogateEnsemble& surrogate() const noexcept { return surrogate_; }
+
+  /// Surrogate prediction for (workload, configuration) — Equation (2).
+  double predict(double read_ratio, const engine::Config& config) const;
+
+  struct OptimizeResult {
+    engine::Config config;
+    double predicted_throughput = 0.0;
+    std::size_t surrogate_evaluations = 0;
+    double wall_seconds = 0.0;
+  };
+  /// Stage 5: GA search over the key-parameter space against the surrogate.
+  OptimizeResult optimize(double read_ratio) const;
+
+  /// Search space spanned by the key parameters.
+  opt::SearchSpace key_space() const;
+
+  const RafikiOptions& options() const noexcept { return options_; }
+
+ private:
+  RafikiOptions options_;
+  std::vector<ParamRanking> ranking_;
+  std::vector<engine::ParamId> key_params_;
+  ml::SurrogateEnsemble surrogate_;
+};
+
+}  // namespace rafiki::core

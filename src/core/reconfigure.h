@@ -1,0 +1,69 @@
+// Reconfiguration planning — the paper's stated future work (Section 6: "we
+// are developing algorithms for the actual online reconfiguration process
+// keeping the downtime to a minimum").
+//
+// Applying a new configuration requires restarting datastore processes.
+// Two strategies are modelled:
+//   * full restart — every node restarts at once: the window is short but
+//     capacity drops to zero, and every node then re-warms its caches;
+//   * rolling restart — one node at a time: with replication factor >= 2 the
+//     survivors keep serving, so capacity never drops below (n-1)/n minus
+//     the warm-up penalty of the rejoining node.
+// The planner produces a capacity timeline and the operations lost relative
+// to steady state, which the online tuner weighs against the expected gain
+// of the new configuration.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rafiki::core {
+
+struct ReconfigModel {
+  /// Wall seconds for one node to drain, restart and rejoin.
+  double restart_s = 30.0;
+  /// Post-restart window during which the node serves with cold caches.
+  double cache_warm_s = 45.0;
+  /// Fraction of the node's capacity lost while its caches warm.
+  double warm_penalty = 0.35;
+  /// Offered load as a fraction of peak cluster capacity. Survivors absorb a
+  /// restarting node's share up to their headroom — the mechanism that makes
+  /// rolling restarts cheap: with utilization below (n-1)/n, taking one node
+  /// out loses nothing at all.
+  double offered_utilization = 0.75;
+};
+
+/// One segment of the transition: relative cluster capacity over [begin, end).
+struct CapacitySegment {
+  double begin_s = 0.0;
+  double end_s = 0.0;
+  /// Fraction of the *offered* load actually served over the segment.
+  double relative_capacity = 1.0;
+};
+
+struct ReconfigOutcome {
+  double duration_s = 0.0;
+  /// Operations not served during the transition vs steady state.
+  double ops_lost = 0.0;
+  /// Worst instantaneous capacity during the transition (0 = full outage).
+  double min_relative_capacity = 1.0;
+  std::vector<CapacitySegment> timeline;
+};
+
+/// All nodes restart simultaneously.
+ReconfigOutcome plan_full_restart(int nodes, double steady_ops_per_s,
+                                  const ReconfigModel& model = {});
+
+/// Nodes restart one at a time; requires replication so survivors hold all
+/// data (replication_factor >= 2 for nodes >= 2). A single-node "cluster"
+/// degenerates to a full restart.
+ReconfigOutcome plan_rolling_restart(int nodes, double steady_ops_per_s,
+                                     const ReconfigModel& model = {});
+
+/// Decision helper for the online tuner: does the expected throughput gain
+/// over `horizon_s` (e.g. the remaining regime duration) outweigh the ops
+/// lost applying the change with the given plan?
+bool reconfiguration_pays_off(double current_ops_per_s, double tuned_ops_per_s,
+                              double horizon_s, const ReconfigOutcome& plan);
+
+}  // namespace rafiki::core

@@ -1,0 +1,75 @@
+// Intrusive-list LRU cache used for the row cache, key cache, in-heap file
+// (chunk) cache and the OS page cache model. Capacity is in entries; the
+// engine converts configured megabytes to entries with the per-entry sizes
+// of the structure being cached.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace rafiki::engine {
+
+template <typename Key>
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  void set_capacity(std::size_t capacity) {
+    capacity_ = capacity;
+    evict_overflow();
+  }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const noexcept { return map_.size(); }
+
+  /// Looks a key up and, if present, promotes it to most-recently-used.
+  bool touch(const Key& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    order_.splice(order_.begin(), order_, it->second);
+    ++hits_;
+    return true;
+  }
+
+  /// Inserts (or refreshes) a key, evicting the LRU entry if at capacity.
+  void insert(const Key& key) {
+    if (capacity_ == 0) return;
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.push_front(key);
+    map_.emplace(key, order_.begin());
+    evict_overflow();
+  }
+
+  void erase(const Key& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return;
+    order_.erase(it->second);
+    map_.erase(it);
+  }
+
+  void clear() {
+    map_.clear();
+    order_.clear();
+  }
+
+  std::uint64_t hits() const noexcept { return hits_; }
+
+ private:
+  void evict_overflow() {
+    while (map_.size() > capacity_) {
+      map_.erase(order_.back());
+      order_.pop_back();
+    }
+  }
+
+  std::size_t capacity_;
+  std::list<Key> order_;
+  std::unordered_map<Key, typename std::list<Key>::iterator> map_;
+  std::uint64_t hits_ = 0;
+};
+
+}  // namespace rafiki::engine

@@ -1,0 +1,102 @@
+#include "engine/cluster.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rafiki::engine {
+namespace {
+
+constexpr std::size_t kEpochOps = 256;
+/// Request coordination (parse, routing, response assembly) added to every
+/// operation in a multi-node deployment.
+constexpr double kCoordinatorUs = 9.0;
+
+}  // namespace
+
+Cluster::Cluster(const Config& config, int n_servers, int replication_factor,
+                 Hardware hardware, CostModel costs)
+    : replication_factor_(std::clamp(replication_factor, 1, std::max(1, n_servers))) {
+  if (n_servers < 1) throw std::invalid_argument("Cluster: need at least one server");
+  costs.read_base_us += kCoordinatorUs;
+  costs.write_base_us += kCoordinatorUs;
+  servers_.reserve(static_cast<std::size_t>(n_servers));
+  for (int i = 0; i < n_servers; ++i) {
+    servers_.push_back(std::make_unique<Server>(config, hardware, costs));
+  }
+}
+
+std::size_t Cluster::primary_of(std::int64_t key) const noexcept {
+  return static_cast<std::size_t>(static_cast<std::uint64_t>(key) * 2654435761ull %
+                                  servers_.size());
+}
+
+void Cluster::preload(std::span<const std::int64_t> keys, std::uint32_t value_bytes) {
+  std::vector<std::vector<std::int64_t>> per_server(servers_.size());
+  for (auto key : keys) {
+    const std::size_t primary = primary_of(key);
+    for (int r = 0; r < replication_factor_; ++r) {
+      per_server[(primary + static_cast<std::size_t>(r)) % servers_.size()].push_back(key);
+    }
+  }
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    servers_[i]->preload(per_server[i], value_bytes);
+  }
+}
+
+RunStats Cluster::run(std::vector<workload::Generator>& shooters, const RunOptions& opts) {
+  if (shooters.empty()) throw std::invalid_argument("Cluster::run: no shooters");
+  const std::size_t total_ops = opts.ops * shooters.size();
+  std::vector<std::vector<workload::Op>> per_server(servers_.size());
+  double elapsed_us = 0.0;
+  std::size_t done = 0;
+
+  while (done < total_ops) {
+    for (auto& ops : per_server) ops.clear();
+    const std::size_t batch = std::min(kEpochOps * shooters.size(), total_ops - done);
+    for (std::size_t i = 0; i < batch; ++i) {
+      const auto op = shooters[i % shooters.size()].next();
+      if (op.kind == workload::Op::Kind::kRead) {
+        // Consistency level ONE: one replica answers; rotate for balance.
+        const std::size_t replica =
+            (primary_of(op.key) + (read_rr_++ % static_cast<std::size_t>(replication_factor_))) %
+            servers_.size();
+        per_server[replica].push_back(op);
+      } else {
+        const std::size_t primary = primary_of(op.key);
+        for (int r = 0; r < replication_factor_; ++r) {
+          per_server[(primary + static_cast<std::size_t>(r)) % servers_.size()].push_back(op);
+        }
+      }
+    }
+    // Servers proceed in parallel; the epoch lasts as long as the slowest.
+    double t_max = 0.0;
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+      if (!per_server[i].empty()) {
+        t_max = std::max(t_max, servers_[i]->step(per_server[i]));
+      }
+    }
+    elapsed_us += t_max;
+    done += batch;
+  }
+
+  RunStats stats;
+  stats.ops = done;
+  stats.virtual_seconds = elapsed_us / 1e6;
+  stats.throughput_ops =
+      stats.virtual_seconds > 0.0 ? static_cast<double>(done) / stats.virtual_seconds : 0.0;
+  double probes = 0.0;
+  std::size_t reads = 0;
+  for (const auto& server : servers_) {
+    stats.reads += server->read_count();
+    stats.writes += server->write_count();
+    stats.flushes += server->flush_count();
+    stats.compactions += server->compaction_count();
+    stats.final_sstable_count += server->sstables().size();
+    probes += server->total_probes();
+    reads += server->read_count();
+  }
+  stats.avg_sstables_probed = reads ? probes / static_cast<double>(reads) : 0.0;
+  return stats;
+}
+
+}  // namespace rafiki::engine

@@ -1,0 +1,45 @@
+// Peer-to-peer multi-server deployment (paper Section 4.9 / Table 3).
+//
+// The paper's two-server experiment adds a second shooter and raises the
+// replication factor by one, so every node stores an equivalent number of
+// keys as the single-server case. Here a Cluster drives N identical Servers:
+// writes are replicated to `replication_factor` nodes placed by a hash ring,
+// reads are served by one replica round-robin (consistency level ONE), and
+// every operation pays a small coordinator overhead.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "engine/server.h"
+
+namespace rafiki::engine {
+
+class Cluster {
+ public:
+  Cluster(const Config& config, int n_servers, int replication_factor,
+          Hardware hardware = {}, CostModel costs = {});
+
+  /// Loads initial data onto every replica that owns each key.
+  void preload(std::span<const std::int64_t> keys, std::uint32_t value_bytes);
+
+  /// Drives the cluster with one generator per server ("shooter") and
+  /// aggregates statistics. Total offered operations = opts.ops * n_servers,
+  /// matching the paper's load scaling.
+  RunStats run(std::vector<workload::Generator>& shooters, const RunOptions& opts);
+
+  int size() const noexcept { return static_cast<int>(servers_.size()); }
+  int replication_factor() const noexcept { return replication_factor_; }
+  const Server& server(int i) const { return *servers_.at(static_cast<std::size_t>(i)); }
+
+ private:
+  std::size_t primary_of(std::int64_t key) const noexcept;
+
+  std::vector<std::unique_ptr<Server>> servers_;
+  int replication_factor_;
+  std::size_t read_rr_ = 0;  // round-robin replica choice for reads
+};
+
+}  // namespace rafiki::engine

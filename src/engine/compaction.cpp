@@ -1,0 +1,136 @@
+#include "engine/compaction.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rafiki::engine {
+
+std::optional<CompactionPlan> SizeTieredPlanner::plan(const std::vector<SSTable>& tables,
+                                                      const BusySet& busy) const {
+  // Collect idle tables sorted by size, then greedily bucket tables whose
+  // size stays within [kBucketLow, kBucketHigh] of the running bucket mean —
+  // the standard STCS bucketing rule.
+  std::vector<const SSTable*> idle;
+  idle.reserve(tables.size());
+  for (const auto& table : tables) {
+    if (!busy.contains(table.id())) idle.push_back(&table);
+  }
+  std::sort(idle.begin(), idle.end(),
+            [](const SSTable* a, const SSTable* b) { return a->bytes() < b->bytes(); });
+
+  std::vector<std::vector<const SSTable*>> buckets;
+  for (const SSTable* table : idle) {
+    bool placed = false;
+    for (auto& bucket : buckets) {
+      double avg = 0.0;
+      for (const SSTable* member : bucket) avg += member->bytes();
+      avg /= static_cast<double>(bucket.size());
+      if (table->bytes() >= kBucketLow * avg && table->bytes() <= kBucketHigh * avg) {
+        bucket.push_back(table);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) buckets.push_back({table});
+  }
+
+  // Prefer the fullest ripe bucket so backlog drains fastest.
+  const std::vector<const SSTable*>* best = nullptr;
+  for (const auto& bucket : buckets) {
+    if (bucket.size() < static_cast<std::size_t>(min_threshold_)) continue;
+    if (!best || bucket.size() > best->size()) best = &bucket;
+  }
+  if (!best) return std::nullopt;
+
+  CompactionPlan plan;
+  const auto take = std::min<std::size_t>(best->size(),
+                                          static_cast<std::size_t>(max_threshold_));
+  for (std::size_t i = 0; i < take; ++i) plan.input_ids.push_back((*best)[i]->id());
+  plan.output_level = 0;
+  return plan;
+}
+
+double LeveledPlanner::level_target_bytes(int level) const {
+  return sstable_target_bytes_ * std::pow(10.0, level);
+}
+
+std::optional<CompactionPlan> LeveledPlanner::plan(const std::vector<SSTable>& tables,
+                                                   const BusySet& busy) const {
+  int max_level = 0;
+  for (const auto& table : tables) max_level = std::max(max_level, table.level());
+
+  auto idle = [&](const SSTable& table) { return !busy.contains(table.id()); };
+
+  // L0 promotion: once l0_trigger_ flushed tables accumulate, merge all idle
+  // L0 tables together with every overlapping idle L1 table into L1.
+  std::vector<const SSTable*> l0;
+  for (const auto& table : tables) {
+    if (table.level() == 0 && idle(table)) l0.push_back(&table);
+  }
+  if (l0.size() >= static_cast<std::size_t>(l0_trigger_)) {
+    CompactionPlan plan;
+    plan.output_level = 1;
+    bool blocked = false;
+    for (const SSTable* table : l0) plan.input_ids.push_back(table->id());
+    for (const auto& table : tables) {
+      if (table.level() != 1) continue;
+      const bool overlaps_any = std::any_of(l0.begin(), l0.end(), [&](const SSTable* t) {
+        return t->overlaps(table);
+      });
+      if (!overlaps_any) continue;
+      if (!idle(table)) {
+        // Merging around a busy overlapping table would break the level's
+        // non-overlap invariant; defer until that compaction finishes.
+        blocked = true;
+        break;
+      }
+      plan.input_ids.push_back(table.id());
+    }
+    if (!blocked) return plan;
+  }
+
+  // Level overflow: promote one table from the most overweight level,
+  // merging it with the overlapping slice of the next level.
+  for (int level = 1; level <= max_level; ++level) {
+    double level_bytes = 0.0;
+    const SSTable* candidate = nullptr;
+    for (const auto& table : tables) {
+      if (table.level() != level) continue;
+      level_bytes += table.bytes();
+      // Promote the widest table first: clears overlap pressure fastest.
+      if (idle(table) && (!candidate || table.bytes() > candidate->bytes())) {
+        candidate = &table;
+      }
+    }
+    if (level_bytes <= level_target_bytes(level) || !candidate) continue;
+
+    CompactionPlan plan;
+    plan.output_level = level + 1;
+    plan.input_ids.push_back(candidate->id());
+    bool blocked = false;
+    for (const auto& table : tables) {
+      if (table.level() != level + 1 || !table.overlaps(*candidate)) continue;
+      if (!idle(table)) {
+        blocked = true;
+        break;
+      }
+      plan.input_ids.push_back(table.id());
+    }
+    if (!blocked) return plan;
+  }
+  return std::nullopt;
+}
+
+bool leveled_invariant_holds(const std::vector<SSTable>& tables) {
+  for (std::size_t i = 0; i < tables.size(); ++i) {
+    for (std::size_t j = i + 1; j < tables.size(); ++j) {
+      if (tables[i].level() >= 1 && tables[i].level() == tables[j].level() &&
+          tables[i].overlaps(tables[j])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace rafiki::engine

@@ -1,0 +1,70 @@
+// Compaction planning (Section 2.2.2).
+//
+// SizeTiered: merge whenever >= min_compaction_threshold similarly-sized
+// SSTables exist (Cassandra default 4). Write-friendly; read amplification
+// grows because row versions stay spread over overlapping tables.
+//
+// Leveled: non-overlapping fixed-size tables per level, each level holding
+// 10x the previous level's data; flushes land in L0 and are promoted by
+// merging with the overlapping slice of the next level. Reads probe at most
+// L0 plus one table per level; writes pay higher amplification.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "engine/sstable.h"
+
+namespace rafiki::engine {
+
+/// One planned merge: the input tables (by id) and the level the merged
+/// output belongs to (always 0 for size-tiered).
+struct CompactionPlan {
+  std::vector<std::uint32_t> input_ids;
+  int output_level = 0;
+};
+
+using BusySet = std::unordered_set<std::uint32_t>;
+
+class SizeTieredPlanner {
+ public:
+  SizeTieredPlanner(int min_threshold, int max_threshold)
+      : min_threshold_(min_threshold), max_threshold_(max_threshold) {}
+
+  /// Returns the next merge to run, or nullopt if no bucket is ripe.
+  /// Tables in `busy` are already being compacted and are skipped.
+  std::optional<CompactionPlan> plan(const std::vector<SSTable>& tables,
+                                     const BusySet& busy) const;
+
+  /// Bucket tolerance: tables within [low*avg, high*avg] share a bucket.
+  static constexpr double kBucketLow = 0.5;
+  static constexpr double kBucketHigh = 1.5;
+
+ private:
+  int min_threshold_;
+  int max_threshold_;
+};
+
+class LeveledPlanner {
+ public:
+  LeveledPlanner(double sstable_target_bytes, int l0_trigger = 4)
+      : sstable_target_bytes_(sstable_target_bytes), l0_trigger_(l0_trigger) {}
+
+  std::optional<CompactionPlan> plan(const std::vector<SSTable>& tables,
+                                     const BusySet& busy) const;
+
+  /// Byte budget of a level: sstable_target * 10^level for level >= 1.
+  double level_target_bytes(int level) const;
+
+ private:
+  double sstable_target_bytes_;
+  int l0_trigger_;
+};
+
+/// Invariant check used by tests: within each level >= 1, tables must be
+/// pairwise non-overlapping. Returns true if the invariant holds.
+bool leveled_invariant_holds(const std::vector<SSTable>& tables);
+
+}  // namespace rafiki::engine

@@ -1,0 +1,69 @@
+#include "engine/config.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace rafiki::engine {
+
+Config::Config() {
+  for (const auto& spec : param_registry()) {
+    values_[static_cast<std::size_t>(spec.id)] = spec.def;
+  }
+}
+
+Config& Config::set(ParamId id, double value) noexcept {
+  values_[static_cast<std::size_t>(id)] = param_spec(id).snap(value);
+  return *this;
+}
+
+Config Config::with(ParamId id, double value) const noexcept {
+  Config copy = *this;
+  copy.set(id, value);
+  return copy;
+}
+
+std::vector<double> Config::key_vector() const { return vector_for(key_params()); }
+
+Config Config::from_key_vector(const std::vector<double>& key_values) {
+  return from_vector(key_params(), key_values);
+}
+
+std::vector<double> Config::vector_for(const std::vector<ParamId>& params) const {
+  std::vector<double> values;
+  values.reserve(params.size());
+  for (ParamId id : params) values.push_back(get(id));
+  return values;
+}
+
+Config Config::from_vector(const std::vector<ParamId>& params,
+                           const std::vector<double>& values) {
+  if (params.size() != values.size()) {
+    throw std::invalid_argument("Config::from_vector: size mismatch");
+  }
+  Config config;
+  for (std::size_t i = 0; i < params.size(); ++i) config.set(params[i], values[i]);
+  return config;
+}
+
+std::string Config::to_string() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& spec : param_registry()) {
+    const double v = get(spec.id);
+    if (v == spec.def) continue;
+    if (!first) out += ", ";
+    first = false;
+    char buf[96];
+    if (spec.type == ParamType::kReal) {
+      std::snprintf(buf, sizeof buf, "%s=%.4g", std::string(spec.name).c_str(), v);
+    } else {
+      std::snprintf(buf, sizeof buf, "%s=%d", std::string(spec.name).c_str(),
+                    static_cast<int>(v));
+    }
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace rafiki::engine

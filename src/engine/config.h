@@ -1,0 +1,51 @@
+// A Config assigns a value to every registered parameter (Section 3.2's
+// notation: C = {v1, ..., vJ}, defaults implied for unset values).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "engine/params.h"
+
+namespace rafiki::engine {
+
+class Config {
+ public:
+  /// Default-constructed configs carry every parameter's default value —
+  /// the paper's baseline "Default" configuration.
+  Config();
+
+  static Config defaults() { return Config{}; }
+
+  double get(ParamId id) const noexcept { return values_[static_cast<std::size_t>(id)]; }
+  int get_int(ParamId id) const noexcept { return static_cast<int>(get(id)); }
+  bool get_bool(ParamId id) const noexcept { return get(id) != 0.0; }
+
+  /// Sets a value, snapped into the parameter's domain.
+  Config& set(ParamId id, double value) noexcept;
+  /// Fluent variant for building configs inline.
+  Config with(ParamId id, double value) const noexcept;
+
+  bool operator==(const Config& other) const noexcept = default;
+
+  /// Feature vector over the paper's five key parameters, the input layout
+  /// of the surrogate model (CM, CW, FCZ, MT, CC).
+  std::vector<double> key_vector() const;
+  /// Builds a config from a key vector (remaining params at defaults).
+  static Config from_key_vector(const std::vector<double>& key_values);
+
+  /// Values for an arbitrary parameter subset, in subset order.
+  std::vector<double> vector_for(const std::vector<ParamId>& params) const;
+  static Config from_vector(const std::vector<ParamId>& params,
+                            const std::vector<double>& values);
+
+  /// Shorthand rendering listing only non-default values, e.g.
+  /// "{compaction_method=1, concurrent_writes=64}" (paper Section 3.2).
+  std::string to_string() const;
+
+ private:
+  std::array<double, kParamCount> values_{};
+};
+
+}  // namespace rafiki::engine

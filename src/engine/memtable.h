@@ -1,0 +1,69 @@
+// The in-memory write-back cache of the LSM write path (Section 2.2.1):
+// writes accumulate here until the cleanup threshold triggers a flush that
+// turns the memtable into an immutable SSTable. Deletes write tombstone
+// rows, which occupy space until compaction eventually evicts them.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace rafiki::engine {
+
+class Memtable {
+ public:
+  struct Row {
+    std::uint32_t value_bytes = 0;
+    bool tombstone = false;
+  };
+
+  /// Inserts or overwrites a row; returns the net byte growth (an update in
+  /// place only grows by the size delta, as the old version is superseded).
+  std::int64_t put(std::int64_t key, std::uint32_t value_bytes) {
+    return emplace(key, value_bytes, false);
+  }
+
+  /// Writes a deletion marker; the tombstone itself occupies a small row.
+  std::int64_t put_tombstone(std::int64_t key) { return emplace(key, 0, true); }
+
+  bool contains(std::int64_t key) const { return rows_.contains(key); }
+  /// True if the newest version here is a deletion marker.
+  bool is_tombstone(std::int64_t key) const {
+    const auto it = rows_.find(key);
+    return it != rows_.end() && it->second.tombstone;
+  }
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+  std::uint64_t bytes() const noexcept { return static_cast<std::uint64_t>(bytes_); }
+  bool empty() const noexcept { return rows_.empty(); }
+
+  const std::unordered_map<std::int64_t, Row>& rows() const noexcept { return rows_; }
+
+  void clear() {
+    rows_.clear();
+    bytes_ = 0;
+  }
+
+  /// Per-row bookkeeping overhead (key, timestamps, structure), matching the
+  /// accounting Cassandra applies against memtable_cleanup_threshold.
+  static constexpr std::int64_t kRowOverheadBytes = 48;
+
+ private:
+  std::int64_t emplace(std::int64_t key, std::uint32_t value_bytes, bool tombstone) {
+    auto [it, inserted] = rows_.try_emplace(key, Row{value_bytes, tombstone});
+    std::int64_t delta;
+    if (inserted) {
+      delta = static_cast<std::int64_t>(value_bytes) + kRowOverheadBytes;
+    } else {
+      delta = static_cast<std::int64_t>(value_bytes) -
+              static_cast<std::int64_t>(it->second.value_bytes);
+      it->second = Row{value_bytes, tombstone};
+    }
+    bytes_ += delta;
+    return delta;
+  }
+
+  std::unordered_map<std::int64_t, Row> rows_;
+  std::int64_t bytes_ = 0;
+};
+
+}  // namespace rafiki::engine

@@ -1,0 +1,93 @@
+#include "engine/params.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rafiki::engine {
+namespace {
+
+constexpr std::array<ParamSpec, kParamCount> kRegistry = {{
+    {ParamId::kCompactionMethod, "compaction_method", ParamType::kCategorical, 0, 1, 0, 2,
+     "SSTable compaction strategy: 0 = SizeTiered (write-friendly), 1 = Leveled (read-friendly)"},
+    {ParamId::kConcurrentWrites, "concurrent_writes", ParamType::kInteger, 16, 96, 32, 5,
+     "Writer thread-pool size; recommended 8x cores"},
+    {ParamId::kFileCacheSizeMb, "file_cache_size_in_mb", ParamType::kInteger, 64, 2048, 512, 5,
+     "Buffer cache holding decompressed SSTable chunks"},
+    {ParamId::kMemtableCleanupThreshold, "memtable_cleanup_threshold", ParamType::kReal, 0.1,
+     0.8, 0.33, 5, "Fraction of memtable space that triggers a flush"},
+    {ParamId::kConcurrentCompactors, "concurrent_compactors", ParamType::kInteger, 1, 16, 2, 5,
+     "Number of simultaneous compaction tasks"},
+
+    {ParamId::kConcurrentReads, "concurrent_reads", ParamType::kInteger, 16, 96, 32, 5,
+     "Reader thread-pool size"},
+    {ParamId::kMemtableFlushWriters, "memtable_flush_writers", ParamType::kInteger, 1, 8, 2, 4,
+     "Parallel memtable flush tasks", ParamId::kMemtableCleanupThreshold},
+    {ParamId::kMemtableSpaceMb, "memtable_space_in_mb", ParamType::kInteger, 1024, 4096, 2048, 4,
+     "Total heap/offheap budget for all memtables", ParamId::kMemtableCleanupThreshold},
+    {ParamId::kRowCacheSizeMb, "row_cache_size_in_mb", ParamType::kInteger, 0, 512, 0, 4,
+     "Whole-row cache; of limited value at MG-RAST's key-reuse distances"},
+    {ParamId::kKeyCacheSizeMb, "key_cache_size_in_mb", ParamType::kInteger, 16, 512, 100, 4,
+     "Cache of key -> SSTable offsets, skips index probes"},
+    {ParamId::kCommitlogSyncPeriodMs, "commitlog_sync_period_in_ms", ParamType::kInteger, 50,
+     10000, 10000, 4, "Periodic commit-log fsync interval"},
+    {ParamId::kCommitlogSegmentSizeMb, "commitlog_segment_size_in_mb", ParamType::kInteger, 8,
+     64, 32, 4, "Commit-log segment rotation size"},
+    {ParamId::kSstableSizeMb, "sstable_size_in_mb", ParamType::kInteger, 64, 512, 160, 4,
+     "Target SSTable size for leveled compaction"},
+    {ParamId::kMinCompactionThreshold, "min_compaction_threshold", ParamType::kInteger, 3, 12,
+     4, 4, "Similar-sized SSTables required to trigger a size-tiered merge"},
+    {ParamId::kMaxCompactionThreshold, "max_compaction_threshold", ParamType::kInteger, 8, 64,
+     32, 4, "Maximum SSTables merged by one size-tiered compaction"},
+    {ParamId::kCompactionThroughputMbs, "compaction_throughput_mb_per_sec", ParamType::kInteger,
+     8, 256, 64, 4, "Throttle on total background compaction bandwidth"},
+    {ParamId::kBloomFilterFpChance, "bloom_filter_fp_chance", ParamType::kReal, 0.001, 0.2,
+     0.01, 4, "Bloom-filter false-positive rate (memory vs wasted probes)"},
+    {ParamId::kCompressionChunkKb, "compression_chunk_length_in_kb", ParamType::kInteger, 32,
+     128, 64, 4, "Compression chunk size; larger chunks cost more per cold read"},
+    {ParamId::kTrickleFsync, "trickle_fsync", ParamType::kCategorical, 0, 1, 0, 2,
+     "Incremental fsync of SSTable writes"},
+    {ParamId::kColumnIndexSizeKb, "column_index_size_in_kb", ParamType::kInteger, 4, 256, 64, 4,
+     "Granularity of the per-row column index"},
+    {ParamId::kIndexSummaryCapacityMb, "index_summary_capacity_in_mb", ParamType::kInteger, 16,
+     512, 128, 4, "Memory budget for in-heap index summaries"},
+    {ParamId::kMemtableAllocationType, "memtable_allocation_type", ParamType::kCategorical, 0,
+     1, 0, 2, "0 = heap_buffers, 1 = offheap_buffers"},
+}};
+
+}  // namespace
+
+double ParamSpec::snap(double value) const noexcept {
+  double v = std::clamp(value, lo, hi);
+  if (type != ParamType::kReal) v = std::round(v);
+  return v;
+}
+
+bool ParamSpec::feasible(double value) const noexcept {
+  if (value < lo || value > hi) return false;
+  if (type != ParamType::kReal && value != std::round(value)) return false;
+  return true;
+}
+
+const std::array<ParamSpec, kParamCount>& param_registry() noexcept { return kRegistry; }
+
+const ParamSpec& param_spec(ParamId id) noexcept {
+  return kRegistry[static_cast<std::size_t>(id)];
+}
+
+const std::vector<ParamId>& key_params() {
+  static const std::vector<ParamId> kKeys = {
+      ParamId::kCompactionMethod, ParamId::kConcurrentWrites, ParamId::kFileCacheSizeMb,
+      ParamId::kMemtableCleanupThreshold, ParamId::kConcurrentCompactors};
+  return kKeys;
+}
+
+std::string_view param_name(ParamId id) noexcept { return param_spec(id).name; }
+
+ParamId find_param(std::string_view name) noexcept {
+  for (const auto& spec : kRegistry) {
+    if (spec.name == name) return spec.id;
+  }
+  return ParamId::kCount;
+}
+
+}  // namespace rafiki::engine

@@ -1,0 +1,92 @@
+// Configuration-parameter registry for the simulated Cassandra-like engine.
+//
+// The paper (Section 3.4) notes Cassandra exposes 25+ performance-related
+// parameters of which ANOVA identifies five "key parameters": Compaction
+// Method (CM), Concurrent Writes (CW), file_cache_size_in_mb (FCZ),
+// memtable_cleanup_threshold (MT) and Concurrent Compactors (CC). This
+// registry models those five plus ~17 secondary parameters with real (but
+// weaker) mechanical effects, giving the ANOVA stage a realistic long tail
+// to reject (Figure 5).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rafiki::engine {
+
+enum class ParamId : std::size_t {
+  // --- the five key parameters (paper Section 3.4.1) ---
+  kCompactionMethod = 0,        // CM: 0 = SizeTiered, 1 = Leveled
+  kConcurrentWrites,            // CW: writer thread pool size
+  kFileCacheSizeMb,             // FCZ: chunk/buffer cache for SSTable reads
+  kMemtableCleanupThreshold,    // MT: flush trigger fraction
+  kConcurrentCompactors,        // CC: parallel compaction tasks
+
+  // --- secondary performance parameters ---
+  kConcurrentReads,             // reader thread pool size
+  kMemtableFlushWriters,        // parallel flush tasks
+  kMemtableSpaceMb,             // total memory for all memtables
+  kRowCacheSizeMb,              // whole-row cache (0 disables)
+  kKeyCacheSizeMb,              // key -> sstable-position cache
+  kCommitlogSyncPeriodMs,       // periodic fsync interval
+  kCommitlogSegmentSizeMb,      // segment rotation size
+  kSstableSizeMb,               // leveled-compaction table size target
+  kMinCompactionThreshold,      // size-tiered merge trigger (default 4)
+  kMaxCompactionThreshold,      // size-tiered max tables per merge
+  kCompactionThroughputMbs,     // background compaction rate throttle
+  kBloomFilterFpChance,         // per-sstable bloom filter false-positive rate
+  kCompressionChunkKb,          // sstable compression chunk length
+  kTrickleFsync,                // 0 = off, 1 = on
+  kColumnIndexSizeKb,           // row-index granularity
+  kIndexSummaryCapacityMb,      // in-memory index summary budget
+  kMemtableAllocationType,      // 0 = heap_buffers, 1 = offheap_buffers
+
+  kCount
+};
+
+inline constexpr std::size_t kParamCount = static_cast<std::size_t>(ParamId::kCount);
+
+enum class ParamType { kCategorical, kInteger, kReal };
+
+/// Static description of one tunable parameter: its domain, default and how
+/// many levels the one-at-a-time ANOVA sweep should probe.
+struct ParamSpec {
+  ParamId id{};
+  std::string_view name;
+  ParamType type = ParamType::kReal;
+  double lo = 0.0;
+  double hi = 1.0;
+  double def = 0.0;
+  int anova_levels = 4;
+  /// Human-oriented note used by docs/benches.
+  std::string_view description;
+  /// Canonical knob this parameter is redundant with (kCount = none).
+  /// Mirrors Section 4.5: memtable_flush_writers and the memtable space
+  /// budget jointly determine flush frequency with memtable_cleanup_threshold,
+  /// so only the canonical threshold is eligible for key-parameter selection.
+  ParamId redundant_with = ParamId::kCount;
+
+  /// Clamps (and for integer/categorical parameters, rounds) a raw value
+  /// into the parameter's domain.
+  double snap(double value) const noexcept;
+  /// True if the value is inside the domain and integral where required.
+  bool feasible(double value) const noexcept;
+};
+
+/// The full registry, indexed by ParamId.
+const std::array<ParamSpec, kParamCount>& param_registry() noexcept;
+
+const ParamSpec& param_spec(ParamId id) noexcept;
+
+/// The paper's five key parameters, in the order used for the surrogate
+/// model's feature vector (CM, CW, FCZ, MT, CC) — Equation (2).
+const std::vector<ParamId>& key_params();
+
+/// Name lookups (returns kCount on failure for find_param).
+std::string_view param_name(ParamId id) noexcept;
+ParamId find_param(std::string_view name) noexcept;
+
+}  // namespace rafiki::engine

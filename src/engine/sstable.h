@@ -1,0 +1,96 @@
+// Immutable on-disk table representation (Section 2.2.1): a sorted run of
+// keys with a real Bloom filter, plus deletion markers (tombstones).
+// Flushes create SSTables from memtables; compactions merge SSTables with
+// newest-version-wins semantics, deduplicating superseded row versions and —
+// when the merge covers every older version — evicting tombstones.
+//
+// Values are represented by per-table average row size rather than stored
+// bytes — the engine charges I/O costs from byte counts while keeping the
+// key structure exact, which is what read amplification depends on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "engine/bloom.h"
+
+namespace rafiki::engine {
+
+class SSTable {
+ public:
+  /// Builds a table from (not necessarily sorted) keys; entries also listed
+  /// in `tombstones` are deletion markers.
+  SSTable(std::uint32_t id, std::vector<std::int64_t> keys, double avg_row_bytes,
+          double bloom_fp_chance, int level = 0,
+          std::vector<std::int64_t> tombstones = {});
+
+  std::uint32_t id() const noexcept { return id_; }
+  int level() const noexcept { return level_; }
+  void set_level(int level) noexcept { level_ = level; }
+
+  std::size_t key_count() const noexcept { return keys_.size(); }
+  std::size_t tombstone_count() const noexcept { return tombstones_.size(); }
+  /// On-disk footprint: data rows at the average row size, tombstones at
+  /// marker size.
+  double bytes() const noexcept {
+    return avg_row_bytes_ * static_cast<double>(keys_.size() - tombstones_.size()) +
+           kTombstoneBytes * static_cast<double>(tombstones_.size());
+  }
+  double avg_row_bytes() const noexcept { return avg_row_bytes_; }
+
+  std::int64_t min_key() const noexcept { return keys_.empty() ? 0 : keys_.front(); }
+  std::int64_t max_key() const noexcept { return keys_.empty() ? -1 : keys_.back(); }
+
+  bool range_covers(std::int64_t key) const noexcept {
+    return !keys_.empty() && key >= keys_.front() && key <= keys_.back();
+  }
+  bool overlaps(const SSTable& other) const noexcept {
+    return !keys_.empty() && !other.keys_.empty() && min_key() <= other.max_key() &&
+           other.min_key() <= max_key();
+  }
+
+  /// Bloom-filter check — may return false positives, never false negatives.
+  bool maybe_contains(std::int64_t key) const noexcept {
+    return bloom_.maybe_contains(key);
+  }
+  /// Exact membership via binary search (the "index probe" of the read path).
+  bool has_key(std::int64_t key) const noexcept;
+  /// True if this table's version of the key is a deletion marker.
+  bool is_tombstone(std::int64_t key) const noexcept;
+  /// Rank of the key within the table, used to derive the chunk (page) index
+  /// a read touches. Meaningful only when has_key/range_covers holds.
+  std::size_t key_rank(std::int64_t key) const noexcept;
+
+  std::span<const std::int64_t> keys() const noexcept { return keys_; }
+  std::span<const std::int64_t> tombstones() const noexcept { return tombstones_; }
+
+  /// Merges several tables into one deduplicated run (compaction): the
+  /// version from the newest input (highest table id) wins per key. With
+  /// `drop_tombstones`, keys whose surviving version is a deletion marker
+  /// are evicted entirely — legal only when the merge covers every older
+  /// version of its keys, which the caller asserts by setting the flag.
+  static SSTable merge(std::uint32_t new_id, std::span<const SSTable* const> inputs,
+                       double bloom_fp_chance, int level, bool drop_tombstones = false);
+
+  /// Splits a sorted key run into tables of at most `max_bytes` each
+  /// (leveled compaction emits fixed-size tables).
+  static std::vector<SSTable> split_into_tables(std::uint32_t& next_id,
+                                                std::vector<std::int64_t> keys,
+                                                double avg_row_bytes, double max_bytes,
+                                                double bloom_fp_chance, int level,
+                                                std::vector<std::int64_t> tombstones = {});
+
+  /// On-disk size of a deletion marker.
+  static constexpr double kTombstoneBytes = 48.0;
+
+ private:
+  std::uint32_t id_;
+  int level_;
+  std::vector<std::int64_t> keys_;        // sorted, unique (markers included)
+  std::vector<std::int64_t> tombstones_;  // sorted subset of keys_
+  double avg_row_bytes_;
+  BloomFilter bloom_;
+};
+
+}  // namespace rafiki::engine

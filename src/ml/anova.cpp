@@ -1,0 +1,134 @@
+#include "ml/anova.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/stats.h"
+
+namespace rafiki::ml {
+
+OneWayAnovaResult one_way_anova(const std::vector<std::vector<double>>& groups) {
+  OneWayAnovaResult result;
+  std::size_t n_total = 0;
+  double grand_sum = 0.0;
+  std::size_t k = 0;
+  for (const auto& group : groups) {
+    if (group.empty()) continue;
+    ++k;
+    n_total += group.size();
+    for (double v : group) grand_sum += v;
+  }
+  if (k < 2 || n_total <= k) return result;
+  const double grand_mean = grand_sum / static_cast<double>(n_total);
+
+  double ss_between = 0.0;
+  double ss_within = 0.0;
+  for (const auto& group : groups) {
+    if (group.empty()) continue;
+    const double group_mean = rafiki::mean(group);
+    ss_between += static_cast<double>(group.size()) * (group_mean - grand_mean) *
+                  (group_mean - grand_mean);
+    for (double v : group) ss_within += (v - group_mean) * (v - group_mean);
+  }
+  result.df_between = k - 1;
+  result.df_within = n_total - k;
+  result.between_mean_square = ss_between / static_cast<double>(result.df_between);
+  result.within_mean_square = ss_within / static_cast<double>(result.df_within);
+  if (result.within_mean_square <= 0.0) {
+    result.f_statistic = std::numeric_limits<double>::infinity();
+    result.p_value = 0.0;
+    return result;
+  }
+  result.f_statistic = result.between_mean_square / result.within_mean_square;
+  result.p_value = f_distribution_sf(result.f_statistic,
+                                     static_cast<double>(result.df_between),
+                                     static_cast<double>(result.df_within));
+  return result;
+}
+
+double level_mean_stddev(const std::vector<std::vector<double>>& groups) {
+  std::vector<double> means;
+  for (const auto& group : groups) {
+    if (!group.empty()) means.push_back(rafiki::mean(group));
+  }
+  return rafiki::stddev(means);
+}
+
+namespace {
+
+/// Lentz continued fraction for the incomplete beta (Numerical Recipes betacf).
+double betacf(double a, double b, double x) {
+  constexpr int kMaxIter = 200;
+  constexpr double kEps = 3e-12;
+  constexpr double kFpMin = 1e-300;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double regularized_incomplete_beta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                          a * std::log(x) + b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * betacf(a, b, x) / a;
+  }
+  return 1.0 - front * betacf(b, a, 1.0 - x) / b;
+}
+
+double f_distribution_sf(double f, double df1, double df2) {
+  if (f <= 0.0) return 1.0;
+  if (std::isinf(f)) return 0.0;
+  // P(F > f) = I_{df2/(df2 + df1 f)}(df2/2, df1/2)
+  const double x = df2 / (df2 + df1 * f);
+  return regularized_incomplete_beta(df2 / 2.0, df1 / 2.0, x);
+}
+
+std::size_t distinct_drop_cutoff(const std::vector<AnovaRanking>& sorted_ranking,
+                                 std::size_t min_k, std::size_t max_k) {
+  if (sorted_ranking.size() <= min_k) return sorted_ranking.size();
+  max_k = std::min(max_k, sorted_ranking.size() - 1);
+  std::size_t best_k = min_k;
+  double best_ratio = 0.0;
+  for (std::size_t k = min_k; k <= max_k; ++k) {
+    const double hi = sorted_ranking[k - 1].score;
+    const double lo = sorted_ranking[k].score;
+    const double ratio = lo > 0.0 ? hi / lo : std::numeric_limits<double>::infinity();
+    if (ratio > best_ratio) {
+      best_ratio = ratio;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+}  // namespace rafiki::ml

@@ -1,0 +1,50 @@
+// One-way analysis of variance, used for important-parameter identification
+// (Section 3.4): each parameter is varied alone, the throughput samples per
+// level form the groups, and parameters are ranked by how much the mean
+// throughput varies across levels.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rafiki::ml {
+
+struct OneWayAnovaResult {
+  double f_statistic = 0.0;
+  double p_value = 1.0;
+  double between_mean_square = 0.0;
+  double within_mean_square = 0.0;
+  std::size_t df_between = 0;
+  std::size_t df_within = 0;
+};
+
+/// Standard one-way ANOVA over >= 2 groups (each a vector of replicated
+/// measurements at one parameter level).
+OneWayAnovaResult one_way_anova(const std::vector<std::vector<double>>& groups);
+
+/// The paper's ranking score: the standard deviation of the per-level mean
+/// throughputs ("standard deviation in throughput", Figure 5).
+double level_mean_stddev(const std::vector<std::vector<double>>& groups);
+
+/// Regularized incomplete beta function I_x(a, b) (continued fraction),
+/// exposed because the F-distribution tail needs it and tests verify it.
+double regularized_incomplete_beta(double a, double b, double x);
+
+/// Upper-tail probability of an F(df1, df2) variate exceeding f.
+double f_distribution_sf(double f, double df1, double df2);
+
+/// One ranked entry of the ANOVA screen.
+struct AnovaRanking {
+  std::string name;
+  double score = 0.0;    ///< level-mean standard deviation
+  double f_statistic = 0.0;
+  double p_value = 1.0;
+};
+
+/// Picks k using the paper's "distinct drop" heuristic: the cut point with
+/// the largest ratio between consecutive scores in the sorted ranking
+/// (bounded to [min_k, max_k]).
+std::size_t distinct_drop_cutoff(const std::vector<AnovaRanking>& sorted_ranking,
+                                 std::size_t min_k = 2, std::size_t max_k = 8);
+
+}  // namespace rafiki::ml

@@ -1,0 +1,156 @@
+#include "ml/dtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "ml/matrix.h"
+
+namespace rafiki::ml {
+namespace {
+
+double subset_mean(std::span<const double> y, const std::vector<std::size_t>& idx) {
+  double s = 0.0;
+  for (auto i : idx) s += y[i];
+  return idx.empty() ? 0.0 : s / static_cast<double>(idx.size());
+}
+
+double subset_sse(std::span<const double> y, const std::vector<std::size_t>& idx) {
+  const double m = subset_mean(y, idx);
+  double s = 0.0;
+  for (auto i : idx) s += (y[i] - m) * (y[i] - m);
+  return s;
+}
+
+/// Ridge-regularized least squares y ~ X*beta + bias; returns coefficients
+/// with the bias appended.
+std::vector<double> fit_ridge(const std::vector<std::vector<double>>& X,
+                              std::span<const double> y,
+                              const std::vector<std::size_t>& idx, double lambda) {
+  const std::size_t d = X.front().size();
+  Matrix design(idx.size(), d + 1);
+  std::vector<double> target(idx.size());
+  for (std::size_t r = 0; r < idx.size(); ++r) {
+    for (std::size_t c = 0; c < d; ++c) design(r, c) = X[idx[r]][c];
+    design(r, d) = 1.0;
+    target[r] = y[idx[r]];
+  }
+  Matrix gram = design.gram();
+  gram.add_diagonal(lambda);
+  auto rhs = design.transpose_times(target);
+  auto beta = gram.solve_spd(rhs);
+  if (beta.empty()) {
+    beta.assign(d + 1, 0.0);
+    beta[d] = subset_mean(y, idx);
+  }
+  return beta;
+}
+
+}  // namespace
+
+void DecisionTreeRegressor::fit(const std::vector<std::vector<double>>& X,
+                                std::span<const double> y, const DTreeOptions& options) {
+  X_ = &X;
+  y_ = y;
+  options_ = options;
+  node_count_ = 0;
+  depth_ = 0;
+  std::vector<std::size_t> indices(X.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  root_ = build(indices, 0);
+  X_ = nullptr;
+  y_ = {};
+}
+
+std::unique_ptr<DecisionTreeRegressor::Node> DecisionTreeRegressor::build(
+    std::vector<std::size_t>& indices, std::size_t depth) {
+  auto node = std::make_unique<Node>();
+  ++node_count_;
+  depth_ = std::max(depth_, depth);
+  const auto& X = *X_;
+
+  const bool can_split = depth < options_.max_depth &&
+                         indices.size() >= 2 * options_.min_samples_leaf;
+  double best_gain = 0.0;
+  std::size_t best_feature = 0;
+  double best_threshold = 0.0;
+
+  if (can_split) {
+    const double parent_sse = subset_sse(y_, indices);
+    const std::size_t d = X.front().size();
+    for (std::size_t f = 0; f < d; ++f) {
+      // Sort by feature, scan candidate thresholds at value boundaries.
+      std::sort(indices.begin(), indices.end(),
+                [&](std::size_t a, std::size_t b) { return X[a][f] < X[b][f]; });
+      double left_sum = 0.0, left_sq = 0.0;
+      double total_sum = 0.0, total_sq = 0.0;
+      for (auto i : indices) {
+        total_sum += y_[i];
+        total_sq += y_[i] * y_[i];
+      }
+      for (std::size_t k = 0; k + 1 < indices.size(); ++k) {
+        const double yi = y_[indices[k]];
+        left_sum += yi;
+        left_sq += yi * yi;
+        if (X[indices[k]][f] == X[indices[k + 1]][f]) continue;
+        const auto n_left = static_cast<double>(k + 1);
+        const auto n_right = static_cast<double>(indices.size() - k - 1);
+        if (n_left < options_.min_samples_leaf || n_right < options_.min_samples_leaf) {
+          continue;
+        }
+        const double sse_left = left_sq - left_sum * left_sum / n_left;
+        const double right_sum = total_sum - left_sum;
+        const double sse_right = (total_sq - left_sq) - right_sum * right_sum / n_right;
+        const double gain = parent_sse - sse_left - sse_right;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = f;
+          best_threshold = 0.5 * (X[indices[k]][f] + X[indices[k + 1]][f]);
+        }
+      }
+    }
+  }
+
+  if (best_gain > 1e-12) {
+    node->feature = best_feature;
+    node->threshold = best_threshold;
+    std::vector<std::size_t> left, right;
+    for (auto i : indices) {
+      (X[i][best_feature] <= best_threshold ? left : right).push_back(i);
+    }
+    node->left = build(left, depth + 1);
+    node->right = build(right, depth + 1);
+    return node;
+  }
+
+  if (options_.linear_leaves && indices.size() > X.front().size() + 1) {
+    node->linear = fit_ridge(X, y_, indices, options_.ridge_lambda);
+  }
+  node->value = subset_mean(y_, indices);
+  return node;
+}
+
+const DecisionTreeRegressor::Node* DecisionTreeRegressor::descend(
+    std::span<const double> x) const {
+  const Node* node = root_.get();
+  while (node && !node->is_leaf()) {
+    node = x[node->feature] <= node->threshold ? node->left.get() : node->right.get();
+  }
+  return node;
+}
+
+double DecisionTreeRegressor::predict(std::span<const double> x) const {
+  const Node* leaf = descend(x);
+  if (!leaf) return 0.0;
+  if (!leaf->linear.empty()) {
+    double s = leaf->linear.back();
+    for (std::size_t c = 0; c < x.size() && c + 1 < leaf->linear.size(); ++c) {
+      s += leaf->linear[c] * x[c];
+    }
+    return s;
+  }
+  return leaf->value;
+}
+
+}  // namespace rafiki::ml

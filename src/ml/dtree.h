@@ -1,0 +1,57 @@
+// Regression-tree baseline (Section 3.7.2): the paper tried an interpretable
+// decision-tree surrogate, found plain axis-aligned trees "woefully
+// inadequate", and saw improvement only when leaves were allowed linear
+// combinations of the parameters — at the cost of interpretability. Both
+// variants are implemented so that comparison can be reproduced.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace rafiki::ml {
+
+struct DTreeOptions {
+  std::size_t max_depth = 6;
+  std::size_t min_samples_leaf = 5;
+  /// When true, each leaf fits a ridge-regularized linear model instead of a
+  /// constant (the paper's "linear combination of the parameters" variant).
+  bool linear_leaves = false;
+  double ridge_lambda = 1e-3;
+};
+
+class DecisionTreeRegressor {
+ public:
+  void fit(const std::vector<std::vector<double>>& X, std::span<const double> y,
+           const DTreeOptions& options = {});
+  double predict(std::span<const double> x) const;
+  bool trained() const noexcept { return root_ != nullptr; }
+  std::size_t node_count() const noexcept { return node_count_; }
+  std::size_t depth() const noexcept { return depth_; }
+
+ private:
+  struct Node {
+    // Internal node.
+    std::size_t feature = 0;
+    double threshold = 0.0;
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+    // Leaf payload: constant prediction, or linear coefficients (bias last).
+    double value = 0.0;
+    std::vector<double> linear;
+    bool is_leaf() const noexcept { return !left; }
+  };
+
+  std::unique_ptr<Node> build(std::vector<std::size_t>& indices, std::size_t depth);
+  const Node* descend(std::span<const double> x) const;
+
+  const std::vector<std::vector<double>>* X_ = nullptr;  // only during fit
+  std::span<const double> y_;                            // only during fit
+  DTreeOptions options_;
+  std::unique_ptr<Node> root_;
+  std::size_t node_count_ = 0;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace rafiki::ml

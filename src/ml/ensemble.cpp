@@ -1,0 +1,67 @@
+#include "ml/ensemble.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace rafiki::ml {
+
+void SurrogateEnsemble::fit(const std::vector<std::vector<double>>& X,
+                            std::span<const double> y, const EnsembleOptions& options) {
+  if (X.empty() || X.size() != y.size()) {
+    throw std::invalid_argument("SurrogateEnsemble::fit: bad training set");
+  }
+  norm_in_.fit_columns(X);
+  norm_out_.fit(y);
+
+  std::vector<std::vector<double>> Xn(X.size());
+  for (std::size_t i = 0; i < X.size(); ++i) Xn[i] = norm_in_.map_row(X[i]);
+  std::vector<double> yn(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) yn[i] = norm_out_.map(y[i]);
+
+  std::vector<std::size_t> layers;
+  layers.push_back(X.front().size());
+  layers.insert(layers.end(), options.hidden.begin(), options.hidden.end());
+  layers.push_back(1);
+
+  nets_.clear();
+  errors_.clear();
+  Rng rng(options.seed);
+  for (std::size_t k = 0; k < options.n_nets; ++k) {
+    Mlp net(layers);
+    Rng net_rng = rng.split();
+    net.randomize(net_rng);
+    const auto result = train_lm_bayes(net, Xn, yn, options.train);
+    nets_.push_back(std::move(net));
+    errors_.push_back(result.mse);
+  }
+
+  // Prune the worst-performing fraction by training error.
+  const auto n_prune = static_cast<std::size_t>(
+      options.prune_fraction * static_cast<double>(nets_.size()));
+  std::vector<std::size_t> order(nets_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return errors_[a] < errors_[b]; });
+  active_.assign(nets_.size(), false);
+  for (std::size_t i = 0; i + n_prune < order.size(); ++i) active_[order[i]] = true;
+}
+
+std::size_t SurrogateEnsemble::active_nets() const noexcept {
+  return static_cast<std::size_t>(std::count(active_.begin(), active_.end(), true));
+}
+
+double SurrogateEnsemble::predict(std::span<const double> x) const {
+  if (nets_.empty()) throw std::logic_error("SurrogateEnsemble::predict: not trained");
+  const auto xn = norm_in_.map_row(x);
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t k = 0; k < nets_.size(); ++k) {
+    if (!active_[k]) continue;
+    sum += nets_[k].forward(xn);
+    ++count;
+  }
+  return norm_out_.unmap(sum / static_cast<double>(count ? count : 1));
+}
+
+}  // namespace rafiki::ml

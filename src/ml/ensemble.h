@@ -1,0 +1,54 @@
+// Ensemble of independently initialized surrogate networks (Section 3.6.2):
+// the paper trains the same topology from 20 different initial weight
+// vectors, prunes the 30% with the highest training error and averages the
+// rest (leaving 14 active networks in the default setting).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/mlp.h"
+#include "ml/trainbr.h"
+
+namespace rafiki::ml {
+
+struct EnsembleOptions {
+  std::size_t n_nets = 20;
+  /// Fraction of worst-training-error networks removed before averaging.
+  double prune_fraction = 0.3;
+  /// Hidden-layer sizes; the paper settles on [14, 4] by trial and error.
+  std::vector<std::size_t> hidden = {14, 4};
+  TrainOptions train;
+  std::uint64_t seed = 1234;
+};
+
+class SurrogateEnsemble {
+ public:
+  /// Fits the ensemble on raw (unnormalized) feature rows and targets;
+  /// normalization to [-1, 1] is handled internally and reused at predict
+  /// time, mirroring mapminmax + trainbr.
+  void fit(const std::vector<std::vector<double>>& X, std::span<const double> y,
+           const EnsembleOptions& options = {});
+
+  /// Predicted target for one raw feature row (averaged over active nets).
+  double predict(std::span<const double> x) const;
+
+  bool trained() const noexcept { return !nets_.empty(); }
+  std::size_t total_nets() const noexcept { return nets_.size(); }
+  std::size_t active_nets() const noexcept;
+  std::size_t feature_count() const noexcept { return norm_in_.features(); }
+  /// Training MSE of each member (normalized target units), for tests.
+  const std::vector<double>& member_errors() const noexcept { return errors_; }
+  const std::vector<bool>& active_mask() const noexcept { return active_; }
+
+ private:
+  Normalizer norm_in_;
+  Normalizer norm_out_;
+  std::vector<Mlp> nets_;
+  std::vector<double> errors_;
+  std::vector<bool> active_;
+};
+
+}  // namespace rafiki::ml

@@ -1,0 +1,48 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace rafiki::ml {
+
+void KnnRegressor::fit(const std::vector<std::vector<double>>& X, std::span<const double> y,
+                       const KnnOptions& options) {
+  if (X.empty() || X.size() != y.size()) {
+    throw std::invalid_argument("KnnRegressor::fit: bad training set");
+  }
+  options_ = options;
+  norm_.fit_columns(X);
+  X_.resize(X.size());
+  for (std::size_t i = 0; i < X.size(); ++i) X_[i] = norm_.map_row(X[i]);
+  y_.assign(y.begin(), y.end());
+}
+
+double KnnRegressor::predict(std::span<const double> x) const {
+  if (X_.empty()) throw std::logic_error("KnnRegressor::predict: not trained");
+  const auto q = norm_.map_row(x);
+  std::vector<std::pair<double, std::size_t>> distances(X_.size());
+  for (std::size_t i = 0; i < X_.size(); ++i) {
+    double d2 = 0.0;
+    for (std::size_t c = 0; c < q.size(); ++c) {
+      const double d = X_[i][c] - q[c];
+      d2 += d * d;
+    }
+    distances[i] = {d2, i};
+  }
+  const std::size_t k = std::min(options_.k, distances.size());
+  std::partial_sort(distances.begin(), distances.begin() + static_cast<std::ptrdiff_t>(k),
+                    distances.end());
+  double weighted = 0.0, weight_sum = 0.0;
+  for (std::size_t j = 0; j < k; ++j) {
+    const double d = std::sqrt(distances[j].first);
+    if (d < 1e-12) return y_[distances[j].second];  // exact match
+    const double w = options_.weight_power > 0.0 ? std::pow(d, -options_.weight_power) : 1.0;
+    weighted += w * y_[distances[j].second];
+    weight_sum += w;
+  }
+  return weighted / weight_sum;
+}
+
+}  // namespace rafiki::ml

@@ -1,0 +1,36 @@
+// Nearest-neighbour interpolation baseline, standing in for the
+// iTuned/OtterTune-style approach the paper compares against (Section 5):
+// those systems map a target workload to the nearest previously-seen
+// workloads in a knowledge base and interpolate, instead of learning a
+// parametric surrogate.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ml/mlp.h"
+
+namespace rafiki::ml {
+
+struct KnnOptions {
+  std::size_t k = 5;
+  /// Inverse-distance weighting exponent; 0 gives a plain average.
+  double weight_power = 2.0;
+};
+
+class KnnRegressor {
+ public:
+  void fit(const std::vector<std::vector<double>>& X, std::span<const double> y,
+           const KnnOptions& options = {});
+  double predict(std::span<const double> x) const;
+  bool trained() const noexcept { return !X_.empty(); }
+
+ private:
+  Normalizer norm_;
+  std::vector<std::vector<double>> X_;  // normalized
+  std::vector<double> y_;
+  KnnOptions options_;
+};
+
+}  // namespace rafiki::ml

@@ -1,0 +1,142 @@
+#include "ml/matrix.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rafiki::ml {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  if (cols_ != other.rows_) throw std::invalid_argument("Matrix::multiply: shape mismatch");
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out(r, c) += a * other(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::gram() const {
+  // Upper-triangle rank-1 accumulation; the straight-line inner loop keeps
+  // the hot path (Gauss-Newton Hessian of the LM trainer) vectorizable.
+  Matrix out(cols_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* x = data_.data() + r * cols_;
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const double xi = x[i];
+      double* out_row = &out(i, i);
+      for (std::size_t j = i; j < cols_; ++j) {
+        out_row[j - i] += xi * x[j];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < cols_; ++i) {
+    for (std::size_t j = 0; j < i; ++j) out(i, j) = out(j, i);
+  }
+  return out;
+}
+
+std::vector<double> Matrix::transpose_times(std::span<const double> v) const {
+  if (v.size() != rows_) throw std::invalid_argument("Matrix::transpose_times: shape");
+  std::vector<double> out(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const auto x = row(r);
+    if (v[r] == 0.0) continue;
+    for (std::size_t c = 0; c < cols_; ++c) out[c] += x[c] * v[r];
+  }
+  return out;
+}
+
+std::vector<double> Matrix::times(std::span<const double> v) const {
+  if (v.size() != cols_) throw std::invalid_argument("Matrix::times: shape");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const auto x = row(r);
+    double s = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) s += x[c] * v[c];
+    out[r] = s;
+  }
+  return out;
+}
+
+Matrix& Matrix::add_diagonal(double value) {
+  const std::size_t n = std::min(rows_, cols_);
+  for (std::size_t i = 0; i < n; ++i) (*this)(i, i) += value;
+  return *this;
+}
+
+bool Matrix::cholesky(Matrix& lower) const {
+  if (rows_ != cols_) return false;
+  const std::size_t n = rows_;
+  lower = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = (*this)(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= lower(i, k) * lower(j, k);
+      if (i == j) {
+        if (s <= 0.0 || !std::isfinite(s)) return false;
+        lower(i, i) = std::sqrt(s);
+      } else {
+        lower(i, j) = s / lower(j, j);
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<double> Matrix::solve_spd(std::span<const double> b) const {
+  Matrix lower;
+  if (b.size() != rows_ || !cholesky(lower)) return {};
+  const std::size_t n = rows_;
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= lower(i, k) * y[k];
+    y[i] = s / lower(i, i);
+  }
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= lower(k, ii) * x[k];
+    x[ii] = s / lower(ii, ii);
+  }
+  return x;
+}
+
+double Matrix::trace_inverse_spd() const {
+  Matrix lower;
+  if (!cholesky(lower)) return -1.0;
+  // trace(A^-1) = sum of squared entries of L^-1 (column-wise forward solves).
+  const std::size_t n = rows_;
+  double trace = 0.0;
+  std::vector<double> col(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = i == j ? 1.0 : 0.0;
+      for (std::size_t k = (i == 0 ? 0 : j); k < i; ++k) s -= lower(i, k) * col[k];
+      col[i] = i >= j ? s / lower(i, i) : 0.0;
+    }
+    for (std::size_t i = j; i < n; ++i) trace += col[i] * col[i];
+  }
+  return trace;
+}
+
+}  // namespace rafiki::ml

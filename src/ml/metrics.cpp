@@ -1,0 +1,54 @@
+#include "ml/metrics.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace rafiki::ml {
+
+double mape_percent(std::span<const double> actual, std::span<const double> predicted,
+                    double epsilon) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < actual.size() && i < predicted.size(); ++i) {
+    if (std::abs(actual[i]) < epsilon) continue;
+    sum += std::abs((predicted[i] - actual[i]) / actual[i]);
+    ++n;
+  }
+  return n ? 100.0 * sum / static_cast<double>(n) : 0.0;
+}
+
+double r_squared(std::span<const double> actual, std::span<const double> predicted) {
+  if (actual.size() != predicted.size() || actual.size() < 2) return 0.0;
+  const double mean_actual = rafiki::mean(actual);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    ss_res += (actual[i] - predicted[i]) * (actual[i] - predicted[i]);
+    ss_tot += (actual[i] - mean_actual) * (actual[i] - mean_actual);
+  }
+  if (ss_tot <= 0.0) return 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double rmse(std::span<const double> actual, std::span<const double> predicted) {
+  if (actual.empty() || actual.size() != predicted.size()) return 0.0;
+  double ss = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    ss += (actual[i] - predicted[i]) * (actual[i] - predicted[i]);
+  }
+  return std::sqrt(ss / static_cast<double>(actual.size()));
+}
+
+std::vector<double> percent_errors(std::span<const double> actual,
+                                   std::span<const double> predicted, double epsilon) {
+  std::vector<double> errors;
+  errors.reserve(actual.size());
+  for (std::size_t i = 0; i < actual.size() && i < predicted.size(); ++i) {
+    if (std::abs(actual[i]) < epsilon) continue;
+    errors.push_back(100.0 * (predicted[i] - actual[i]) / actual[i]);
+  }
+  return errors;
+}
+
+}  // namespace rafiki::ml

@@ -1,0 +1,26 @@
+// Model-evaluation metrics matching those the paper reports (Table 2):
+// mean absolute percentage error, R^2 and RMSE.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace rafiki::ml {
+
+/// Mean absolute percentage error, in percent (the paper's "prediction
+/// error"). Targets with |actual| below `epsilon` are skipped.
+double mape_percent(std::span<const double> actual, std::span<const double> predicted,
+                    double epsilon = 1e-9);
+
+/// Coefficient of determination.
+double r_squared(std::span<const double> actual, std::span<const double> predicted);
+
+/// Root mean squared error.
+double rmse(std::span<const double> actual, std::span<const double> predicted);
+
+/// Signed percentage errors (predicted vs actual), for Figures 8/9.
+std::vector<double> percent_errors(std::span<const double> actual,
+                                   std::span<const double> predicted,
+                                   double epsilon = 1e-9);
+
+}  // namespace rafiki::ml

@@ -1,0 +1,132 @@
+#include "ml/trainbr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/matrix.h"
+
+namespace rafiki::ml {
+namespace {
+
+double sum_squares(std::span<const double> v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return s;
+}
+
+}  // namespace
+
+TrainResult train_lm_bayes(Mlp& net, const std::vector<std::vector<double>>& X,
+                           std::span<const double> y, const TrainOptions& options) {
+  TrainResult result;
+  const std::size_t n = X.size();
+  const std::size_t p = net.param_count();
+  if (n == 0 || y.size() != n) return result;
+
+  double alpha = options.bayesian_regularization ? 0.01 : 0.0;
+  double beta = 1.0;
+  double mu = options.mu_initial;
+
+  std::vector<double> params(net.params().begin(), net.params().end());
+  Matrix jac(n, p);
+  std::vector<double> errors(n);
+
+  auto evaluate = [&](std::span<const double> w, bool with_jacobian) {
+    net.set_params(w);
+    double ed = 0.0;
+    std::vector<double> grad_row(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      double out;
+      if (with_jacobian) {
+        out = net.forward_with_gradient(X[i], grad_row);
+        std::copy(grad_row.begin(), grad_row.end(), jac.row(i).begin());
+      } else {
+        out = net.forward(X[i]);
+      }
+      errors[i] = y[i] - out;
+      ed += errors[i] * errors[i];
+    }
+    return ed;
+  };
+
+  double ed = evaluate(params, true);
+  double ew = sum_squares(params);
+  double objective = beta * ed + alpha * ew;
+
+  for (std::size_t epoch = 0; epoch < options.max_epochs; ++epoch) {
+    ++result.epochs;
+    // Gauss-Newton system: (beta J^T J + (alpha + mu) I) dw = beta J^T e - alpha w
+    Matrix hessian = jac.gram();
+    for (auto& v : hessian.data()) v *= beta;
+    auto gradient = jac.transpose_times(errors);
+    double grad_norm = 0.0;
+    for (std::size_t j = 0; j < p; ++j) {
+      gradient[j] = beta * gradient[j] - alpha * params[j];
+      grad_norm += gradient[j] * gradient[j];
+    }
+    if (std::sqrt(grad_norm) < options.min_gradient) {
+      result.converged = true;
+      break;
+    }
+
+    bool stepped = false;
+    while (mu <= options.mu_max) {
+      Matrix damped = hessian;
+      damped.add_diagonal(alpha + mu);
+      auto step = damped.solve_spd(gradient);
+      if (!step.empty()) {
+        std::vector<double> trial = params;
+        for (std::size_t j = 0; j < p; ++j) trial[j] += step[j];
+        const double trial_ed = evaluate(trial, false);
+        const double trial_ew = sum_squares(trial);
+        const double trial_obj = beta * trial_ed + alpha * trial_ew;
+        if (trial_obj < objective && std::isfinite(trial_obj)) {
+          params = std::move(trial);
+          ed = trial_ed;
+          ew = trial_ew;
+          objective = trial_obj;
+          mu = std::max(options.mu_decrease * mu, 1e-20);
+          stepped = true;
+          break;
+        }
+      }
+      mu *= options.mu_increase;
+    }
+    if (!stepped) {
+      result.converged = true;  // no downhill direction left at mu_max
+      break;
+    }
+
+    // Refresh the Jacobian at the accepted point.
+    ed = evaluate(params, true);
+
+    const bool update_hyper =
+        options.bayesian_regularization &&
+        (options.bayes_update_interval == 0 ||
+         result.epochs % std::max<std::size_t>(1, options.bayes_update_interval) == 1);
+    if (update_hyper) {
+      // MacKay evidence update of alpha/beta via the effective parameters.
+      Matrix reg = jac.gram();
+      for (auto& v : reg.data()) v *= beta;
+      reg.add_diagonal(alpha);
+      const double trace_inv = reg.trace_inverse_spd();
+      if (trace_inv >= 0.0) {
+        double gamma = static_cast<double>(p) - alpha * trace_inv;
+        gamma = std::clamp(gamma, 1.0, static_cast<double>(p));
+        alpha = gamma / std::max(2.0 * ew, 1e-12);
+        const double denom = std::max(2.0 * ed, 1e-12);
+        beta = std::max(static_cast<double>(n) - gamma, 1.0) / denom;
+        result.gamma = gamma;
+        objective = beta * ed + alpha * ew;
+      }
+    }
+  }
+
+  net.set_params(params);
+  result.mse = ed / static_cast<double>(n);
+  result.alpha = alpha;
+  result.beta = beta;
+  return result;
+}
+
+}  // namespace rafiki::ml

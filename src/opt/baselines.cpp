@@ -1,0 +1,67 @@
+#include "opt/baselines.h"
+
+#include <limits>
+
+namespace rafiki::opt {
+
+SearchResult grid_search(const SearchSpace& space, const Objective& objective,
+                         std::span<const std::size_t> levels) {
+  SearchResult result;
+  result.best_fitness = -std::numeric_limits<double>::infinity();
+  for (auto& point : space.grid(levels)) {
+    const double value = objective(point);
+    ++result.evaluations;
+    if (value > result.best_fitness) {
+      result.best_fitness = value;
+      result.best_point = point;
+    }
+  }
+  return result;
+}
+
+SearchResult greedy_search(const SearchSpace& space, const Objective& objective,
+                           std::vector<double> start, std::size_t levels_per_dim,
+                           std::size_t passes) {
+  SearchResult result;
+  result.best_point = space.snap(std::move(start));
+  result.best_fitness = objective(result.best_point);
+  ++result.evaluations;
+
+  for (std::size_t pass = 0; pass < passes; ++pass) {
+    bool improved = false;
+    for (std::size_t d = 0; d < space.size(); ++d) {
+      auto candidate = result.best_point;
+      for (double v : space.level_values(d, levels_per_dim)) {
+        candidate[d] = v;
+        const double value = objective(candidate);
+        ++result.evaluations;
+        if (value > result.best_fitness) {
+          result.best_fitness = value;
+          result.best_point = candidate;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return result;
+}
+
+SearchResult random_search(const SearchSpace& space, const Objective& objective,
+                           std::size_t samples, std::uint64_t seed) {
+  Rng rng(seed);
+  SearchResult result;
+  result.best_fitness = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto point = space.random_point(rng);
+    const double value = objective(point);
+    ++result.evaluations;
+    if (value > result.best_fitness) {
+      result.best_fitness = value;
+      result.best_point = point;
+    }
+  }
+  return result;
+}
+
+}  // namespace rafiki::opt

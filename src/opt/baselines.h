@@ -1,0 +1,38 @@
+// Search baselines the paper compares against:
+//  - exhaustive grid search: the "theoretically best achievable" reference
+//    (Section 4.8), infeasibly slow against the live system but usable
+//    against the simulator and the surrogate;
+//  - greedy one-parameter-at-a-time sweep: the "obvious" technique the paper
+//    shows is suboptimal because it ignores parameter interdependencies
+//    (Section 4.6, Figure 6);
+//  - uniform random search: sanity baseline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "opt/space.h"
+
+namespace rafiki::opt {
+
+struct SearchResult {
+  std::vector<double> best_point;
+  double best_fitness = 0.0;
+  std::size_t evaluations = 0;
+};
+
+/// Evaluates every point of the full-factorial grid.
+SearchResult grid_search(const SearchSpace& space, const Objective& objective,
+                         std::span<const std::size_t> levels);
+
+/// Coordinate ascent: sweeps each dimension's levels with the others fixed,
+/// committing the best value, for `passes` rounds.
+SearchResult greedy_search(const SearchSpace& space, const Objective& objective,
+                           std::vector<double> start, std::size_t levels_per_dim = 8,
+                           std::size_t passes = 2);
+
+/// Uniform random sampling of `samples` feasible points.
+SearchResult random_search(const SearchSpace& space, const Objective& objective,
+                           std::size_t samples, std::uint64_t seed = 7);
+
+}  // namespace rafiki::opt

@@ -1,0 +1,139 @@
+#include "opt/ga.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace rafiki::opt {
+namespace {
+
+struct Individual {
+  std::vector<double> genome;
+  double raw = 0.0;        // objective value
+  double violation = 0.0;  // constraint violation
+  double score = 0.0;      // penalized fitness used for selection
+};
+
+}  // namespace
+
+GaResult ga_optimize(const SearchSpace& space, const Objective& objective,
+                     const GaOptions& options) {
+  Rng rng(options.seed);
+  GaResult result;
+
+  auto evaluate = [&](Individual& ind) {
+    ind.raw = objective(ind.genome);
+    ind.violation = space.violation(ind.genome);
+    ++result.evaluations;
+  };
+
+  std::vector<Individual> population(options.population);
+  for (auto& ind : population) {
+    ind.genome = space.random_point(rng);
+    evaluate(ind);
+  }
+
+  auto rescore = [&](std::vector<Individual>& pop) {
+    // Penalty scale follows the population's fitness spread so the penalty
+    // stays meaningful whatever the objective's units are.
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (const auto& ind : pop) {
+      lo = std::min(lo, ind.raw);
+      hi = std::max(hi, ind.raw);
+    }
+    const double spread = std::max(hi - lo, 1e-9);
+    for (auto& ind : pop) {
+      ind.score = ind.raw - options.penalty_weight * spread * ind.violation;
+    }
+  };
+  rescore(population);
+
+  auto tournament_pick = [&](const std::vector<Individual>& pop) -> const Individual& {
+    const Individual* best = nullptr;
+    for (std::size_t t = 0; t < options.tournament; ++t) {
+      const auto& cand = pop[rng.bounded(pop.size())];
+      if (!best || cand.score > best->score) best = &cand;
+    }
+    return *best;
+  };
+
+  Individual best_feasible;
+  best_feasible.raw = -std::numeric_limits<double>::infinity();
+  auto track_best = [&](const std::vector<Individual>& pop) {
+    for (const auto& ind : pop) {
+      if (ind.violation == 0.0 && ind.raw > best_feasible.raw) best_feasible = ind;
+    }
+    result.best_history.push_back(best_feasible.raw);
+  };
+  track_best(population);
+
+  for (std::size_t gen = 0; gen < options.generations; ++gen) {
+    std::vector<Individual> next;
+    next.reserve(population.size());
+
+    // Elitism: carry the top scorers unchanged.
+    std::vector<const Individual*> ranked;
+    ranked.reserve(population.size());
+    for (const auto& ind : population) ranked.push_back(&ind);
+    std::sort(ranked.begin(), ranked.end(),
+              [](const Individual* a, const Individual* b) { return a->score > b->score; });
+    for (std::size_t e = 0; e < std::min(options.elites, ranked.size()); ++e) {
+      next.push_back(*ranked[e]);
+    }
+
+    while (next.size() < population.size()) {
+      const Individual& a = tournament_pick(population);
+      const Individual& b = tournament_pick(population);
+      Individual child;
+      child.genome.resize(space.size());
+      if (rng.bernoulli(options.crossover_rate)) {
+        // Random-weighted average per gene: interpolation within the
+        // parents' span, as the paper specifies.
+        for (std::size_t i = 0; i < space.size(); ++i) {
+          const double r = rng.uniform();
+          child.genome[i] = r * a.genome[i] + (1.0 - r) * b.genome[i];
+        }
+      } else {
+        child.genome = rng.bernoulli(0.5) ? a.genome : b.genome;
+      }
+      for (std::size_t i = 0; i < space.size(); ++i) {
+        const auto& d = space.dim(i);
+        if (rng.bernoulli(options.mutation_rate)) {
+          child.genome[i] += rng.gaussian(0.0, options.mutation_sigma * (d.hi - d.lo));
+          child.genome[i] = std::clamp(child.genome[i], d.lo, d.hi);
+        }
+        // Rounding move for integral genes: interpolating crossover leaves
+        // them fractional (penalized), so half the offspring snap back onto
+        // the integer lattice, keeping a feasible sub-population alive.
+        if (d.integral && rng.bernoulli(0.5)) {
+          child.genome[i] = std::round(child.genome[i]);
+        }
+      }
+      evaluate(child);
+      next.push_back(std::move(child));
+    }
+
+    population = std::move(next);
+    rescore(population);
+    track_best(population);
+  }
+
+  // Report the best feasible individual, snapped (snapping is a no-op for a
+  // feasible point, but also guards the degenerate never-feasible case).
+  if (std::isinf(best_feasible.raw)) {
+    // No feasible individual was ever seen (can only happen with an
+    // all-integral space and zero feasible draws); snap the best scorer.
+    const auto* best = &population.front();
+    for (const auto& ind : population) {
+      if (ind.score > best->score) best = &ind;
+    }
+    best_feasible = *best;
+  }
+  result.best_point = space.snap(best_feasible.genome);
+  result.best_fitness = objective(result.best_point);
+  ++result.evaluations;
+  return result;
+}
+
+}  // namespace rafiki::opt

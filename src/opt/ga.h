@@ -1,0 +1,44 @@
+// Real-coded genetic algorithm for configuration search (Section 3.7.2).
+//
+// Follows the paper's formulation: the fitness is the surrogate model's
+// predicted throughput with the workload fixed; the initial population is
+// uniform within bounds; crossover takes a random-weighted average of two
+// parents (interpolation, never extrapolation); constraints are handled by
+// penalty — offspring whose integer parameters land on fractional values are
+// scored with a penalty rather than repaired, per Deb's constraint-handling
+// method the paper cites [16, 17].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "opt/space.h"
+
+namespace rafiki::opt {
+
+struct GaOptions {
+  std::size_t population = 48;
+  std::size_t generations = 70;
+  double crossover_rate = 0.9;
+  double mutation_rate = 0.15;
+  /// Mutation step as a fraction of the dimension's range.
+  double mutation_sigma = 0.12;
+  std::size_t tournament = 3;
+  std::size_t elites = 2;
+  /// Penalty applied per unit of constraint violation, scaled by the
+  /// population's fitness spread.
+  double penalty_weight = 2.0;
+  std::uint64_t seed = 99;
+};
+
+struct GaResult {
+  std::vector<double> best_point;  ///< snapped to feasibility
+  double best_fitness = 0.0;       ///< objective at best_point
+  std::size_t evaluations = 0;     ///< objective calls (the "surrogate calls")
+  std::vector<double> best_history;  ///< best feasible fitness per generation
+};
+
+GaResult ga_optimize(const SearchSpace& space, const Objective& objective,
+                     const GaOptions& options = {});
+
+}  // namespace rafiki::opt

@@ -1,0 +1,57 @@
+// Search-space abstraction for the configuration optimizers. Kept generic
+// (no engine dependency) so the optimizers are testable on analytic
+// functions; core/ maps engine parameter specs onto Dimensions.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rafiki::opt {
+
+struct Dimension {
+  std::string name;
+  /// Integral dimensions (integers and categoricals) admit only whole
+  /// values; real dimensions are continuous.
+  bool integral = false;
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+/// Objective to maximize, evaluated on a point in dimension order.
+using Objective = std::function<double(std::span<const double>)>;
+
+class SearchSpace {
+ public:
+  explicit SearchSpace(std::vector<Dimension> dims);
+
+  std::size_t size() const noexcept { return dims_.size(); }
+  const Dimension& dim(std::size_t i) const { return dims_.at(i); }
+  const std::vector<Dimension>& dims() const noexcept { return dims_; }
+
+  std::vector<double> random_point(Rng& rng) const;
+  /// Clamps into bounds and rounds integral dimensions.
+  std::vector<double> snap(std::vector<double> point) const;
+  bool feasible(std::span<const double> point) const;
+  /// Total constraint violation: distance outside bounds plus distance from
+  /// integrality, used by the GA's penalty-based constraint handling.
+  double violation(std::span<const double> point) const;
+
+  /// Full-factorial enumeration with `levels[i]` evenly spaced values per
+  /// dimension (endpoints included). The exhaustive-search baseline.
+  std::vector<std::vector<double>> grid(std::span<const std::size_t> levels) const;
+  /// Number of points such a grid would contain.
+  std::size_t grid_size(std::span<const std::size_t> levels) const;
+
+  /// Evenly spaced candidate values for one dimension (used by grid and the
+  /// greedy sweep); integral dimensions get de-duplicated rounded levels.
+  std::vector<double> level_values(std::size_t dim_index, std::size_t levels) const;
+
+ private:
+  std::vector<Dimension> dims_;
+};
+
+}  // namespace rafiki::opt

@@ -1,0 +1,55 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rafiki {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins ? bins : 1)),
+      counts_(bins ? bins : 1, 0) {}
+
+void Histogram::add(double x) noexcept {
+  std::size_t bin;
+  if (x < lo_) {
+    bin = 0;
+  } else if (x >= hi_) {
+    bin = counts_.size() - 1;
+  } else {
+    bin = static_cast<std::size_t>((x - lo_) / width_);
+    bin = std::min(bin, counts_.size() - 1);
+  }
+  ++counts_[bin];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) noexcept {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_lo(std::size_t bin) const noexcept {
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const noexcept {
+  return lo_ + width_ * static_cast<double>(bin + 1);
+}
+
+std::string Histogram::render(std::size_t max_bar_width) const {
+  std::size_t max_count = 1;
+  for (auto c : counts_) max_count = std::max(max_count, c);
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(max_count) *
+        static_cast<double>(max_bar_width));
+    std::snprintf(line, sizeof line, "[%8.2f, %8.2f) %-*s %zu\n", bin_lo(i), bin_hi(i),
+                  static_cast<int>(max_bar_width),
+                  std::string(bar, '#').c_str(), counts_[i]);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace rafiki

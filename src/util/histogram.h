@@ -1,0 +1,38 @@
+// Fixed-bin histogram with an ASCII renderer, used to reproduce the
+// prediction-error histograms of Figures 8 and 9.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rafiki {
+
+class Histogram {
+ public:
+  /// Bins partition [lo, hi) evenly; samples outside are clamped into the
+  /// first/last bin so the histogram never silently drops data.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void add_all(std::span<const double> xs) noexcept;
+
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t total() const noexcept { return total_; }
+  double bin_lo(std::size_t bin) const noexcept;
+  double bin_hi(std::size_t bin) const noexcept;
+
+  /// Multi-line bar chart, one row per bin:  "[-10.0, -7.5) ###### 12".
+  std::string render(std::size_t max_bar_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace rafiki

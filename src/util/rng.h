@@ -1,0 +1,122 @@
+// Deterministic pseudo-random number generation for simulation and training.
+//
+// All stochastic components in the library (workload generators, the storage
+// engine's noise processes, neural-network initialization, the genetic
+// algorithm) draw from an explicitly seeded Rng so that every experiment in
+// bench/ is reproducible run-to-run.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numbers>
+
+namespace rafiki {
+
+/// xoshiro256** with SplitMix64 seeding. Small, fast, and good enough
+/// statistical quality for Monte-Carlo style simulation.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    // SplitMix64 to spread an arbitrary 64-bit seed over the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+    has_gauss_ = false;
+  }
+
+  /// Uniform 64-bit integer.
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(bounded(span));
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t bounded(std::uint64_t n) noexcept {
+    // Lemire's multiply-shift rejection method (nearly unbiased, one divide
+    // only on the rare rejection path).
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// True with probability p.
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Standard normal via Box-Muller with caching of the second deviate.
+  double gaussian() noexcept {
+    if (has_gauss_) {
+      has_gauss_ = false;
+      return cached_gauss_;
+    }
+    double u1 = uniform();
+    while (u1 <= std::numeric_limits<double>::min()) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    cached_gauss_ = r * std::sin(theta);
+    has_gauss_ = true;
+    return r * std::cos(theta);
+  }
+
+  double gaussian(double mean, double stddev) noexcept { return mean + stddev * gaussian(); }
+
+  /// Exponential with the given mean (= 1/rate). Used for key-reuse-distance
+  /// sampling per the paper's workload characterization (Section 3.3).
+  double exponential(double mean) noexcept {
+    double u = uniform();
+    while (u <= std::numeric_limits<double>::min()) u = uniform();
+    return -mean * std::log(u);
+  }
+
+  /// Split off an independently-seeded child stream. Convenient for giving
+  /// each subsystem (engine, generator, trainer, ...) its own stream derived
+  /// from one experiment seed.
+  Rng split() noexcept { return Rng(next_u64()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  double cached_gauss_ = 0.0;
+  bool has_gauss_ = false;
+};
+
+}  // namespace rafiki

@@ -1,0 +1,59 @@
+// Descriptive statistics used throughout data collection, ANOVA and model
+// evaluation. Header declares small value types; implementations that are
+// more than a line or two live in stats.cpp.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rafiki {
+
+/// Welford online accumulator: numerically stable mean/variance without
+/// retaining samples. Suitable for streaming throughput measurements.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const OnlineStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+double mean(std::span<const double> xs) noexcept;
+/// Sample variance (n-1 denominator).
+double variance(std::span<const double> xs) noexcept;
+double stddev(std::span<const double> xs) noexcept;
+double min_of(std::span<const double> xs) noexcept;
+double max_of(std::span<const double> xs) noexcept;
+
+/// Linear-interpolated percentile, p in [0, 100]. Sorts a copy.
+double percentile(std::span<const double> xs, double p);
+
+/// Pearson correlation coefficient of two equal-length series.
+double correlation(std::span<const double> xs, std::span<const double> ys) noexcept;
+
+/// Maximum-likelihood fit of an exponential distribution (returns the mean,
+/// which is the MLE for i.i.d. exponential samples). Used for KRD fitting.
+double fit_exponential_mean(std::span<const double> xs) noexcept;
+
+/// Ordinary least squares y = a + b*x. Returns {a, b}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) noexcept;
+
+}  // namespace rafiki

@@ -1,0 +1,102 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace rafiki {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table::add_row: cell count mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::ops(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.0f", v);
+  std::string digits = buf;
+  std::string out;
+  const bool negative = !digits.empty() && digits.front() == '-';
+  if (negative) digits.erase(digits.begin());
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (negative) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string Table::pct(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, v);
+  return buf;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += ' ';
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+      line += " |";
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = emit_row(headers_);
+  std::string rule = "|";
+  for (auto w : widths) {
+    rule.append(w + 2, '-');
+    rule += '|';
+  }
+  out += rule + '\n';
+  for (const auto& row : rows_) out += emit_row(row);
+  return out;
+}
+
+std::string Table::to_csv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (char ch : cell) {
+      if (ch == '"') quoted += '"';
+      quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += ',';
+      out += escape(row[c]);
+    }
+    out += '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+}  // namespace rafiki

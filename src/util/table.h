@@ -1,0 +1,38 @@
+// Plain-text table rendering for the bench harnesses: every bench binary
+// prints rows in the same layout as the paper's tables, plus CSV export so
+// results can be post-processed.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rafiki {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  /// Formats with thousands separators, e.g. 78,556 — matches paper tables.
+  static std::string ops(double v);
+  /// Formats as a percentage, e.g. "41.4%".
+  static std::string pct(double v, int precision = 1);
+
+  /// ASCII rendering with aligned columns and a header rule.
+  std::string render() const;
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string to_csv() const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rafiki

@@ -1,0 +1,108 @@
+#include "workload/characterize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/stats.h"
+
+namespace rafiki::workload {
+
+std::vector<double> read_ratio_series(std::span<const TraceRecord> trace, double window_s) {
+  std::vector<double> ratios;
+  if (trace.empty() || window_s <= 0.0) return ratios;
+  const double t0 = trace.front().t_s;
+  std::size_t window = 0;
+  std::size_t reads = 0, total = 0;
+  for (const auto& record : trace) {
+    const auto w = static_cast<std::size_t>((record.t_s - t0) / window_s);
+    while (w > window) {
+      ratios.push_back(total ? static_cast<double>(reads) / static_cast<double>(total) : 0.0);
+      reads = total = 0;
+      ++window;
+    }
+    ++total;
+    if (record.op.kind == Op::Kind::kRead) ++reads;
+  }
+  if (total) ratios.push_back(static_cast<double>(reads) / static_cast<double>(total));
+  return ratios;
+}
+
+std::vector<double> reuse_distances(std::span<const TraceRecord> trace) {
+  std::vector<double> distances;
+  std::unordered_map<std::int64_t, std::size_t> last_seen;
+  last_seen.reserve(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto key = trace[i].op.key;
+    if (auto it = last_seen.find(key); it != last_seen.end()) {
+      distances.push_back(static_cast<double>(i - it->second - 1));
+      it->second = i;
+    } else {
+      last_seen.emplace(key, i);
+    }
+  }
+  return distances;
+}
+
+double find_stationary_window(std::span<const TraceRecord> trace,
+                              std::span<const double> candidate_windows_s,
+                              double slack) {
+  std::vector<double> sorted(candidate_windows_s.begin(), candidate_windows_s.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> disagreements;
+  for (double window_s : sorted) {
+    // Disagreement between a window's two halves: compare RR measured at
+    // half granularity pairwise.
+    const auto halves = read_ratio_series(trace, window_s / 2.0);
+    double disagreement = 0.0;
+    std::size_t pairs = 0;
+    for (std::size_t i = 0; i + 1 < halves.size(); i += 2) {
+      disagreement += std::abs(halves[i] - halves[i + 1]);
+      ++pairs;
+    }
+    disagreements.push_back(pairs ? disagreement / static_cast<double>(pairs) : 1.0);
+  }
+  if (sorted.empty()) return 0.0;
+  const double best = *std::min_element(disagreements.begin(), disagreements.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (disagreements[i] <= best * slack + 1e-12) return sorted[i];
+  }
+  return sorted.back();
+}
+
+Characterization characterize(std::span<const TraceRecord> trace,
+                              std::span<const double> candidate_windows_s) {
+  Characterization ch;
+  ch.window_s = find_stationary_window(trace, candidate_windows_s);
+  ch.read_ratios = read_ratio_series(trace, ch.window_s);
+  const auto distances = reuse_distances(trace);
+  ch.krd_mean = fit_exponential_mean(distances);
+
+  std::unordered_set<std::int64_t> seen;
+  std::size_t writes = 0, inserts = 0;
+  double payload_sum = 0.0;
+  for (const auto& record : trace) {
+    const bool is_new = seen.insert(record.op.key).second;
+    if (record.op.kind == Op::Kind::kRead) continue;
+    ++writes;
+    payload_sum += record.op.value_bytes;
+    if (is_new) ++inserts;
+  }
+  ch.insert_fraction = writes ? static_cast<double>(inserts) / static_cast<double>(writes) : 0.0;
+  ch.mean_value_bytes = writes ? payload_sum / static_cast<double>(writes) : 0.0;
+  return ch;
+}
+
+WorkloadSpec spec_for_window(const Characterization& ch, std::size_t window_index) {
+  WorkloadSpec spec;
+  spec.read_ratio = ch.read_ratios.at(window_index);
+  spec.krd_mean = ch.krd_mean > 0.0 ? ch.krd_mean : spec.krd_mean;
+  spec.insert_fraction = ch.insert_fraction;
+  if (ch.mean_value_bytes > 0.0) {
+    spec.value_bytes = static_cast<std::uint32_t>(ch.mean_value_bytes);
+  }
+  return spec;
+}
+
+}  // namespace rafiki::workload

@@ -1,0 +1,55 @@
+// Workload characterization (Section 3.3): turns a raw query trace into the
+// statistics Rafiki's surrogate model and data-collection phases consume —
+// the read-ratio series over stationary windows and the exponential fit of
+// the key-reuse-distance distribution.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "workload/mgrast.h"
+#include "workload/spec.h"
+
+namespace rafiki::workload {
+
+/// Read-ratio of each fixed-size window of the trace, in trace order.
+std::vector<double> read_ratio_series(std::span<const TraceRecord> trace, double window_s);
+
+/// All realized key-reuse distances (in queries) observed in the trace:
+/// for every access of a key seen before, the number of intervening queries.
+std::vector<double> reuse_distances(std::span<const TraceRecord> trace);
+
+/// Result of characterizing a trace.
+struct Characterization {
+  /// Chosen window over which the RR statistic is (approximately)
+  /// stationary; the paper finds 15 minutes for MG-RAST.
+  double window_s = 0.0;
+  /// RR per window at that granularity.
+  std::vector<double> read_ratios;
+  /// MLE mean of the exponential KRD fit.
+  double krd_mean = 0.0;
+  /// Fraction of write operations that insert previously-unseen keys.
+  double insert_fraction = 0.0;
+  /// Mean payload bytes across write operations.
+  double mean_value_bytes = 0.0;
+};
+
+/// Searches candidate window sizes for the smallest one at which RR is
+/// stationary, operationalized via each window's *disagreement*: the mean
+/// |RR(first half) - RR(second half)|. Too-small windows disagree because of
+/// sub-window burstiness; too-large ones because they mix workload regimes.
+/// The chosen window is the smallest whose disagreement is within `slack` of
+/// the best candidate's.
+double find_stationary_window(std::span<const TraceRecord> trace,
+                              std::span<const double> candidate_windows_s,
+                              double slack = 1.3);
+
+/// Full characterization pass over a trace.
+Characterization characterize(std::span<const TraceRecord> trace,
+                              std::span<const double> candidate_windows_s);
+
+/// Builds the WorkloadSpec for one observed window, combining the global
+/// (stationary) KRD/payload statistics with the window's read ratio.
+WorkloadSpec spec_for_window(const Characterization& ch, std::size_t window_index);
+
+}  // namespace rafiki::workload

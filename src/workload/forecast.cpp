@@ -1,0 +1,101 @@
+#include "workload/forecast.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace rafiki::workload {
+
+WorkloadForecaster::WorkloadForecaster(ForecastOptions options) : options_(options) {}
+
+WorkloadForecaster::Regime WorkloadForecaster::regime_of(double read_ratio) const noexcept {
+  if (read_ratio >= options_.read_heavy_threshold) return Regime::kReadHeavy;
+  if (read_ratio <= options_.write_heavy_threshold) return Regime::kWriteHeavy;
+  return Regime::kMixed;
+}
+
+void WorkloadForecaster::observe(double read_ratio) {
+  const Regime regime = regime_of(read_ratio);
+  if (observations_ > 0) {
+    transitions_[static_cast<int>(last_)][static_cast<int>(regime)] += 1.0;
+    // EWMA smooths within-regime jitter only; a regime switch restarts it so
+    // the persistence level never lags across transitions.
+    ewma_ = regime == last_
+                ? options_.ewma_alpha * read_ratio + (1.0 - options_.ewma_alpha) * ewma_
+                : read_ratio;
+  } else {
+    ewma_ = read_ratio;
+  }
+  regime_sum_[static_cast<int>(regime)] += read_ratio;
+  regime_count_[static_cast<int>(regime)] += 1.0;
+  last_ = regime;
+  ++observations_;
+}
+
+double WorkloadForecaster::transition_probability(Regime from, Regime to) const {
+  const auto& row = transitions_[static_cast<int>(from)];
+  double total = 0.0;
+  for (double count : row) total += count + options_.transition_prior;
+  return (row[static_cast<int>(to)] + options_.transition_prior) / total;
+}
+
+double WorkloadForecaster::regime_mean(Regime regime) const {
+  const auto index = static_cast<int>(regime);
+  if (regime_count_[index] > 0.0) return regime_sum_[index] / regime_count_[index];
+  switch (regime) {  // unobserved regimes default to their band midpoint
+    case Regime::kWriteHeavy:
+      return options_.write_heavy_threshold / 2.0;
+    case Regime::kReadHeavy:
+      return (1.0 + options_.read_heavy_threshold) / 2.0;
+    case Regime::kMixed:
+      break;
+  }
+  return (options_.write_heavy_threshold + options_.read_heavy_threshold) / 2.0;
+}
+
+double WorkloadForecaster::persistence_probability() const {
+  return transition_probability(last_, last_);
+}
+
+std::vector<std::pair<double, double>> WorkloadForecaster::likely_next() const {
+  std::vector<std::pair<double, double>> ranked;
+  for (std::size_t to = 0; to < kRegimes; ++to) {
+    const auto regime = static_cast<Regime>(to);
+    const double p = transition_probability(last_, regime);
+    // Staying in the regime -> recent level persists; switching -> the
+    // destination regime's historical level.
+    const double level = regime == last_ ? ewma_ : regime_mean(regime);
+    ranked.emplace_back(p, std::clamp(level, 0.0, 1.0));
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  return ranked;
+}
+
+double WorkloadForecaster::predict_next() const {
+  if (observations_ == 0) return 0.5;
+  // Predictive median: the most likely regime's level. A probability-
+  // weighted mean would hedge toward 0.5 on every stable window and lose to
+  // persistence in absolute error.
+  return likely_next().front().second;
+}
+
+ForecastEvaluation evaluate_forecaster(const std::vector<double>& read_ratios,
+                                       ForecastOptions options) {
+  ForecastEvaluation eval;
+  if (read_ratios.size() < 2) return eval;
+  WorkloadForecaster forecaster(options);
+  double f_err = 0.0, p_err = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i + 1 < read_ratios.size(); ++i) {
+    forecaster.observe(read_ratios[i]);
+    f_err += std::abs(forecaster.predict_next() - read_ratios[i + 1]);
+    p_err += std::abs(read_ratios[i] - read_ratios[i + 1]);
+    ++n;
+  }
+  eval.forecaster_mae = f_err / static_cast<double>(n);
+  eval.persistence_mae = p_err / static_cast<double>(n);
+  return eval;
+}
+
+}  // namespace rafiki::workload

@@ -1,0 +1,89 @@
+// Workload forecasting — the paper's stated future work (Section 6: "we are
+// also developing a prediction model for the workloads").
+//
+// MG-RAST traffic is regime-switching (Figure 3): extended read-heavy
+// periods punctuated by write bursts, with abrupt transitions. A forecaster
+// that anticipates the next window's read ratio lets the online tuner
+// pre-compute (and even pre-apply) the next configuration instead of
+// reacting a window late.
+//
+// The model matches the trace's generating structure: windows are classified
+// into {write-heavy, mixed, read-heavy} regimes; a first-order Markov chain
+// is estimated over regime transitions. The point forecast is the *median*
+// of the predictive distribution — the most likely next regime's level
+// (an EWMA of recent read ratios while the regime is expected to hold, the
+// destination regime's historical mean across an expected switch) — because
+// the regime process is near-memoryless and a mean-blend would hedge every
+// stable window toward 0.5. The forecaster's switch *probabilities* are the
+// real product: they drive configuration prefetching in the online tuner.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace rafiki::workload {
+
+struct ForecastOptions {
+  /// Regime boundaries on the read ratio.
+  double read_heavy_threshold = 0.7;
+  double write_heavy_threshold = 0.3;
+  /// Smoothing of the within-regime persistence estimate.
+  double ewma_alpha = 0.4;
+  /// Laplace smoothing for transition counts (keeps early forecasts sane).
+  double transition_prior = 0.5;
+};
+
+class WorkloadForecaster {
+ public:
+  enum class Regime : int { kWriteHeavy = 0, kMixed = 1, kReadHeavy = 2 };
+  static constexpr std::size_t kRegimes = 3;
+
+  explicit WorkloadForecaster(ForecastOptions options = {});
+
+  /// Feeds the read ratio observed over the window that just ended.
+  void observe(double read_ratio);
+
+  /// Point forecast of the next window's read ratio (predictive median).
+  /// With no observations, returns 0.5 (maximum-entropy guess).
+  double predict_next() const;
+
+  /// The possible next-regime levels ranked by probability: (probability,
+  /// representative read ratio) pairs, descending. The online tuner
+  /// prefetches configurations for the top entries so that a regime switch
+  /// pays no optimizer latency (see core::OnlineTuner::prefetch).
+  std::vector<std::pair<double, double>> likely_next() const;
+
+  /// Probability the next window stays in the current regime.
+  double persistence_probability() const;
+
+  std::size_t observations() const noexcept { return observations_; }
+  Regime current_regime() const noexcept { return last_; }
+  Regime regime_of(double read_ratio) const noexcept;
+  /// Estimated P(next = to | current = from), Laplace-smoothed.
+  double transition_probability(Regime from, Regime to) const;
+  /// Historical mean read ratio of a regime (the regime's midpoint until
+  /// observed).
+  double regime_mean(Regime regime) const;
+
+ private:
+  ForecastOptions options_;
+  std::array<std::array<double, kRegimes>, kRegimes> transitions_{};
+  std::array<double, kRegimes> regime_sum_{};
+  std::array<double, kRegimes> regime_count_{};
+  double ewma_ = 0.5;
+  Regime last_ = Regime::kMixed;
+  std::size_t observations_ = 0;
+};
+
+/// Convenience: mean absolute forecast error of (a) the forecaster and
+/// (b) naive persistence (predict next = current) over a read-ratio series.
+/// Used by tests and the ablation bench to show the forecaster's edge.
+struct ForecastEvaluation {
+  double forecaster_mae = 0.0;
+  double persistence_mae = 0.0;
+};
+ForecastEvaluation evaluate_forecaster(const std::vector<double>& read_ratios,
+                                       ForecastOptions options = {});
+
+}  // namespace rafiki::workload

@@ -1,0 +1,61 @@
+// Synthetic op-stream generator (the YCSB-equivalent "shooter" input).
+//
+// Keys are drawn so that the realized key-reuse-distance distribution is
+// approximately exponential with the spec's mean, which is how the paper
+// characterizes MG-RAST traffic (Section 3.3): a reuse distance d is sampled
+// from Exp(krd_mean); if a key was accessed d queries ago it is re-used,
+// otherwise a uniformly random live key is chosen.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+#include "workload/spec.h"
+
+namespace rafiki::workload {
+
+class Generator {
+ public:
+  Generator(WorkloadSpec spec, std::uint64_t seed);
+
+  /// Keys that should be pre-loaded into the store before measurement
+  /// begins: [0, spec.initial_keys).
+  std::vector<std::int64_t> preload_keys() const;
+
+  /// Produces the next operation. Stateful: maintains the access history
+  /// that realizes the reuse-distance process and the set of live keys.
+  Op next();
+
+  /// Convenience: materialize a batch of operations.
+  std::vector<Op> batch(std::size_t n);
+
+  const WorkloadSpec& spec() const noexcept { return spec_; }
+
+  /// Replaces the read ratio mid-stream (dynamic workloads, Section 2.4.1)
+  /// while preserving key history, mimicking a regime change in MG-RAST.
+  void set_read_ratio(double rr) noexcept { spec_.read_ratio = rr; }
+
+ private:
+  std::int64_t sample_key();
+  std::uint32_t sample_value_bytes();
+  void record_access(std::int64_t key);
+
+  WorkloadSpec spec_;
+  Rng rng_;
+  std::int64_t next_new_key_;
+  /// Recent access history, bounded to a few KRD means; history[i] is the
+  /// key accessed i+1 queries ago (front = most recent).
+  std::deque<std::int64_t> history_;
+  std::size_t history_cap_;
+  /// Global op counter and per-key last-access position, used to verify that
+  /// a sampled reuse distance is the key's *most recent* occurrence — else
+  /// duplicate history entries would bias realized distances far below the
+  /// configured exponential mean.
+  std::uint64_t op_index_ = 0;
+  std::unordered_map<std::int64_t, std::uint64_t> last_access_;
+};
+
+}  // namespace rafiki::workload

@@ -1,0 +1,153 @@
+#include "workload/mgrast.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace rafiki::workload {
+namespace {
+
+enum class Regime { kReadHeavy, kMixed, kWriteBurst };
+
+Regime pick_regime(Rng& rng, const MgRastTraceOptions& options, Regime current) {
+  // Re-draw until the regime actually changes so transitions are abrupt
+  // rather than self-loops that merely re-sample the same band.
+  for (;;) {
+    const double u = rng.uniform();
+    Regime next;
+    if (u < options.p_read_heavy) {
+      next = Regime::kReadHeavy;
+    } else if (u < options.p_read_heavy + options.p_mixed) {
+      next = Regime::kMixed;
+    } else {
+      next = Regime::kWriteBurst;
+    }
+    if (next != current) return next;
+  }
+}
+
+double dwell_windows(Rng& rng, double mean) {
+  // Geometric holding time with the given mean, at least one window.
+  return std::max(1.0, std::round(rng.exponential(mean)));
+}
+
+double regime_rr(Rng& rng, const MgRastTraceOptions& options, Regime regime) {
+  switch (regime) {
+    case Regime::kReadHeavy:
+      return rng.uniform(options.read_heavy_lo, options.read_heavy_hi);
+    case Regime::kMixed:
+      return rng.uniform(options.mixed_lo, options.mixed_hi);
+    case Regime::kWriteBurst:
+      return rng.uniform(options.write_burst_lo, options.write_burst_hi);
+  }
+  return 0.5;
+}
+
+}  // namespace
+
+std::vector<TraceWindow> synthesize_mgrast_windows(const MgRastTraceOptions& options,
+                                                   std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TraceWindow> windows;
+  const auto n_windows =
+      static_cast<std::size_t>(options.duration_s / options.window_s);
+  windows.reserve(n_windows);
+
+  Regime regime = Regime::kReadHeavy;
+  double remaining = dwell_windows(rng, options.read_heavy_dwell);
+  double rr = regime_rr(rng, options, regime);
+
+  for (std::size_t w = 0; w < n_windows; ++w) {
+    if (remaining <= 0.0) {
+      regime = pick_regime(rng, options, regime);
+      const double dwell = regime == Regime::kReadHeavy ? options.read_heavy_dwell
+                           : regime == Regime::kMixed   ? options.mixed_dwell
+                                                        : options.write_burst_dwell;
+      remaining = dwell_windows(rng, dwell);
+      rr = regime_rr(rng, options, regime);
+    }
+    // Small within-regime jitter; regime switches remain the dominant moves.
+    const double jitter = rng.gaussian(0.0, 0.02);
+    windows.push_back({static_cast<double>(w) * options.window_s,
+                       std::clamp(rr + jitter, 0.0, 1.0)});
+    remaining -= 1.0;
+  }
+  return windows;
+}
+
+std::vector<TraceRecord> synthesize_mgrast_queries(const std::vector<TraceWindow>& windows,
+                                                   std::size_t queries_per_window,
+                                                   const WorkloadSpec& base_spec,
+                                                   double window_s,
+                                                   std::uint64_t seed,
+                                                   double burst_mean_queries) {
+  std::vector<TraceRecord> records;
+  records.reserve(windows.size() * queries_per_window);
+  Generator generator(base_spec, seed);
+  Rng burst_rng(seed ^ 0xb5157b5157ull);
+  std::size_t burst_remaining = 0;
+  for (const auto& window : windows) {
+    const double dt = window_s / static_cast<double>(queries_per_window);
+    burst_remaining = 0;  // regime changes cut bursts short
+    for (std::size_t q = 0; q < queries_per_window; ++q) {
+      if (burst_remaining == 0) {
+        // New pipeline-job burst: all reads or all writes for its duration.
+        burst_remaining = 1 + static_cast<std::size_t>(
+                                  burst_rng.exponential(burst_mean_queries));
+        generator.set_read_ratio(burst_rng.bernoulli(window.read_ratio) ? 1.0 : 0.0);
+      }
+      --burst_remaining;
+      records.push_back(
+          {window.t_start_s + dt * static_cast<double>(q), generator.next()});
+    }
+  }
+  return records;
+}
+
+std::string trace_to_csv(const std::vector<TraceRecord>& records) {
+  std::string out = "t_s,kind,key,bytes\n";
+  char line[96];
+  for (const auto& record : records) {
+    std::snprintf(line, sizeof line, "%.3f,%d,%lld,%u\n", record.t_s,
+                  static_cast<int>(record.op.kind),
+                  static_cast<long long>(record.op.key), record.op.value_bytes);
+    out += line;
+  }
+  return out;
+}
+
+std::vector<TraceRecord> parse_trace_csv(const std::string& csv) {
+  std::vector<TraceRecord> records;
+  std::istringstream in(csv);
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (first) {  // header
+      first = false;
+      continue;
+    }
+    if (line.empty()) continue;
+    TraceRecord record;
+    int kind = 0;
+    long long key = 0;
+    unsigned bytes = 0;
+    if (std::sscanf(line.c_str(), "%lf,%d,%lld,%u", &record.t_s, &kind, &key, &bytes) != 4) {
+      throw std::invalid_argument("parse_trace_csv: malformed line: " + line);
+    }
+    if (kind < 0 || kind > 2) {
+      throw std::invalid_argument("parse_trace_csv: bad op kind in: " + line);
+    }
+    record.op.kind = static_cast<Op::Kind>(kind);
+    record.op.key = key;
+    record.op.value_bytes = bytes;
+    records.push_back(record);
+  }
+  return records;
+}
+
+}  // namespace rafiki::workload

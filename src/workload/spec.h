@@ -1,0 +1,64 @@
+// Workload description and the operation vocabulary shared by the workload
+// generators and the storage engine.
+//
+// Following Section 3.3 of the paper, a workload is characterized by two key
+// statistics: the Read Ratio (RR) — fraction of read queries — and the Key
+// Reuse Distance (KRD) — the number of queries that pass before the same key
+// is re-accessed, summarized by fitting an exponential distribution. The
+// payload size and key-space cardinality complete the description needed to
+// drive a synthetic benchmark.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rafiki::workload {
+
+/// A single datastore operation.
+struct Op {
+  enum class Kind : std::uint8_t { kRead, kInsert, kUpdate, kDelete };
+  Kind kind = Kind::kRead;
+  std::int64_t key = 0;
+  std::uint32_t value_bytes = 0;
+};
+
+/// Parametric description of a workload, sufficient to synthesize an op
+/// stream matching MG-RAST-style access patterns.
+struct WorkloadSpec {
+  /// Fraction of operations that are reads, in [0, 1]. Writes split between
+  /// updates of existing keys and inserts of fresh keys.
+  double read_ratio = 0.5;
+
+  /// Mean of the exponential key-reuse-distance distribution, measured in
+  /// queries. MG-RAST exhibits very large KRD (poor cache locality); the
+  /// paper treats KRD as stationary for its domain and uses it to configure
+  /// data collection rather than as a model feature.
+  double krd_mean = 60000.0;
+
+  /// Fraction of non-read operations that insert a brand-new key (the rest
+  /// update existing keys). MG-RAST pipelines re-insert derived subsequences,
+  /// so inserts are a substantial share of writes.
+  double insert_fraction = 0.5;
+
+  /// Fraction of non-read operations that delete an existing key (write a
+  /// tombstone). Small for MG-RAST — analyses retire intermediate products
+  /// occasionally. Carved out of the update share.
+  double delete_fraction = 0.0;
+
+  /// Mean payload size per value in bytes (annotation/feature records; the
+  /// engine's cost model is calibrated around this magnitude).
+  std::uint32_t value_bytes = 256;
+
+  /// Number of distinct keys pre-existing in the store before measurement.
+  std::size_t initial_keys = 40000;
+
+  /// Construct the spec the paper's experiments sweep: everything fixed at
+  /// MG-RAST-like values except the read ratio.
+  static WorkloadSpec with_read_ratio(double rr) {
+    WorkloadSpec spec;
+    spec.read_ratio = rr;
+    return spec;
+  }
+};
+
+}  // namespace rafiki::workload

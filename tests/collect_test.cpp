@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "collect/dataset.h"
+#include "collect/runner.h"
+
+namespace rafiki::collect {
+namespace {
+
+MeasureOptions quick_measure() {
+  MeasureOptions options;
+  options.ops = 8000;
+  options.warmup_ops = 2000;
+  options.noise_sd = 0.0;
+  return options;
+}
+
+TEST(Runner, MeasurementIsDeterministicGivenSeed) {
+  workload::WorkloadSpec spec = workload::WorkloadSpec::with_read_ratio(0.5);
+  spec.initial_keys = 10000;
+  const auto a = measure_throughput(engine::Config::defaults(), spec, quick_measure());
+  const auto b = measure_throughput(engine::Config::defaults(), spec, quick_measure());
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Runner, ScyllaPathUsesScyllaEngine) {
+  workload::WorkloadSpec spec = workload::WorkloadSpec::with_read_ratio(0.0);
+  spec.initial_keys = 10000;
+  auto options = quick_measure();
+  const double cassandra = measure_throughput(engine::Config::defaults(), spec, options);
+  options.scylla = true;
+  const double scylla = measure_throughput(engine::Config::defaults(), spec, options);
+  EXPECT_GT(scylla, cassandra);  // faster C++ engine on write-heavy
+}
+
+TEST(Runner, WarmupChangesStoreState) {
+  workload::WorkloadSpec spec = workload::WorkloadSpec::with_read_ratio(0.9);
+  spec.initial_keys = 10000;
+  auto with_warm = quick_measure();
+  with_warm.warmup_ops = 10000;  // enough mixed traffic to flush memtables
+  auto no_warm = quick_measure();
+  no_warm.warmup_ops = 0;
+  const auto warm_stats = measure(engine::Config::defaults(), spec, with_warm);
+  const auto cold_stats = measure(engine::Config::defaults(), spec, no_warm);
+  // Warmup writes flushed additional SSTables into the store.
+  EXPECT_GT(warm_stats.final_sstable_count, cold_stats.final_sstable_count);
+}
+
+TEST(SampleConfigs, CoversDefaultsAndExtremes) {
+  const auto& params = engine::key_params();
+  const auto configs = sample_configs(params, 20, 1);
+  EXPECT_EQ(configs.size(), 20u);
+  EXPECT_EQ(configs.front(), engine::Config::defaults());
+
+  // Every parameter's min and max appears at least once (Section 3.5).
+  for (auto id : params) {
+    const auto& spec = engine::param_spec(id);
+    bool saw_min = false, saw_max = false;
+    for (const auto& config : configs) {
+      saw_min |= config.get(id) == spec.lo;
+      saw_max |= config.get(id) == spec.hi;
+    }
+    EXPECT_TRUE(saw_min) << engine::param_name(id);
+    EXPECT_TRUE(saw_max) << engine::param_name(id);
+  }
+
+  // No duplicates.
+  std::set<std::string> rendered;
+  for (const auto& config : configs) rendered.insert(config.to_string());
+  EXPECT_EQ(rendered.size(), configs.size());
+}
+
+TEST(SampleConfigs, RandomFillStaysInDomain) {
+  const auto& params = engine::key_params();
+  for (const auto& config : sample_configs(params, 30, 9)) {
+    for (auto id : params) {
+      EXPECT_TRUE(engine::param_spec(id).feasible(config.get(id)))
+          << engine::param_name(id);
+    }
+  }
+}
+
+class DatasetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CollectOptions options;
+    options.measure = quick_measure();
+    const auto configs = sample_configs(engine::key_params(), 6, 3);
+    workload::WorkloadSpec base;
+    base.initial_keys = 10000;
+    dataset_ = new Dataset(
+        collect_dataset(configs, {0.0, 0.5, 1.0}, base, options));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static Dataset* dataset_;
+};
+
+Dataset* DatasetTest::dataset_ = nullptr;
+
+TEST_F(DatasetTest, LatticeIsComplete) {
+  EXPECT_EQ(dataset_->size(), 6u * 3u);
+  for (const auto& sample : dataset_->samples()) EXPECT_GT(sample.throughput, 0.0);
+}
+
+TEST_F(DatasetTest, FeatureMatrixLayout) {
+  const auto& params = engine::key_params();
+  const auto X = dataset_->feature_matrix(params);
+  ASSERT_EQ(X.size(), dataset_->size());
+  ASSERT_EQ(X.front().size(), params.size() + 1);
+  EXPECT_DOUBLE_EQ(X.front()[0], (*dataset_)[0].workload.read_ratio);
+  const auto y = dataset_->targets();
+  EXPECT_DOUBLE_EQ(y[0], (*dataset_)[0].throughput);
+}
+
+TEST_F(DatasetTest, ConfigSplitSeparatesConfigsCompletely) {
+  const auto split = dataset_->split_by_config(0.33, 5);
+  EXPECT_EQ(split.train.size() + split.test.size(), dataset_->size());
+  std::set<std::string> train_configs, test_configs;
+  for (auto i : split.train) train_configs.insert((*dataset_)[i].config.to_string());
+  for (auto i : split.test) test_configs.insert((*dataset_)[i].config.to_string());
+  for (const auto& config : test_configs) {
+    EXPECT_FALSE(train_configs.contains(config));
+  }
+}
+
+TEST_F(DatasetTest, WorkloadSplitSeparatesReadRatios) {
+  const auto split = dataset_->split_by_workload(0.34, 5);
+  std::set<double> train_rr, test_rr;
+  for (auto i : split.train) train_rr.insert((*dataset_)[i].workload.read_ratio);
+  for (auto i : split.test) test_rr.insert((*dataset_)[i].workload.read_ratio);
+  for (double rr : test_rr) EXPECT_FALSE(train_rr.contains(rr));
+  EXPECT_EQ(test_rr.size(), 1u);
+}
+
+TEST_F(DatasetTest, SubsetPreservesOrder) {
+  const auto subset = dataset_->subset({0, 2, 4});
+  ASSERT_EQ(subset.size(), 3u);
+  EXPECT_DOUBLE_EQ(subset[1].throughput, (*dataset_)[2].throughput);
+}
+
+TEST_F(DatasetTest, CsvHasHeaderAndAllRows) {
+  const auto csv = dataset_->to_csv(engine::key_params());
+  EXPECT_NE(csv.find("read_ratio,compaction_method"), std::string::npos);
+  EXPECT_EQ(static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n')),
+            dataset_->size() + 1);
+}
+
+TEST_F(DatasetTest, CsvRoundTrips) {
+  const auto csv = dataset_->to_csv(engine::key_params());
+  const auto parsed = Dataset::from_csv(csv);
+  ASSERT_EQ(parsed.size(), dataset_->size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_NEAR(parsed[i].workload.read_ratio, (*dataset_)[i].workload.read_ratio, 1e-6);
+    EXPECT_NEAR(parsed[i].throughput, (*dataset_)[i].throughput, 0.01);
+    for (auto id : engine::key_params()) {
+      EXPECT_NEAR(parsed[i].config.get(id), (*dataset_)[i].config.get(id), 1e-4)
+          << engine::param_name(id);
+    }
+  }
+}
+
+TEST(DatasetCsv, RejectsMalformedInput) {
+  EXPECT_THROW(Dataset::from_csv(""), std::invalid_argument);
+  EXPECT_THROW(Dataset::from_csv("bogus,header\n"), std::invalid_argument);
+  EXPECT_THROW(Dataset::from_csv("read_ratio,no_such_param,throughput\n0.5,1,100\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      Dataset::from_csv("read_ratio,compaction_method,throughput\n0.5,xyz,100\n"),
+      std::invalid_argument);
+  EXPECT_THROW(Dataset::from_csv("read_ratio,compaction_method,throughput\n0.5,1\n"),
+               std::invalid_argument);
+}
+
+TEST(CollectDataset, FaultRateDropsSamples) {
+  CollectOptions options;
+  options.measure = quick_measure();
+  options.measure.ops = 3000;
+  options.measure.warmup_ops = 0;
+  options.fault_rate = 0.5;
+  options.seed = 11;
+  const auto configs = sample_configs(engine::key_params(), 4, 3);
+  workload::WorkloadSpec base;
+  base.initial_keys = 5000;
+  const auto dataset = collect_dataset(configs, {0.0, 0.5, 1.0}, base, options);
+  EXPECT_LT(dataset.size(), 12u);
+  EXPECT_GT(dataset.size(), 0u);
+}
+
+}  // namespace
+}  // namespace rafiki::collect

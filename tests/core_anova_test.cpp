@@ -1,0 +1,105 @@
+// Tests for the parameter-identification stage (Sections 3.4, 4.5, 4.10):
+// the one-at-a-time ANOVA screen, the family-redundancy skip, and the
+// ScyllaDB strip-and-refill selection procedure. Reduced measurement budgets
+// keep these fast; the full-budget ranking is bench/fig05_anova.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/rafiki.h"
+#include "engine/scylla.h"
+
+namespace rafiki::core {
+namespace {
+
+RafikiOptions anova_options() {
+  RafikiOptions options;
+  options.collect.measure.ops = 12000;
+  options.collect.measure.warmup_ops = 2000;
+  options.collect.measure.noise_sd = 0.0;
+  options.base_workload.initial_keys = 15000;
+  options.anova_repeats = 2;
+  return options;
+}
+
+class AnovaStageTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rafiki_ = new Rafiki(anova_options());
+    rafiki_->rank_parameters();
+  }
+  static void TearDownTestSuite() {
+    delete rafiki_;
+    rafiki_ = nullptr;
+  }
+  static Rafiki* rafiki_;
+};
+
+Rafiki* AnovaStageTest::rafiki_ = nullptr;
+
+TEST_F(AnovaStageTest, RanksEveryRegisteredParameter) {
+  const auto& ranking = rafiki_->rank_parameters();
+  EXPECT_EQ(ranking.size(), engine::kParamCount);
+  for (std::size_t i = 1; i < ranking.size(); ++i) {
+    EXPECT_GE(ranking[i - 1].score, ranking[i].score) << "ranking not sorted";
+  }
+}
+
+TEST_F(AnovaStageTest, CompactionMethodNearTheTop) {
+  const auto& ranking = rafiki_->rank_parameters();
+  std::size_t cm_rank = engine::kParamCount;
+  for (std::size_t i = 0; i < ranking.size(); ++i) {
+    if (ranking[i].id == engine::ParamId::kCompactionMethod) cm_rank = i;
+  }
+  EXPECT_LT(cm_rank, 3u) << "CM should dominate the screen (paper Section 4.5)";
+}
+
+TEST_F(AnovaStageTest, SignificantParamsHaveSmallPValues) {
+  const auto& ranking = rafiki_->rank_parameters();
+  EXPECT_LT(ranking.front().p_value, 0.05);
+  // The long tail should include clearly insignificant parameters.
+  EXPECT_GT(ranking.back().p_value, 0.05);
+}
+
+TEST_F(AnovaStageTest, SelectionSkipsRedundantFlushParams) {
+  const auto& selected = rafiki_->select_key_params();
+  EXPECT_EQ(selected.size(), 5u);
+  for (auto id : selected) {
+    EXPECT_EQ(engine::param_spec(id).redundant_with, engine::ParamId::kCount)
+        << engine::param_name(id) << " is redundant with the canonical flush knob";
+  }
+}
+
+TEST(AnovaScyllaTest, SelectionStripsIgnoredParams) {
+  auto options = anova_options();
+  options.scylla = true;
+  Rafiki rafiki(options);
+  const auto& selected = rafiki.select_key_params();
+  EXPECT_EQ(selected.size(), 5u);
+  const auto& ignored = engine::ScyllaServer::ignored_params();
+  for (auto id : selected) {
+    EXPECT_EQ(std::find(ignored.begin(), ignored.end(), id), ignored.end())
+        << engine::param_name(id) << " is ignored by the ScyllaDB auto-tuner";
+  }
+}
+
+TEST(AnovaSelectionTest, SetKeyParamsBypassesTheScreen) {
+  Rafiki rafiki(anova_options());
+  rafiki.set_key_params({engine::ParamId::kCompactionMethod,
+                         engine::ParamId::kFileCacheSizeMb});
+  const auto& selected = rafiki.select_key_params();
+  ASSERT_EQ(selected.size(), 2u);
+  EXPECT_EQ(selected[0], engine::ParamId::kCompactionMethod);
+}
+
+TEST(AnovaSelectionTest, AutomaticCutoffStaysInBounds) {
+  auto options = anova_options();
+  options.key_param_count = 0;  // distinct-drop heuristic
+  Rafiki rafiki(options);
+  const auto& selected = rafiki.select_key_params();
+  EXPECT_GE(selected.size(), 3u);
+  EXPECT_LE(selected.size(), 8u);
+}
+
+}  // namespace
+}  // namespace rafiki::core

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "engine/cluster.h"
+#include "engine/scylla.h"
+#include "util/stats.h"
+#include "workload/generator.h"
+
+namespace rafiki::engine {
+namespace {
+
+workload::WorkloadSpec spec_with(double rr) {
+  auto spec = workload::WorkloadSpec::with_read_ratio(rr);
+  spec.initial_keys = 20000;
+  return spec;
+}
+
+TEST(Scylla, EffectiveConfigOverridesIgnoredParams) {
+  Hardware hw;
+  const auto requested = Config::defaults()
+                             .with(ParamId::kConcurrentWrites, 8)
+                             .with(ParamId::kMemtableCleanupThreshold, 0.05)
+                             .with(ParamId::kFileCacheSizeMb, 1024);
+  const auto effective = ScyllaServer::effective_config(requested, hw);
+  // Ignored parameters replaced by internal values.
+  EXPECT_DOUBLE_EQ(effective.get(ParamId::kConcurrentWrites), 64.0);
+  EXPECT_DOUBLE_EQ(effective.get(ParamId::kMemtableCleanupThreshold), 0.25);
+  // Honoured parameters survive.
+  EXPECT_DOUBLE_EQ(effective.get(ParamId::kFileCacheSizeMb), 1024.0);
+  // Per-flush compaction trigger: most eager supported threshold.
+  EXPECT_EQ(effective.get_int(ParamId::kMinCompactionThreshold),
+            static_cast<int>(param_spec(ParamId::kMinCompactionThreshold).lo));
+}
+
+TEST(Scylla, IgnoredParamsContainThePaperSet) {
+  const auto& ignored = ScyllaServer::ignored_params();
+  for (auto id : {ParamId::kConcurrentWrites, ParamId::kConcurrentCompactors,
+                  ParamId::kMemtableCleanupThreshold}) {
+    EXPECT_NE(std::find(ignored.begin(), ignored.end(), id), ignored.end());
+  }
+  // CM and FCZ must remain tunable, or Section 4.10 is impossible.
+  for (auto id : {ParamId::kCompactionMethod, ParamId::kFileCacheSizeMb}) {
+    EXPECT_EQ(std::find(ignored.begin(), ignored.end(), id), ignored.end());
+  }
+}
+
+TEST(Scylla, ChangingIgnoredParamDoesNotChangeThroughput) {
+  auto run = [](const Config& config) {
+    const auto spec = spec_with(0.7);
+    workload::Generator generator(spec, 3);
+    ScyllaServer server(config);
+    server.preload(generator.preload_keys(), spec.value_bytes);
+    RunOptions opts;
+    opts.ops = 20000;
+    return server.run(generator, opts).throughput_ops;
+  };
+  const double base = run(Config::defaults());
+  const double tweaked = run(Config::defaults().with(ParamId::kConcurrentWrites, 96));
+  EXPECT_DOUBLE_EQ(base, tweaked);
+}
+
+TEST(Scylla, ThroughputFluctuatesMoreThanCassandra) {
+  // Figure 10: under a stationary 70%-read workload ScyllaDB's 10-second
+  // throughput varies strongly; Cassandra's is comparatively stable.
+  const auto spec = spec_with(0.7);
+  RunOptions opts;
+  opts.ops = 120000;
+  opts.record_windows = true;
+  opts.window_s = 0.1;
+
+  workload::Generator g1(spec, 5);
+  Server cassandra(Config::defaults());
+  cassandra.preload(g1.preload_keys(), spec.value_bytes);
+  const auto c_stats = cassandra.run(g1, opts);
+
+  workload::Generator g2(spec, 5);
+  ScyllaServer scylla(Config::defaults());
+  scylla.preload(g2.preload_keys(), spec.value_bytes);
+  const auto s_stats = scylla.run(g2, opts);
+
+  ASSERT_GT(c_stats.window_throughput.size(), 4u);
+  ASSERT_GT(s_stats.window_throughput.size(), 4u);
+  const double c_cv = stddev(c_stats.window_throughput) / mean(c_stats.window_throughput);
+  const double s_cv = stddev(s_stats.window_throughput) / mean(s_stats.window_throughput);
+  EXPECT_GT(s_cv, 2.0 * c_cv);
+}
+
+TEST(Scylla, FasterBaseEngineOnWriteHeavy) {
+  const auto spec = spec_with(0.0);
+  workload::Generator g1(spec, 7), g2(spec, 7);
+  Server cassandra(Config::defaults());
+  cassandra.preload(g1.preload_keys(), spec.value_bytes);
+  ScyllaServer scylla(Config::defaults());
+  scylla.preload(g2.preload_keys(), spec.value_bytes);
+  RunOptions opts;
+  opts.ops = 30000;
+  EXPECT_GT(scylla.run(g2, opts).throughput_ops,
+            cassandra.run(g1, opts).throughput_ops);
+}
+
+TEST(Cluster, RejectsBadSizes) {
+  EXPECT_THROW(Cluster(Config::defaults(), 0, 1), std::invalid_argument);
+}
+
+TEST(Cluster, ReplicationFactorClampsToClusterSize) {
+  Cluster cluster(Config::defaults(), 2, 5);
+  EXPECT_EQ(cluster.replication_factor(), 2);
+}
+
+TEST(Cluster, FullReplicationStoresAllKeysEverywhere) {
+  Cluster cluster(Config::defaults(), 2, 2);
+  std::vector<std::int64_t> keys;
+  for (std::int64_t k = 0; k < 5000; ++k) keys.push_back(k);
+  cluster.preload(keys, 256);
+  for (int s = 0; s < 2; ++s) {
+    std::size_t total = 0;
+    for (const auto& table : cluster.server(s).sstables()) total += table.key_count();
+    EXPECT_GE(total, keys.size());  // >= because of version duplication
+  }
+}
+
+TEST(Cluster, TwoServersOutperformOneOnReads) {
+  // Two servers with two shooters should sustain materially more read
+  // throughput than one server with one shooter (reads are balanced).
+  const auto spec = spec_with(1.0);
+  RunOptions opts;
+  opts.ops = 20000;
+
+  Cluster single(Config::defaults(), 1, 1);
+  {
+    workload::Generator preload_gen(spec, 1);
+    single.preload(preload_gen.preload_keys(), spec.value_bytes);
+  }
+  std::vector<workload::Generator> one_shooter{workload::Generator(spec, 11)};
+  const auto single_stats = single.run(one_shooter, opts);
+
+  Cluster pair(Config::defaults(), 2, 2);
+  {
+    workload::Generator preload_gen(spec, 1);
+    pair.preload(preload_gen.preload_keys(), spec.value_bytes);
+  }
+  std::vector<workload::Generator> two_shooters{workload::Generator(spec, 11),
+                                                workload::Generator(spec, 12)};
+  const auto pair_stats = pair.run(two_shooters, opts);
+
+  EXPECT_GT(pair_stats.throughput_ops, single_stats.throughput_ops * 1.4);
+  EXPECT_EQ(pair_stats.ops, 2u * opts.ops);
+}
+
+TEST(Cluster, WritesAreReplicatedToAllReplicas) {
+  const auto spec = spec_with(0.0);
+  Cluster pair(Config::defaults(), 2, 2);
+  {
+    workload::Generator preload_gen(spec, 1);
+    pair.preload(preload_gen.preload_keys(), spec.value_bytes);
+  }
+  std::vector<workload::Generator> shooters{workload::Generator(spec, 21)};
+  RunOptions opts;
+  opts.ops = 10000;
+  pair.run(shooters, opts);
+  // RF = 2: every write lands on both servers.
+  EXPECT_EQ(pair.server(0).write_count(), 10000u);
+  EXPECT_EQ(pair.server(1).write_count(), 10000u);
+}
+
+}  // namespace
+}  // namespace rafiki::engine

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "engine/compaction.h"
+
+namespace rafiki::engine {
+namespace {
+
+SSTable make_table(std::uint32_t id, std::int64_t lo, std::int64_t hi, std::size_t keys,
+                   int level = 0) {
+  std::vector<std::int64_t> ks;
+  for (std::size_t i = 0; i < keys; ++i) {
+    ks.push_back(lo + static_cast<std::int64_t>(i) * (hi - lo) /
+                          static_cast<std::int64_t>(keys ? keys : 1));
+  }
+  ks.push_back(hi);
+  return SSTable(id, std::move(ks), 100.0, 0.01, level);
+}
+
+TEST(SizeTiered, TriggersAtMinThreshold) {
+  SizeTieredPlanner planner(4, 32);
+  std::vector<SSTable> tables;
+  for (std::uint32_t i = 0; i < 3; ++i) tables.push_back(make_table(i, 0, 100, 50));
+  EXPECT_FALSE(planner.plan(tables, {}).has_value());
+  tables.push_back(make_table(3, 0, 100, 50));
+  const auto plan = planner.plan(tables, {});
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->input_ids.size(), 4u);
+  EXPECT_EQ(plan->output_level, 0);
+}
+
+TEST(SizeTiered, BucketsBySimilarSize) {
+  SizeTieredPlanner planner(4, 32);
+  std::vector<SSTable> tables;
+  // Four small tables and four 20x larger ones: only same-size buckets merge.
+  for (std::uint32_t i = 0; i < 4; ++i) tables.push_back(make_table(i, 0, 100, 50));
+  for (std::uint32_t i = 4; i < 8; ++i) tables.push_back(make_table(i, 0, 100, 1000));
+  const auto plan = planner.plan(tables, {});
+  ASSERT_TRUE(plan.has_value());
+  std::size_t small = 0, large = 0;
+  for (auto id : plan->input_ids) (id < 4 ? small : large) += 1;
+  EXPECT_TRUE(small == 0 || large == 0) << "mixed bucket merged";
+  EXPECT_EQ(plan->input_ids.size(), 4u);
+}
+
+TEST(SizeTiered, RespectsMaxThreshold) {
+  SizeTieredPlanner planner(4, 6);
+  std::vector<SSTable> tables;
+  for (std::uint32_t i = 0; i < 10; ++i) tables.push_back(make_table(i, 0, 100, 50));
+  const auto plan = planner.plan(tables, {});
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->input_ids.size(), 6u);
+}
+
+TEST(SizeTiered, SkipsBusyTables) {
+  SizeTieredPlanner planner(4, 32);
+  std::vector<SSTable> tables;
+  for (std::uint32_t i = 0; i < 4; ++i) tables.push_back(make_table(i, 0, 100, 50));
+  BusySet busy = {0};
+  EXPECT_FALSE(planner.plan(tables, busy).has_value());
+}
+
+TEST(Leveled, L0PromotionIncludesOverlappingL1) {
+  LeveledPlanner planner(/*sstable_target_bytes=*/100.0 * 60, /*l0_trigger=*/4);
+  std::vector<SSTable> tables;
+  for (std::uint32_t i = 0; i < 4; ++i) tables.push_back(make_table(i, 0, 1000, 50, 0));
+  tables.push_back(make_table(10, 0, 500, 50, 1));     // overlaps L0 range
+  tables.push_back(make_table(11, 2000, 3000, 50, 1)); // outside L0 range
+  const auto plan = planner.plan(tables, {});
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->output_level, 1);
+  EXPECT_NE(std::find(plan->input_ids.begin(), plan->input_ids.end(), 10u),
+            plan->input_ids.end());
+  EXPECT_EQ(std::find(plan->input_ids.begin(), plan->input_ids.end(), 11u),
+            plan->input_ids.end());
+}
+
+TEST(Leveled, DefersL0WhenOverlappingL1Busy) {
+  LeveledPlanner planner(100.0 * 60, 4);
+  std::vector<SSTable> tables;
+  for (std::uint32_t i = 0; i < 4; ++i) tables.push_back(make_table(i, 0, 1000, 50, 0));
+  tables.push_back(make_table(10, 0, 500, 50, 1));
+  BusySet busy = {10};
+  EXPECT_FALSE(planner.plan(tables, busy).has_value());
+}
+
+TEST(Leveled, OverflowPromotesToNextLevel) {
+  // Level 1 target is 10 tables' worth; stuff it beyond target.
+  const double table_bytes = 100.0 * 60;
+  LeveledPlanner planner(table_bytes, 4);
+  std::vector<SSTable> tables;
+  std::uint32_t id = 0;
+  for (int i = 0; i < 14; ++i) {
+    tables.push_back(make_table(id++, i * 100, i * 100 + 90, 60, 1));
+  }
+  tables.push_back(make_table(id++, 0, 500, 60, 2));
+  const auto plan = planner.plan(tables, {});
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->output_level, 2);
+}
+
+TEST(Leveled, LevelTargetsGrowTenfold) {
+  LeveledPlanner planner(1000.0);
+  EXPECT_DOUBLE_EQ(planner.level_target_bytes(1), 10000.0);
+  EXPECT_DOUBLE_EQ(planner.level_target_bytes(2), 100000.0);
+  EXPECT_DOUBLE_EQ(planner.level_target_bytes(3), 1000000.0);
+}
+
+TEST(Leveled, InvariantCheckerDetectsOverlap) {
+  std::vector<SSTable> good;
+  good.push_back(make_table(1, 0, 100, 10, 1));
+  good.push_back(make_table(2, 200, 300, 10, 1));
+  good.push_back(make_table(3, 0, 300, 10, 0));  // L0 may overlap anything
+  EXPECT_TRUE(leveled_invariant_holds(good));
+
+  std::vector<SSTable> bad;
+  bad.push_back(make_table(1, 0, 100, 10, 1));
+  bad.push_back(make_table(2, 50, 300, 10, 1));
+  EXPECT_FALSE(leveled_invariant_holds(bad));
+}
+
+}  // namespace
+}  // namespace rafiki::engine

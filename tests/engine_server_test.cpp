@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include "collect/runner.h"
+#include "engine/server.h"
+#include "workload/generator.h"
+
+namespace rafiki::engine {
+namespace {
+
+workload::Generator make_generator(double rr, std::uint64_t seed = 7) {
+  workload::WorkloadSpec spec = workload::WorkloadSpec::with_read_ratio(rr);
+  spec.initial_keys = 20000;
+  return workload::Generator(spec, seed);
+}
+
+RunStats quick_run(const Config& config, double rr, std::size_t ops = 30000,
+                   std::uint64_t seed = 7) {
+  Server server(config);
+  auto generator = make_generator(rr, seed);
+  server.preload(generator.preload_keys(), generator.spec().value_bytes);
+  RunOptions opts;
+  opts.ops = ops;
+  opts.seed = seed;
+  return server.run(generator, opts);
+}
+
+TEST(Server, ThroughputIsPositiveAndFinite) {
+  const auto stats = quick_run(Config::defaults(), 0.5);
+  EXPECT_GT(stats.throughput_ops, 1000.0);
+  EXPECT_LT(stats.throughput_ops, 1e7);
+  EXPECT_TRUE(std::isfinite(stats.throughput_ops));
+  EXPECT_EQ(stats.ops, 30000u);
+}
+
+TEST(Server, DeterministicForSameSeed) {
+  const auto a = quick_run(Config::defaults(), 0.4, 20000, 42);
+  const auto b = quick_run(Config::defaults(), 0.4, 20000, 42);
+  EXPECT_DOUBLE_EQ(a.throughput_ops, b.throughput_ops);
+  EXPECT_EQ(a.flushes, b.flushes);
+  EXPECT_EQ(a.compactions, b.compactions);
+}
+
+TEST(Server, DefaultThroughputDecreasesWithReadRatio) {
+  // Figure 4 / Section 4.4: the write-optimized default degrades
+  // monotonically (within tolerance) as the workload becomes read-heavy,
+  // with a swing above 40%.
+  std::vector<double> curve;
+  for (double rr : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    curve.push_back(quick_run(Config::defaults(), rr).throughput_ops);
+  }
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LT(curve[i], curve[i - 1] * 1.03) << "at step " << i;
+  }
+  EXPECT_GT(curve.front(), curve.back() * 1.4);
+}
+
+TEST(Server, WritesTriggerFlushesAndCompactions) {
+  const auto stats = quick_run(Config::defaults(), 0.0, 60000);
+  EXPECT_GT(stats.flushes, 5u);
+  EXPECT_GT(stats.final_sstable_count, 5u);
+  EXPECT_GE(stats.max_sstable_count, stats.final_sstable_count);
+}
+
+TEST(Server, LeveledKeepsReadAmplificationLower) {
+  const auto st = quick_run(Config::defaults(), 0.9);
+  const auto leveled =
+      quick_run(Config::defaults().with(ParamId::kCompactionMethod, 1), 0.9);
+  EXPECT_LT(leveled.avg_sstables_probed, st.avg_sstables_probed);
+}
+
+TEST(Server, LeveledInvariantHoldsAfterSustainedWrites) {
+  Config config = Config::defaults().with(ParamId::kCompactionMethod, 1);
+  Server server(config);
+  auto generator = make_generator(0.1, 3);
+  server.preload(generator.preload_keys(), generator.spec().value_bytes);
+  RunOptions opts;
+  opts.ops = 60000;
+  server.run(generator, opts);
+  EXPECT_TRUE(leveled_invariant_holds(server.sstables()));
+}
+
+TEST(Server, BiggerFileCacheImprovesHitRate) {
+  const auto small = quick_run(Config::defaults().with(ParamId::kFileCacheSizeMb, 64), 0.9);
+  const auto large = quick_run(Config::defaults().with(ParamId::kFileCacheSizeMb, 2048), 0.9);
+  EXPECT_GT(large.file_cache_hit_rate, small.file_cache_hit_rate + 0.1);
+  EXPECT_GT(large.throughput_ops, small.throughput_ops);
+}
+
+TEST(Server, LowMemtableThresholdFlushesMoreOften) {
+  const auto low =
+      quick_run(Config::defaults().with(ParamId::kMemtableCleanupThreshold, 0.05), 0.0);
+  const auto high =
+      quick_run(Config::defaults().with(ParamId::kMemtableCleanupThreshold, 0.8), 0.0);
+  EXPECT_GT(low.flushes, 2 * high.flushes);
+}
+
+TEST(Server, VeryLowConcurrentWritesThrottlesWriteHeavy) {
+  const auto low = quick_run(Config::defaults().with(ParamId::kConcurrentWrites, 8), 0.0);
+  const auto normal = quick_run(Config::defaults(), 0.0);
+  EXPECT_LT(low.throughput_ops, normal.throughput_ops * 0.75);
+}
+
+TEST(Server, RowCacheHelpsWhenReuseIsTight) {
+  workload::WorkloadSpec spec = workload::WorkloadSpec::with_read_ratio(1.0);
+  spec.initial_keys = 20000;
+  spec.krd_mean = 300.0;  // tight reuse: row cache becomes valuable
+  auto run_with = [&](int row_cache_mb) {
+    workload::Generator generator(spec, 5);
+    Server server(Config::defaults().with(ParamId::kRowCacheSizeMb, row_cache_mb));
+    server.preload(generator.preload_keys(), spec.value_bytes);
+    RunOptions opts;
+    opts.ops = 30000;
+    return server.run(generator, opts).throughput_ops;
+  };
+  EXPECT_GT(run_with(1024), run_with(0) * 1.02);
+}
+
+TEST(Server, MeasurementNoiseIsBounded) {
+  Config config;
+  auto generator = make_generator(0.5, 9);
+  Server server(config);
+  server.preload(generator.preload_keys(), generator.spec().value_bytes);
+  RunOptions opts;
+  opts.ops = 10000;
+  opts.measurement_noise_sd = 0.05;
+  opts.seed = 11;
+  const auto noisy = server.run(generator, opts).throughput_ops;
+  EXPECT_GT(noisy, 0.0);
+}
+
+TEST(Server, WindowRecordingCoversRun) {
+  Config config;
+  auto generator = make_generator(0.3, 13);
+  Server server(config);
+  server.preload(generator.preload_keys(), generator.spec().value_bytes);
+  RunOptions opts;
+  opts.ops = 50000;
+  opts.record_windows = true;
+  opts.window_s = 0.1;
+  const auto stats = server.run(generator, opts);
+  ASSERT_GT(stats.window_throughput.size(), 3u);
+  // Window means should average out near the run mean.
+  double sum = 0.0;
+  for (double w : stats.window_throughput) sum += w;
+  const double window_mean = sum / static_cast<double>(stats.window_throughput.size());
+  EXPECT_NEAR(window_mean, stats.throughput_ops, stats.throughput_ops * 0.25);
+}
+
+TEST(Server, PreloadTwiceThrows) {
+  Server server(Config::defaults());
+  const std::vector<std::int64_t> keys = {1, 2, 3};
+  server.preload(keys, 100);
+  EXPECT_THROW(server.preload(keys, 100), std::logic_error);
+}
+
+TEST(Server, BindingFractionsSumToOne) {
+  const auto stats = quick_run(Config::defaults(), 0.5);
+  double total = 0.0;
+  for (double f : stats.binding_fractions) total += f;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Server, PerfModulationSlowsThroughput) {
+  Config config;
+  auto g1 = make_generator(0.5, 21);
+  Server fast(config);
+  fast.preload(g1.preload_keys(), g1.spec().value_bytes);
+  RunOptions opts;
+  opts.ops = 20000;
+  const double base = fast.run(g1, opts).throughput_ops;
+
+  auto g2 = make_generator(0.5, 21);
+  Server slow(config);
+  slow.preload(g2.preload_keys(), g2.spec().value_bytes);
+  slow.set_perf_modulation([](double) { return 2.0; });
+  const double modulated = slow.run(g2, opts).throughput_ops;
+  EXPECT_LT(modulated, base * 0.7);
+}
+
+/// Property sweep: every registered parameter, at its min, default and max,
+/// yields a healthy run at a mixed workload — no parameter setting may hang,
+/// crash or produce nonsense.
+class ParamDomainTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParamDomainTest, ExtremesProduceFiniteThroughput) {
+  const auto& spec = param_registry()[GetParam()];
+  for (double value : {spec.lo, spec.def, spec.hi}) {
+    const auto config = Config::defaults().with(spec.id, value);
+    const auto stats = quick_run(config, 0.5, 8000);
+    EXPECT_GT(stats.throughput_ops, 500.0)
+        << spec.name << " = " << value;
+    EXPECT_TRUE(std::isfinite(stats.throughput_ops)) << spec.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllParams, ParamDomainTest,
+                         ::testing::Range<std::size_t>(0, kParamCount),
+                         [](const auto& info) {
+                           return std::string(
+                               param_registry()[info.param].name);
+                         });
+
+/// Property sweep: the config snap/feasible helpers respect every domain.
+class ParamSpecTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParamSpecTest, SnapAndFeasibleAgree) {
+  const auto& spec = param_registry()[GetParam()];
+  EXPECT_TRUE(spec.feasible(spec.def)) << spec.name << " default infeasible";
+  EXPECT_TRUE(spec.feasible(spec.snap(spec.lo - 100)));
+  EXPECT_TRUE(spec.feasible(spec.snap(spec.hi + 100)));
+  EXPECT_DOUBLE_EQ(spec.snap(spec.lo - 100), spec.lo);
+  EXPECT_DOUBLE_EQ(spec.snap(spec.hi + 100), spec.hi);
+  // Qualified: gtest's TestWithParam also exposes a ParamType typedef.
+  if (spec.type != rafiki::engine::ParamType::kReal) {
+    const double mid = (spec.lo + spec.hi) / 2.0 + 0.37;
+    EXPECT_DOUBLE_EQ(spec.snap(mid), std::round(mid));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllParams, ParamSpecTest,
+                         ::testing::Range<std::size_t>(0, kParamCount),
+                         [](const auto& info) {
+                           return std::string(
+                               param_registry()[info.param].name);
+                         });
+
+TEST(Config, DefaultsMatchRegistry) {
+  const auto config = Config::defaults();
+  for (const auto& spec : param_registry()) {
+    EXPECT_DOUBLE_EQ(config.get(spec.id), spec.def) << spec.name;
+  }
+}
+
+TEST(Config, KeyVectorRoundTrips) {
+  auto config = Config::defaults()
+                    .with(ParamId::kCompactionMethod, 1)
+                    .with(ParamId::kConcurrentWrites, 64)
+                    .with(ParamId::kMemtableCleanupThreshold, 0.5);
+  const auto vec = config.key_vector();
+  ASSERT_EQ(vec.size(), 5u);
+  const auto rebuilt = Config::from_key_vector(vec);
+  EXPECT_EQ(rebuilt, config);
+}
+
+TEST(Config, ToStringListsOnlyNonDefaults) {
+  EXPECT_EQ(Config::defaults().to_string(), "{}");
+  const auto text =
+      Config::defaults().with(ParamId::kConcurrentWrites, 64).to_string();
+  EXPECT_EQ(text, "{concurrent_writes=64}");
+}
+
+TEST(Config, SetSnapsIntoDomain) {
+  auto config = Config::defaults();
+  config.set(ParamId::kConcurrentWrites, 10000.0);
+  EXPECT_DOUBLE_EQ(config.get(ParamId::kConcurrentWrites),
+                   param_spec(ParamId::kConcurrentWrites).hi);
+  config.set(ParamId::kMemtableCleanupThreshold, -5.0);
+  EXPECT_DOUBLE_EQ(config.get(ParamId::kMemtableCleanupThreshold),
+                   param_spec(ParamId::kMemtableCleanupThreshold).lo);
+}
+
+TEST(Params, FindByName) {
+  EXPECT_EQ(find_param("compaction_method"), ParamId::kCompactionMethod);
+  EXPECT_EQ(find_param("no_such_param"), ParamId::kCount);
+  EXPECT_EQ(param_name(ParamId::kFileCacheSizeMb), "file_cache_size_in_mb");
+}
+
+TEST(Params, KeyParamsAreThePaperFive) {
+  const auto& keys = key_params();
+  ASSERT_EQ(keys.size(), 5u);
+  EXPECT_EQ(keys[0], ParamId::kCompactionMethod);
+  EXPECT_EQ(keys[1], ParamId::kConcurrentWrites);
+  EXPECT_EQ(keys[2], ParamId::kFileCacheSizeMb);
+  EXPECT_EQ(keys[3], ParamId::kMemtableCleanupThreshold);
+  EXPECT_EQ(keys[4], ParamId::kConcurrentCompactors);
+}
+
+}  // namespace
+}  // namespace rafiki::engine

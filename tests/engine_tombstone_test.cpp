@@ -1,0 +1,135 @@
+// Tombstone semantics across the LSM stack (Section 2.2.1: "the compaction
+// process merges keys, combines columns, evicts tombstones...").
+#include <gtest/gtest.h>
+
+#include "collect/runner.h"
+#include "engine/server.h"
+#include "workload/generator.h"
+
+namespace rafiki::engine {
+namespace {
+
+TEST(MemtableTombstone, MarksAndAccounts) {
+  Memtable memtable;
+  memtable.put(1, 100);
+  EXPECT_FALSE(memtable.is_tombstone(1));
+  memtable.put_tombstone(1);
+  EXPECT_TRUE(memtable.is_tombstone(1));
+  EXPECT_EQ(memtable.row_count(), 1u);
+  // Tombstone overwrote the 100-byte value: only overhead remains.
+  EXPECT_EQ(memtable.bytes(), static_cast<std::uint64_t>(Memtable::kRowOverheadBytes));
+  // Deleting a never-written key still creates a marker row.
+  memtable.put_tombstone(7);
+  EXPECT_TRUE(memtable.is_tombstone(7));
+  EXPECT_EQ(memtable.row_count(), 2u);
+}
+
+TEST(SSTableTombstone, ConstructionAndLookup) {
+  SSTable table(1, {10, 20, 30}, 100.0, 0.01, 0, {20, 40});
+  // Tombstone 40 was not in the key run: it is added as a marker row.
+  EXPECT_EQ(table.key_count(), 4u);
+  EXPECT_EQ(table.tombstone_count(), 2u);
+  EXPECT_TRUE(table.is_tombstone(20));
+  EXPECT_TRUE(table.is_tombstone(40));
+  EXPECT_FALSE(table.is_tombstone(10));
+  // Bytes: 2 data rows at 100 B + 2 markers at marker size.
+  EXPECT_DOUBLE_EQ(table.bytes(), 2 * 100.0 + 2 * SSTable::kTombstoneBytes);
+}
+
+TEST(SSTableTombstone, MergeNewestVersionWins) {
+  SSTable old_table(1, {5, 6, 7}, 100.0, 0.01, 0);
+  SSTable new_table(2, {6}, 100.0, 0.01, 0, {6});  // key 6 deleted later
+  const SSTable* inputs[] = {&old_table, &new_table};
+
+  // Without eviction the tombstone survives the merge.
+  const auto kept = SSTable::merge(3, inputs, 0.01, 0, /*drop_tombstones=*/false);
+  EXPECT_EQ(kept.key_count(), 3u);
+  EXPECT_TRUE(kept.is_tombstone(6));
+
+  // With eviction both the tombstone and the shadowed data row vanish.
+  const auto dropped = SSTable::merge(4, inputs, 0.01, 0, /*drop_tombstones=*/true);
+  EXPECT_EQ(dropped.key_count(), 2u);
+  EXPECT_FALSE(dropped.has_key(6));
+  EXPECT_EQ(dropped.tombstone_count(), 0u);
+}
+
+TEST(SSTableTombstone, MergeResurrectionIsImpossible) {
+  // A delete followed by a re-insert: the re-insert (newest) must win.
+  SSTable oldest(1, {9}, 100.0, 0.01, 0);
+  SSTable deleted(2, {9}, 100.0, 0.01, 0, {9});
+  SSTable reinserted(3, {9}, 100.0, 0.01, 0);
+  const SSTable* inputs[] = {&deleted, &reinserted, &oldest};
+  const auto merged = SSTable::merge(4, inputs, 0.01, 0, true);
+  EXPECT_TRUE(merged.has_key(9));
+  EXPECT_FALSE(merged.is_tombstone(9));
+}
+
+TEST(SSTableTombstone, SplitDistributesMarkersByRange) {
+  std::vector<std::int64_t> keys;
+  for (std::int64_t k = 0; k < 100; ++k) keys.push_back(k);
+  std::uint32_t next_id = 1;
+  const auto tables = SSTable::split_into_tables(next_id, std::move(keys), 100.0,
+                                                 100.0 * 50, 0.01, 1, {10, 60});
+  ASSERT_EQ(tables.size(), 2u);
+  EXPECT_TRUE(tables[0].is_tombstone(10));
+  EXPECT_FALSE(tables[0].is_tombstone(60));
+  EXPECT_TRUE(tables[1].is_tombstone(60));
+}
+
+TEST(ServerTombstone, DeleteWorkloadPurgesThroughCompaction) {
+  workload::WorkloadSpec spec = workload::WorkloadSpec::with_read_ratio(0.1);
+  spec.initial_keys = 15000;
+  spec.insert_fraction = 0.2;
+  spec.delete_fraction = 0.3;
+  workload::Generator generator(spec, 7);
+  // Eager compaction so eviction merges occur within the run.
+  Server server(Config::defaults()
+                    .with(ParamId::kMinCompactionThreshold, 3)
+                    .with(ParamId::kCompactionThroughputMbs, 256)
+                    .with(ParamId::kConcurrentCompactors, 4));
+  server.preload(generator.preload_keys(), spec.value_bytes);
+  RunOptions opts;
+  opts.ops = 60000;
+  const auto stats = server.run(generator, opts);
+  EXPECT_GT(stats.compactions, 0u);
+  EXPECT_GT(stats.tombstones_purged, 100u)
+      << "compaction should evict tombstones on full-coverage merges";
+  EXPECT_GT(stats.throughput_ops, 1000.0);
+}
+
+TEST(ServerTombstone, DeletesAreDeterministic) {
+  workload::WorkloadSpec spec = workload::WorkloadSpec::with_read_ratio(0.4);
+  spec.delete_fraction = 0.2;
+  spec.initial_keys = 8000;
+  auto run_once = [&] {
+    workload::Generator generator(spec, 13);
+    Server server(Config::defaults());
+    server.preload(generator.preload_keys(), spec.value_bytes);
+    RunOptions opts;
+    opts.ops = 12000;
+    return server.run(generator, opts).throughput_ops;
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+TEST(GeneratorTombstone, DeleteFractionRealized) {
+  workload::WorkloadSpec spec = workload::WorkloadSpec::with_read_ratio(0.0);
+  spec.insert_fraction = 0.5;
+  spec.delete_fraction = 0.25;
+  workload::Generator generator(spec, 3);
+  std::size_t deletes = 0, inserts = 0;
+  constexpr std::size_t kN = 20000;
+  for (std::size_t i = 0; i < kN; ++i) {
+    const auto op = generator.next();
+    deletes += op.kind == workload::Op::Kind::kDelete;
+    inserts += op.kind == workload::Op::Kind::kInsert;
+    if (op.kind == workload::Op::Kind::kDelete) {
+      EXPECT_EQ(op.value_bytes, 0u);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(deletes) / kN, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(inserts) / kN, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace rafiki::engine

@@ -1,0 +1,230 @@
+// White-box tests of the server's internal machinery through the public
+// introspection hooks: backpressure, busy-set discipline, preload structure,
+// cache warm state, window accounting, and the step() building block.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "engine/server.h"
+#include "workload/generator.h"
+
+namespace rafiki::engine {
+namespace {
+
+std::vector<workload::Op> writes(std::size_t n, std::int64_t first_key,
+                                 std::uint32_t bytes = 256) {
+  std::vector<workload::Op> ops(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ops[i] = {workload::Op::Kind::kInsert, first_key + static_cast<std::int64_t>(i),
+              bytes};
+  }
+  return ops;
+}
+
+std::vector<workload::Op> reads(std::size_t n, std::int64_t first_key) {
+  std::vector<workload::Op> ops(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ops[i] = {workload::Op::Kind::kRead, first_key + static_cast<std::int64_t>(i), 0};
+  }
+  return ops;
+}
+
+TEST(ServerWhitebox, StepReturnsPositiveVirtualTime) {
+  Server server(Config::defaults());
+  const auto batch = writes(256, 0);
+  const double t = server.step(batch);
+  EXPECT_GT(t, 0.0);
+  EXPECT_NEAR(server.virtual_seconds(), t / 1e6, 1e-12);
+  EXPECT_EQ(server.write_count(), 256u);
+}
+
+TEST(ServerWhitebox, EmptyStepIsFree) {
+  Server server(Config::defaults());
+  EXPECT_DOUBLE_EQ(server.step({}), 0.0);
+}
+
+TEST(ServerWhitebox, SustainedWritesFreezeAndFlushMemtables) {
+  Server server(Config::defaults());
+  std::int64_t key = 0;
+  // Push enough bytes to force several flush cycles.
+  for (int batch = 0; batch < 80; ++batch) {
+    const auto ops = writes(256, key);
+    key += 256;
+    server.step(ops);
+  }
+  EXPECT_GT(server.flush_count(), 0u);
+  EXPECT_GT(server.sstables().size(), 0u);
+}
+
+TEST(ServerWhitebox, ExtremeThresholdTriggersBackpressureStalls) {
+  // Giant flush threshold plus a burst bigger than the memtable space:
+  // freezing must force-complete flushes and record stall time.
+  auto config = Config::defaults()
+                    .with(ParamId::kMemtableCleanupThreshold, 0.8)
+                    .with(ParamId::kMemtableSpaceMb, 1024)
+                    .with(ParamId::kMemtableFlushWriters, 1);
+  Server server(config);
+  std::int64_t key = 0;
+  for (int batch = 0; batch < 120; ++batch) {
+    server.step(writes(256, key, 2048));  // large rows fill space fast
+    key += 256;
+  }
+  EXPECT_GT(server.flush_count(), 1u);
+  EXPECT_GT(server.write_stall_us(), 0.0);
+}
+
+TEST(ServerWhitebox, BusyTablesNeverOverlapAcrossJobs) {
+  // Drive a write-heavy phase with eager compaction and verify on every
+  // epoch that no table id is claimed by two active jobs (busy-set
+  // discipline is what keeps merges linearizable).
+  auto config = Config::defaults()
+                    .with(ParamId::kMinCompactionThreshold, 3)
+                    .with(ParamId::kConcurrentCompactors, 8)
+                    .with(ParamId::kCompactionThroughputMbs, 8);  // slow: jobs linger
+  Server server(config);
+  workload::WorkloadSpec spec = workload::WorkloadSpec::with_read_ratio(0.0);
+  spec.initial_keys = 10000;
+  workload::Generator generator(spec, 3);
+  server.preload(generator.preload_keys(), spec.value_bytes);
+  for (int batch = 0; batch < 150; ++batch) {
+    server.step(generator.batch(256));
+    // All live table ids unique (tables_ is the single source of truth).
+    std::unordered_set<std::uint32_t> ids;
+    for (const auto& table : server.sstables()) {
+      EXPECT_TRUE(ids.insert(table.id()).second) << "duplicate table id";
+    }
+  }
+  EXPECT_GT(server.active_compaction_count() + server.compaction_count(), 0u);
+}
+
+TEST(ServerWhitebox, PreloadLeveledBuildsStripedLevels) {
+  auto config = Config::defaults().with(ParamId::kCompactionMethod, 1);
+  Server server(config);
+  std::vector<std::int64_t> keys;
+  for (std::int64_t k = 0; k < 30000; ++k) keys.push_back(k);
+  server.preload(keys, 256);
+
+  int max_level = 0;
+  std::size_t l0 = 0;
+  for (const auto& table : server.sstables()) {
+    max_level = std::max(max_level, table.level());
+    l0 += table.level() == 0;
+  }
+  EXPECT_GE(max_level, 2) << "preload should populate multiple levels";
+  EXPECT_LE(l0, 1u) << "only the recent-versions run may sit in L0";
+  EXPECT_TRUE(leveled_invariant_holds(server.sstables()));
+}
+
+TEST(ServerWhitebox, PreloadWarmsThePageCache) {
+  // Immediately after preload, a read-only burst must not hit the disk.
+  Server server(Config::defaults());
+  std::vector<std::int64_t> keys;
+  for (std::int64_t k = 0; k < 20000; ++k) keys.push_back(k);
+  server.preload(keys, 256);
+  workload::WorkloadSpec spec = workload::WorkloadSpec::with_read_ratio(1.0);
+  spec.initial_keys = 20000;
+  workload::Generator generator(spec, 9);
+  RunOptions opts;
+  opts.ops = 5000;
+  const auto stats = server.run(generator, opts);
+  EXPECT_EQ(stats.disk_random_reads, 0u);
+  EXPECT_GT(stats.os_cache_hit_rate, 0.95);
+}
+
+TEST(ServerWhitebox, VersionDupRaisesSizeTieredProbes) {
+  auto probes_with_dup = [](double dup) {
+    Server server(Config::defaults());
+    std::vector<std::int64_t> keys;
+    for (std::int64_t k = 0; k < 20000; ++k) keys.push_back(k);
+    server.preload(keys, 256, dup);
+    workload::WorkloadSpec spec = workload::WorkloadSpec::with_read_ratio(1.0);
+    spec.initial_keys = 20000;
+    workload::Generator generator(spec, 5);
+    RunOptions opts;
+    opts.ops = 8000;
+    return server.run(generator, opts).avg_sstables_probed;
+  };
+  EXPECT_GT(probes_with_dup(1.5), probes_with_dup(0.0) + 0.8);
+}
+
+TEST(ServerWhitebox, WindowAccountingConservesOps) {
+  Server server(Config::defaults());
+  std::vector<std::int64_t> keys;
+  for (std::int64_t k = 0; k < 15000; ++k) keys.push_back(k);
+  server.preload(keys, 256);
+  workload::WorkloadSpec spec = workload::WorkloadSpec::with_read_ratio(0.5);
+  spec.initial_keys = 15000;
+  workload::Generator generator(spec, 7);
+  RunOptions opts;
+  opts.ops = 40000;
+  opts.record_windows = true;
+  opts.window_s = 0.05;
+  const auto stats = server.run(generator, opts);
+  // Sum of per-window ops (throughput x window length) must not exceed the
+  // total and should cover most of it (the last partial window is dropped).
+  double windowed_ops = 0.0;
+  for (double w : stats.window_throughput) windowed_ops += w * opts.window_s;
+  EXPECT_LE(windowed_ops, static_cast<double>(stats.ops) * 1.001);
+  EXPECT_GT(windowed_ops, static_cast<double>(stats.ops) * 0.7);
+}
+
+TEST(ServerWhitebox, LatencyMetricsAreReported) {
+  Server server(Config::defaults());
+  std::vector<std::int64_t> keys;
+  for (std::int64_t k = 0; k < 15000; ++k) keys.push_back(k);
+  server.preload(keys, 256);
+  workload::WorkloadSpec spec = workload::WorkloadSpec::with_read_ratio(0.5);
+  spec.initial_keys = 15000;
+  workload::Generator generator(spec, 7);
+  RunOptions opts;
+  opts.ops = 20000;
+  const auto stats = server.run(generator, opts);
+  // Latencies in a plausible band: tens to hundreds of microseconds.
+  EXPECT_GT(stats.mean_read_latency_us, 20.0);
+  EXPECT_LT(stats.mean_read_latency_us, 5000.0);
+  EXPECT_GT(stats.mean_write_latency_us, 20.0);
+  EXPECT_LT(stats.mean_write_latency_us, 5000.0);
+}
+
+TEST(ServerWhitebox, ReadLatencyGrowsWithVersionDuplication) {
+  auto latency_with_dup = [](double dup) {
+    Server server(Config::defaults());
+    std::vector<std::int64_t> keys;
+    for (std::int64_t k = 0; k < 15000; ++k) keys.push_back(k);
+    server.preload(keys, 256, dup);
+    workload::WorkloadSpec spec = workload::WorkloadSpec::with_read_ratio(1.0);
+    spec.initial_keys = 15000;
+    workload::Generator generator(spec, 5);
+    RunOptions opts;
+    opts.ops = 8000;
+    return server.run(generator, opts).mean_read_latency_us;
+  };
+  EXPECT_GT(latency_with_dup(2.0), latency_with_dup(0.0) * 1.15);
+}
+
+TEST(ServerWhitebox, ResetCountersPreservesStateButClearsStats) {
+  Server server(Config::defaults());
+  server.step(writes(256, 0));
+  const auto tables_before = server.sstables().size();
+  server.reset_counters();
+  EXPECT_EQ(server.read_count(), 0u);
+  EXPECT_EQ(server.write_count(), 0u);
+  EXPECT_EQ(server.flush_count(), 0u);
+  EXPECT_EQ(server.sstables().size(), tables_before);  // state intact
+  EXPECT_GT(server.virtual_seconds(), 0.0);            // clock intact
+}
+
+TEST(ServerWhitebox, ReadsOfAbsentKeysPayBloomOnly) {
+  Server server(Config::defaults());
+  std::vector<std::int64_t> keys;
+  for (std::int64_t k = 0; k < 10000; ++k) keys.push_back(k);
+  server.preload(keys, 256);
+  // Keys far outside any table's range: candidates filter on range, so
+  // probes stay ~0 (only bloom false positives would count, and range
+  // checks already excluded these).
+  server.step(reads(512, 5000000));
+  EXPECT_LT(server.total_probes() / 512.0, 0.05);
+}
+
+}  // namespace
+}  // namespace rafiki::engine

@@ -1,0 +1,188 @@
+// Tests for the future-work extensions (Section 6): workload forecasting and
+// minimal-downtime reconfiguration planning.
+#include <gtest/gtest.h>
+
+#include "core/reconfigure.h"
+#include "workload/forecast.h"
+#include "workload/mgrast.h"
+
+namespace rafiki {
+namespace {
+
+using workload::ForecastOptions;
+using workload::WorkloadForecaster;
+using Regime = workload::WorkloadForecaster::Regime;
+
+TEST(Forecaster, RegimeClassification) {
+  WorkloadForecaster forecaster;
+  EXPECT_EQ(forecaster.regime_of(0.9), Regime::kReadHeavy);
+  EXPECT_EQ(forecaster.regime_of(0.7), Regime::kReadHeavy);
+  EXPECT_EQ(forecaster.regime_of(0.5), Regime::kMixed);
+  EXPECT_EQ(forecaster.regime_of(0.3), Regime::kWriteHeavy);
+  EXPECT_EQ(forecaster.regime_of(0.0), Regime::kWriteHeavy);
+}
+
+TEST(Forecaster, ColdStartIsMaxEntropy) {
+  WorkloadForecaster forecaster;
+  EXPECT_DOUBLE_EQ(forecaster.predict_next(), 0.5);
+  EXPECT_EQ(forecaster.observations(), 0u);
+}
+
+TEST(Forecaster, LearnsPersistenceOfAStableRegime) {
+  WorkloadForecaster forecaster;
+  for (int i = 0; i < 50; ++i) forecaster.observe(0.85);
+  EXPECT_EQ(forecaster.current_regime(), Regime::kReadHeavy);
+  EXPECT_GT(forecaster.persistence_probability(), 0.9);
+  EXPECT_NEAR(forecaster.predict_next(), 0.85, 0.05);
+}
+
+TEST(Forecaster, LearnsAlternatingRegimes) {
+  // Deterministic alternation read-heavy <-> write-heavy: after training,
+  // the forecast from a read-heavy window should lean strongly write-ward.
+  WorkloadForecaster forecaster;
+  for (int i = 0; i < 60; ++i) forecaster.observe(i % 2 ? 0.9 : 0.1);
+  // Last observation was 0.9 (read-heavy); next is write-heavy.
+  EXPECT_LT(forecaster.predict_next(), 0.35);
+  EXPECT_GT(forecaster.transition_probability(Regime::kReadHeavy, Regime::kWriteHeavy),
+            0.85);
+}
+
+TEST(Forecaster, TransitionRowsAreDistributions) {
+  WorkloadForecaster forecaster;
+  for (int i = 0; i < 30; ++i) forecaster.observe((i * 37 % 100) / 100.0);
+  for (int from = 0; from < 3; ++from) {
+    double row = 0.0;
+    for (int to = 0; to < 3; ++to) {
+      row += forecaster.transition_probability(static_cast<Regime>(from),
+                                               static_cast<Regime>(to));
+    }
+    EXPECT_NEAR(row, 1.0, 1e-9);
+  }
+}
+
+TEST(Forecaster, MatchesPersistenceOnMemorylessTraces) {
+  // The MG-RAST regime process has geometric dwell times, so persistence is
+  // near-optimal for next-window point forecasts; the median-style forecast
+  // must not lose to it materially (its value-add is switch probabilities,
+  // asserted below).
+  for (std::uint64_t seed : {3u, 11u, 29u, 57u, 101u}) {
+    const auto windows = workload::synthesize_mgrast_windows({}, seed);
+    std::vector<double> series;
+    for (const auto& w : windows) series.push_back(w.read_ratio);
+    const auto eval = workload::evaluate_forecaster(series);
+    EXPECT_LT(eval.forecaster_mae, eval.persistence_mae * 1.12) << "seed " << seed;
+  }
+}
+
+TEST(Forecaster, SwitchProbabilitiesAreCalibrated) {
+  // Predicted persistence probability should track the empirical regime
+  // stay-rate of the trace.
+  const auto windows = workload::synthesize_mgrast_windows({}, 17);
+  WorkloadForecaster forecaster;
+  double predicted_sum = 0.0;
+  std::size_t stays = 0, transitions = 0;
+  Regime prev = Regime::kMixed;
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const Regime regime = forecaster.regime_of(windows[i].read_ratio);
+    if (i) {
+      ++transitions;
+      stays += regime == prev;
+    }
+    forecaster.observe(windows[i].read_ratio);
+    if (i >= windows.size() / 2) predicted_sum += forecaster.persistence_probability();
+    prev = regime;
+  }
+  const double empirical = static_cast<double>(stays) / static_cast<double>(transitions);
+  const double predicted = predicted_sum / (windows.size() - windows.size() / 2);
+  EXPECT_NEAR(predicted, empirical, 0.12);
+}
+
+TEST(Forecaster, LikelyNextIsARankedDistribution) {
+  WorkloadForecaster forecaster;
+  for (int i = 0; i < 40; ++i) forecaster.observe(i % 4 == 3 ? 0.1 : 0.9);
+  const auto ranked = forecaster.likely_next();
+  ASSERT_EQ(ranked.size(), 3u);
+  double total = 0.0;
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    if (i) EXPECT_LE(ranked[i].first, ranked[i - 1].first);
+    EXPECT_GE(ranked[i].second, 0.0);
+    EXPECT_LE(ranked[i].second, 1.0);
+    total += ranked[i].first;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Forecaster, UnobservedRegimeUsesBandMidpoint) {
+  WorkloadForecaster forecaster;
+  forecaster.observe(0.9);
+  EXPECT_NEAR(forecaster.regime_mean(Regime::kWriteHeavy), 0.15, 1e-9);
+  EXPECT_NEAR(forecaster.regime_mean(Regime::kMixed), 0.5, 1e-9);
+}
+
+TEST(Reconfig, FullRestartHasOutage) {
+  const auto plan = core::plan_full_restart(2, 50000.0);
+  EXPECT_DOUBLE_EQ(plan.min_relative_capacity, 0.0);
+  EXPECT_DOUBLE_EQ(plan.duration_s, 75.0);  // 30 restart + 45 warm
+  // Lost: 30s of everything; warming at 0.65 peak covers 0.65/0.75 of load.
+  const double warm_served = 0.65 / 0.75;
+  EXPECT_NEAR(plan.ops_lost, 50000.0 * (30.0 + 45.0 * (1.0 - warm_served)), 1.0);
+}
+
+TEST(Reconfig, RollingKeepsClusterServing) {
+  const auto plan = core::plan_rolling_restart(2, 50000.0);
+  EXPECT_GE(plan.min_relative_capacity, 0.5);
+  // Sequential per-node phases: 2 * (30 + 45).
+  EXPECT_DOUBLE_EQ(plan.duration_s, 150.0);
+  const auto full = core::plan_full_restart(2, 50000.0);
+  // Survivors absorb load up to their headroom, so rolling loses far less.
+  EXPECT_LT(plan.ops_lost, 0.6 * full.ops_lost);
+}
+
+TEST(Reconfig, LowUtilizationMakesRollingFree) {
+  core::ReconfigModel model;
+  model.offered_utilization = 0.4;  // ample headroom: (n-1)/n = 0.75 > 0.4
+  const auto plan = core::plan_rolling_restart(4, 50000.0, model);
+  EXPECT_DOUBLE_EQ(plan.ops_lost, 0.0);
+  EXPECT_DOUBLE_EQ(plan.min_relative_capacity, 1.0);
+}
+
+TEST(Reconfig, SingleNodeRollingDegeneratesToFullRestart) {
+  const auto rolling = core::plan_rolling_restart(1, 10000.0);
+  const auto full = core::plan_full_restart(1, 10000.0);
+  EXPECT_DOUBLE_EQ(rolling.ops_lost, full.ops_lost);
+  EXPECT_DOUBLE_EQ(rolling.min_relative_capacity, 0.0);
+}
+
+TEST(Reconfig, MoreNodesLessRollingImpact) {
+  const auto two = core::plan_rolling_restart(2, 50000.0);
+  const auto four = core::plan_rolling_restart(4, 50000.0);
+  EXPECT_GT(four.min_relative_capacity, two.min_relative_capacity);
+}
+
+TEST(Reconfig, PayoffDecision) {
+  const auto plan = core::plan_rolling_restart(2, 50000.0);
+  // A 20% gain sustained for an hour dwarfs the transition loss.
+  EXPECT_TRUE(core::reconfiguration_pays_off(50000.0, 60000.0, 3600.0, plan));
+  // The same gain for less than the transition itself does not pay.
+  EXPECT_FALSE(core::reconfiguration_pays_off(50000.0, 60000.0, 120.0, plan));
+  // No gain never pays.
+  EXPECT_FALSE(core::reconfiguration_pays_off(50000.0, 49000.0, 3600.0, plan));
+}
+
+TEST(Reconfig, TimelineIsContiguousAndOrdered) {
+  for (int nodes : {1, 2, 3, 5}) {
+    const auto plan = core::plan_rolling_restart(nodes, 1000.0);
+    double t = 0.0;
+    for (const auto& segment : plan.timeline) {
+      EXPECT_DOUBLE_EQ(segment.begin_s, t);
+      EXPECT_GT(segment.end_s, segment.begin_s);
+      EXPECT_GE(segment.relative_capacity, 0.0);
+      EXPECT_LE(segment.relative_capacity, 1.0);
+      t = segment.end_s;
+    }
+    EXPECT_DOUBLE_EQ(t, plan.duration_s);
+  }
+}
+
+}  // namespace
+}  // namespace rafiki

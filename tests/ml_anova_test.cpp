@@ -1,0 +1,91 @@
+#include "ml/anova.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace rafiki::ml {
+namespace {
+
+TEST(IncompleteBeta, KnownValues) {
+  // I_x(1, 1) = x (uniform CDF).
+  EXPECT_NEAR(regularized_incomplete_beta(1, 1, 0.3), 0.3, 1e-10);
+  // I_x(2, 2) = x^2 (3 - 2x).
+  EXPECT_NEAR(regularized_incomplete_beta(2, 2, 0.4), 0.16 * (3 - 0.8), 1e-10);
+  // Symmetry: I_x(a, b) = 1 - I_{1-x}(b, a).
+  const double lhs = regularized_incomplete_beta(3.5, 1.25, 0.6);
+  const double rhs = 1.0 - regularized_incomplete_beta(1.25, 3.5, 0.4);
+  EXPECT_NEAR(lhs, rhs, 1e-10);
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(2, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(2, 3, 1.0), 1.0);
+}
+
+TEST(FDistribution, TailProbabilities) {
+  // F(1, 1): P(F > 1) = 0.5 exactly.
+  EXPECT_NEAR(f_distribution_sf(1.0, 1, 1), 0.5, 1e-9);
+  // Critical value: F(2, 10) upper 5% point is about 4.10.
+  EXPECT_NEAR(f_distribution_sf(4.10, 2, 10), 0.05, 0.005);
+  // Large F -> vanishing tail.
+  EXPECT_LT(f_distribution_sf(100.0, 3, 20), 1e-8);
+  EXPECT_DOUBLE_EQ(f_distribution_sf(0.0, 3, 20), 1.0);
+}
+
+TEST(OneWayAnova, DetectsRealGroupDifferences) {
+  Rng rng(5);
+  std::vector<std::vector<double>> groups(3);
+  const double means[] = {100.0, 130.0, 160.0};
+  for (int g = 0; g < 3; ++g) {
+    for (int i = 0; i < 12; ++i) groups[g].push_back(rng.gaussian(means[g], 5.0));
+  }
+  const auto result = one_way_anova(groups);
+  EXPECT_GT(result.f_statistic, 10.0);
+  EXPECT_LT(result.p_value, 0.001);
+  EXPECT_EQ(result.df_between, 2u);
+  EXPECT_EQ(result.df_within, 33u);
+}
+
+TEST(OneWayAnova, AcceptsNullWhenGroupsIdentical) {
+  Rng rng(9);
+  std::vector<std::vector<double>> groups(4);
+  for (auto& group : groups) {
+    for (int i = 0; i < 10; ++i) group.push_back(rng.gaussian(50.0, 8.0));
+  }
+  const auto result = one_way_anova(groups);
+  EXPECT_GT(result.p_value, 0.01);
+}
+
+TEST(OneWayAnova, DegenerateInputsAreSafe) {
+  EXPECT_DOUBLE_EQ(one_way_anova({}).f_statistic, 0.0);
+  EXPECT_DOUBLE_EQ(one_way_anova({{1.0, 2.0}}).f_statistic, 0.0);
+  // Zero within-group variance with distinct means: infinite F, p = 0.
+  const auto result = one_way_anova({{1.0, 1.0}, {2.0, 2.0}});
+  EXPECT_TRUE(std::isinf(result.f_statistic));
+  EXPECT_DOUBLE_EQ(result.p_value, 0.0);
+}
+
+TEST(LevelMeanStddev, MatchesHandComputation) {
+  // Group means: 10, 20, 30 -> sample stddev = 10.
+  const double score =
+      level_mean_stddev({{9.0, 11.0}, {19.0, 21.0}, {29.0, 31.0}});
+  EXPECT_NEAR(score, 10.0, 1e-12);
+}
+
+TEST(DistinctDrop, FindsTheLargestGap) {
+  std::vector<AnovaRanking> ranking = {
+      {"a", 110.0, 0, 0}, {"b", 90.0, 0, 0}, {"c", 70.0, 0, 0},
+      {"d", 60.0, 0, 0},  {"e", 55.0, 0, 0}, {"f", 11.0, 0, 0},  // 5x drop here
+      {"g", 9.0, 0, 0},   {"h", 7.0, 0, 0},
+  };
+  EXPECT_EQ(distinct_drop_cutoff(ranking, 2, 8), 5u);
+}
+
+TEST(DistinctDrop, RespectsBounds) {
+  std::vector<AnovaRanking> ranking = {
+      {"a", 100.0, 0, 0}, {"b", 1.0, 0, 0}, {"c", 0.9, 0, 0}, {"d", 0.8, 0, 0}};
+  // The natural cut is k=1, but min_k forces at least 2.
+  EXPECT_GE(distinct_drop_cutoff(ranking, 2, 3), 2u);
+  EXPECT_LE(distinct_drop_cutoff(ranking, 2, 3), 3u);
+}
+
+}  // namespace
+}  // namespace rafiki::ml

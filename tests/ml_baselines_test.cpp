@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/dtree.h"
+#include "ml/knn.h"
+#include "ml/metrics.h"
+#include "util/rng.h"
+
+namespace rafiki::ml {
+namespace {
+
+TEST(Metrics, MapeRmseR2OnKnownSeries) {
+  const std::vector<double> actual = {100.0, 200.0, 400.0};
+  const std::vector<double> predicted = {110.0, 180.0, 400.0};
+  EXPECT_NEAR(mape_percent(actual, predicted), (10.0 + 10.0 + 0.0) / 3.0, 1e-9);
+  EXPECT_NEAR(rmse(actual, predicted), std::sqrt((100.0 + 400.0 + 0.0) / 3.0), 1e-9);
+  EXPECT_GT(r_squared(actual, predicted), 0.98);
+  EXPECT_DOUBLE_EQ(r_squared(actual, actual), 1.0);
+}
+
+TEST(Metrics, PercentErrorsAreSigned) {
+  const std::vector<double> actual = {100.0, 100.0};
+  const std::vector<double> predicted = {90.0, 120.0};
+  const auto errors = percent_errors(actual, predicted);
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_DOUBLE_EQ(errors[0], -10.0);
+  EXPECT_DOUBLE_EQ(errors[1], 20.0);
+}
+
+TEST(Metrics, SkipsNearZeroActuals) {
+  const std::vector<double> actual = {0.0, 100.0};
+  const std::vector<double> predicted = {50.0, 110.0};
+  EXPECT_NEAR(mape_percent(actual, predicted), 10.0, 1e-9);
+  EXPECT_EQ(percent_errors(actual, predicted).size(), 1u);
+}
+
+std::pair<std::vector<std::vector<double>>, std::vector<double>> step_data() {
+  // Piecewise-constant target: ideal for an axis-aligned tree.
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;
+  Rng rng(3);
+  for (int i = 0; i < 400; ++i) {
+    const double a = rng.uniform(0, 1), b = rng.uniform(0, 1);
+    X.push_back({a, b});
+    y.push_back((a > 0.5 ? 10.0 : 0.0) + (b > 0.3 ? 5.0 : 0.0));
+  }
+  return {X, y};
+}
+
+TEST(DecisionTree, LearnsAxisAlignedStructure) {
+  auto [X, y] = step_data();
+  DecisionTreeRegressor tree;
+  tree.fit(X, y, {.max_depth = 4, .min_samples_leaf = 5});
+  EXPECT_TRUE(tree.trained());
+  EXPECT_NEAR(tree.predict(std::vector<double>{0.9, 0.9}), 15.0, 0.5);
+  EXPECT_NEAR(tree.predict(std::vector<double>{0.1, 0.1}), 0.0, 0.5);
+  EXPECT_NEAR(tree.predict(std::vector<double>{0.9, 0.1}), 10.0, 0.5);
+}
+
+TEST(DecisionTree, DepthAndLeafConstraintsHold) {
+  auto [X, y] = step_data();
+  DecisionTreeRegressor tree;
+  tree.fit(X, y, {.max_depth = 2, .min_samples_leaf = 20});
+  EXPECT_LE(tree.depth(), 2u);
+  EXPECT_LE(tree.node_count(), 7u);  // full binary tree of depth 2
+}
+
+TEST(DecisionTree, LinearLeavesBeatConstantLeavesOnSlopes) {
+  // Smooth linear target: constant leaves stair-step, linear leaves nail it.
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;
+  Rng rng(7);
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.uniform(0, 1), b = rng.uniform(0, 1);
+    X.push_back({a, b});
+    y.push_back(3.0 * a - 2.0 * b);
+  }
+  DecisionTreeRegressor constant, linear;
+  constant.fit(X, y, {.max_depth = 3, .min_samples_leaf = 10, .linear_leaves = false});
+  linear.fit(X, y, {.max_depth = 3, .min_samples_leaf = 10, .linear_leaves = true});
+
+  double sse_constant = 0.0, sse_linear = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double a = rng.uniform(0, 1), b = rng.uniform(0, 1);
+    const double truth = 3.0 * a - 2.0 * b;
+    const std::vector<double> x = {a, b};
+    sse_constant += std::pow(constant.predict(x) - truth, 2);
+    sse_linear += std::pow(linear.predict(x) - truth, 2);
+  }
+  // The paper found exactly this: plain trees inadequate, linear-combination
+  // nodes much better (Section 3.7.2).
+  EXPECT_LT(sse_linear, sse_constant * 0.2);
+}
+
+TEST(Knn, ExactMatchReturnsStoredTarget) {
+  KnnRegressor knn;
+  knn.fit({{0.0, 0.0}, {1.0, 1.0}, {2.0, 2.0}}, std::vector<double>{5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(knn.predict(std::vector<double>{1.0, 1.0}), 7.0);
+}
+
+TEST(Knn, InterpolatesBetweenNeighbours) {
+  KnnRegressor knn;
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;
+  for (double v = 0.0; v <= 10.0; v += 1.0) {
+    X.push_back({v});
+    y.push_back(2.0 * v);
+  }
+  knn.fit(X, y, {.k = 2, .weight_power = 2.0});
+  const double pred = knn.predict(std::vector<double>{4.4});
+  EXPECT_GT(pred, 2.0 * 4.0);
+  EXPECT_LT(pred, 2.0 * 5.0);
+}
+
+TEST(Knn, ThrowsUntrainedAndBadInput) {
+  KnnRegressor knn;
+  EXPECT_THROW(knn.predict(std::vector<double>{1.0}), std::logic_error);
+  EXPECT_THROW(knn.fit({}, std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Knn, NormalizesFeaturesSoScalesDoNotDominate) {
+  // Feature 1 spans [0, 1000], feature 2 spans [0, 1]; both carry signal.
+  KnnRegressor knn;
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.uniform(0, 1000), b = rng.uniform(0, 1);
+    X.push_back({a, b});
+    y.push_back(b * 100.0);  // only the small-scale feature matters
+  }
+  knn.fit(X, y, {.k = 5});
+  // Query twice with very different large-scale values but the same b.
+  const double p1 = knn.predict(std::vector<double>{100.0, 0.8});
+  const double p2 = knn.predict(std::vector<double>{900.0, 0.8});
+  EXPECT_NEAR(p1, 80.0, 15.0);
+  EXPECT_NEAR(p2, 80.0, 15.0);
+}
+
+}  // namespace
+}  // namespace rafiki::ml

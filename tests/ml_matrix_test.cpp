@@ -1,0 +1,113 @@
+#include "ml/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace rafiki::ml {
+namespace {
+
+TEST(Matrix, MultiplyAndTranspose) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  Matrix b(3, 2);
+  b(0, 0) = 7; b(0, 1) = 8;
+  b(1, 0) = 9; b(1, 1) = 10;
+  b(2, 0) = 11; b(2, 1) = 12;
+  const auto c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154);
+
+  const auto at = a.transpose();
+  EXPECT_EQ(at.rows(), 3u);
+  EXPECT_EQ(at.cols(), 2u);
+  EXPECT_DOUBLE_EQ(at(2, 1), 6);
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(a.multiply(b), std::invalid_argument);
+}
+
+TEST(Matrix, GramEqualsTransposeTimesSelf) {
+  Matrix a(3, 2);
+  double v = 1.0;
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) a(r, c) = v++;
+  }
+  const auto gram = a.gram();
+  const auto expected = a.transpose().multiply(a);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      EXPECT_NEAR(gram(r, c), expected(r, c), 1e-12);
+    }
+  }
+}
+
+TEST(Matrix, VectorProducts) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 0; a(0, 2) = 2;
+  a(1, 0) = 0; a(1, 1) = 3; a(1, 2) = 1;
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const auto ax = a.times(x);
+  EXPECT_DOUBLE_EQ(ax[0], 7.0);
+  EXPECT_DOUBLE_EQ(ax[1], 9.0);
+  const std::vector<double> y = {1.0, 1.0};
+  const auto aty = a.transpose_times(y);
+  EXPECT_DOUBLE_EQ(aty[0], 1.0);
+  EXPECT_DOUBLE_EQ(aty[1], 3.0);
+  EXPECT_DOUBLE_EQ(aty[2], 3.0);
+}
+
+TEST(Matrix, SolveSpdRecoversSolution) {
+  // A = M^T M + I is SPD for any M.
+  Matrix m(4, 3);
+  double v = 0.3;
+  for (auto& x : m.data()) {
+    x = std::sin(v);
+    v += 0.7;
+  }
+  Matrix a = m.gram();
+  a.add_diagonal(1.0);
+  const std::vector<double> truth = {1.5, -2.0, 0.25};
+  const auto b = a.times(truth);
+  const auto solved = a.solve_spd(b);
+  ASSERT_EQ(solved.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(solved[i], truth[i], 1e-9);
+}
+
+TEST(Matrix, SolveSpdFailsGracefullyOnIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 1) = -1.0;  // not positive definite
+  EXPECT_TRUE(a.solve_spd(std::vector<double>{1.0, 1.0}).empty());
+}
+
+TEST(Matrix, TraceInverseMatchesDirectInverse) {
+  // Diagonal SPD: trace(A^-1) is the sum of reciprocal diagonal entries.
+  Matrix a(3, 3);
+  a(0, 0) = 2.0;
+  a(1, 1) = 4.0;
+  a(2, 2) = 5.0;
+  EXPECT_NEAR(a.trace_inverse_spd(), 0.5 + 0.25 + 0.2, 1e-12);
+
+  // Non-diagonal check against a hand-inverted 2x2.
+  Matrix b(2, 2);
+  b(0, 0) = 4.0; b(0, 1) = 1.0;
+  b(1, 0) = 1.0; b(1, 1) = 3.0;
+  // inverse = 1/11 * [3 -1; -1 4]; trace = 7/11
+  EXPECT_NEAR(b.trace_inverse_spd(), 7.0 / 11.0, 1e-12);
+}
+
+TEST(Matrix, IdentityBehaves) {
+  const auto eye = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(eye(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(eye(0, 2), 0.0);
+  EXPECT_NEAR(eye.trace_inverse_spd(), 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rafiki::ml

@@ -1,0 +1,90 @@
+#include "ml/mlp.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rafiki::ml {
+namespace {
+
+TEST(Mlp, ParamCountMatchesTopology) {
+  Mlp net({6, 14, 4, 1});
+  // (6*14 + 14) + (14*4 + 4) + (4*1 + 1) = 98 + 60 + 5
+  EXPECT_EQ(net.param_count(), 163u);
+  EXPECT_EQ(net.input_size(), 6u);
+}
+
+TEST(Mlp, RejectsMultiOutput) {
+  EXPECT_THROW(Mlp({3, 4, 2}), std::invalid_argument);
+  EXPECT_THROW(Mlp({3}), std::invalid_argument);
+}
+
+TEST(Mlp, ZeroWeightsGiveZeroOutput) {
+  Mlp net({3, 5, 1});
+  EXPECT_DOUBLE_EQ(net.forward(std::vector<double>{0.3, -0.2, 0.9}), 0.0);
+}
+
+TEST(Mlp, ForwardMatchesHandComputedTinyNet) {
+  // 1 input -> 1 tanh hidden -> 1 linear output.
+  Mlp net({1, 1, 1});
+  // params order: W0 (1), b0 (1), W1 (1), b1 (1)
+  net.set_params(std::vector<double>{2.0, 0.5, 3.0, -1.0});
+  const double x = 0.25;
+  const double expected = 3.0 * std::tanh(2.0 * x + 0.5) - 1.0;
+  EXPECT_NEAR(net.forward(std::vector<double>{x}), expected, 1e-12);
+}
+
+TEST(Mlp, GradientMatchesFiniteDifferences) {
+  Mlp net({3, 5, 2, 1});
+  Rng rng(42);
+  net.randomize(rng);
+  const std::vector<double> x = {0.4, -0.7, 0.1};
+
+  std::vector<double> grad(net.param_count());
+  const double out = net.forward_with_gradient(x, grad);
+  EXPECT_NEAR(out, net.forward(x), 1e-12);
+
+  const double eps = 1e-6;
+  std::vector<double> params(net.params().begin(), net.params().end());
+  for (std::size_t j = 0; j < params.size(); ++j) {
+    auto perturbed = params;
+    perturbed[j] += eps;
+    net.set_params(perturbed);
+    const double up = net.forward(x);
+    perturbed[j] -= 2 * eps;
+    net.set_params(perturbed);
+    const double down = net.forward(x);
+    net.set_params(params);
+    const double fd = (up - down) / (2 * eps);
+    EXPECT_NEAR(grad[j], fd, 1e-5) << "param " << j;
+  }
+}
+
+TEST(Mlp, RandomizeIsSeedDeterministic) {
+  Mlp a({4, 6, 1}), b({4, 6, 1});
+  Rng ra(7), rb(7);
+  a.randomize(ra);
+  b.randomize(rb);
+  const std::vector<double> x = {0.1, 0.2, 0.3, 0.4};
+  EXPECT_DOUBLE_EQ(a.forward(x), b.forward(x));
+}
+
+TEST(Normalizer, MapsToMinusOneOne) {
+  Normalizer norm;
+  norm.fit_columns({{0.0, 10.0}, {4.0, 30.0}});
+  EXPECT_DOUBLE_EQ(norm.map(0.0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(norm.map(4.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(norm.map(2.0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(norm.map(20.0, 1), 0.0);
+  EXPECT_NEAR(norm.unmap(norm.map(3.3, 0), 0), 3.3, 1e-12);
+}
+
+TEST(Normalizer, DegenerateFeatureMapsToZero) {
+  Normalizer norm;
+  norm.fit_columns({{5.0}, {5.0}});
+  EXPECT_DOUBLE_EQ(norm.map(5.0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace rafiki::ml

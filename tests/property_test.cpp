@@ -1,0 +1,149 @@
+// Cross-module property sweeps (TEST_P): invariants that must hold across
+// seeds, workloads and parameter settings rather than at single points.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engine/server.h"
+#include "ml/mlp.h"
+#include "opt/ga.h"
+#include "util/stats.h"
+#include "workload/generator.h"
+
+namespace rafiki {
+namespace {
+
+// --- GA robustness: across seeds, the optimizer lands near the optimum of a
+// multimodal objective (the paper's local-maxima concern, Section 1). ---
+
+class GaSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GaSeedSweep, LandsNearGlobalOptimum) {
+  opt::SearchSpace space({{"x", false, 0.0, 1.0}, {"n", true, 0, 100}});
+  const auto objective = [](std::span<const double> p) {
+    // Global optimum at (0.7, 40); a decoy basin at (0.15, 80).
+    const double a = std::exp(-std::pow((p[0] - 0.7) / 0.08, 2)) *
+                     std::exp(-std::pow((p[1] - 40.0) / 15.0, 2));
+    const double b = 0.55 * std::exp(-std::pow((p[0] - 0.15) / 0.08, 2)) *
+                     std::exp(-std::pow((p[1] - 80.0) / 15.0, 2));
+    return a + b;
+  };
+  opt::GaOptions options;
+  options.seed = GetParam();
+  const auto result = opt::ga_optimize(space, objective, options);
+  EXPECT_NEAR(result.best_point[0], 0.7, 0.1) << "seed " << GetParam();
+  EXPECT_NEAR(result.best_point[1], 40.0, 16.0) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GaSeedSweep,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 987654321u));
+
+// --- Engine: across the whole read-ratio axis, runs finish with sane
+// bookkeeping whatever the compaction strategy. ---
+
+class EngineRrSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineRrSweep, BookkeepingHoldsAcrossReadRatios) {
+  const double rr = GetParam() / 100.0;
+  for (int cm : {0, 1}) {
+    workload::WorkloadSpec spec = workload::WorkloadSpec::with_read_ratio(rr);
+    spec.initial_keys = 15000;
+    workload::Generator generator(spec, 17);
+    engine::Server server(
+        engine::Config::defaults().with(engine::ParamId::kCompactionMethod, cm));
+    server.preload(generator.preload_keys(), spec.value_bytes);
+    engine::RunOptions opts;
+    opts.ops = 15000;
+    const auto stats = server.run(generator, opts);
+
+    EXPECT_EQ(stats.reads + stats.writes, stats.ops);
+    EXPECT_NEAR(static_cast<double>(stats.reads) / static_cast<double>(stats.ops), rr,
+                0.05);
+    EXPECT_GT(stats.throughput_ops, 1000.0);
+    EXPECT_GE(stats.max_sstable_count, stats.final_sstable_count);
+    if (cm == 1) {
+      EXPECT_TRUE(engine::leveled_invariant_holds(server.sstables()));
+    }
+    // Virtual time consistent with throughput.
+    EXPECT_NEAR(stats.throughput_ops * stats.virtual_seconds,
+                static_cast<double>(stats.ops), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ReadRatios, EngineRrSweep,
+                         ::testing::Values(0, 15, 30, 50, 70, 85, 100));
+
+// --- Bloom filters: the realized false-positive rate tracks the configured
+// target across the whole domain. ---
+
+class BloomFpSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BloomFpSweep, RealizedRateTracksTarget) {
+  const double target = GetParam();
+  std::vector<std::int64_t> keys;
+  for (std::int64_t k = 0; k < 30000; ++k) keys.push_back(k * 3);
+  const auto filter = engine::BloomFilter::build(keys, target);
+  std::size_t fp = 0;
+  constexpr std::size_t kProbes = 60000;
+  for (std::size_t i = 0; i < kProbes; ++i) {
+    fp += filter.maybe_contains(static_cast<std::int64_t>(1000001 + 2 * i));
+  }
+  const double realized = static_cast<double>(fp) / kProbes;
+  EXPECT_LT(realized, target * 2.2 + 0.002) << "target " << target;
+  EXPECT_GT(realized, target * 0.15) << "target " << target;
+}
+
+INSTANTIATE_TEST_SUITE_P(FpChances, BloomFpSweep,
+                         ::testing::Values(0.001, 0.01, 0.05, 0.1, 0.2));
+
+// --- Normalizer: map/unmap round-trips across random feature scales. ---
+
+class NormalizerSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NormalizerSweep, RoundTripsAndBounds) {
+  Rng rng(GetParam());
+  std::vector<std::vector<double>> rows;
+  const double scale = std::pow(10.0, rng.uniform(-3, 6));
+  for (int i = 0; i < 50; ++i) {
+    rows.push_back({rng.uniform(-scale, scale), rng.uniform(0, scale)});
+  }
+  ml::Normalizer norm;
+  norm.fit_columns(rows);
+  for (const auto& row : rows) {
+    const auto mapped = norm.map_row(row);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      EXPECT_GE(mapped[c], -1.0 - 1e-9);
+      EXPECT_LE(mapped[c], 1.0 + 1e-9);
+      EXPECT_NEAR(norm.unmap(mapped[c], c), row[c], scale * 1e-9 + 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, NormalizerSweep, ::testing::Values(3u, 5u, 8u, 13u));
+
+// --- Workload generator: realized read ratio converges for every RR and the
+// stream is deterministic per seed. ---
+
+class GeneratorRrSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorRrSweep, DeterministicAndCalibrated) {
+  const double rr = GetParam() / 100.0;
+  workload::Generator a(workload::WorkloadSpec::with_read_ratio(rr), 99);
+  workload::Generator b(workload::WorkloadSpec::with_read_ratio(rr), 99);
+  std::size_t reads = 0;
+  constexpr std::size_t kN = 8000;
+  for (std::size_t i = 0; i < kN; ++i) {
+    const auto op_a = a.next();
+    const auto op_b = b.next();
+    EXPECT_EQ(op_a.key, op_b.key);
+    EXPECT_EQ(static_cast<int>(op_a.kind), static_cast<int>(op_b.kind));
+    reads += op_a.kind == workload::Op::Kind::kRead;
+  }
+  EXPECT_NEAR(static_cast<double>(reads) / kN, rr, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(ReadRatios, GeneratorRrSweep,
+                         ::testing::Values(0, 25, 50, 75, 100));
+
+}  // namespace
+}  // namespace rafiki

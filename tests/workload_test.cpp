@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/stats.h"
+#include "workload/characterize.h"
+#include "workload/generator.h"
+#include "workload/mgrast.h"
+
+namespace rafiki::workload {
+namespace {
+
+TEST(Generator, RealizedReadRatioMatchesSpec) {
+  for (double rr : {0.0, 0.3, 0.7, 1.0}) {
+    Generator generator(WorkloadSpec::with_read_ratio(rr), 5);
+    std::size_t reads = 0;
+    constexpr std::size_t kN = 20000;
+    for (std::size_t i = 0; i < kN; ++i) {
+      if (generator.next().kind == Op::Kind::kRead) ++reads;
+    }
+    EXPECT_NEAR(static_cast<double>(reads) / kN, rr, 0.02) << "rr=" << rr;
+  }
+}
+
+TEST(Generator, InsertsUseFreshMonotonicKeys) {
+  WorkloadSpec spec = WorkloadSpec::with_read_ratio(0.0);
+  spec.insert_fraction = 1.0;
+  spec.initial_keys = 100;
+  Generator generator(spec, 3);
+  std::unordered_set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto op = generator.next();
+    ASSERT_EQ(op.kind, Op::Kind::kInsert);
+    EXPECT_GE(op.key, 100);
+    EXPECT_TRUE(seen.insert(op.key).second) << "duplicate insert key";
+  }
+}
+
+TEST(Generator, KeyReuseDistanceIsApproximatelyExponential) {
+  WorkloadSpec spec = WorkloadSpec::with_read_ratio(1.0);
+  spec.krd_mean = 500.0;
+  spec.initial_keys = 1000000;  // huge keyspace: reuse only via the history
+  Generator generator(spec, 11);
+  std::vector<TraceRecord> trace;
+  for (int i = 0; i < 60000; ++i) trace.push_back({static_cast<double>(i), generator.next()});
+  const auto distances = reuse_distances(trace);
+  ASSERT_GT(distances.size(), 1000u);
+  const double fitted = fit_exponential_mean(distances);
+  // Short-distance reuse dominates what is observable; the fit should land
+  // in the right order of magnitude around the configured mean.
+  EXPECT_GT(fitted, 200.0);
+  EXPECT_LT(fitted, 1500.0);
+}
+
+TEST(Generator, PreloadKeysAreDense) {
+  WorkloadSpec spec;
+  spec.initial_keys = 1234;
+  Generator generator(spec, 1);
+  const auto keys = generator.preload_keys();
+  ASSERT_EQ(keys.size(), 1234u);
+  EXPECT_EQ(keys.front(), 0);
+  EXPECT_EQ(keys.back(), 1233);
+}
+
+TEST(Generator, ValueBytesVaryAroundMean) {
+  WorkloadSpec spec = WorkloadSpec::with_read_ratio(0.0);
+  spec.value_bytes = 256;
+  Generator generator(spec, 21);
+  OnlineStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(generator.next().value_bytes);
+  EXPECT_NEAR(stats.mean(), 256.0, 20.0);
+  EXPECT_GT(stats.stddev(), 30.0);
+}
+
+TEST(Generator, SetReadRatioTakesEffectMidStream) {
+  Generator generator(WorkloadSpec::with_read_ratio(1.0), 31);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(generator.next().kind, Op::Kind::kRead);
+  generator.set_read_ratio(0.0);
+  for (int i = 0; i < 100; ++i) EXPECT_NE(generator.next().kind, Op::Kind::kRead);
+}
+
+TEST(MgRast, WindowCountMatchesDuration) {
+  MgRastTraceOptions options;
+  const auto windows = synthesize_mgrast_windows(options, 1);
+  EXPECT_EQ(windows.size(), 384u);  // 4 days of 15-minute windows
+  for (const auto& w : windows) {
+    EXPECT_GE(w.read_ratio, 0.0);
+    EXPECT_LE(w.read_ratio, 1.0);
+  }
+}
+
+TEST(MgRast, MostlyReadHeavyWithAbruptTransitions) {
+  const auto windows = synthesize_mgrast_windows({}, 7);
+  std::size_t read_heavy = 0, big_jumps = 0;
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    if (windows[i].read_ratio >= 0.7) ++read_heavy;
+    if (i && std::abs(windows[i].read_ratio - windows[i - 1].read_ratio) > 0.3) ++big_jumps;
+  }
+  // Figure 3's qualitative pattern: read-heavy dominates; regime switches
+  // are abrupt and recur throughout the 4 days.
+  EXPECT_GT(read_heavy, windows.size() / 3);
+  EXPECT_GT(big_jumps, 10u);
+}
+
+TEST(MgRast, QuerySynthesisHonoursWindows) {
+  std::vector<TraceWindow> windows = {{0.0, 1.0}, {900.0, 0.0}};
+  const auto records = synthesize_mgrast_queries(windows, 500, {}, 900.0, 3);
+  ASSERT_EQ(records.size(), 1000u);
+  for (std::size_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(records[i].op.kind, Op::Kind::kRead);
+    EXPECT_LT(records[i].t_s, 900.0);
+  }
+  for (std::size_t i = 500; i < 1000; ++i) {
+    EXPECT_NE(records[i].op.kind, Op::Kind::kRead);
+    EXPECT_GE(records[i].t_s, 900.0);
+  }
+}
+
+TEST(MgRast, TraceCsvRoundTrips) {
+  const auto windows = synthesize_mgrast_windows({}, 4);
+  const auto records = synthesize_mgrast_queries(
+      {windows.begin(), windows.begin() + 3}, 50, {}, 900.0, 5);
+  const auto csv = trace_to_csv(records);
+  const auto parsed = parse_trace_csv(csv);
+  ASSERT_EQ(parsed.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(parsed[i].op.kind, records[i].op.kind);
+    EXPECT_EQ(parsed[i].op.key, records[i].op.key);
+    EXPECT_EQ(parsed[i].op.value_bytes, records[i].op.value_bytes);
+    EXPECT_NEAR(parsed[i].t_s, records[i].t_s, 1e-3);
+  }
+}
+
+TEST(MgRast, ParseRejectsGarbage) {
+  EXPECT_THROW(parse_trace_csv("t_s,kind,key,bytes\nnot-a-line"), std::invalid_argument);
+  EXPECT_THROW(parse_trace_csv("t_s,kind,key,bytes\n1.0,9,5,10"), std::invalid_argument);
+}
+
+TEST(Characterize, ReadRatioSeriesPerWindow) {
+  std::vector<TraceRecord> trace;
+  for (int i = 0; i < 100; ++i) {
+    TraceRecord r;
+    r.t_s = i;  // 100 seconds
+    r.op.kind = i < 50 ? Op::Kind::kRead : Op::Kind::kUpdate;
+    r.op.key = i;
+    trace.push_back(r);
+  }
+  const auto series = read_ratio_series(trace, 50.0);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0], 1.0);
+  EXPECT_DOUBLE_EQ(series[1], 0.0);
+}
+
+TEST(Characterize, ReuseDistancesCountIntermediateQueries) {
+  std::vector<TraceRecord> trace;
+  const std::int64_t keys[] = {1, 2, 3, 1, 2};
+  for (int i = 0; i < 5; ++i) {
+    TraceRecord r;
+    r.t_s = i;
+    r.op.key = keys[i];
+    trace.push_back(r);
+  }
+  const auto distances = reuse_distances(trace);
+  ASSERT_EQ(distances.size(), 2u);
+  EXPECT_DOUBLE_EQ(distances[0], 2.0);  // key 1: positions 0 -> 3
+  EXPECT_DOUBLE_EQ(distances[1], 2.0);  // key 2: positions 1 -> 4
+}
+
+TEST(Characterize, FindsStationaryWindowOnRegimeTrace) {
+  // Regimes change every 900s; quarter-window statistics disagree strongly
+  // below that scale.
+  const auto windows = synthesize_mgrast_windows({}, 13);
+  const auto records = synthesize_mgrast_queries(windows, 4000, {}, 900.0, 17);
+  const std::vector<double> candidates = {112.5, 225.0, 450.0, 900.0, 1800.0};
+  const double chosen = find_stationary_window(records, candidates);
+  // Sub-window burstiness rules out the small scales; the 30-minute window
+  // mixes regimes. 15 minutes is the first stationary scale, per the paper.
+  EXPECT_DOUBLE_EQ(chosen, 900.0);
+}
+
+TEST(Characterize, FullCharacterizationProducesUsableSpec) {
+  MgRastTraceOptions options;
+  options.duration_s = 12 * 900.0;
+  const auto windows = synthesize_mgrast_windows(options, 19);
+  WorkloadSpec base;
+  base.krd_mean = 2000.0;
+  const auto records = synthesize_mgrast_queries(windows, 2000, base, 900.0, 23);
+  const std::vector<double> candidates = {450.0, 900.0};
+  const auto ch = characterize(records, candidates);
+  EXPECT_EQ(ch.read_ratios.size(), records.size() / 2000 * (900.0 / ch.window_s));
+  EXPECT_GT(ch.krd_mean, 0.0);
+  EXPECT_GT(ch.mean_value_bytes, 0.0);
+  EXPECT_GT(ch.insert_fraction, 0.0);
+  EXPECT_LT(ch.insert_fraction, 1.0);
+  const auto spec = spec_for_window(ch, 0);
+  EXPECT_DOUBLE_EQ(spec.read_ratio, ch.read_ratios[0]);
+}
+
+}  // namespace
+}  // namespace rafiki::workload

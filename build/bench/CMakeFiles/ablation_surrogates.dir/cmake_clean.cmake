@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_surrogates.dir/ablation_surrogates.cpp.o"
+  "CMakeFiles/ablation_surrogates.dir/ablation_surrogates.cpp.o.d"
+  "ablation_surrogates"
+  "ablation_surrogates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_surrogates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

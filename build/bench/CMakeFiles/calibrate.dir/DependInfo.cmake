@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/calibrate.cpp" "bench/CMakeFiles/calibrate.dir/calibrate.cpp.o" "gcc" "bench/CMakeFiles/calibrate.dir/calibrate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rafiki_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/collect/CMakeFiles/rafiki_collect.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/rafiki_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/rafiki_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/rafiki_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rafiki_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rafiki_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

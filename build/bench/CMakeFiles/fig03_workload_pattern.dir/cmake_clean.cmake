@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_workload_pattern.dir/fig03_workload_pattern.cpp.o"
+  "CMakeFiles/fig03_workload_pattern.dir/fig03_workload_pattern.cpp.o.d"
+  "fig03_workload_pattern"
+  "fig03_workload_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_workload_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_default_vs_rafiki.dir/fig04_default_vs_rafiki.cpp.o"
+  "CMakeFiles/fig04_default_vs_rafiki.dir/fig04_default_vs_rafiki.cpp.o.d"
+  "fig04_default_vs_rafiki"
+  "fig04_default_vs_rafiki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_default_vs_rafiki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

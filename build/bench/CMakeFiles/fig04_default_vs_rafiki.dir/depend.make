@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_default_vs_rafiki.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_anova.dir/fig05_anova.cpp.o"
+  "CMakeFiles/fig05_anova.dir/fig05_anova.cpp.o.d"
+  "fig05_anova"
+  "fig05_anova.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_anova.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

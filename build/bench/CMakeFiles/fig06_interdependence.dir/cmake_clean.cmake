@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_interdependence.dir/fig06_interdependence.cpp.o"
+  "CMakeFiles/fig06_interdependence.dir/fig06_interdependence.cpp.o.d"
+  "fig06_interdependence"
+  "fig06_interdependence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_interdependence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

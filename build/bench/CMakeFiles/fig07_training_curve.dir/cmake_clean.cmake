@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_training_curve.dir/fig07_training_curve.cpp.o"
+  "CMakeFiles/fig07_training_curve.dir/fig07_training_curve.cpp.o.d"
+  "fig07_training_curve"
+  "fig07_training_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_training_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

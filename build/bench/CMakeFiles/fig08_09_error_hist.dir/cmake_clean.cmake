@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_09_error_hist.dir/fig08_09_error_hist.cpp.o"
+  "CMakeFiles/fig08_09_error_hist.dir/fig08_09_error_hist.cpp.o.d"
+  "fig08_09_error_hist"
+  "fig08_09_error_hist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_09_error_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

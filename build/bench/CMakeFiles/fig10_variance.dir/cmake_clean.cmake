@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_variance.dir/fig10_variance.cpp.o"
+  "CMakeFiles/fig10_variance.dir/fig10_variance.cpp.o.d"
+  "fig10_variance"
+  "fig10_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

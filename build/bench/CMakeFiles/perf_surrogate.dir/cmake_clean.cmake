@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_surrogate.dir/perf_surrogate.cpp.o"
+  "CMakeFiles/perf_surrogate.dir/perf_surrogate.cpp.o.d"
+  "perf_surrogate"
+  "perf_surrogate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_surrogate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_speed.dir/search_speed.cpp.o"
+  "CMakeFiles/search_speed.dir/search_speed.cpp.o.d"
+  "search_speed"
+  "search_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

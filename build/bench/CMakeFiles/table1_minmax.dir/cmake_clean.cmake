@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_minmax.dir/table1_minmax.cpp.o"
+  "CMakeFiles/table1_minmax.dir/table1_minmax.cpp.o.d"
+  "table1_minmax"
+  "table1_minmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_minmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

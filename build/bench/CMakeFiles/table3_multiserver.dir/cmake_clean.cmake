@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_multiserver.dir/table3_multiserver.cpp.o"
+  "CMakeFiles/table3_multiserver.dir/table3_multiserver.cpp.o.d"
+  "table3_multiserver"
+  "table3_multiserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_multiserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

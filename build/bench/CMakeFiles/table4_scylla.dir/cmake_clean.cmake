@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_scylla.dir/table4_scylla.cpp.o"
+  "CMakeFiles/table4_scylla.dir/table4_scylla.cpp.o.d"
+  "table4_scylla"
+  "table4_scylla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_scylla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

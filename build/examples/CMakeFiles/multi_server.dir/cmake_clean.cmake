@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_server.dir/multi_server.cpp.o"
+  "CMakeFiles/multi_server.dir/multi_server.cpp.o.d"
+  "multi_server"
+  "multi_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rafiki_cli.dir/rafiki_cli.cpp.o"
+  "CMakeFiles/rafiki_cli.dir/rafiki_cli.cpp.o.d"
+  "rafiki_cli"
+  "rafiki_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rafiki_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

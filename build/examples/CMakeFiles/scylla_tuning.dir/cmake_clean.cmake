@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scylla_tuning.dir/scylla_tuning.cpp.o"
+  "CMakeFiles/scylla_tuning.dir/scylla_tuning.cpp.o.d"
+  "scylla_tuning"
+  "scylla_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scylla_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

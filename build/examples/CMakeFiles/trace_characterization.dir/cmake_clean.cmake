@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_characterization.dir/trace_characterization.cpp.o"
+  "CMakeFiles/trace_characterization.dir/trace_characterization.cpp.o.d"
+  "trace_characterization"
+  "trace_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collect/dataset.cpp" "src/collect/CMakeFiles/rafiki_collect.dir/dataset.cpp.o" "gcc" "src/collect/CMakeFiles/rafiki_collect.dir/dataset.cpp.o.d"
+  "/root/repo/src/collect/runner.cpp" "src/collect/CMakeFiles/rafiki_collect.dir/runner.cpp.o" "gcc" "src/collect/CMakeFiles/rafiki_collect.dir/runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/rafiki_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rafiki_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rafiki_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rafiki_collect.dir/dataset.cpp.o"
+  "CMakeFiles/rafiki_collect.dir/dataset.cpp.o.d"
+  "CMakeFiles/rafiki_collect.dir/runner.cpp.o"
+  "CMakeFiles/rafiki_collect.dir/runner.cpp.o.d"
+  "librafiki_collect.a"
+  "librafiki_collect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rafiki_collect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

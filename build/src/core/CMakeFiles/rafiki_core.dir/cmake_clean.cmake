@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rafiki_core.dir/online.cpp.o"
+  "CMakeFiles/rafiki_core.dir/online.cpp.o.d"
+  "CMakeFiles/rafiki_core.dir/rafiki.cpp.o"
+  "CMakeFiles/rafiki_core.dir/rafiki.cpp.o.d"
+  "CMakeFiles/rafiki_core.dir/reconfigure.cpp.o"
+  "CMakeFiles/rafiki_core.dir/reconfigure.cpp.o.d"
+  "librafiki_core.a"
+  "librafiki_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rafiki_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/cluster.cpp" "src/engine/CMakeFiles/rafiki_engine.dir/cluster.cpp.o" "gcc" "src/engine/CMakeFiles/rafiki_engine.dir/cluster.cpp.o.d"
+  "/root/repo/src/engine/compaction.cpp" "src/engine/CMakeFiles/rafiki_engine.dir/compaction.cpp.o" "gcc" "src/engine/CMakeFiles/rafiki_engine.dir/compaction.cpp.o.d"
+  "/root/repo/src/engine/config.cpp" "src/engine/CMakeFiles/rafiki_engine.dir/config.cpp.o" "gcc" "src/engine/CMakeFiles/rafiki_engine.dir/config.cpp.o.d"
+  "/root/repo/src/engine/params.cpp" "src/engine/CMakeFiles/rafiki_engine.dir/params.cpp.o" "gcc" "src/engine/CMakeFiles/rafiki_engine.dir/params.cpp.o.d"
+  "/root/repo/src/engine/scylla.cpp" "src/engine/CMakeFiles/rafiki_engine.dir/scylla.cpp.o" "gcc" "src/engine/CMakeFiles/rafiki_engine.dir/scylla.cpp.o.d"
+  "/root/repo/src/engine/server.cpp" "src/engine/CMakeFiles/rafiki_engine.dir/server.cpp.o" "gcc" "src/engine/CMakeFiles/rafiki_engine.dir/server.cpp.o.d"
+  "/root/repo/src/engine/sstable.cpp" "src/engine/CMakeFiles/rafiki_engine.dir/sstable.cpp.o" "gcc" "src/engine/CMakeFiles/rafiki_engine.dir/sstable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rafiki_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rafiki_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rafiki_engine.dir/cluster.cpp.o"
+  "CMakeFiles/rafiki_engine.dir/cluster.cpp.o.d"
+  "CMakeFiles/rafiki_engine.dir/compaction.cpp.o"
+  "CMakeFiles/rafiki_engine.dir/compaction.cpp.o.d"
+  "CMakeFiles/rafiki_engine.dir/config.cpp.o"
+  "CMakeFiles/rafiki_engine.dir/config.cpp.o.d"
+  "CMakeFiles/rafiki_engine.dir/params.cpp.o"
+  "CMakeFiles/rafiki_engine.dir/params.cpp.o.d"
+  "CMakeFiles/rafiki_engine.dir/scylla.cpp.o"
+  "CMakeFiles/rafiki_engine.dir/scylla.cpp.o.d"
+  "CMakeFiles/rafiki_engine.dir/server.cpp.o"
+  "CMakeFiles/rafiki_engine.dir/server.cpp.o.d"
+  "CMakeFiles/rafiki_engine.dir/sstable.cpp.o"
+  "CMakeFiles/rafiki_engine.dir/sstable.cpp.o.d"
+  "librafiki_engine.a"
+  "librafiki_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rafiki_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/anova.cpp" "src/ml/CMakeFiles/rafiki_ml.dir/anova.cpp.o" "gcc" "src/ml/CMakeFiles/rafiki_ml.dir/anova.cpp.o.d"
+  "/root/repo/src/ml/dtree.cpp" "src/ml/CMakeFiles/rafiki_ml.dir/dtree.cpp.o" "gcc" "src/ml/CMakeFiles/rafiki_ml.dir/dtree.cpp.o.d"
+  "/root/repo/src/ml/ensemble.cpp" "src/ml/CMakeFiles/rafiki_ml.dir/ensemble.cpp.o" "gcc" "src/ml/CMakeFiles/rafiki_ml.dir/ensemble.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/rafiki_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/rafiki_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/matrix.cpp" "src/ml/CMakeFiles/rafiki_ml.dir/matrix.cpp.o" "gcc" "src/ml/CMakeFiles/rafiki_ml.dir/matrix.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/rafiki_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/rafiki_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "src/ml/CMakeFiles/rafiki_ml.dir/mlp.cpp.o" "gcc" "src/ml/CMakeFiles/rafiki_ml.dir/mlp.cpp.o.d"
+  "/root/repo/src/ml/trainbr.cpp" "src/ml/CMakeFiles/rafiki_ml.dir/trainbr.cpp.o" "gcc" "src/ml/CMakeFiles/rafiki_ml.dir/trainbr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rafiki_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

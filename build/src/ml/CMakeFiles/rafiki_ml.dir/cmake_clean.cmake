@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rafiki_ml.dir/anova.cpp.o"
+  "CMakeFiles/rafiki_ml.dir/anova.cpp.o.d"
+  "CMakeFiles/rafiki_ml.dir/dtree.cpp.o"
+  "CMakeFiles/rafiki_ml.dir/dtree.cpp.o.d"
+  "CMakeFiles/rafiki_ml.dir/ensemble.cpp.o"
+  "CMakeFiles/rafiki_ml.dir/ensemble.cpp.o.d"
+  "CMakeFiles/rafiki_ml.dir/knn.cpp.o"
+  "CMakeFiles/rafiki_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/rafiki_ml.dir/matrix.cpp.o"
+  "CMakeFiles/rafiki_ml.dir/matrix.cpp.o.d"
+  "CMakeFiles/rafiki_ml.dir/metrics.cpp.o"
+  "CMakeFiles/rafiki_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/rafiki_ml.dir/mlp.cpp.o"
+  "CMakeFiles/rafiki_ml.dir/mlp.cpp.o.d"
+  "CMakeFiles/rafiki_ml.dir/trainbr.cpp.o"
+  "CMakeFiles/rafiki_ml.dir/trainbr.cpp.o.d"
+  "librafiki_ml.a"
+  "librafiki_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rafiki_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

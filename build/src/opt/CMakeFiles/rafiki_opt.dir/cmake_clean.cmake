@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rafiki_opt.dir/baselines.cpp.o"
+  "CMakeFiles/rafiki_opt.dir/baselines.cpp.o.d"
+  "CMakeFiles/rafiki_opt.dir/ga.cpp.o"
+  "CMakeFiles/rafiki_opt.dir/ga.cpp.o.d"
+  "CMakeFiles/rafiki_opt.dir/space.cpp.o"
+  "CMakeFiles/rafiki_opt.dir/space.cpp.o.d"
+  "librafiki_opt.a"
+  "librafiki_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rafiki_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

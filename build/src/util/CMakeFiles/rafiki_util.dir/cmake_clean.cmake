@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rafiki_util.dir/histogram.cpp.o"
+  "CMakeFiles/rafiki_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/rafiki_util.dir/stats.cpp.o"
+  "CMakeFiles/rafiki_util.dir/stats.cpp.o.d"
+  "CMakeFiles/rafiki_util.dir/table.cpp.o"
+  "CMakeFiles/rafiki_util.dir/table.cpp.o.d"
+  "librafiki_util.a"
+  "librafiki_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rafiki_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

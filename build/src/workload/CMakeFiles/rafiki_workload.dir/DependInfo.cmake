@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/characterize.cpp" "src/workload/CMakeFiles/rafiki_workload.dir/characterize.cpp.o" "gcc" "src/workload/CMakeFiles/rafiki_workload.dir/characterize.cpp.o.d"
+  "/root/repo/src/workload/forecast.cpp" "src/workload/CMakeFiles/rafiki_workload.dir/forecast.cpp.o" "gcc" "src/workload/CMakeFiles/rafiki_workload.dir/forecast.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/rafiki_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/rafiki_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/mgrast.cpp" "src/workload/CMakeFiles/rafiki_workload.dir/mgrast.cpp.o" "gcc" "src/workload/CMakeFiles/rafiki_workload.dir/mgrast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rafiki_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rafiki_workload.dir/characterize.cpp.o"
+  "CMakeFiles/rafiki_workload.dir/characterize.cpp.o.d"
+  "CMakeFiles/rafiki_workload.dir/forecast.cpp.o"
+  "CMakeFiles/rafiki_workload.dir/forecast.cpp.o.d"
+  "CMakeFiles/rafiki_workload.dir/generator.cpp.o"
+  "CMakeFiles/rafiki_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/rafiki_workload.dir/mgrast.cpp.o"
+  "CMakeFiles/rafiki_workload.dir/mgrast.cpp.o.d"
+  "librafiki_workload.a"
+  "librafiki_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rafiki_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

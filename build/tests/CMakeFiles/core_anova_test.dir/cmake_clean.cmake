@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_anova_test.dir/core_anova_test.cpp.o"
+  "CMakeFiles/core_anova_test.dir/core_anova_test.cpp.o.d"
+  "core_anova_test"
+  "core_anova_test.pdb"
+  "core_anova_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_anova_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

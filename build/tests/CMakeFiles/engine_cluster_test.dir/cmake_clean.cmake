@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_cluster_test.dir/engine_cluster_test.cpp.o"
+  "CMakeFiles/engine_cluster_test.dir/engine_cluster_test.cpp.o.d"
+  "engine_cluster_test"
+  "engine_cluster_test.pdb"
+  "engine_cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_compaction_test.dir/engine_compaction_test.cpp.o"
+  "CMakeFiles/engine_compaction_test.dir/engine_compaction_test.cpp.o.d"
+  "engine_compaction_test"
+  "engine_compaction_test.pdb"
+  "engine_compaction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_compaction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_server_test.dir/engine_server_test.cpp.o"
+  "CMakeFiles/engine_server_test.dir/engine_server_test.cpp.o.d"
+  "engine_server_test"
+  "engine_server_test.pdb"
+  "engine_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_storage_test.dir/engine_storage_test.cpp.o"
+  "CMakeFiles/engine_storage_test.dir/engine_storage_test.cpp.o.d"
+  "engine_storage_test"
+  "engine_storage_test.pdb"
+  "engine_storage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_tombstone_test.dir/engine_tombstone_test.cpp.o"
+  "CMakeFiles/engine_tombstone_test.dir/engine_tombstone_test.cpp.o.d"
+  "engine_tombstone_test"
+  "engine_tombstone_test.pdb"
+  "engine_tombstone_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_tombstone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

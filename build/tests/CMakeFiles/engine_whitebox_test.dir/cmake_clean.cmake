@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_whitebox_test.dir/engine_whitebox_test.cpp.o"
+  "CMakeFiles/engine_whitebox_test.dir/engine_whitebox_test.cpp.o.d"
+  "engine_whitebox_test"
+  "engine_whitebox_test.pdb"
+  "engine_whitebox_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_whitebox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

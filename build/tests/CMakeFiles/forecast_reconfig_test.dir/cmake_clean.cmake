@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forecast_reconfig_test.dir/forecast_reconfig_test.cpp.o"
+  "CMakeFiles/forecast_reconfig_test.dir/forecast_reconfig_test.cpp.o.d"
+  "forecast_reconfig_test"
+  "forecast_reconfig_test.pdb"
+  "forecast_reconfig_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forecast_reconfig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_anova_test.dir/ml_anova_test.cpp.o"
+  "CMakeFiles/ml_anova_test.dir/ml_anova_test.cpp.o.d"
+  "ml_anova_test"
+  "ml_anova_test.pdb"
+  "ml_anova_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_anova_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

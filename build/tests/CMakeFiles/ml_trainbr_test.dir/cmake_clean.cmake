@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_trainbr_test.dir/ml_trainbr_test.cpp.o"
+  "CMakeFiles/ml_trainbr_test.dir/ml_trainbr_test.cpp.o.d"
+  "ml_trainbr_test"
+  "ml_trainbr_test.pdb"
+  "ml_trainbr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_trainbr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ml_mlp_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_trainbr_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_storage_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_compaction_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_server_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_anova_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/opt_test[1]_include.cmake")
+include("/root/repo/build/tests/collect_test[1]_include.cmake")
+include("/root/repo/build/tests/core_anova_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_tombstone_test[1]_include.cmake")
+include("/root/repo/build/tests/forecast_reconfig_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_whitebox_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_partition_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_extra_test[1]_include.cmake")

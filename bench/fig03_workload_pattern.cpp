@@ -52,10 +52,13 @@ int main() {
     }
     if (i && std::abs(series[i] - series[i - 1]) > 0.3) ++abrupt;
   }
+  const auto n_windows = static_cast<double>(series.size());
   Table stats({"statistic", "value"});
-  stats.add_row({"read-heavy windows (RR >= 0.7)", Table::pct(100.0 * read_heavy / series.size())});
-  stats.add_row({"write-heavy windows (RR <= 0.3)", Table::pct(100.0 * write_heavy / series.size())});
-  stats.add_row({"mixed windows", Table::pct(100.0 * mixed / series.size())});
+  stats.add_row({"read-heavy windows (RR >= 0.7)",
+                 Table::pct(100.0 * static_cast<double>(read_heavy) / n_windows)});
+  stats.add_row({"write-heavy windows (RR <= 0.3)",
+                 Table::pct(100.0 * static_cast<double>(write_heavy) / n_windows)});
+  stats.add_row({"mixed windows", Table::pct(100.0 * static_cast<double>(mixed) / n_windows)});
   stats.add_row({"abrupt transitions (|dRR| > 0.3)", std::to_string(abrupt)});
   stats.add_row({"mean RR", Table::num(mean(series), 3)});
   benchutil::emit(stats, "Window statistics");
@@ -76,7 +79,8 @@ int main() {
   benchutil::emit(character, "Section 3.3 characterization of the synthesized trace");
 
   benchutil::compare("workload regime mix", "read-heavy most of the time, bursty writes",
-                     Table::pct(100.0 * read_heavy / series.size()) + " read-heavy, " +
+                     Table::pct(100.0 * static_cast<double>(read_heavy) / n_windows) +
+                         " read-heavy, " +
                          std::to_string(abrupt) + " abrupt transitions");
   benchutil::compare("stationary RR window", "15 minutes",
                      Table::num(ch.window_s / 60.0, 1) + " minutes");

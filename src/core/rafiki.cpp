@@ -136,8 +136,10 @@ Rafiki::OptimizeResult Rafiki::optimize(double read_ratio) const {
     return surrogate_.predict(features);
   };
 
+  // det:ok(wall-clock): wall_seconds is reporting-only; no result depends on it
   const auto t0 = std::chrono::steady_clock::now();
   const auto ga = opt::ga_optimize(space, objective, options_.ga);
+  // det:ok(wall-clock): wall_seconds is reporting-only; no result depends on it
   const auto t1 = std::chrono::steady_clock::now();
 
   OptimizeResult result;

@@ -373,6 +373,7 @@ void Server::complete_flush(FlushJob& job) {
   keys.reserve(job.memtable.row_count());
   double bytes = 0.0;
   std::size_t data_rows = 0;
+  // det:ok(unordered-iter): sink is order-insensitive — the SSTable ctor sorts
   for (const auto& [key, row] : job.memtable.rows()) {
     keys.push_back(key);
     if (row.tombstone) {

@@ -224,7 +224,7 @@ class Server {
   bool record_windows_ = false;
   double window_us_ = 10e6;
   double window_start_us_ = 0.0;
-  std::size_t window_ops_ = 0;
+  double window_ops_ = 0.0;
   std::vector<double> window_throughput_;
 };
 

@@ -65,6 +65,7 @@ SSTable SSTable::merge(std::uint32_t new_id, std::span<const SSTable* const> inp
   std::vector<std::int64_t> merged;
   std::vector<std::int64_t> tombstones;
   merged.reserve(newest.size());
+  // det:ok(unordered-iter): order-insensitive — SSTable ctor sorts merged/tombstones
   for (const auto& [key, tombstone] : newest) {
     if (tombstone) {
       if (drop_tombstones) continue;  // evicted: no older version survives

@@ -96,7 +96,8 @@ std::unique_ptr<DecisionTreeRegressor::Node> DecisionTreeRegressor::build(
         if (X[indices[k]][f] == X[indices[k + 1]][f]) continue;
         const auto n_left = static_cast<double>(k + 1);
         const auto n_right = static_cast<double>(indices.size() - k - 1);
-        if (n_left < options_.min_samples_leaf || n_right < options_.min_samples_leaf) {
+        const auto min_leaf = static_cast<double>(options_.min_samples_leaf);
+        if (n_left < min_leaf || n_right < min_leaf) {
           continue;
         }
         const double sse_left = left_sq - left_sum * left_sum / n_left;

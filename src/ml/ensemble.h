@@ -42,6 +42,9 @@ class SurrogateEnsemble {
   /// Training MSE of each member (normalized target units), for tests.
   const std::vector<double>& member_errors() const noexcept { return errors_; }
   const std::vector<bool>& active_mask() const noexcept { return active_; }
+  /// Trained member networks, for the determinism regression test: two runs
+  /// from the same seed must produce bit-identical weight vectors.
+  const std::vector<Mlp>& nets() const noexcept { return nets_; }
 
  private:
   Normalizer norm_in_;

@@ -1,0 +1,93 @@
+// Determinism regression test (tools/lint_rules.md): the full pipeline —
+// collect, surrogate training, GA search — run twice from the same seed must
+// produce bit-identical surrogate weights and the same selected config.
+// Every result table in bench/ silently depends on this property.
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rafiki.h"
+#include "engine/params.h"
+#include "ml/mlp.h"
+
+namespace rafiki {
+namespace {
+
+core::RafikiOptions tiny_options() {
+  core::RafikiOptions options;
+  options.workload_grid = {0.2, 0.5, 0.8};
+  options.n_configs = 6;
+  options.collect.measure.ops = 4000;
+  options.collect.measure.warmup_ops = 500;
+  options.ensemble.n_nets = 4;
+  options.ensemble.train.max_epochs = 40;
+  options.ga.generations = 12;
+  options.ga.population = 16;
+  return options;
+}
+
+struct PipelineRun {
+  std::vector<std::vector<double>> member_params;
+  engine::Config best_config;
+  double predicted = 0.0;
+};
+
+PipelineRun run_pipeline(const core::RafikiOptions& options) {
+  core::Rafiki rafiki(options);
+  rafiki.set_key_params(engine::key_params());
+  const auto dataset = rafiki.collect();
+  rafiki.train(dataset);
+  const auto result = rafiki.optimize(/*read_ratio=*/0.8);
+
+  PipelineRun run;
+  for (const auto& net : rafiki.surrogate().nets()) {
+    run.member_params.emplace_back(net.params().begin(), net.params().end());
+  }
+  run.best_config = result.config;
+  run.predicted = result.predicted_throughput;
+  return run;
+}
+
+TEST(Determinism, PipelineIsBitIdenticalAcrossRuns) {
+  const auto options = tiny_options();
+  const auto first = run_pipeline(options);
+  const auto second = run_pipeline(options);
+
+  ASSERT_FALSE(first.member_params.empty());
+  ASSERT_EQ(first.member_params.size(), second.member_params.size());
+  for (std::size_t n = 0; n < first.member_params.size(); ++n) {
+    const auto& a = first.member_params[n];
+    const auto& b = second.member_params[n];
+    ASSERT_EQ(a.size(), b.size()) << "net " << n;
+    // memcmp, not ==: NaN != NaN would mask a corrupted-but-unequal weight,
+    // and bit-identity is the actual contract.
+    EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(double)))
+        << "net " << n << " weights differ between identically-seeded runs";
+  }
+
+  EXPECT_EQ(first.best_config, second.best_config)
+      << "GA selected different configs: " << first.best_config.to_string()
+      << " vs " << second.best_config.to_string();
+  EXPECT_EQ(0, std::memcmp(&first.predicted, &second.predicted, sizeof(double)));
+}
+
+TEST(Determinism, DifferentSeedsActuallyChangeTheRun) {
+  // Guards the test above against vacuity: if seeds were ignored somewhere,
+  // both tests would pass while the pipeline ignored its inputs.
+  auto options = tiny_options();
+  const auto first = run_pipeline(options);
+  options.ensemble.seed ^= 0xdecafbadull;
+  options.collect.measure.seed ^= 0x1234ull;
+  const auto second = run_pipeline(options);
+
+  ASSERT_EQ(first.member_params.size(), second.member_params.size());
+  bool any_diff = false;
+  for (std::size_t n = 0; n < first.member_params.size() && !any_diff; ++n) {
+    any_diff = first.member_params[n] != second.member_params[n];
+  }
+  EXPECT_TRUE(any_diff) << "reseeding the ensemble left every weight unchanged";
+}
+
+}  // namespace
+}  // namespace rafiki

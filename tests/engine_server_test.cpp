@@ -195,9 +195,9 @@ TEST_P(ParamDomainTest, ExtremesProduceFiniteThroughput) {
 
 INSTANTIATE_TEST_SUITE_P(AllParams, ParamDomainTest,
                          ::testing::Range<std::size_t>(0, kParamCount),
-                         [](const auto& info) {
+                         [](const auto& param_info) {
                            return std::string(
-                               param_registry()[info.param].name);
+                               param_registry()[param_info.param].name);
                          });
 
 /// Property sweep: the config snap/feasible helpers respect every domain.
@@ -219,9 +219,9 @@ TEST_P(ParamSpecTest, SnapAndFeasibleAgree) {
 
 INSTANTIATE_TEST_SUITE_P(AllParams, ParamSpecTest,
                          ::testing::Range<std::size_t>(0, kParamCount),
-                         [](const auto& info) {
+                         [](const auto& param_info) {
                            return std::string(
-                               param_registry()[info.param].name);
+                               param_registry()[param_info.param].name);
                          });
 
 TEST(Config, DefaultsMatchRegistry) {

@@ -93,7 +93,8 @@ TEST(Forecaster, SwitchProbabilitiesAreCalibrated) {
     prev = regime;
   }
   const double empirical = static_cast<double>(stays) / static_cast<double>(transitions);
-  const double predicted = predicted_sum / (windows.size() - windows.size() / 2);
+  const double predicted =
+      predicted_sum / static_cast<double>(windows.size() - windows.size() / 2);
   EXPECT_NEAR(predicted, empirical, 0.12);
 }
 
@@ -104,7 +105,9 @@ TEST(Forecaster, LikelyNextIsARankedDistribution) {
   ASSERT_EQ(ranked.size(), 3u);
   double total = 0.0;
   for (std::size_t i = 0; i < ranked.size(); ++i) {
-    if (i) EXPECT_LE(ranked[i].first, ranked[i - 1].first);
+    if (i) {
+      EXPECT_LE(ranked[i].first, ranked[i - 1].first);
+    }
     EXPECT_GE(ranked[i].second, 0.0);
     EXPECT_LE(ranked[i].second, 1.0);
     total += ranked[i].first;

@@ -1,6 +1,7 @@
 #include "ml/matrix.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -107,6 +108,81 @@ TEST(Matrix, IdentityBehaves) {
   EXPECT_DOUBLE_EQ(eye(1, 1), 1.0);
   EXPECT_DOUBLE_EQ(eye(0, 2), 0.0);
   EXPECT_NEAR(eye.trace_inverse_spd(), 3.0, 1e-12);
+}
+
+// --- Cholesky/solve edge cases (the Levenberg-Marquardt failure paths) ----
+
+TEST(Matrix, SolveSpdOneByOne) {
+  Matrix a(1, 1);
+  a(0, 0) = 4.0;
+  const auto x = a.solve_spd(std::vector<double>{2.0});
+  ASSERT_EQ(x.size(), 1u);
+  EXPECT_DOUBLE_EQ(x[0], 0.5);
+  EXPECT_NEAR(a.trace_inverse_spd(), 0.25, 1e-15);
+
+  a(0, 0) = -4.0;
+  EXPECT_TRUE(a.solve_spd(std::vector<double>{2.0}).empty());
+  EXPECT_DOUBLE_EQ(a.trace_inverse_spd(), -1.0);
+}
+
+TEST(Matrix, SolveSpdRejectsSingularMatrix) {
+  // Rank-1: row 2 = 2 * row 1. Cholesky must fail, not divide by zero.
+  Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0;
+  a(1, 0) = 2.0; a(1, 1) = 4.0;
+  EXPECT_TRUE(a.solve_spd(std::vector<double>{1.0, 2.0}).empty());
+  EXPECT_DOUBLE_EQ(a.trace_inverse_spd(), -1.0);
+
+  // All-zero matrix (LM's J^T J before any damping when J is zero).
+  Matrix z(3, 3);
+  EXPECT_TRUE(z.solve_spd(std::vector<double>{1.0, 1.0, 1.0}).empty());
+}
+
+TEST(Matrix, SolveSpdRejectsNonPsdWithPositiveDiagonal) {
+  // Positive diagonal but indefinite: the failure only shows up once the
+  // off-diagonal elimination drives a pivot negative (s <= 0 mid-sweep).
+  Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 5.0;
+  a(1, 0) = 5.0; a(1, 1) = 1.0;  // eigenvalues 6 and -4
+  EXPECT_TRUE(a.solve_spd(std::vector<double>{1.0, 1.0}).empty());
+}
+
+TEST(Matrix, SolveSpdRejectsNonFiniteInput) {
+  Matrix a(2, 2);
+  a(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  a(1, 1) = 1.0;
+  EXPECT_TRUE(a.solve_spd(std::vector<double>{1.0, 1.0}).empty());
+
+  a(0, 0) = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(a.solve_spd(std::vector<double>{1.0, 1.0}).empty());
+}
+
+TEST(Matrix, SolveSpdRejectsShapeMismatch) {
+  Matrix rect(2, 3, 1.0);
+  EXPECT_TRUE(rect.solve_spd(std::vector<double>{1.0, 1.0}).empty());
+
+  Matrix a = Matrix::identity(3);
+  EXPECT_TRUE(a.solve_spd(std::vector<double>{1.0, 1.0}).empty());  // b too short
+  EXPECT_TRUE(a.solve_spd(std::vector<double>(4, 1.0)).empty());    // b too long
+}
+
+TEST(Matrix, SolveSpdNearSingularStaysFinite) {
+  // Tiny but strictly positive pivot: must solve, and stay finite (UBSan
+  // watches the divides here under the asan preset).
+  Matrix a(2, 2);
+  a(0, 0) = 1e-12; a(1, 1) = 1.0;
+  const auto x = a.solve_spd(std::vector<double>{1e-12, 2.0});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 1.0, 1e-9);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Matrix, EmptyMatrixEdges) {
+  Matrix empty;
+  EXPECT_EQ(empty.rows(), 0u);
+  const auto x = empty.solve_spd(std::vector<double>{});
+  EXPECT_TRUE(x.empty());
+  EXPECT_DOUBLE_EQ(empty.trace_inverse_spd(), 0.0);  // vacuous sum
 }
 
 }  // namespace

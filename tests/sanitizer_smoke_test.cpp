@@ -1,0 +1,101 @@
+// Deep end-to-end probe for the sanitizer build matrix (asan/tsan presets):
+// exercises the full Rafiki pipeline — trace synthesis, characterization,
+// data collection, surrogate ensemble training, GA search — in one process
+// so ASan/UBSan/TSan see the real allocation and arithmetic patterns, not
+// just unit-sized fragments. Kept small enough to finish quickly under
+// sanitizer slowdown (~10-20x).
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "collect/runner.h"
+#include "core/rafiki.h"
+#include "engine/params.h"
+#include "workload/characterize.h"
+#include "workload/mgrast.h"
+
+namespace rafiki {
+namespace {
+
+TEST(SanitizerSmoke, FullPipelineCharacterizeTrainSearch) {
+  // Stage 1: synthesize and characterize a short MG-RAST-like trace.
+  workload::MgRastTraceOptions trace_options;
+  trace_options.duration_s = 8 * 900.0;  // 8 windows
+  const auto windows = workload::synthesize_mgrast_windows(trace_options, 42);
+  ASSERT_FALSE(windows.empty());
+
+  workload::WorkloadSpec base;
+  const auto records =
+      workload::synthesize_mgrast_queries(windows, 1500, base, 900.0, 43);
+  const std::vector<double> candidates = {450.0, 900.0};
+  const auto ch = workload::characterize(records, candidates);
+  EXPECT_GT(ch.krd_mean, 0.0);
+  ASSERT_FALSE(ch.read_ratios.empty());
+
+  // Stages 3-5: collect a tiny lattice, train the ensemble, GA-search.
+  core::RafikiOptions options;
+  options.workload_grid = {0.2, 0.8};
+  options.n_configs = 5;
+  options.collect.measure.ops = 3000;
+  options.collect.measure.warmup_ops = 300;
+  options.ensemble.n_nets = 3;
+  options.ensemble.train.max_epochs = 30;
+  options.ga.generations = 8;
+  options.ga.population = 12;
+
+  core::Rafiki rafiki(options);
+  rafiki.set_key_params(engine::key_params());
+  const auto dataset = rafiki.collect();
+  ASSERT_GT(dataset.size(), 0u);
+
+  rafiki.train(dataset);
+  ASSERT_TRUE(rafiki.trained());
+
+  const double read_ratio = std::clamp(ch.read_ratios.front(), 0.0, 1.0);
+  const auto result = rafiki.optimize(read_ratio);
+  EXPECT_TRUE(std::isfinite(result.predicted_throughput));
+  EXPECT_GT(result.surrogate_evaluations, 0u);
+
+  // Close the loop: the selected config must run on the live simulator.
+  workload::WorkloadSpec verify_workload = options.base_workload;
+  verify_workload.read_ratio = read_ratio;
+  collect::MeasureOptions verify = options.collect.measure;
+  verify.seed = 7;
+  const double measured =
+      collect::measure_throughput(result.config, verify_workload, verify);
+  EXPECT_TRUE(std::isfinite(measured));
+  EXPECT_GT(measured, 0.0);
+}
+
+TEST(SanitizerSmoke, ConcurrentMeasurementsAreIndependent) {
+  // Each thread owns its Server and Rng stream, so parallel measurement must
+  // be race-free; this is the probe that gives the tsan preset real work,
+  // and the contract the ROADMAP's sharded multi-server engine builds on.
+  constexpr int kThreads = 4;
+  std::vector<double> throughput(kThreads, 0.0);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t, &throughput] {
+      workload::WorkloadSpec workload;
+      workload.read_ratio = 0.2 + 0.2 * t;
+      collect::MeasureOptions measure;
+      measure.ops = 4000;
+      measure.warmup_ops = 400;
+      measure.seed = 100 + static_cast<std::uint64_t>(t);
+      throughput[static_cast<std::size_t>(t)] =
+          collect::measure_throughput(engine::Config::defaults(), workload, measure);
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(std::isfinite(throughput[static_cast<std::size_t>(t)])) << "thread " << t;
+    EXPECT_GT(throughput[static_cast<std::size_t>(t)], 0.0) << "thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace rafiki

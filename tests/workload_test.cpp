@@ -187,7 +187,9 @@ TEST(Characterize, FullCharacterizationProducesUsableSpec) {
   const auto records = synthesize_mgrast_queries(windows, 2000, base, 900.0, 23);
   const std::vector<double> candidates = {450.0, 900.0};
   const auto ch = characterize(records, candidates);
-  EXPECT_EQ(ch.read_ratios.size(), records.size() / 2000 * (900.0 / ch.window_s));
+  const double expected_windows =
+      static_cast<double>(records.size() / 2000) * (900.0 / ch.window_s);
+  EXPECT_DOUBLE_EQ(static_cast<double>(ch.read_ratios.size()), expected_windows);
   EXPECT_GT(ch.krd_mean, 0.0);
   EXPECT_GT(ch.mean_value_bytes, 0.0);
   EXPECT_GT(ch.insert_fraction, 0.0);

@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""Custom determinism lint for the Rafiki tree.
+
+Rafiki's headline numbers (throughput gain, prediction error, GA-vs-exhaustive
+gap) are only trustworthy if the simulator, surrogate training, and GA search
+are bit-for-bit reproducible from a seed. This pass bans the C++ constructs
+that silently break that contract. The full rule specification, rationale, and
+suppression syntax live in tools/lint_rules.md.
+
+Rules (ids used in findings and det:ok() suppressions):
+  c-rand          rand() / srand() / random()  — global-state C PRNG
+  random-device   std::random_device           — hardware entropy
+  mt19937         std::mt19937 / std::mt19937_64 and <random> engines
+                  (seeded or not) — all randomness must flow through
+                  rafiki::Rng (src/util/rng.h)
+  wall-clock      time() / clock() / gettimeofday / localtime / gmtime /
+                  std::chrono::*_clock::now() — wall-clock reads
+  unordered-iter  range-for over a std::unordered_{map,set} in a result path —
+                  iteration order is implementation-defined
+
+Suppress a finding by annotating the offending line (or the line directly
+above it) with:  // det:ok(<rule-id>): <reason>
+
+Exit status: 0 when the tree is clean, 1 when findings exist, 2 on usage
+errors. `--selftest` checks the scanner itself against known-bad snippets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+EXTENSIONS = {".cpp", ".h", ".hpp", ".cc"}
+# The one sanctioned randomness implementation.
+EXEMPT_FILES = {Path("src/util/rng.h")}
+
+SUPPRESS_RE = re.compile(r"//\s*det:ok\((?P<rules>[a-z0-9_,\- ]+)\)")
+LINE_COMMENT_RE = re.compile(r"//.*$")
+
+# rule id -> (regex, message)
+PATTERN_RULES = {
+    "c-rand": (
+        re.compile(r"(?<![A-Za-z0-9_])s?rand(om)?\s*\("),
+        "C PRNG (rand/srand/random) uses hidden global state; draw from rafiki::Rng",
+    ),
+    "random-device": (
+        re.compile(r"std::random_device"),
+        "std::random_device is nondeterministic hardware entropy; seed rafiki::Rng explicitly",
+    ),
+    "mt19937": (
+        re.compile(
+            r"std::(mt19937(_64)?|minstd_rand0?|ranlux(24|48)(_base)?|"
+            r"knuth_b|default_random_engine)"
+        ),
+        "<random> engines are banned; all stochastic code draws from rafiki::Rng",
+    ),
+    "wall-clock": (
+        re.compile(
+            r"(?<![A-Za-z0-9_])(time|clock|gettimeofday|localtime|gmtime)\s*\(|"
+            r"std::chrono::(system_clock|steady_clock|high_resolution_clock)::now"
+        ),
+        "wall-clock read; results must not depend on real time "
+        "(annotate det:ok(wall-clock) if reporting-only)",
+    ),
+}
+
+UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s+(\w+)\s*[;({=]"
+)
+# Anchored form handles call expressions (`: obj.rows()) {`); the fallback
+# covers single-line loop bodies (`for (auto k : m) use(k);`).
+RANGE_FOR_RE = re.compile(r"for\s*\(.*?:\s*(?P<expr>.+?)\)\s*\{?\s*$")
+RANGE_FOR_FALLBACK_RE = re.compile(r"for\s*\(.*?:\s*(?P<expr>[^)]+)\)")
+# Accessors known (from this codebase) to expose an unordered container.
+UNORDERED_ACCESSORS = (".rows()",)
+
+
+def strip_strings(line: str) -> str:
+    """Blank out string/char literals so patterns inside them don't fire."""
+    return re.sub(r'"(\\.|[^"\\])*"|\'(\\.|[^\'\\])*\'', '""', line)
+
+
+def suppressed_rules(lines: list[str], idx: int) -> set[str]:
+    rules: set[str] = set()
+    for i in (idx, idx - 1):
+        if 0 <= i < len(lines):
+            m = SUPPRESS_RE.search(lines[i])
+            if m:
+                rules.update(r.strip() for r in m.group("rules").split(","))
+    return rules
+
+
+def scan_file(path: Path, rel: Path) -> list[tuple[Path, int, str, str]]:
+    findings = []
+    try:
+        lines = path.read_text(errors="replace").splitlines()
+    except OSError as err:
+        print(f"warning: cannot read {path}: {err}", file=sys.stderr)
+        return []
+
+    unordered_names: set[str] = set()
+    for line in lines:
+        code = strip_strings(LINE_COMMENT_RE.sub("", line))
+        for m in UNORDERED_DECL_RE.finditer(code):
+            unordered_names.add(m.group(1))
+
+    for idx, raw in enumerate(lines):
+        code = strip_strings(LINE_COMMENT_RE.sub("", raw))
+        if not code.strip():
+            continue
+        allowed = suppressed_rules(lines, idx)
+        for rule, (pattern, message) in PATTERN_RULES.items():
+            if rule not in allowed and pattern.search(code):
+                findings.append((rel, idx + 1, rule, message))
+        if "unordered-iter" not in allowed:
+            m = RANGE_FOR_RE.search(code) or RANGE_FOR_FALLBACK_RE.search(code)
+            if m:
+                expr = m.group("expr").strip()
+                hit = any(a in expr for a in UNORDERED_ACCESSORS) or any(
+                    re.search(rf"(?<![A-Za-z0-9_]){re.escape(n)}(?![A-Za-z0-9_])", expr)
+                    for n in unordered_names
+                )
+                if hit:
+                    findings.append(
+                        (
+                            rel,
+                            idx + 1,
+                            "unordered-iter",
+                            "iteration order of unordered containers is "
+                            "implementation-defined; sort first, or annotate "
+                            "det:ok(unordered-iter) when the sink is order-insensitive",
+                        )
+                    )
+    return findings
+
+
+def scan_tree(root: Path) -> list[tuple[Path, int, str, str]]:
+    findings = []
+    for d in SCAN_DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in EXTENSIONS:
+                continue
+            rel = path.relative_to(root)
+            if rel in EXEMPT_FILES:
+                continue
+            findings.extend(scan_file(path, rel))
+    return findings
+
+
+SELFTEST_BAD = """\
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <unordered_map>
+void bad() {
+  int a = rand();
+  srand(42);
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  std::mt19937 unseeded;
+  long t = time(nullptr);
+  auto now = std::chrono::steady_clock::now();
+  std::unordered_map<int, double> acc;
+  double sum = 0.0;
+  for (const auto& [k, v] : acc) sum += v;  // order-dependent accumulation
+}
+"""
+
+SELFTEST_CLEAN = """\
+#include "util/rng.h"
+#include <unordered_map>
+double good(rafiki::Rng& rng) {
+  // det:ok(wall-clock): reporting-only example
+  auto t0 = std::chrono::steady_clock::now();
+  double runtime = advance_time(acc);  // suffix match must not fire wall-clock
+  std::unordered_map<int, double> acc2;
+  // det:ok(unordered-iter): sink is order-insensitive (sorted downstream)
+  for (const auto& [k, v] : acc2) keys.push_back(k);
+  return rng.uniform() + runtime;
+}
+"""
+
+
+def selftest() -> int:
+    expected = {"c-rand", "random-device", "mt19937", "wall-clock", "unordered-iter"}
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        (root / "src").mkdir()
+        (root / "src" / "bad.cpp").write_text(SELFTEST_BAD)
+        bad_findings = scan_tree(root)
+        fired = {rule for (_, _, rule, _) in bad_findings}
+        missing = expected - fired
+        if missing:
+            print(f"selftest FAILED: rules did not fire on bad input: {sorted(missing)}")
+            return 1
+        (root / "src" / "bad.cpp").write_text(SELFTEST_CLEAN)
+        clean_findings = scan_tree(root)
+        if clean_findings:
+            for rel, lineno, rule, _ in clean_findings:
+                print(f"selftest FAILED: false positive {rel}:{lineno} [{rule}]")
+            return 1
+    print(f"selftest ok: all {len(expected)} rules fire on violations, clean code passes")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", help="files or directories (default: repo tree)")
+    parser.add_argument("--root", default=None, help="repo root (default: parent of tools/)")
+    parser.add_argument("--selftest", action="store_true", help="verify the scanner itself")
+    args = parser.parse_args()
+
+    if args.selftest:
+        return selftest()
+
+    root = Path(args.root) if args.root else Path(__file__).resolve().parent.parent
+    if args.paths:
+        findings = []
+        for p in args.paths:
+            path = Path(p).resolve()
+            if path.is_dir():
+                for f in sorted(path.rglob("*")):
+                    if f.suffix in EXTENSIONS:
+                        findings.extend(scan_file(f, f.relative_to(root)))
+            elif path.suffix in EXTENSIONS:
+                findings.extend(scan_file(path, path.relative_to(root)))
+    else:
+        findings = scan_tree(root)
+
+    for rel, lineno, rule, message in findings:
+        print(f"{rel}:{lineno}: [{rule}] {message}")
+    if findings:
+        print(f"\n{len(findings)} determinism finding(s). See tools/lint_rules.md.")
+        return 1
+    print("determinism lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

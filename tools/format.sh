@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# clang-format driver. Default: reformat the tree in place.
+#   tools/format.sh --check   verify only; exit 1 if any file needs formatting
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+clang_format_bin=""
+for candidate in clang-format clang-format-18 clang-format-17 clang-format-16 \
+                 clang-format-15 clang-format-14; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    clang_format_bin="$candidate"
+    break
+  fi
+done
+if [[ -z "$clang_format_bin" ]]; then
+  echo "format.sh: clang-format not found on PATH; nothing checked" >&2
+  exit 0
+fi
+
+mapfile -t sources < <(git ls-files '*.cpp' '*.h' '*.hpp' '*.cc')
+
+if [[ "${1:-}" == "--check" ]]; then
+  "$clang_format_bin" --dry-run --Werror "${sources[@]}"
+else
+  "$clang_format_bin" -i "${sources[@]}"
+fi

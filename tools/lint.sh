@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Static-analysis driver: clang-tidy over the whole tree (when available) plus
+# the custom determinism lint. Exits non-zero on any finding.
+#
+# Usage: tools/lint.sh [build-dir]
+#   build-dir: a configured build with compile_commands.json
+#              (default: build-lint, build-default, or build, first that exists;
+#               configured automatically if none do)
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+status=0
+
+# --- clang-tidy pass -------------------------------------------------------
+clang_tidy_bin=""
+for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                 clang-tidy-15 clang-tidy-14; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    clang_tidy_bin="$candidate"
+    break
+  fi
+done
+
+if [[ -z "$clang_tidy_bin" ]]; then
+  echo "lint.sh: clang-tidy not found on PATH; skipping clang-tidy pass" >&2
+  echo "lint.sh: (install clang-tidy, or use the 'lint' CMake preset on a" >&2
+  echo "lint.sh:  machine that has it, to run the full static-analysis gate)" >&2
+else
+  build_dir="${1:-}"
+  if [[ -z "$build_dir" ]]; then
+    for d in build-lint build-default build; do
+      if [[ -f "$d/compile_commands.json" ]]; then
+        build_dir="$d"
+        break
+      fi
+    done
+  fi
+  if [[ -z "$build_dir" || ! -f "$build_dir/compile_commands.json" ]]; then
+    build_dir="build-default"
+    echo "lint.sh: configuring $build_dir for compile_commands.json" >&2
+    cmake --preset default >/dev/null || exit 1
+  fi
+
+  mapfile -t sources < <(git ls-files 'src/**/*.cpp' 'tests/*.cpp' \
+                                      'bench/*.cpp' 'examples/*.cpp')
+  echo "lint.sh: running $clang_tidy_bin on ${#sources[@]} files (compdb: $build_dir)"
+  if ! "$clang_tidy_bin" -p "$build_dir" --warnings-as-errors='*' --quiet \
+       "${sources[@]}"; then
+    status=1
+  fi
+fi
+
+# --- custom determinism lint ----------------------------------------------
+if ! python3 tools/check_determinism.py; then
+  status=1
+fi
+
+exit "$status"

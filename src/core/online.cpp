@@ -7,33 +7,37 @@ namespace rafiki::core {
 OnlineTuner::OnlineTuner(const Rafiki& rafiki, OnlineTunerOptions options)
     : rafiki_(&rafiki), options_(options) {}
 
-void OnlineTuner::prefetch(double read_ratio) {
-  const int bucket = static_cast<int>(std::round(read_ratio / options_.rr_bucket));
-  if (!cache_.contains(bucket)) {
-    ++optimizer_runs_;
-    cache_.emplace(bucket, rafiki_->optimize(read_ratio));
-  }
+int OnlineTuner::bucket_for(double read_ratio) const noexcept {
+  return static_cast<int>(std::round(read_ratio / options_.rr_bucket));
 }
+
+const Rafiki::OptimizeResult& OnlineTuner::optimized_for(double read_ratio) {
+  const int bucket = bucket_for(read_ratio);
+  auto it = cache_.find(bucket);
+  if (it == cache_.end()) {
+    ++optimizer_runs_;
+    it = cache_.emplace(bucket, rafiki_->optimize(read_ratio)).first;
+    if (publish_) publish_(bucket, it->second);
+  }
+  return it->second;
+}
+
+void OnlineTuner::prefetch(double read_ratio) { optimized_for(read_ratio); }
 
 OnlineTuner::Decision OnlineTuner::on_window(double read_ratio) {
   Decision decision;
   const bool moved = !have_config_ ||
                      std::abs(read_ratio - current_rr_) >= options_.rr_change_threshold;
   if (moved) {
-    const int bucket = static_cast<int>(std::round(read_ratio / options_.rr_bucket));
-    auto it = cache_.find(bucket);
-    if (it == cache_.end()) {
-      ++optimizer_runs_;
-      it = cache_.emplace(bucket, rafiki_->optimize(read_ratio)).first;
-    }
-    if (!have_config_ || !(it->second.config == current_)) {
-      current_ = it->second.config;
+    const auto& optimized = optimized_for(read_ratio);
+    if (!have_config_ || !(optimized.config == current_)) {
+      current_ = optimized.config;
       ++reconfigurations_;
       decision.reconfigured = true;
     }
     current_rr_ = read_ratio;
     have_config_ = true;
-    decision.predicted_throughput = it->second.predicted_throughput;
+    decision.predicted_throughput = optimized.predicted_throughput;
   } else {
     decision.predicted_throughput = rafiki_->predict(read_ratio, current_);
   }

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <map>
 
 #include "core/rafiki.h"
@@ -44,13 +45,28 @@ class OnlineTuner {
   /// switch pays no optimizer latency inside the critical window.
   void prefetch(double read_ratio);
 
+  /// Called whenever a freshly optimized configuration enters the memo cache
+  /// (on_window miss or prefetch). The serve layer hooks this to republish
+  /// the result through its versioned snapshot registry, so every tuned
+  /// config the background path produces becomes visible to in-flight
+  /// readers without locking them.
+  using PublishHook = std::function<void(int bucket, const Rafiki::OptimizeResult& result)>;
+  void set_publish_hook(PublishHook hook) { publish_ = std::move(hook); }
+
+  /// Memoization key shared by on_window and prefetch.
+  int bucket_for(double read_ratio) const noexcept;
+
   std::size_t reconfigurations() const noexcept { return reconfigurations_; }
   std::size_t optimizer_runs() const noexcept { return optimizer_runs_; }
   const OnlineTunerOptions& options() const noexcept { return options_; }
 
  private:
+  /// Cache lookup with optimize-on-miss; new entries flow to the publish hook.
+  const Rafiki::OptimizeResult& optimized_for(double read_ratio);
+
   const Rafiki* rafiki_;
   OnlineTunerOptions options_;
+  PublishHook publish_;
   std::map<int, Rafiki::OptimizeResult> cache_;  // bucket -> optimized result
   engine::Config current_ = engine::Config::defaults();
   double current_rr_ = -1.0;  // RR the current config was chosen for

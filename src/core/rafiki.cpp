@@ -114,6 +114,21 @@ double Rafiki::predict(double read_ratio, const engine::Config& config) const {
   return surrogate_.predict(features);
 }
 
+std::vector<double> Rafiki::predict_batch(double read_ratio,
+                                          const std::vector<engine::Config>& configs) const {
+  if (!surrogate_.trained()) throw std::logic_error("Rafiki::predict_batch: train() first");
+  // One flat feature block instead of a vector per config: the batched call
+  // stays allocation-lean even when the micro-batcher sends small chunks.
+  ml::Matrix rows(configs.size(), key_params_.size() + 1);
+  for (std::size_t r = 0; r < configs.size(); ++r) {
+    rows(r, 0) = read_ratio;
+    for (std::size_t j = 0; j < key_params_.size(); ++j) {
+      rows(r, 1 + j) = configs[r].get(key_params_[j]);
+    }
+  }
+  return surrogate_.predict_batch(rows);
+}
+
 opt::SearchSpace Rafiki::key_space() const {
   if (key_params_.empty()) throw std::logic_error("Rafiki::key_space: no key params");
   std::vector<opt::Dimension> dims;
@@ -129,16 +144,25 @@ Rafiki::OptimizeResult Rafiki::optimize(double read_ratio) const {
   if (!surrogate_.trained()) throw std::logic_error("Rafiki::optimize: train() first");
   const auto space = key_space();
 
-  std::vector<double> features(key_params_.size() + 1);
-  features[0] = read_ratio;
-  const auto objective = [&](std::span<const double> point) {
-    for (std::size_t i = 0; i < point.size(); ++i) features[i + 1] = point[i];
-    return surrogate_.predict(features);
+  // Whole-cohort surrogate evaluation: the GA scores each generation through
+  // one batched ensemble call (matrix-matrix kernels) instead of one
+  // matrix-vector pass per individual.
+  const auto objective = [&](const std::vector<std::vector<double>>& points) {
+    std::vector<std::vector<double>> rows;
+    rows.reserve(points.size());
+    for (const auto& point : points) {
+      std::vector<double> features;
+      features.reserve(point.size() + 1);
+      features.push_back(read_ratio);
+      features.insert(features.end(), point.begin(), point.end());
+      rows.push_back(std::move(features));
+    }
+    return surrogate_.predict_batch(rows);
   };
 
   // det:ok(wall-clock): wall_seconds is reporting-only; no result depends on it
   const auto t0 = std::chrono::steady_clock::now();
-  const auto ga = opt::ga_optimize(space, objective, options_.ga);
+  const auto ga = opt::ga_optimize_batched(space, objective, options_.ga);
   // det:ok(wall-clock): wall_seconds is reporting-only; no result depends on it
   const auto t1 = std::chrono::steady_clock::now();
 

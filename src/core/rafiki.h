@@ -69,6 +69,10 @@ class Rafiki {
   /// five), useful for tests and cheaper benches.
   void set_key_params(std::vector<engine::ParamId> params);
 
+  /// The currently selected key parameters (empty until selected or set);
+  /// the serve layer snapshots this alongside the trained ensemble.
+  const std::vector<engine::ParamId>& key_params() const noexcept { return key_params_; }
+
   /// Stage 3: benchmark the workload grid against the sampled configs.
   collect::Dataset collect();
 
@@ -79,6 +83,11 @@ class Rafiki {
 
   /// Surrogate prediction for (workload, configuration) — Equation (2).
   double predict(double read_ratio, const engine::Config& config) const;
+
+  /// Batched variant: one ensemble evaluation for many configurations at a
+  /// fixed workload. Bit-for-bit identical to predict() per row.
+  std::vector<double> predict_batch(double read_ratio,
+                                    const std::vector<engine::Config>& configs) const;
 
   struct OptimizeResult {
     engine::Config config;

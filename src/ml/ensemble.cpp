@@ -1,6 +1,7 @@
 #include "ml/ensemble.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <stdexcept>
 
@@ -62,6 +63,124 @@ double SurrogateEnsemble::predict(std::span<const double> x) const {
     ++count;
   }
   return norm_out_.unmap(sum / static_cast<double>(count ? count : 1));
+}
+
+SurrogateEnsemble::Prediction SurrogateEnsemble::predict_with_uncertainty(
+    std::span<const double> x) const {
+  return predict_batch_with_uncertainty({{x.begin(), x.end()}}).front();
+}
+
+std::vector<double> SurrogateEnsemble::predict_batch(
+    const std::vector<std::vector<double>>& x_rows) const {
+  if (nets_.empty()) throw std::logic_error("SurrogateEnsemble::predict_batch: not trained");
+  if (x_rows.empty()) return {};
+  Matrix packed(x_rows.size(), norm_in_.features());
+  for (std::size_t r = 0; r < x_rows.size(); ++r) {
+    if (x_rows[r].size() != norm_in_.features()) {
+      throw std::invalid_argument("SurrogateEnsemble::predict_batch: row size");
+    }
+    for (std::size_t c = 0; c < norm_in_.features(); ++c) packed(r, c) = x_rows[r][c];
+  }
+  return predict_batch(packed);
+}
+
+std::vector<double> SurrogateEnsemble::predict_batch(const Matrix& x_rows) const {
+  if (nets_.empty()) throw std::logic_error("SurrogateEnsemble::predict_batch: not trained");
+  if (x_rows.rows() == 0) return {};
+  if (x_rows.cols() != norm_in_.features()) {
+    throw std::invalid_argument("SurrogateEnsemble::predict_batch: row size");
+  }
+  const std::size_t n = x_rows.rows();
+
+  Matrix xn(n, norm_in_.features());
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < norm_in_.features(); ++c) {
+      xn(r, c) = norm_in_.map(x_rows(r, c), c);
+    }
+  }
+
+  // Member order matches predict()'s loop, so the per-row sums round the
+  // same way and the batched path is bit-for-bit identical. One scratch and
+  // one member buffer serve every net, so the per-batch cost stays in the
+  // affine/tanh kernels rather than the allocator.
+  std::vector<double> sum(n, 0.0);
+  std::vector<double> member(n);
+  Mlp::BatchScratch scratch;
+  std::size_t count = 0;
+  for (std::size_t k = 0; k < nets_.size(); ++k) {
+    if (!active_[k]) continue;
+    nets_[k].forward_batch(xn, member, scratch);
+    for (std::size_t r = 0; r < n; ++r) sum[r] += member[r];
+    ++count;
+  }
+  std::vector<double> out(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    out[r] = norm_out_.unmap(sum[r] / static_cast<double>(count ? count : 1));
+  }
+  return out;
+}
+
+std::vector<SurrogateEnsemble::Prediction> SurrogateEnsemble::predict_batch_with_uncertainty(
+    const std::vector<std::vector<double>>& x_rows) const {
+  if (nets_.empty()) {
+    throw std::logic_error("SurrogateEnsemble::predict_batch_with_uncertainty: not trained");
+  }
+  if (x_rows.empty()) return {};
+  Matrix packed(x_rows.size(), norm_in_.features());
+  for (std::size_t r = 0; r < x_rows.size(); ++r) {
+    if (x_rows[r].size() != norm_in_.features()) {
+      throw std::invalid_argument("SurrogateEnsemble::predict_batch_with_uncertainty: row size");
+    }
+    for (std::size_t c = 0; c < norm_in_.features(); ++c) packed(r, c) = x_rows[r][c];
+  }
+  return predict_batch_with_uncertainty(packed);
+}
+
+std::vector<SurrogateEnsemble::Prediction> SurrogateEnsemble::predict_batch_with_uncertainty(
+    const Matrix& x_rows) const {
+  if (nets_.empty()) {
+    throw std::logic_error("SurrogateEnsemble::predict_batch_with_uncertainty: not trained");
+  }
+  if (x_rows.rows() == 0) return {};
+  if (x_rows.cols() != norm_in_.features()) {
+    throw std::invalid_argument("SurrogateEnsemble::predict_batch_with_uncertainty: row size");
+  }
+  const std::size_t n = x_rows.rows();
+
+  Matrix xn(n, norm_in_.features());
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < norm_in_.features(); ++c) {
+      xn(r, c) = norm_in_.map(x_rows(r, c), c);
+    }
+  }
+
+  std::vector<double> sum(n, 0.0);
+  std::vector<double> sumsq(n, 0.0);
+  std::vector<double> member(n);
+  Mlp::BatchScratch scratch;
+  std::size_t count = 0;
+  for (std::size_t k = 0; k < nets_.size(); ++k) {
+    if (!active_[k]) continue;
+    nets_[k].forward_batch(xn, member, scratch);
+    for (std::size_t r = 0; r < n; ++r) {
+      sum[r] += member[r];
+      sumsq[r] += member[r] * member[r];
+    }
+    ++count;
+  }
+
+  std::vector<Prediction> out(n);
+  const auto denom = static_cast<double>(count ? count : 1);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double mean_n = sum[r] / denom;
+    out[r].mean = norm_out_.unmap(mean_n);
+    if (count > 1) {
+      const double var_n =
+          std::max(0.0, (sumsq[r] - sum[r] * mean_n) / static_cast<double>(count - 1));
+      out[r].stddev = norm_out_.unmap_delta(std::sqrt(var_n));
+    }
+  }
+  return out;
 }
 
 }  // namespace rafiki::ml

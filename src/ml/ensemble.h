@@ -35,6 +35,26 @@ class SurrogateEnsemble {
   /// Predicted target for one raw feature row (averaged over active nets).
   double predict(std::span<const double> x) const;
 
+  /// Mean prediction plus the cross-member spread of the active networks
+  /// (sample stddev in raw target units) — the uncertainty band the serve
+  /// layer attaches to Predict responses.
+  struct Prediction {
+    double mean = 0.0;
+    double stddev = 0.0;
+  };
+  Prediction predict_with_uncertainty(std::span<const double> x) const;
+
+  /// Batched prediction over raw feature rows: one matrix-matrix product per
+  /// layer per member (Mlp::forward_batch) instead of a matrix-vector product
+  /// per row. Bit-for-bit identical to calling predict() on each row. The
+  /// Matrix overloads are the allocation-lean hot path (one flat block, no
+  /// per-row vectors); the vector-of-rows forms delegate to them.
+  std::vector<double> predict_batch(const Matrix& x_rows) const;
+  std::vector<double> predict_batch(const std::vector<std::vector<double>>& x_rows) const;
+  std::vector<Prediction> predict_batch_with_uncertainty(const Matrix& x_rows) const;
+  std::vector<Prediction> predict_batch_with_uncertainty(
+      const std::vector<std::vector<double>>& x_rows) const;
+
   bool trained() const noexcept { return !nets_.empty(); }
   std::size_t total_nets() const noexcept { return nets_.size(); }
   std::size_t active_nets() const noexcept;

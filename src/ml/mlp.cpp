@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ml/activation.h"
+
 namespace rafiki::ml {
 
 Mlp::Mlp(std::vector<std::size_t> layer_sizes) : layers_(std::move(layer_sizes)) {
@@ -50,11 +52,56 @@ double Mlp::forward(std::span<const double> x) const {
       double s = params_[view.b_offset + o];
       const double* w = &params_[view.w_offset + o * view.in];
       for (std::size_t i = 0; i < view.in; ++i) s += w[i] * a[i];
-      z[o] = l + 1 < views_.size() ? std::tanh(s) : s;  // linear output layer
+      z[o] = l + 1 < views_.size() ? fast_tanh(s) : s;  // linear output layer
     }
     a = z;
   }
   return a[0];
+}
+
+std::vector<double> Mlp::forward_batch(const Matrix& x_rows) const {
+  std::vector<double> out(x_rows.rows());
+  BatchScratch scratch;
+  forward_batch(x_rows, out, scratch);
+  return out;
+}
+
+void Mlp::forward_batch(const Matrix& x_rows, std::span<double> out,
+                        BatchScratch& scratch) const {
+  if (x_rows.cols() != layers_.front()) {
+    throw std::invalid_argument("Mlp::forward_batch: input size");
+  }
+  const std::size_t n = x_rows.rows();
+  if (out.size() != n) throw std::invalid_argument("Mlp::forward_batch: out size");
+
+  // Activations live transposed ([unit][row]) so every affine inner loop in
+  // layer_affine_block is a unit-stride pass across the whole batch — the
+  // vector lane is the batch dimension, which stays long no matter how
+  // narrow a layer is. Transpose the input once, then ping-pong between the
+  // two flat buffers.
+  scratch.a.resize(n * layers_.front());
+  for (std::size_t r = 0; r < n; ++r) {
+    const double* row = x_rows.row(r).data();
+    for (std::size_t c = 0; c < layers_.front(); ++c) scratch.a[c * n + r] = row[c];
+  }
+  const double* in = scratch.a.data();
+  const double* cur = nullptr;
+  for (std::size_t l = 0; l < views_.size(); ++l) {
+    const auto& view = views_[l];
+    auto& dst = (l % 2 == 0) ? scratch.z : scratch.a;
+    dst.resize(n * view.out);
+    // Bias-first, ascending-input-index accumulation — the same per-element
+    // order as forward(), so sums round identically (see activation.h).
+    layer_affine_block(in, n, view.in, &params_[view.w_offset],
+                       &params_[view.b_offset], dst.data(), view.out);
+    // One SIMD activation sweep over the whole out x n block instead of a
+    // scalar call per element; bit-identical to fast_tanh.
+    if (l + 1 < views_.size()) fast_tanh_block(dst.data(), n * view.out);
+    cur = dst.data();
+    in = cur;
+  }
+  // The output layer has width 1, so its transposed block is the outputs.
+  std::copy(cur, cur + n, out.begin());
 }
 
 double Mlp::forward_with_gradient(std::span<const double> x, std::span<double> grad) const {
@@ -71,7 +118,7 @@ double Mlp::forward_with_gradient(std::span<const double> x, std::span<double> g
       double s = params_[view.b_offset + o];
       const double* w = &params_[view.w_offset + o * view.in];
       for (std::size_t i = 0; i < view.in; ++i) s += w[i] * acts[l][i];
-      a[o] = l + 1 < views_.size() ? std::tanh(s) : s;
+      a[o] = l + 1 < views_.size() ? fast_tanh(s) : s;
     }
     acts.push_back(std::move(a));
   }
@@ -138,6 +185,12 @@ double Normalizer::unmap(double v, std::size_t feature) const {
   const double lo = lo_.at(feature);
   const double hi = hi_.at(feature);
   return lo + (v + 1.0) * 0.5 * (hi - lo);
+}
+
+double Normalizer::unmap_delta(double dv, std::size_t feature) const {
+  const double lo = lo_.at(feature);
+  const double hi = hi_.at(feature);
+  return dv * 0.5 * (hi - lo);
 }
 
 std::vector<double> Normalizer::map_row(std::span<const double> row) const {

@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "ml/matrix.h"
 #include "util/rng.h"
 
 namespace rafiki::ml {
@@ -30,6 +31,28 @@ class Mlp {
 
   /// Network output for one (already normalized) input vector.
   double forward(std::span<const double> x) const;
+
+  /// Reusable buffers for forward_batch. A caller evaluating many batches
+  /// (or many ensemble members) passes the same scratch to every call so the
+  /// per-batch cost is pure arithmetic, not allocation.
+  struct BatchScratch {
+    std::vector<double> a;  // transposed activations, ping (holds the input first)
+    std::vector<double> z;  // transposed activations, pong
+  };
+
+  /// Batched forward pass: each row of `X` is one normalized input vector,
+  /// evaluated with one matrix-matrix product per layer instead of one
+  /// matrix-vector product per request. The per-element accumulation order
+  /// (bias first, then weights in ascending input index) matches forward()
+  /// exactly, so results are bit-for-bit identical to calling forward() row
+  /// by row — the serve-layer micro-batcher and the GA population loop rely
+  /// on that equivalence.
+  std::vector<double> forward_batch(const Matrix& x_rows) const;
+
+  /// Allocation-free variant: writes the x_rows.rows() outputs to `out` and
+  /// keeps all intermediates in `scratch`. Same bit-for-bit contract.
+  void forward_batch(const Matrix& x_rows, std::span<double> out,
+                     BatchScratch& scratch) const;
 
   /// Output plus d(output)/d(params) via backpropagation; `grad` must have
   /// param_count() entries. One call per sample builds one Jacobian row.
@@ -57,6 +80,9 @@ class Normalizer {
 
   double map(double v, std::size_t feature = 0) const;
   double unmap(double v, std::size_t feature = 0) const;
+  /// Maps a *distance* in normalized units back to raw units (no offset);
+  /// used to express ensemble spread in target units.
+  double unmap_delta(double dv, std::size_t feature = 0) const;
   std::vector<double> map_row(std::span<const double> row) const;
   std::size_t features() const noexcept { return lo_.size(); }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 namespace rafiki::opt {
 namespace {
@@ -18,20 +19,43 @@ struct Individual {
 
 GaResult ga_optimize(const SearchSpace& space, const Objective& objective,
                      const GaOptions& options) {
+  return ga_optimize_batched(
+      space,
+      [&objective](const std::vector<std::vector<double>>& points) {
+        std::vector<double> values;
+        values.reserve(points.size());
+        for (const auto& point : points) values.push_back(objective(point));
+        return values;
+      },
+      options);
+}
+
+GaResult ga_optimize_batched(const SearchSpace& space, const BatchObjective& objective,
+                             const GaOptions& options) {
   Rng rng(options.seed);
   GaResult result;
 
-  auto evaluate = [&](Individual& ind) {
-    ind.raw = objective(ind.genome);
-    ind.violation = space.violation(ind.genome);
-    ++result.evaluations;
+  // Genome creation (which consumes the RNG stream) is fully decoupled from
+  // fitness evaluation (which does not), so a whole cohort can be scored in
+  // one batched objective call without perturbing the random sequence.
+  auto evaluate_from = [&](std::vector<Individual>& pop, std::size_t first) {
+    std::vector<std::vector<double>> points;
+    points.reserve(pop.size() - first);
+    for (std::size_t i = first; i < pop.size(); ++i) points.push_back(pop[i].genome);
+    const auto values = objective(points);
+    if (values.size() != points.size()) {
+      throw std::invalid_argument("ga_optimize_batched: objective returned wrong count");
+    }
+    for (std::size_t i = first; i < pop.size(); ++i) {
+      pop[i].raw = values[i - first];
+      pop[i].violation = space.violation(pop[i].genome);
+    }
+    result.evaluations += points.size();
   };
 
   std::vector<Individual> population(options.population);
-  for (auto& ind : population) {
-    ind.genome = space.random_point(rng);
-    evaluate(ind);
-  }
+  for (auto& ind : population) ind.genome = space.random_point(rng);
+  evaluate_from(population, 0);
 
   auto rescore = [&](std::vector<Individual>& pop) {
     // Penalty scale follows the population's fitness spread so the penalty
@@ -81,6 +105,7 @@ GaResult ga_optimize(const SearchSpace& space, const Objective& objective,
     for (std::size_t e = 0; e < std::min(options.elites, ranked.size()); ++e) {
       next.push_back(*ranked[e]);
     }
+    const std::size_t carried = next.size();  // elites keep their scores
 
     while (next.size() < population.size()) {
       const Individual& a = tournament_pick(population);
@@ -110,9 +135,9 @@ GaResult ga_optimize(const SearchSpace& space, const Objective& objective,
           child.genome[i] = std::round(child.genome[i]);
         }
       }
-      evaluate(child);
       next.push_back(std::move(child));
     }
+    evaluate_from(next, carried);
 
     population = std::move(next);
     rescore(population);
@@ -131,7 +156,7 @@ GaResult ga_optimize(const SearchSpace& space, const Objective& objective,
     best_feasible = *best;
   }
   result.best_point = space.snap(best_feasible.genome);
-  result.best_fitness = objective(result.best_point);
+  result.best_fitness = objective({result.best_point}).front();
   ++result.evaluations;
   return result;
 }

@@ -38,7 +38,20 @@ struct GaResult {
   std::vector<double> best_history;  ///< best feasible fitness per generation
 };
 
+/// Vectorized objective: fitness for a whole set of points at once. The GA
+/// evaluates each generation's offspring through one such call, which lets a
+/// surrogate-backed objective run one batched ensemble evaluation per
+/// generation (SurrogateEnsemble::predict_batch) instead of one per
+/// individual. Must return exactly one value per input point.
+using BatchObjective =
+    std::function<std::vector<double>(const std::vector<std::vector<double>>&)>;
+
 GaResult ga_optimize(const SearchSpace& space, const Objective& objective,
                      const GaOptions& options = {});
+
+/// Same algorithm and RNG stream as ga_optimize — results are identical when
+/// the batch objective agrees with the scalar one row-for-row.
+GaResult ga_optimize_batched(const SearchSpace& space, const BatchObjective& objective,
+                             const GaOptions& options = {});
 
 }  // namespace rafiki::opt

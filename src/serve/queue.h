@@ -1,0 +1,99 @@
+// Bounded multi-producer/multi-consumer queue with admission control: the
+// serve layer's backpressure primitive. A full queue rejects immediately
+// (try_push returns false -> the service answers Overloaded) instead of
+// queuing unboundedly or blocking the producer. Consumers block on a
+// condition variable; after close() they drain whatever is still queued and
+// then observe std::nullopt. The timed pop exists only for the
+// micro-batcher's real-time flush window — nothing a request *returns*
+// depends on these waits, so the determinism contract is untouched.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace rafiki::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Admission control: enqueues and returns true, or returns false without
+  /// blocking when the queue is at capacity or closed.
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    return take_locked();
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return take_locked();
+  }
+
+  /// Blocks until an item arrives, the queue closes, or `deadline` (real
+  /// time) passes — the micro-batcher's flush-window wait.
+  std::optional<T> pop_until(std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait_until(lock, deadline, [&] { return closed_ || !items_.empty(); });
+    return take_locked();
+  }
+
+  /// Stops admitting; waiting consumers wake, drain the backlog, then see
+  /// std::nullopt.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::optional<T> take_locked() {
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> item(std::move(items_.front()));
+    items_.pop_front();
+    return item;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace rafiki::serve

@@ -1,0 +1,34 @@
+// Atomically-swapped publication slot for immutable artifacts. Readers grab
+// a shared_ptr with a single atomic load — they never block behind a
+// publisher holding a mutex, and whatever snapshot they grabbed stays alive
+// (refcounted) for as long as they use it, however many swaps happen
+// meanwhile. This is what lets a background retrain republish a new model
+// version with zero downtime for in-flight requests.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace rafiki::serve {
+
+template <typename T>
+class VersionedRegistry {
+ public:
+  /// Current value (may be null before the first publication). The returned
+  /// shared_ptr pins that version for the caller's lifetime of use.
+  std::shared_ptr<const T> get() const noexcept {
+    return slot_.load(std::memory_order_acquire);
+  }
+
+  /// Atomically replaces the published value; concurrent readers keep
+  /// whatever version they already hold.
+  void set(std::shared_ptr<const T> value) noexcept {
+    slot_.store(std::move(value), std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::shared_ptr<const T>> slot_{};
+};
+
+}  // namespace rafiki::serve

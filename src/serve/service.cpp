@@ -1,0 +1,266 @@
+#include "serve/service.h"
+
+#include <utility>
+
+#include "core/online.h"
+
+namespace rafiki::serve {
+namespace {
+
+double elapsed_us(std::chrono::steady_clock::time_point since,
+                  std::chrono::steady_clock::time_point until) {
+  return std::chrono::duration<double, std::micro>(until - since).count();
+}
+
+}  // namespace
+
+TuningService::TuningService(ServiceOptions options)
+    : options_(std::move(options)),
+      queue_(options_.queue_capacity),
+      stats_(options_.stats) {}
+
+TuningService::~TuningService() { stop(); }
+
+std::uint64_t TuningService::publish(ModelSnapshot snapshot) {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  return publish_locked(std::move(snapshot));
+}
+
+std::uint64_t TuningService::publish_locked(ModelSnapshot snapshot) {
+  snapshot.version = ++version_counter_;
+  const std::uint64_t version = snapshot.version;
+  registry_.set(std::make_shared<const ModelSnapshot>(std::move(snapshot)));
+  return version;
+}
+
+std::uint64_t TuningService::model_version() const {
+  const auto snapshot = registry_.get();
+  return snapshot ? snapshot->version : 0;
+}
+
+void TuningService::attach_tuner(core::OnlineTuner& tuner) {
+  tuner.set_publish_hook([this](int bucket, const core::Rafiki::OptimizeResult& result) {
+    publish_tuned(bucket, result.config, result.predicted_throughput);
+  });
+  tuner_.store(&tuner, std::memory_order_release);
+}
+
+void TuningService::publish_tuned(int bucket, const engine::Config& config,
+                                  double predicted) {
+  // Copy-on-write republication: the tuned-config table rides inside the
+  // immutable snapshot, so readers see it with the same lock-free load.
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  const auto current = registry_.get();
+  ModelSnapshot next = current ? *current : ModelSnapshot{};
+  next.tuned[bucket] = TunedEntry{config, predicted};
+  publish_locked(std::move(next));
+}
+
+std::future<Response> TuningService::submit(Request request) {
+  Job job;
+  job.request = request;
+  // det:ok(wall-clock): reporting-only latency timestamp; results never depend on it
+  job.enqueued = std::chrono::steady_clock::now();
+  auto future = job.promise.get_future();
+  const Endpoint endpoint = request.endpoint;
+
+  if (!queue_.try_push(std::move(job))) {
+    const Status reason = queue_.closed() ? Status::kShuttingDown : Status::kOverloaded;
+    stats_.record_reject(endpoint, reason);
+    // The rejected job (promise included) was consumed by the failed push;
+    // answer through a fresh, already-satisfied promise.
+    Response response;
+    response.status = reason;
+    std::promise<Response> rejected;
+    future = rejected.get_future();
+    rejected.set_value(response);
+    return future;
+  }
+  stats_.record_accept(endpoint, queue_.size());
+  return future;
+}
+
+Response TuningService::call(const Request& request) { return submit(request).get(); }
+
+void TuningService::start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (started_ || stopped_) return;
+  started_ = true;
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void TuningService::stop() {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  queue_.close();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  // No worker ever consumed these (workers == 0, or stop before start):
+  // fail them instead of leaving their futures hanging.
+  while (auto job = queue_.try_pop()) {
+    Response response;
+    response.status = Status::kShuttingDown;
+    finish(*job, response);
+  }
+}
+
+void TuningService::worker_loop() {
+  while (auto job = queue_.pop()) {
+    if (job->request.endpoint != Endpoint::kPredict) {
+      run_single(std::move(*job));
+      continue;
+    }
+
+    // Micro-batcher: coalesce queued Predict requests behind this one, up to
+    // max_batch or until the flush window elapses. A non-Predict request
+    // popped while draining terminates the batch and runs right after it.
+    std::vector<Job> batch;
+    batch.push_back(std::move(*job));
+    std::optional<Job> carry;
+    // The flush window is real time by design: it affects only how requests
+    // are grouped into batches, never what any request returns.
+    // det:ok(wall-clock): real-time micro-batch flush window, grouping only
+    const auto flush_at = std::chrono::steady_clock::now() + options_.batch_window;
+    while (batch.size() < options_.max_batch) {
+      auto next = queue_.try_pop();
+      if (!next) {
+        next = queue_.pop_until(flush_at);
+        if (!next) break;  // window elapsed (or queue closed and drained)
+      }
+      if (next->request.endpoint == Endpoint::kPredict) {
+        batch.push_back(std::move(*next));
+      } else {
+        carry = std::move(*next);
+        break;
+      }
+    }
+    run_predict_batch(std::move(batch));
+    if (carry) run_single(std::move(*carry));
+  }
+}
+
+void TuningService::finish(Job& job, Response response) {
+  // det:ok(wall-clock): reporting-only latency measurement
+  const auto now = std::chrono::steady_clock::now();
+  stats_.record_done(job.request.endpoint, response.status, elapsed_us(job.enqueued, now));
+  job.promise.set_value(std::move(response));
+}
+
+void TuningService::run_predict_batch(std::vector<Job> batch) {
+  const auto snapshot = registry_.get();
+  const Tick now = now_tick();
+
+  // Deadline / readiness triage before any model work.
+  std::vector<Job> live;
+  live.reserve(batch.size());
+  for (auto& job : batch) {
+    Response response;
+    if (expired(job.request, now)) {
+      response.status = Status::kDeadlineExceeded;
+      finish(job, response);
+    } else if (!snapshot || !snapshot->ensemble.trained()) {
+      response.status = Status::kNotReady;
+      finish(job, response);
+    } else {
+      live.push_back(std::move(job));
+    }
+  }
+  if (live.empty()) return;
+
+  std::vector<std::vector<double>> rows;
+  rows.reserve(live.size());
+  for (const auto& job : live) {
+    rows.push_back(snapshot->feature_row(job.request.read_ratio, job.request.config));
+  }
+  const auto predictions = snapshot->ensemble.predict_batch_with_uncertainty(rows);
+  stats_.record_batch(live.size());
+
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    Response response;
+    response.status = Status::kOk;
+    response.model_version = snapshot->version;
+    response.mean = predictions[i].mean;
+    response.stddev = predictions[i].stddev;
+    response.batch_size = live.size();
+    finish(live[i], response);
+  }
+}
+
+void TuningService::run_single(Job job) {
+  Response response;
+  if (expired(job.request, now_tick())) {
+    response.status = Status::kDeadlineExceeded;
+    finish(job, response);
+    return;
+  }
+
+  switch (job.request.endpoint) {
+    case Endpoint::kPredict: {
+      // Unreachable through worker_loop (predicts go through the batcher),
+      // but kept correct for direct use: a batch of one.
+      std::vector<Job> batch;
+      batch.push_back(std::move(job));
+      run_predict_batch(std::move(batch));
+      return;
+    }
+    case Endpoint::kOptimize: {
+      const auto snapshot = registry_.get();
+      if (!snapshot || !snapshot->ensemble.trained() || !snapshot->space) {
+        response.status = Status::kNotReady;
+        break;
+      }
+      const double read_ratio = job.request.read_ratio;
+      const auto objective = [&](const std::vector<std::vector<double>>& points) {
+        std::vector<std::vector<double>> rows;
+        rows.reserve(points.size());
+        for (const auto& point : points) {
+          std::vector<double> features;
+          features.reserve(point.size() + 1);
+          features.push_back(read_ratio);
+          features.insert(features.end(), point.begin(), point.end());
+          rows.push_back(std::move(features));
+        }
+        return snapshot->ensemble.predict_batch(rows);
+      };
+      const auto ga = opt::ga_optimize_batched(*snapshot->space, objective, options_.ga);
+      response.status = Status::kOk;
+      response.model_version = snapshot->version;
+      response.config = engine::Config::from_vector(snapshot->key_params, ga.best_point);
+      response.predicted_throughput = ga.best_fitness;
+      response.surrogate_evaluations = ga.evaluations;
+      break;
+    }
+    case Endpoint::kObserveWindow: {
+      auto* tuner = tuner_.load(std::memory_order_acquire);
+      if (tuner == nullptr) {
+        response.status = Status::kNotReady;
+        break;
+      }
+      core::OnlineTuner::Decision decision;
+      {
+        // The tuner is stateful (memo cache, current config); serialize it.
+        // Its publish hook fires in here, republishing fresh configs as a
+        // new snapshot version.
+        std::lock_guard<std::mutex> lock(tuner_mutex_);
+        decision = tuner->on_window(job.request.read_ratio);
+      }
+      response.status = Status::kOk;
+      response.model_version = model_version();
+      response.config = decision.config;
+      response.reconfigured = decision.reconfigured;
+      response.predicted_throughput = decision.predicted_throughput;
+      break;
+    }
+  }
+  finish(job, response);
+}
+
+}  // namespace rafiki::serve

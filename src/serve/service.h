@@ -1,0 +1,138 @@
+// The concurrent tuning service (the "middleware" in the paper's title, as a
+// long-running process): N worker threads answer Predict / Optimize /
+// ObserveWindow requests from a bounded MPMC queue against the currently
+// published model snapshot.
+//
+//   * Admission control — a full queue rejects with Overloaded immediately;
+//     producers never block past capacity. Each request carries a deadline
+//     in injected-clock ticks, checked before execution.
+//   * Micro-batching — concurrent Predict requests are coalesced (up to
+//     ServiceOptions::max_batch, or a real-time flush window) into a single
+//     batched ensemble evaluation (SurrogateEnsemble::predict_batch).
+//   * Versioned snapshots — publish() atomically swaps the model behind an
+//     atomic shared_ptr; in-flight requests keep the version they started
+//     with. A background retrain republishes with zero downtime.
+//   * Telemetry — per-endpoint latency histograms, QPS / rejection /
+//     queue-depth counters, batch-size distribution (serve/stats.h).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "opt/ga.h"
+#include "serve/queue.h"
+#include "serve/snapshot.h"
+#include "serve/stats.h"
+#include "serve/types.h"
+
+namespace rafiki::core {
+class OnlineTuner;
+}
+
+namespace rafiki::serve {
+
+struct ServiceOptions {
+  /// Worker threads spawned by start(). 0 is valid (and useful in tests):
+  /// requests queue deterministically until start() is called with workers.
+  std::size_t workers = 2;
+  /// Bounded request queue capacity; the admission-control limit.
+  std::size_t queue_capacity = 256;
+  /// Micro-batcher: flush a Predict batch at this many coalesced requests...
+  std::size_t max_batch = 32;
+  /// ...or once this much real time has passed since the batch opened.
+  std::chrono::microseconds batch_window{200};
+  /// Virtual clock for request deadlines. Deterministic by construction: the
+  /// default never advances, so deadlines never expire unless a clock is
+  /// injected (tests drive an atomic counter; a deployment would plug in a
+  /// coarse ticker).
+  std::function<Tick()> clock_fn;
+  /// GA budget for the Optimize endpoint.
+  opt::GaOptions ga{};
+  StatsOptions stats{};
+};
+
+class TuningService {
+ public:
+  explicit TuningService(ServiceOptions options = {});
+  ~TuningService();
+
+  TuningService(const TuningService&) = delete;
+  TuningService& operator=(const TuningService&) = delete;
+
+  /// Atomically publishes a new model version (stamping a monotonically
+  /// increasing version number) and returns it. In-flight requests keep the
+  /// snapshot they already resolved; new requests see this one. Safe to call
+  /// from any thread, including while serving.
+  std::uint64_t publish(ModelSnapshot snapshot);
+
+  /// Currently published snapshot (null before the first publish).
+  std::shared_ptr<const ModelSnapshot> snapshot() const { return registry_.get(); }
+  std::uint64_t model_version() const;
+
+  /// Enables the ObserveWindow endpoint. The tuner (which must outlive this
+  /// service) keeps its memoized optimize-on-miss behaviour; its publish
+  /// hook is pointed at this service's snapshot registry, so every freshly
+  /// optimized config is republished as a new snapshot version. Call before
+  /// start().
+  void attach_tuner(core::OnlineTuner& tuner);
+
+  /// Asynchronous submission. Admission control resolves immediately: the
+  /// returned future is already satisfied with Overloaded / ShuttingDown
+  /// when the request was not admitted.
+  std::future<Response> submit(Request request);
+
+  /// Synchronous convenience wrapper: submit + wait.
+  Response call(const Request& request);
+
+  /// Spawns the worker pool (idempotent). Requests submitted before start()
+  /// wait in the queue.
+  void start();
+  /// Closes admission, drains the backlog, joins workers. Queued requests
+  /// are still answered (drained by the workers, or failed with
+  /// ShuttingDown if no worker ever ran). Idempotent.
+  void stop();
+
+  const ServiceStats& stats() const noexcept { return stats_; }
+  std::size_t queue_depth() const { return queue_.size(); }
+  const ServiceOptions& options() const noexcept { return options_; }
+
+ private:
+  struct Job {
+    Request request;
+    std::promise<Response> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_loop();
+  void run_single(Job job);
+  void run_predict_batch(std::vector<Job> batch);
+  void finish(Job& job, Response response);
+  Tick now_tick() const { return options_.clock_fn ? options_.clock_fn() : 0; }
+  bool expired(const Request& request, Tick now) const {
+    return request.deadline != kNoDeadline && now > request.deadline;
+  }
+  std::uint64_t publish_locked(ModelSnapshot snapshot);
+  void publish_tuned(int bucket, const engine::Config& config, double predicted);
+
+  ServiceOptions options_;
+  SnapshotRegistry registry_;
+  std::uint64_t version_counter_ = 0;  // guarded by publish_mutex_
+  std::mutex publish_mutex_;
+  BoundedQueue<Job> queue_;
+  ServiceStats stats_;
+  std::vector<std::thread> workers_;
+  std::mutex lifecycle_mutex_;
+  bool started_ = false;
+  bool stopped_ = false;
+  std::atomic<core::OnlineTuner*> tuner_{nullptr};
+  std::mutex tuner_mutex_;
+};
+
+}  // namespace rafiki::serve

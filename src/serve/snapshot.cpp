@@ -1,0 +1,27 @@
+#include "serve/snapshot.h"
+
+#include <stdexcept>
+
+#include "core/rafiki.h"
+
+namespace rafiki::serve {
+
+std::vector<double> ModelSnapshot::feature_row(double read_ratio,
+                                               const engine::Config& config) const {
+  std::vector<double> row;
+  row.reserve(key_params.size() + 1);
+  row.push_back(read_ratio);
+  for (auto id : key_params) row.push_back(config.get(id));
+  return row;
+}
+
+ModelSnapshot make_snapshot(const core::Rafiki& rafiki) {
+  if (!rafiki.trained()) throw std::logic_error("make_snapshot: pipeline not trained");
+  ModelSnapshot snapshot;
+  snapshot.ensemble = rafiki.surrogate();
+  snapshot.key_params = rafiki.key_params();
+  snapshot.space = std::make_shared<const opt::SearchSpace>(rafiki.key_space());
+  return snapshot;
+}
+
+}  // namespace rafiki::serve

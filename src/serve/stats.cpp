@@ -1,0 +1,169 @@
+#include "serve/stats.h"
+
+#include <algorithm>
+
+namespace rafiki::serve {
+
+const char* endpoint_name(Endpoint endpoint) noexcept {
+  switch (endpoint) {
+    case Endpoint::kPredict:
+      return "Predict";
+    case Endpoint::kOptimize:
+      return "Optimize";
+    case Endpoint::kObserveWindow:
+      return "ObserveWindow";
+  }
+  return "?";
+}
+
+const char* status_name(Status status) noexcept {
+  switch (status) {
+    case Status::kOk:
+      return "Ok";
+    case Status::kOverloaded:
+      return "Overloaded";
+    case Status::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case Status::kNotReady:
+      return "NotReady";
+    case Status::kShuttingDown:
+      return "ShuttingDown";
+  }
+  return "?";
+}
+
+ServiceStats::ServiceStats(StatsOptions options)
+    : options_(options),
+      batch_hist_(1.0, static_cast<double>(options.max_batch) + 1.0,
+                  std::max<std::size_t>(options.max_batch, 1)) {
+  per_endpoint_.reserve(kEndpointCount);
+  for (std::size_t i = 0; i < kEndpointCount; ++i) per_endpoint_.emplace_back(options_);
+}
+
+void ServiceStats::record_accept(Endpoint endpoint, std::size_t queue_depth) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++per_endpoint_[static_cast<std::size_t>(endpoint)].counters.accepted;
+  depth_stats_.add(static_cast<double>(queue_depth));
+}
+
+void ServiceStats::record_reject(Endpoint endpoint, Status reason) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& counters = per_endpoint_[static_cast<std::size_t>(endpoint)].counters;
+  if (reason == Status::kShuttingDown) {
+    ++counters.rejected_shutdown;
+  } else {
+    ++counters.rejected_overload;
+  }
+}
+
+void ServiceStats::record_done(Endpoint endpoint, Status status, double latency_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& per = per_endpoint_[static_cast<std::size_t>(endpoint)];
+  ++per.counters.completed;
+  switch (status) {
+    case Status::kOk:
+      ++per.counters.ok;
+      break;
+    case Status::kDeadlineExceeded:
+      ++per.counters.rejected_deadline;
+      break;
+    case Status::kNotReady:
+      ++per.counters.not_ready;
+      break;
+    case Status::kShuttingDown:
+      ++per.counters.rejected_shutdown;
+      break;
+    case Status::kOverloaded:
+      ++per.counters.rejected_overload;
+      break;
+  }
+  per.latency.add(latency_us);
+  per.latency_stats.add(latency_us);
+}
+
+void ServiceStats::record_batch(std::size_t batch_size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++batches_;
+  batch_hist_.add(static_cast<double>(batch_size));
+  batch_stats_.add(static_cast<double>(batch_size));
+}
+
+ServiceStats::Counters ServiceStats::counters(Endpoint endpoint) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return per_endpoint_[static_cast<std::size_t>(endpoint)].counters;
+}
+
+ServiceStats::Counters ServiceStats::totals() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Counters sum;
+  for (const auto& per : per_endpoint_) {
+    sum.accepted += per.counters.accepted;
+    sum.completed += per.counters.completed;
+    sum.ok += per.counters.ok;
+    sum.rejected_overload += per.counters.rejected_overload;
+    sum.rejected_deadline += per.counters.rejected_deadline;
+    sum.not_ready += per.counters.not_ready;
+    sum.rejected_shutdown += per.counters.rejected_shutdown;
+  }
+  return sum;
+}
+
+double ServiceStats::latency_quantile(Endpoint endpoint, double q) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return per_endpoint_[static_cast<std::size_t>(endpoint)].latency.quantile(q);
+}
+
+double ServiceStats::mean_latency_us(Endpoint endpoint) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return per_endpoint_[static_cast<std::size_t>(endpoint)].latency_stats.mean();
+}
+
+double ServiceStats::mean_batch_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return batch_stats_.mean();
+}
+
+double ServiceStats::max_batch_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return batch_stats_.count() ? batch_stats_.max() : 0.0;
+}
+
+double ServiceStats::batch_quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return batch_hist_.quantile(q);
+}
+
+double ServiceStats::mean_queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return depth_stats_.mean();
+}
+
+double ServiceStats::max_queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return depth_stats_.count() ? depth_stats_.max() : 0.0;
+}
+
+std::uint64_t ServiceStats::batches() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return batches_;
+}
+
+Table ServiceStats::table() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Table table({"endpoint", "accepted", "ok", "overloaded", "deadline", "not ready",
+               "p50 us", "p99 us", "mean us"});
+  for (std::size_t i = 0; i < per_endpoint_.size(); ++i) {
+    const auto& per = per_endpoint_[i];
+    table.add_row({endpoint_name(static_cast<Endpoint>(i)),
+                   std::to_string(per.counters.accepted), std::to_string(per.counters.ok),
+                   std::to_string(per.counters.rejected_overload),
+                   std::to_string(per.counters.rejected_deadline),
+                   std::to_string(per.counters.not_ready),
+                   Table::num(per.latency.quantile(0.5), 1),
+                   Table::num(per.latency.quantile(0.99), 1),
+                   Table::num(per.latency_stats.mean(), 1)});
+  }
+  return table;
+}
+
+}  // namespace rafiki::serve

@@ -1,0 +1,86 @@
+// Thread-safe service telemetry: per-endpoint latency histograms (reusing
+// util/histogram for the p50/p99 quantiles), admission/rejection/QPS
+// counters, queue-depth samples, and the micro-batcher's batch-size
+// distribution. Dumpable through the repo's standard ASCII-table/CSV
+// renderer. Latencies are wall-clock measurements and reporting-only: no
+// request result depends on them.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "serve/types.h"
+#include "util/histogram.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace rafiki::serve {
+
+struct StatsOptions {
+  /// Latency histogram range [0, latency_hi_us) in microseconds; samples
+  /// beyond are clamped into the last bin.
+  double latency_hi_us = 20000.0;
+  std::size_t latency_bins = 400;
+  /// Batch-size histogram range [1, max_batch + 1).
+  std::size_t max_batch = 64;
+};
+
+class ServiceStats {
+ public:
+  explicit ServiceStats(StatsOptions options = {});
+
+  struct Counters {
+    std::uint64_t accepted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t rejected_overload = 0;
+    std::uint64_t rejected_deadline = 0;
+    std::uint64_t not_ready = 0;
+    std::uint64_t rejected_shutdown = 0;
+  };
+
+  /// A request passed admission control; `queue_depth` is sampled just after.
+  void record_accept(Endpoint endpoint, std::size_t queue_depth);
+  /// A request was turned away at admission (Overloaded / ShuttingDown).
+  void record_reject(Endpoint endpoint, Status reason);
+  /// A request ran (or was triaged) by a worker; latency is queue + service
+  /// time in microseconds.
+  void record_done(Endpoint endpoint, Status status, double latency_us);
+  /// One Predict micro-batch was executed with this many coalesced requests.
+  void record_batch(std::size_t batch_size);
+
+  Counters counters(Endpoint endpoint) const;
+  Counters totals() const;
+  double latency_quantile(Endpoint endpoint, double q) const;
+  double mean_latency_us(Endpoint endpoint) const;
+  double mean_batch_size() const;
+  double max_batch_size() const;
+  double batch_quantile(double q) const;
+  double mean_queue_depth() const;
+  double max_queue_depth() const;
+  std::uint64_t batches() const;
+
+  /// Per-endpoint summary table ("endpoint | accepted | ok | overloaded |
+  /// deadline | p50 | p99 | mean"); render() / to_csv() for output.
+  Table table() const;
+
+ private:
+  struct PerEndpoint {
+    Counters counters;
+    Histogram latency;
+    OnlineStats latency_stats;
+    explicit PerEndpoint(const StatsOptions& options)
+        : latency(0.0, options.latency_hi_us, options.latency_bins) {}
+  };
+
+  mutable std::mutex mutex_;
+  StatsOptions options_;
+  std::vector<PerEndpoint> per_endpoint_;
+  Histogram batch_hist_;
+  OnlineStats batch_stats_;
+  OnlineStats depth_stats_;
+  std::uint64_t batches_ = 0;
+};
+
+}  // namespace rafiki::serve

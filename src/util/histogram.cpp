@@ -35,6 +35,23 @@ double Histogram::bin_hi(std::size_t bin) const noexcept {
   return lo_ + width_ * static_cast<double>(bin + 1);
 }
 
+double Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto count = static_cast<double>(counts_[i]);
+    if (count == 0.0) continue;
+    if (cum + count >= target) {
+      const double frac = std::clamp((target - cum) / count, 0.0, 1.0);
+      return bin_lo(i) + frac * width_;
+    }
+    cum += count;
+  }
+  return hi_;
+}
+
 std::string Histogram::render(std::size_t max_bar_width) const {
   std::size_t max_count = 1;
   for (auto c : counts_) max_count = std::max(max_count, c);

@@ -24,6 +24,12 @@ class Histogram {
   double bin_lo(std::size_t bin) const noexcept;
   double bin_hi(std::size_t bin) const noexcept;
 
+  /// Linear-interpolated quantile estimate from the bin counts, q in [0, 1]
+  /// (0.5 = median, 0.99 = p99). Used for the serve layer's latency
+  /// percentiles. Returns the range lower bound for an empty histogram;
+  /// clamped samples bias the extreme quantiles toward the range edges.
+  double quantile(double q) const noexcept;
+
   /// Multi-line bar chart, one row per bin:  "[-10.0, -7.5) ###### 12".
   std::string render(std::size_t max_bar_width = 50) const;
 

@@ -1,7 +1,10 @@
 #include "ml/mlp.h"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
+
+#include "ml/activation.h"
 
 #include <gtest/gtest.h>
 
@@ -31,8 +34,40 @@ TEST(Mlp, ForwardMatchesHandComputedTinyNet) {
   // params order: W0 (1), b0 (1), W1 (1), b1 (1)
   net.set_params(std::vector<double>{2.0, 0.5, 3.0, -1.0});
   const double x = 0.25;
-  const double expected = 3.0 * std::tanh(2.0 * x + 0.5) - 1.0;
-  EXPECT_NEAR(net.forward(std::vector<double>{x}), expected, 1e-12);
+  // The hidden activation is fast_tanh (|err| vs tanh <= ~3.5e-9), so the
+  // exact hand computation uses it too; the std::tanh reference bounds the
+  // total drift the approximation introduces.
+  const double expected_exact = 3.0 * fast_tanh(2.0 * x + 0.5) - 1.0;
+  const double expected_tanh = 3.0 * std::tanh(2.0 * x + 0.5) - 1.0;
+  EXPECT_EQ(net.forward(std::vector<double>{x}), expected_exact);
+  EXPECT_NEAR(net.forward(std::vector<double>{x}), expected_tanh, 3.0 * 5e-9);
+}
+
+TEST(FastTanh, TracksStdTanhWithinFiveNanos) {
+  // Dense sweep across the reduction boundaries and the saturation clamp.
+  double max_abs_err = 0.0;
+  for (int i = -40000; i <= 40000; ++i) {
+    const double x = static_cast<double>(i) * 1e-3;
+    max_abs_err = std::max(max_abs_err, std::abs(fast_tanh(x) - std::tanh(x)));
+  }
+  EXPECT_LT(max_abs_err, 5e-9);
+  EXPECT_EQ(fast_tanh(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(fast_tanh(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(fast_tanh(-100.0), -1.0);
+}
+
+TEST(FastTanh, BlockMatchesScalarBitForBit) {
+  // Odd length exercises both the SIMD body and the scalar tail.
+  std::vector<double> values(1031);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = -8.0 + 16.0 * static_cast<double>(i) / static_cast<double>(values.size());
+  }
+  std::vector<double> expected = values;
+  for (double& v : expected) v = fast_tanh(v);
+  fast_tanh_block(values.data(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(values[i], expected[i]) << "element " << i;
+  }
 }
 
 TEST(Mlp, GradientMatchesFiniteDifferences) {

@@ -1,0 +1,136 @@
+// BoundedQueue: the serve layer's admission-control primitive. The contract
+// under test — a full queue rejects immediately (never blocks the producer),
+// FIFO ordering, close() wakes blocked consumers and drains the backlog —
+// is what the service's Overloaded / ShuttingDown semantics are built on.
+#include <chrono>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/queue.h"
+
+namespace rafiki::serve {
+namespace {
+
+TEST(BoundedQueue, RejectsWhenFullWithoutBlocking) {
+  BoundedQueue<int> queue(3);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_TRUE(queue.try_push(3));
+  EXPECT_EQ(queue.size(), 3u);
+
+  // Admission control: the fourth push returns immediately with false.
+  EXPECT_FALSE(queue.try_push(4));
+  EXPECT_EQ(queue.size(), 3u);
+
+  // Draining one slot re-opens admission.
+  EXPECT_EQ(queue.try_pop().value(), 1);
+  EXPECT_TRUE(queue.try_push(4));
+  EXPECT_FALSE(queue.try_push(5));
+}
+
+TEST(BoundedQueue, FifoOrder) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(queue.try_push(i));
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(queue.try_pop().value(), i);
+  EXPECT_FALSE(queue.try_pop().has_value());
+}
+
+TEST(BoundedQueue, ZeroCapacityClampsToOne) {
+  BoundedQueue<int> queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_FALSE(queue.try_push(2));
+}
+
+TEST(BoundedQueue, CloseRejectsNewWorkButDrainsBacklog) {
+  BoundedQueue<int> queue(4);
+  ASSERT_TRUE(queue.try_push(10));
+  ASSERT_TRUE(queue.try_push(11));
+  queue.close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.try_push(12));
+
+  // Consumers still see everything queued before the close, then nullopt.
+  EXPECT_EQ(queue.pop().value(), 10);
+  EXPECT_EQ(queue.pop().value(), 11);
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumers) {
+  BoundedQueue<int> queue(2);
+  std::vector<std::thread> consumers;
+  std::vector<std::optional<int>> results(3);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    consumers.emplace_back([&queue, &results, i] { results[i] = queue.pop(); });
+  }
+  ASSERT_TRUE(queue.try_push(7));
+  queue.close();
+  for (auto& consumer : consumers) consumer.join();
+
+  int delivered = 0;
+  for (const auto& result : results) {
+    if (result.has_value()) {
+      EXPECT_EQ(*result, 7);
+      ++delivered;
+    }
+  }
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(BoundedQueue, PopUntilTimesOutEmptyHanded) {
+  BoundedQueue<int> queue(2);
+  // det:ok(wall-clock): pop_until takes a real steady_clock deadline by design
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+  EXPECT_FALSE(queue.pop_until(deadline).has_value());
+}
+
+TEST(BoundedQueue, PopUntilReturnsItemArrivingBeforeDeadline) {
+  BoundedQueue<int> queue(2);
+  std::thread producer([&queue] { ASSERT_TRUE(queue.try_push(42)); });
+  // det:ok(wall-clock): pop_until takes a real steady_clock deadline by design
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  EXPECT_EQ(queue.pop_until(deadline).value(), 42);
+  producer.join();
+}
+
+TEST(BoundedQueue, ConcurrentProducersConsumersDeliverEverythingOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 200;
+  BoundedQueue<int> queue(16);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int item = p * kPerProducer + i;
+        while (!queue.try_push(item)) std::this_thread::yield();
+      }
+    });
+  }
+
+  std::vector<std::thread> consumers;
+  std::vector<std::vector<int>> received(3);
+  for (std::size_t c = 0; c < received.size(); ++c) {
+    consumers.emplace_back([&queue, &received, c] {
+      while (auto item = queue.pop()) received[c].push_back(*item);
+    });
+  }
+
+  for (auto& producer : producers) producer.join();
+  queue.close();
+  for (auto& consumer : consumers) consumer.join();
+
+  std::vector<int> seen(kProducers * kPerProducer, 0);
+  for (const auto& per_consumer : received) {
+    for (int item : per_consumer) ++seen[static_cast<std::size_t>(item)];
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], 1) << "item " << i;
+  }
+}
+
+}  // namespace
+}  // namespace rafiki::serve

@@ -137,6 +137,26 @@ TEST(Histogram, CountsAndClamping) {
   EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
 }
 
+TEST(Histogram, QuantileInterpolatesWithinBins) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);  // one sample per bin
+  EXPECT_EQ(h.quantile(0.0), 0.0);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.0);
+  EXPECT_LE(h.quantile(1.0), 100.0);
+
+  // Quantiles are monotone in q.
+  double prev = h.quantile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = h.quantile(q);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+
+  // Empty histogram reports its lower bound.
+  EXPECT_EQ(Histogram(5.0, 10.0, 4).quantile(0.5), 5.0);
+}
+
 TEST(Histogram, RenderContainsCounts) {
   Histogram h(0, 4, 2);
   h.add(1);

@@ -13,8 +13,11 @@ Rules (ids used in findings and det:ok() suppressions):
   mt19937         std::mt19937 / std::mt19937_64 and <random> engines
                   (seeded or not) — all randomness must flow through
                   rafiki::Rng (src/util/rng.h)
-  wall-clock      time() / clock() / gettimeofday / localtime / gmtime /
+  wall-clock      time() / clock() / clock_gettime() / timespec_get() /
+                  gettimeofday / localtime / gmtime /
                   std::chrono::*_clock::now() — wall-clock reads
+  thread-id       std::this_thread::get_id() — thread ids differ run to run;
+                  never key results, seeds, or ordering on them
   unordered-iter  range-for over a std::unordered_{map,set} in a result path —
                   iteration order is implementation-defined
 
@@ -60,11 +63,16 @@ PATTERN_RULES = {
     ),
     "wall-clock": (
         re.compile(
-            r"(?<![A-Za-z0-9_])(time|clock|gettimeofday|localtime|gmtime)\s*\(|"
+            r"(?<![A-Za-z0-9_])(clock_gettime|timespec_get|time|clock|gettimeofday|"
+            r"localtime|gmtime)\s*\(|"
             r"std::chrono::(system_clock|steady_clock|high_resolution_clock)::now"
         ),
         "wall-clock read; results must not depend on real time "
         "(annotate det:ok(wall-clock) if reporting-only)",
+    ),
+    "thread-id": (
+        re.compile(r"std::this_thread::get_id\s*\("),
+        "thread ids differ run to run; never key results, seeds, or ordering on them",
     ),
 }
 
@@ -157,7 +165,9 @@ def scan_tree(root: Path) -> list[tuple[Path, int, str, str]]:
 SELFTEST_BAD = """\
 #include <chrono>
 #include <cstdlib>
+#include <ctime>
 #include <random>
+#include <thread>
 #include <unordered_map>
 void bad() {
   int a = rand();
@@ -166,7 +176,11 @@ void bad() {
   std::mt19937 gen(rd());
   std::mt19937 unseeded;
   long t = time(nullptr);
+  timespec ts;
+  timespec_get(&ts, TIME_UTC);
+  clock_gettime(CLOCK_MONOTONIC, &ts);
   auto now = std::chrono::steady_clock::now();
+  auto tid = std::this_thread::get_id();
   std::unordered_map<int, double> acc;
   double sum = 0.0;
   for (const auto& [k, v] : acc) sum += v;  // order-dependent accumulation
@@ -189,7 +203,8 @@ double good(rafiki::Rng& rng) {
 
 
 def selftest() -> int:
-    expected = {"c-rand", "random-device", "mt19937", "wall-clock", "unordered-iter"}
+    expected = {"c-rand", "random-device", "mt19937", "wall-clock", "thread-id",
+                "unordered-iter"}
     with tempfile.TemporaryDirectory() as tmp:
         root = Path(tmp)
         (root / "src").mkdir()

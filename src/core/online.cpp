@@ -1,6 +1,7 @@
 #include "core/online.h"
 
 #include <cmath>
+#include <utility>
 
 namespace rafiki::core {
 
@@ -11,38 +12,130 @@ int OnlineTuner::bucket_for(double read_ratio) const noexcept {
   return static_cast<int>(std::round(read_ratio / options_.rr_bucket));
 }
 
-const Rafiki::OptimizeResult& OnlineTuner::optimized_for(double read_ratio) {
-  const int bucket = bucket_for(read_ratio);
-  auto it = cache_.find(bucket);
-  if (it == cache_.end()) {
-    ++optimizer_runs_;
-    it = cache_.emplace(bucket, rafiki_->optimize(read_ratio)).first;
-    if (publish_) publish_(bucket, it->second);
-  }
-  return it->second;
+void OnlineTuner::set_publish_hook(PublishHook hook) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  publish_ = std::move(hook);
 }
 
-void OnlineTuner::prefetch(double read_ratio) { optimized_for(read_ratio); }
+void OnlineTuner::set_async_optimize_hook(AsyncOptimizeHook hook) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  async_optimize_ = std::move(hook);
+}
 
-OnlineTuner::Decision OnlineTuner::on_window(double read_ratio) {
+bool OnlineTuner::cached(double read_ratio) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.count(bucket_for(read_ratio)) != 0;
+}
+
+std::size_t OnlineTuner::reconfigurations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reconfigurations_;
+}
+
+std::size_t OnlineTuner::optimizer_runs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return optimizer_runs_;
+}
+
+OnlineTuner::Decision OnlineTuner::decide_locked(double read_ratio) {
   Decision decision;
   const bool moved = !have_config_ ||
                      std::abs(read_ratio - current_rr_) >= options_.rr_change_threshold;
   if (moved) {
-    const auto& optimized = optimized_for(read_ratio);
-    if (!have_config_ || !(optimized.config == current_)) {
-      current_ = optimized.config;
-      ++reconfigurations_;
-      decision.reconfigured = true;
+    const auto it = cache_.find(bucket_for(read_ratio));
+    if (it != cache_.end()) {
+      // The regime moved and an optimized config is ready: adopt it.
+      if (!have_config_ || !(it->second.config == current_)) {
+        current_ = it->second.config;
+        ++reconfigurations_;
+        decision.reconfigured = true;
+      }
+      current_rr_ = read_ratio;
+      have_config_ = true;
+      decision.config = current_;
+      decision.predicted_throughput = it->second.predicted_throughput;
+      return decision;
     }
-    current_rr_ = read_ratio;
-    have_config_ = true;
-    decision.predicted_throughput = optimized.predicted_throughput;
-  } else {
-    decision.predicted_throughput = rafiki_->predict(read_ratio, current_);
+    // Miss: keep serving the current config (stale-while-revalidate). The
+    // regime anchor is deliberately not advanced, so later windows in this
+    // bucket keep asking until the optimized entry lands in the cache.
+    decision.stale = true;
   }
   decision.config = current_;
+  decision.predicted_throughput = rafiki_->predict(read_ratio, current_);
   return decision;
+}
+
+OnlineTuner::Decision OnlineTuner::decide(double read_ratio) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return decide_locked(read_ratio);
+}
+
+bool OnlineTuner::run_optimize(double read_ratio) {
+  const int bucket = bucket_for(read_ratio);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (cache_.count(bucket) != 0) return false;  // coalesced: already optimized
+    if (in_flight_.count(bucket) != 0) {
+      // Another thread is mid-GA for this bucket; wait for its result so
+      // callers relying on inline semantics observe a warm cache on return.
+      optimize_done_.wait(lock, [&] { return in_flight_.count(bucket) == 0; });
+      return false;
+    }
+    in_flight_.insert(bucket);
+  }
+
+  // The expensive part runs with no lock held: decisions and other buckets'
+  // optimizations proceed concurrently.
+  const Rafiki::OptimizeResult result = rafiki_->optimize(read_ratio);
+
+  PublishHook publish;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    in_flight_.erase(bucket);
+    cache_.emplace(bucket, result);
+    ++optimizer_runs_;
+    publish = publish_;
+  }
+  optimize_done_.notify_all();
+  if (publish) publish(bucket, result);
+  return true;
+}
+
+void OnlineTuner::prefetch(double read_ratio) {
+  AsyncOptimizeHook async;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (cache_.count(bucket_for(read_ratio)) != 0) return;
+    async = async_optimize_;
+  }
+  if (async) {
+    async(bucket_for(read_ratio), read_ratio);
+  } else {
+    run_optimize(read_ratio);
+  }
+}
+
+OnlineTuner::Decision OnlineTuner::on_window(double read_ratio) {
+  Decision decision;
+  AsyncOptimizeHook async;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    decision = decide_locked(read_ratio);
+    if (!decision.stale) return decision;
+    async = async_optimize_;
+  }
+  if (async) {
+    // Stale-while-revalidate: hand the miss to the background worker (hook
+    // invoked with no tuner lock held) and answer with the current config
+    // immediately.
+    async(bucket_for(read_ratio), read_ratio);
+    return decision;
+  }
+  // Standalone (no worker attached): optimize inline, then re-decide against
+  // the now-warm cache — the original blocking behaviour.
+  run_optimize(read_ratio);
+  return decide(read_ratio);
 }
 
 }  // namespace rafiki::core

@@ -6,11 +6,23 @@
 // surrogate when the workload moves materially (seconds of work, Section
 // 4.8), memoizes optimized configurations per read-ratio bucket, and charges
 // a reconfiguration downtime when the configuration actually changes.
+//
+// The decision logic (bucketing, movement thresholds, reconfiguration
+// accounting) is separable from optimize-on-miss: decide() only consults the
+// memo cache and never runs the GA, while run_optimize() does the expensive
+// search with no tuner lock held. on_window() composes the two — inline when
+// standalone (the replay-harness shape), or stale-while-revalidate when an
+// async-optimize hook routes misses to a background worker (the serve
+// layer's RetrainWorker). All shared state is internally synchronized, so
+// concurrent on_window / prefetch / run_optimize callers are safe.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <map>
+#include <mutex>
+#include <set>
 
 #include "core/rafiki.h"
 
@@ -35,39 +47,71 @@ class OnlineTuner {
   struct Decision {
     engine::Config config;
     bool reconfigured = false;
+    /// The returned config predates this window's regime: the memo cache had
+    /// no entry for the (materially moved) read ratio, so the current config
+    /// keeps serving while an optimization is pending in the background.
+    bool stale = false;
     double predicted_throughput = 0.0;
   };
+
   /// Feeds the next observed window; returns the configuration to run with.
+  /// With an async-optimize hook set, a cache miss returns immediately with
+  /// a stale-marked decision and hands the bucket to the hook; without one,
+  /// the miss optimizes inline (the original blocking behaviour).
   Decision on_window(double read_ratio);
+
+  /// Decision logic only: cache hits may reconfigure, misses come back
+  /// stale-marked. Never runs the optimizer.
+  Decision decide(double read_ratio);
+
+  /// Runs the GA for this read ratio's bucket and installs the result in the
+  /// memo cache (firing the publish hook). The search itself holds no tuner
+  /// lock, so decisions keep flowing while it runs. Returns false when the
+  /// call coalesced away — the bucket was already cached, or another thread
+  /// was mid-optimization for it (in which case this waits for that result).
+  bool run_optimize(double read_ratio);
 
   /// Pre-computes (and caches) the optimized configuration for a forecast
   /// read ratio (see workload::WorkloadForecaster), so an anticipated regime
-  /// switch pays no optimizer latency inside the critical window.
+  /// switch pays no optimizer latency inside the critical window. Routes
+  /// through the async-optimize hook when one is set.
   void prefetch(double read_ratio);
 
   /// Called whenever a freshly optimized configuration enters the memo cache
-  /// (on_window miss or prefetch). The serve layer hooks this to republish
-  /// the result through its versioned snapshot registry, so every tuned
-  /// config the background path produces becomes visible to in-flight
-  /// readers without locking them.
+  /// (run_optimize, on_window miss, or prefetch). The serve layer hooks this
+  /// to republish the result through its versioned snapshot registry, so
+  /// every tuned config the background path produces becomes visible to
+  /// in-flight readers without locking them.
   using PublishHook = std::function<void(int bucket, const Rafiki::OptimizeResult& result)>;
-  void set_publish_hook(PublishHook hook) { publish_ = std::move(hook); }
+  void set_publish_hook(PublishHook hook);
+
+  /// When set, cache misses (on_window / prefetch) are delegated here
+  /// instead of optimizing inline — the serve layer points this at its
+  /// RetrainWorker so no GA ever runs on a request-path thread.
+  using AsyncOptimizeHook = std::function<void(int bucket, double read_ratio)>;
+  void set_async_optimize_hook(AsyncOptimizeHook hook);
 
   /// Memoization key shared by on_window and prefetch.
   int bucket_for(double read_ratio) const noexcept;
+  /// Whether this read ratio's bucket already has an optimized config.
+  bool cached(double read_ratio) const;
 
-  std::size_t reconfigurations() const noexcept { return reconfigurations_; }
-  std::size_t optimizer_runs() const noexcept { return optimizer_runs_; }
+  std::size_t reconfigurations() const;
+  std::size_t optimizer_runs() const;
   const OnlineTunerOptions& options() const noexcept { return options_; }
 
  private:
-  /// Cache lookup with optimize-on-miss; new entries flow to the publish hook.
-  const Rafiki::OptimizeResult& optimized_for(double read_ratio);
+  Decision decide_locked(double read_ratio);
 
   const Rafiki* rafiki_;
   OnlineTunerOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable optimize_done_;
   PublishHook publish_;
+  AsyncOptimizeHook async_optimize_;
   std::map<int, Rafiki::OptimizeResult> cache_;  // bucket -> optimized result
+  std::set<int> in_flight_;  // buckets currently being optimized (lock dropped)
   engine::Config current_ = engine::Config::defaults();
   double current_rr_ = -1.0;  // RR the current config was chosen for
   bool have_config_ = false;

@@ -1,6 +1,6 @@
 // Bounded multi-producer/multi-consumer queue with admission control: the
 // serve layer's backpressure primitive. A full queue rejects immediately
-// (try_push returns false -> the service answers Overloaded) instead of
+// (try_push returns kFull -> the service answers Overloaded) instead of
 // queuing unboundedly or blocking the producer. Consumers block on a
 // condition variable; after close() they drain whatever is still queued and
 // then observe std::nullopt. The timed pop exists only for the
@@ -11,12 +11,24 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
 
 namespace rafiki::serve {
+
+/// Why a try_push was (not) admitted, decided atomically under the queue
+/// lock. A separate closed() probe after a failed push would race with a
+/// concurrent close() and misreport a full queue as shutting down.
+enum class PushResult : std::uint8_t {
+  kOk = 0,
+  /// At capacity (and not closed) at the instant of the push.
+  kFull,
+  /// close() had already happened; no new work is admitted.
+  kClosed,
+};
 
 template <typename T>
 class BoundedQueue {
@@ -26,16 +38,19 @@ class BoundedQueue {
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
-  /// Admission control: enqueues and returns true, or returns false without
-  /// blocking when the queue is at capacity or closed.
-  bool try_push(T item) {
+  /// Admission control: enqueues and returns kOk, or reports — without
+  /// blocking — why the item was turned away. The reason is decided under
+  /// the same lock that rejected the push, so it cannot be contradicted by
+  /// a concurrent close().
+  PushResult try_push(T item) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (closed_ || items_.size() >= capacity_) return false;
+      if (closed_) return PushResult::kClosed;
+      if (items_.size() >= capacity_) return PushResult::kFull;
       items_.push_back(std::move(item));
     }
     ready_.notify_one();
-    return true;
+    return PushResult::kOk;
   }
 
   /// Blocks until an item is available or the queue is closed and drained.

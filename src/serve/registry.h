@@ -10,6 +10,26 @@
 #include <memory>
 #include <utility>
 
+// libstdc++'s lock-free std::atomic<shared_ptr> (_Sp_atomic) protects its
+// internal pointer with a lock bit embedded in the refcount word and releases
+// the reader side with a relaxed store. The mutual exclusion is real, but
+// TSan's happens-before machinery cannot see it, so every concurrent
+// get()/set() pair reports a false race inside the library. Under TSan we
+// substitute a mutex-backed slot — identical semantics, and the rest of the
+// serve layer still gets checked — and keep the lock-free path everywhere
+// else.
+#if defined(__SANITIZE_THREAD__)
+#define RAFIKI_REGISTRY_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define RAFIKI_REGISTRY_TSAN 1
+#endif
+#endif
+
+#if defined(RAFIKI_REGISTRY_TSAN)
+#include <mutex>
+#endif
+
 namespace rafiki::serve {
 
 template <typename T>
@@ -18,17 +38,32 @@ class VersionedRegistry {
   /// Current value (may be null before the first publication). The returned
   /// shared_ptr pins that version for the caller's lifetime of use.
   std::shared_ptr<const T> get() const noexcept {
+#if defined(RAFIKI_REGISTRY_TSAN)
+    std::lock_guard<std::mutex> lock(mutex_);
+    return slot_;
+#else
     return slot_.load(std::memory_order_acquire);
+#endif
   }
 
   /// Atomically replaces the published value; concurrent readers keep
   /// whatever version they already hold.
   void set(std::shared_ptr<const T> value) noexcept {
+#if defined(RAFIKI_REGISTRY_TSAN)
+    std::lock_guard<std::mutex> lock(mutex_);
+    slot_ = std::move(value);
+#else
     slot_.store(std::move(value), std::memory_order_release);
+#endif
   }
 
  private:
+#if defined(RAFIKI_REGISTRY_TSAN)
+  mutable std::mutex mutex_;
+  std::shared_ptr<const T> slot_;
+#else
   std::atomic<std::shared_ptr<const T>> slot_{};
+#endif
 };
 
 }  // namespace rafiki::serve

@@ -1,0 +1,136 @@
+// Background retrain worker: the serve layer's guarantee that no GA (or,
+// later, collect+train) ever runs on a request-path thread. ObserveWindow's
+// stale-while-revalidate misses, and OnlineTuner::prefetch, enqueue
+// (bucket, read_ratio) tasks here; a single dedicated thread runs them and
+// the results flow back through the tuner's publish hook into the versioned
+// SnapshotRegistry — so a regime change costs the request path one queue
+// push, never an optimizer spike.
+//
+//   * Bounded task queue — a full retrain backlog drops the newest request
+//     (retrying is free: the next stale window re-enqueues) instead of
+//     growing unboundedly.
+//   * Coalescing — requests for a bucket that already has a task pending
+//     (queued or mid-run) share that task's completion future; N same-bucket
+//     stale windows cost one GA run.
+//   * Graceful shutdown — stop(drain=true) runs everything still queued,
+//     stop(drain=false) cancels it; either way every future ever handed out
+//     resolves (kCompleted or kCancelled), and an in-flight task always runs
+//     to completion.
+//   * Telemetry — queue depth, per-task latency histogram, and
+//     runs/coalesced/rejected/cancelled counters in ServiceStats.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "serve/stats.h"
+
+namespace rafiki::serve {
+
+struct RetrainOptions {
+  /// Bounded retrain backlog; enqueues beyond this are rejected (the caller
+  /// simply stays stale until a later window re-requests the bucket).
+  std::size_t queue_capacity = 64;
+};
+
+/// How an enqueue was disposed of, decided atomically under the worker lock.
+enum class RetrainEnqueue : std::uint8_t {
+  /// A new task was queued for this bucket.
+  kEnqueued = 0,
+  /// A task for this bucket was already pending (queued or running); the
+  /// returned future is that task's.
+  kCoalesced,
+  /// The retrain queue was full; nothing was queued.
+  kRejected,
+  /// The worker was stopping or stopped; nothing was queued.
+  kStopped,
+};
+
+/// How a task's future resolved.
+enum class RetrainOutcome : std::uint8_t { kCompleted = 0, kCancelled };
+
+class RetrainWorker {
+ public:
+  /// Runs one background optimization. Invoked on the worker thread only,
+  /// with no worker lock held. (The serve layer points this at
+  /// OnlineTuner::run_optimize, which itself coalesces already-cached
+  /// buckets into a no-op.)
+  using RunFn = std::function<void(int bucket, double read_ratio)>;
+
+  /// `stats` may be null (no telemetry); when set it must outlive the worker.
+  explicit RetrainWorker(RunFn run, RetrainOptions options = {},
+                         ServiceStats* stats = nullptr);
+  ~RetrainWorker();
+
+  RetrainWorker(const RetrainWorker&) = delete;
+  RetrainWorker& operator=(const RetrainWorker&) = delete;
+
+  struct Ticket {
+    RetrainEnqueue result = RetrainEnqueue::kStopped;
+    /// Always valid. Already satisfied (kCancelled) for kRejected/kStopped
+    /// tickets, so callers can wait unconditionally.
+    std::shared_future<RetrainOutcome> done;
+    bool accepted() const noexcept {
+      return result == RetrainEnqueue::kEnqueued || result == RetrainEnqueue::kCoalesced;
+    }
+  };
+
+  /// Requests a background optimization for this bucket. Never blocks and
+  /// never runs the optimizer on the calling thread.
+  Ticket enqueue(int bucket, double read_ratio);
+
+  /// Spawns the worker thread (idempotent; no-op after stop()).
+  void start();
+
+  /// Stops the worker. drain=true finishes the queued backlog first;
+  /// drain=false cancels it (their futures resolve kCancelled). A task
+  /// already mid-run always completes either way. Idempotent; safe before
+  /// start(), in which case the backlog is cancelled.
+  void stop(bool drain = true);
+
+  /// Queued tasks not yet picked up by the worker.
+  std::size_t depth() const;
+  /// True once stop() has been requested (it may still be joining/draining).
+  bool stopping() const;
+  /// Blocks until no task is queued or running (or the worker stopped) —
+  /// the "background tuning has settled" barrier tests and benches need.
+  void wait_idle();
+
+ private:
+  struct Task {
+    int bucket = 0;
+    double read_ratio = 0.0;
+    std::promise<RetrainOutcome> promise;
+    std::shared_future<RetrainOutcome> future;
+  };
+
+  static Ticket finished_ticket(RetrainEnqueue result);
+  void loop();
+
+  RunFn run_;
+  RetrainOptions options_;
+  ServiceStats* stats_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::condition_variable idle_;
+  std::deque<Task> tasks_;
+  /// bucket -> pending task's future; covers queued AND currently-running
+  /// tasks, so same-bucket requests coalesce for the task's whole lifetime.
+  std::map<int, std::shared_future<RetrainOutcome>> pending_;
+  std::thread thread_;
+  bool started_ = false;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  bool drain_on_stop_ = true;
+  bool running_ = false;  // the worker is executing a task right now
+};
+
+}  // namespace rafiki::serve

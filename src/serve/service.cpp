@@ -17,7 +17,16 @@ double elapsed_us(std::chrono::steady_clock::time_point since,
 TuningService::TuningService(ServiceOptions options)
     : options_(std::move(options)),
       queue_(options_.queue_capacity),
-      stats_(options_.stats) {}
+      stats_(options_.stats),
+      retrain_(
+          // The worker thread delegates to the tuner's optimize path; the
+          // tuner coalesces already-cached buckets into a no-op, and its
+          // publish hook republishes the result through the registry.
+          [this](int /*bucket*/, double read_ratio) {
+            auto* tuner = tuner_.load(std::memory_order_acquire);
+            if (tuner != nullptr) tuner->run_optimize(read_ratio);
+          },
+          options_.retrain, &stats_) {}
 
 TuningService::~TuningService() { stop(); }
 
@@ -27,6 +36,10 @@ std::uint64_t TuningService::publish(ModelSnapshot snapshot) {
 }
 
 std::uint64_t TuningService::publish_locked(ModelSnapshot snapshot) {
+  // Fold in tuned entries that arrived before the first real publish;
+  // entries already in the snapshot win.
+  for (const auto& [bucket, entry] : pending_tuned_) snapshot.tuned.emplace(bucket, entry);
+  pending_tuned_.clear();
   snapshot.version = ++version_counter_;
   const std::uint64_t version = snapshot.version;
   registry_.set(std::make_shared<const ModelSnapshot>(std::move(snapshot)));
@@ -42,6 +55,10 @@ void TuningService::attach_tuner(core::OnlineTuner& tuner) {
   tuner.set_publish_hook([this](int bucket, const core::Rafiki::OptimizeResult& result) {
     publish_tuned(bucket, result.config, result.predicted_throughput);
   });
+  // Route the tuner's cache misses (ObserveWindow staleness, prefetch) to
+  // the background worker: no GA ever runs on a request-path thread.
+  tuner.set_async_optimize_hook(
+      [this](int bucket, double read_ratio) { retrain_.enqueue(bucket, read_ratio); });
   tuner_.store(&tuner, std::memory_order_release);
 }
 
@@ -51,7 +68,14 @@ void TuningService::publish_tuned(int bucket, const engine::Config& config,
   // immutable snapshot, so readers see it with the same lock-free load.
   std::lock_guard<std::mutex> lock(publish_mutex_);
   const auto current = registry_.get();
-  ModelSnapshot next = current ? *current : ModelSnapshot{};
+  if (!current) {
+    // Nothing real is published yet: don't burn a version on a snapshot
+    // with an untrained ensemble and null space — park the entry until the
+    // first publish() folds it in.
+    pending_tuned_[bucket] = TunedEntry{config, predicted};
+    return;
+  }
+  ModelSnapshot next = *current;
   next.tuned[bucket] = TunedEntry{config, predicted};
   publish_locked(std::move(next));
 }
@@ -64,8 +88,13 @@ std::future<Response> TuningService::submit(Request request) {
   auto future = job.promise.get_future();
   const Endpoint endpoint = request.endpoint;
 
-  if (!queue_.try_push(std::move(job))) {
-    const Status reason = queue_.closed() ? Status::kShuttingDown : Status::kOverloaded;
+  const PushResult pushed = queue_.try_push(std::move(job));
+  if (pushed != PushResult::kOk) {
+    // The push itself reports why it failed — atomically, under the queue
+    // lock — so a concurrent close() can never turn a full-queue rejection
+    // into a spurious kShuttingDown.
+    const Status reason =
+        pushed == PushResult::kClosed ? Status::kShuttingDown : Status::kOverloaded;
     stats_.record_reject(endpoint, reason);
     // The rejected job (promise included) was consumed by the failed push;
     // answer through a fresh, already-satisfied promise.
@@ -86,6 +115,7 @@ void TuningService::start() {
   std::lock_guard<std::mutex> lock(lifecycle_mutex_);
   if (started_ || stopped_) return;
   started_ = true;
+  retrain_.start();
   workers_.reserve(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -103,6 +133,10 @@ void TuningService::stop() {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+  // Request workers are gone, so nothing can enqueue retrains anymore; the
+  // background worker drains or cancels its backlog (an in-flight GA always
+  // completes and still republishes through the registry).
+  retrain_.stop(options_.drain_retrain_on_stop);
   // No worker ever consumed these (workers == 0, or stop before start):
   // fail them instead of leaving their futures hanging.
   while (auto job = queue_.try_pop()) {
@@ -244,19 +278,19 @@ void TuningService::run_single(Job job) {
         response.status = Status::kNotReady;
         break;
       }
-      core::OnlineTuner::Decision decision;
-      {
-        // The tuner is stateful (memo cache, current config); serialize it.
-        // Its publish hook fires in here, republishing fresh configs as a
-        // new snapshot version.
-        std::lock_guard<std::mutex> lock(tuner_mutex_);
-        decision = tuner->on_window(job.request.read_ratio);
-      }
+      // The tuner is internally synchronized. With the async-optimize hook
+      // attached (attach_tuner), a cache miss returns immediately with a
+      // stale-marked decision and the bucket lands on the RetrainWorker; the
+      // publish hook republishes the tuned config as a new snapshot version
+      // once the background GA completes.
+      const auto decision = tuner->on_window(job.request.read_ratio);
       response.status = Status::kOk;
       response.model_version = model_version();
       response.config = decision.config;
       response.reconfigured = decision.reconfigured;
+      response.stale = decision.stale;
       response.predicted_throughput = decision.predicted_throughput;
+      if (decision.stale) stats_.record_stale(Endpoint::kObserveWindow);
       break;
     }
   }

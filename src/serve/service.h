@@ -12,8 +12,13 @@
 //   * Versioned snapshots — publish() atomically swaps the model behind an
 //     atomic shared_ptr; in-flight requests keep the version they started
 //     with. A background retrain republishes with zero downtime.
+//   * Async retraining — ObserveWindow is stale-while-revalidate: a cache
+//     miss answers immediately with the current config (Response::stale set)
+//     and enqueues the bucket on a dedicated RetrainWorker thread; the GA
+//     never runs on a request-path worker (serve/retrain.h).
 //   * Telemetry — per-endpoint latency histograms, QPS / rejection /
-//     queue-depth counters, batch-size distribution (serve/stats.h).
+//     queue-depth counters, batch-size distribution, retrain queue depth and
+//     latency (serve/stats.h).
 #pragma once
 
 #include <atomic>
@@ -21,6 +26,7 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -28,6 +34,7 @@
 
 #include "opt/ga.h"
 #include "serve/queue.h"
+#include "serve/retrain.h"
 #include "serve/snapshot.h"
 #include "serve/stats.h"
 #include "serve/types.h"
@@ -56,6 +63,13 @@ struct ServiceOptions {
   /// GA budget for the Optimize endpoint.
   opt::GaOptions ga{};
   StatsOptions stats{};
+  /// Background retrain worker (ObserveWindow misses, tuner prefetches).
+  RetrainOptions retrain{};
+  /// stop(): finish the queued retrain backlog (true) or cancel it (false).
+  /// Cancelling is the default — pending optimizations have no waiter once
+  /// the service is going down, and a restart simply re-enqueues on the
+  /// next stale window.
+  bool drain_retrain_on_stop = false;
 };
 
 class TuningService {
@@ -77,8 +91,9 @@ class TuningService {
   std::uint64_t model_version() const;
 
   /// Enables the ObserveWindow endpoint. The tuner (which must outlive this
-  /// service) keeps its memoized optimize-on-miss behaviour; its publish
-  /// hook is pointed at this service's snapshot registry, so every freshly
+  /// service) becomes stale-while-revalidate: its cache misses and
+  /// prefetches are routed to this service's background RetrainWorker, and
+  /// its publish hook is pointed at the snapshot registry, so every freshly
   /// optimized config is republished as a new snapshot version. Call before
   /// start().
   void attach_tuner(core::OnlineTuner& tuner);
@@ -101,6 +116,11 @@ class TuningService {
 
   const ServiceStats& stats() const noexcept { return stats_; }
   std::size_t queue_depth() const { return queue_.size(); }
+  /// Retrain tasks queued behind the background worker.
+  std::size_t retrain_depth() const { return retrain_.depth(); }
+  /// Blocks until the background retrain worker is idle — the barrier tests
+  /// and benches use to observe the post-republish state.
+  void wait_retrain_idle() { retrain_.wait_idle(); }
   const ServiceOptions& options() const noexcept { return options_; }
 
  private:
@@ -125,14 +145,19 @@ class TuningService {
   SnapshotRegistry registry_;
   std::uint64_t version_counter_ = 0;  // guarded by publish_mutex_
   std::mutex publish_mutex_;
+  /// Tuned entries published before any real snapshot exists are parked here
+  /// (guarded by publish_mutex_) instead of minting a version around a
+  /// default-constructed, untrained ModelSnapshot; the first real publish
+  /// folds them in.
+  std::map<int, TunedEntry> pending_tuned_;
   BoundedQueue<Job> queue_;
   ServiceStats stats_;
+  RetrainWorker retrain_;
   std::vector<std::thread> workers_;
   std::mutex lifecycle_mutex_;
   bool started_ = false;
   bool stopped_ = false;
   std::atomic<core::OnlineTuner*> tuner_{nullptr};
-  std::mutex tuner_mutex_;
 };
 
 }  // namespace rafiki::serve

@@ -35,7 +35,8 @@ const char* status_name(Status status) noexcept {
 ServiceStats::ServiceStats(StatsOptions options)
     : options_(options),
       batch_hist_(1.0, static_cast<double>(options.max_batch) + 1.0,
-                  std::max<std::size_t>(options.max_batch, 1)) {
+                  std::max<std::size_t>(options.max_batch, 1)),
+      retrain_hist_(0.0, options.retrain_hi_us, std::max<std::size_t>(options.retrain_bins, 1)) {
   per_endpoint_.reserve(kEndpointCount);
   for (std::size_t i = 0; i < kEndpointCount; ++i) per_endpoint_.emplace_back(options_);
 }
@@ -70,15 +71,50 @@ void ServiceStats::record_done(Endpoint endpoint, Status status, double latency_
     case Status::kNotReady:
       ++per.counters.not_ready;
       break;
+    // These two were *accepted* and only failed afterwards (e.g. drained
+    // with kShuttingDown by stop()); they must not pollute the
+    // admission-reject counters that record_reject owns.
     case Status::kShuttingDown:
-      ++per.counters.rejected_shutdown;
+      ++per.counters.failed_shutdown;
       break;
     case Status::kOverloaded:
-      ++per.counters.rejected_overload;
+      ++per.counters.failed_overload;
       break;
   }
   per.latency.add(latency_us);
   per.latency_stats.add(latency_us);
+}
+
+void ServiceStats::record_stale(Endpoint endpoint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++per_endpoint_[static_cast<std::size_t>(endpoint)].counters.stale;
+}
+
+void ServiceStats::record_retrain(double latency_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++retrain_.runs;
+  retrain_hist_.add(latency_us);
+  retrain_stats_.add(latency_us);
+}
+
+void ServiceStats::record_retrain_enqueue(std::size_t queue_depth) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  retrain_depth_stats_.add(static_cast<double>(queue_depth));
+}
+
+void ServiceStats::record_retrain_coalesced() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++retrain_.coalesced;
+}
+
+void ServiceStats::record_retrain_rejected() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++retrain_.rejected;
+}
+
+void ServiceStats::record_retrain_cancelled(std::uint64_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  retrain_.cancelled += count;
 }
 
 void ServiceStats::record_batch(std::size_t batch_size) {
@@ -104,8 +140,36 @@ ServiceStats::Counters ServiceStats::totals() const {
     sum.rejected_deadline += per.counters.rejected_deadline;
     sum.not_ready += per.counters.not_ready;
     sum.rejected_shutdown += per.counters.rejected_shutdown;
+    sum.failed_shutdown += per.counters.failed_shutdown;
+    sum.failed_overload += per.counters.failed_overload;
+    sum.stale += per.counters.stale;
   }
   return sum;
+}
+
+ServiceStats::RetrainCounters ServiceStats::retrain_counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return retrain_;
+}
+
+double ServiceStats::retrain_latency_quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return retrain_hist_.quantile(q);
+}
+
+double ServiceStats::mean_retrain_latency_us() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return retrain_stats_.mean();
+}
+
+double ServiceStats::mean_retrain_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return retrain_depth_stats_.mean();
+}
+
+double ServiceStats::max_retrain_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return retrain_depth_stats_.count() ? retrain_depth_stats_.max() : 0.0;
 }
 
 double ServiceStats::latency_quantile(Endpoint endpoint, double q) const {
@@ -150,15 +214,18 @@ std::uint64_t ServiceStats::batches() const {
 
 Table ServiceStats::table() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  Table table({"endpoint", "accepted", "ok", "overloaded", "deadline", "not ready",
-               "p50 us", "p99 us", "mean us"});
+  Table table({"endpoint", "accepted", "ok", "stale", "overloaded", "deadline",
+               "not ready", "failed", "p50 us", "p99 us", "mean us"});
   for (std::size_t i = 0; i < per_endpoint_.size(); ++i) {
     const auto& per = per_endpoint_[i];
     table.add_row({endpoint_name(static_cast<Endpoint>(i)),
                    std::to_string(per.counters.accepted), std::to_string(per.counters.ok),
+                   std::to_string(per.counters.stale),
                    std::to_string(per.counters.rejected_overload),
                    std::to_string(per.counters.rejected_deadline),
                    std::to_string(per.counters.not_ready),
+                   std::to_string(per.counters.failed_shutdown +
+                                  per.counters.failed_overload),
                    Table::num(per.latency.quantile(0.5), 1),
                    Table::num(per.latency.quantile(0.99), 1),
                    Table::num(per.latency_stats.mean(), 1)});

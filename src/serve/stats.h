@@ -24,6 +24,10 @@ struct StatsOptions {
   std::size_t latency_bins = 400;
   /// Batch-size histogram range [1, max_batch + 1).
   std::size_t max_batch = 64;
+  /// Retrain latency histogram range [0, retrain_hi_us): background GA runs
+  /// are orders of magnitude slower than request service.
+  double retrain_hi_us = 5.0e6;
+  std::size_t retrain_bins = 200;
 };
 
 class ServiceStats {
@@ -34,10 +38,32 @@ class ServiceStats {
     std::uint64_t accepted = 0;
     std::uint64_t completed = 0;
     std::uint64_t ok = 0;
+    /// Turned away at admission: the bounded queue was full. Only
+    /// record_reject touches this — never accepted work.
     std::uint64_t rejected_overload = 0;
     std::uint64_t rejected_deadline = 0;
     std::uint64_t not_ready = 0;
+    /// Turned away at admission: the service was already stopping.
     std::uint64_t rejected_shutdown = 0;
+    /// Accepted, then finished with kShuttingDown (e.g. drained by stop()
+    /// with no worker). Distinct from rejected_shutdown so admission-reject
+    /// columns stay truthful and `accepted == completed` after drain.
+    std::uint64_t failed_shutdown = 0;
+    /// Accepted, then finished with kOverloaded (not currently produced by
+    /// any path; kept so the failed-after-accept split is total).
+    std::uint64_t failed_overload = 0;
+    /// Responses served with Response::stale set (kObserveWindow only): the
+    /// cache-missed window answered with the previous config while a
+    /// background optimization was pending.
+    std::uint64_t stale = 0;
+  };
+
+  /// Background-retrain telemetry (the RetrainWorker's counters).
+  struct RetrainCounters {
+    std::uint64_t runs = 0;       ///< tasks executed by the worker thread
+    std::uint64_t coalesced = 0;  ///< enqueues absorbed by a pending same-bucket task
+    std::uint64_t rejected = 0;   ///< enqueues dropped on a full retrain queue
+    std::uint64_t cancelled = 0;  ///< queued tasks cancelled at shutdown
   };
 
   /// A request passed admission control; `queue_depth` is sampled just after.
@@ -49,11 +75,26 @@ class ServiceStats {
   void record_done(Endpoint endpoint, Status status, double latency_us);
   /// One Predict micro-batch was executed with this many coalesced requests.
   void record_batch(std::size_t batch_size);
+  /// A stale-marked response was served on this endpoint.
+  void record_stale(Endpoint endpoint);
+
+  /// One background retrain task finished; latency is the task's run time.
+  void record_retrain(double latency_us);
+  /// A retrain task was enqueued; `queue_depth` is sampled just after.
+  void record_retrain_enqueue(std::size_t queue_depth);
+  void record_retrain_coalesced();
+  void record_retrain_rejected();
+  void record_retrain_cancelled(std::uint64_t count);
 
   Counters counters(Endpoint endpoint) const;
   Counters totals() const;
+  RetrainCounters retrain_counters() const;
   double latency_quantile(Endpoint endpoint, double q) const;
   double mean_latency_us(Endpoint endpoint) const;
+  double retrain_latency_quantile(double q) const;
+  double mean_retrain_latency_us() const;
+  double mean_retrain_depth() const;
+  double max_retrain_depth() const;
   double mean_batch_size() const;
   double max_batch_size() const;
   double batch_quantile(double q) const;
@@ -81,6 +122,10 @@ class ServiceStats {
   OnlineStats batch_stats_;
   OnlineStats depth_stats_;
   std::uint64_t batches_ = 0;
+  RetrainCounters retrain_;
+  Histogram retrain_hist_;
+  OnlineStats retrain_stats_;
+  OnlineStats retrain_depth_stats_;
 };
 
 }  // namespace rafiki::serve

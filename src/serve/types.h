@@ -65,6 +65,11 @@ struct Response {
   engine::Config config = engine::Config::defaults();
   double predicted_throughput = 0.0;
   bool reconfigured = false;
+  /// kObserveWindow only: the returned config predates this window's regime.
+  /// The tuner had no optimized entry for the (materially moved) read ratio,
+  /// so the current config is served stale while a background optimization
+  /// was enqueued; a later window picks up the republished tuned entry.
+  bool stale = false;
   std::size_t surrogate_evaluations = 0;
 
   bool ok() const noexcept { return status == Status::kOk; }

@@ -16,24 +16,24 @@ namespace {
 
 TEST(BoundedQueue, RejectsWhenFullWithoutBlocking) {
   BoundedQueue<int> queue(3);
-  EXPECT_TRUE(queue.try_push(1));
-  EXPECT_TRUE(queue.try_push(2));
-  EXPECT_TRUE(queue.try_push(3));
+  EXPECT_EQ(PushResult::kOk, queue.try_push(1));
+  EXPECT_EQ(PushResult::kOk, queue.try_push(2));
+  EXPECT_EQ(PushResult::kOk, queue.try_push(3));
   EXPECT_EQ(queue.size(), 3u);
 
   // Admission control: the fourth push returns immediately with false.
-  EXPECT_FALSE(queue.try_push(4));
+  EXPECT_EQ(queue.try_push(4), PushResult::kFull);
   EXPECT_EQ(queue.size(), 3u);
 
   // Draining one slot re-opens admission.
   EXPECT_EQ(queue.try_pop().value(), 1);
-  EXPECT_TRUE(queue.try_push(4));
-  EXPECT_FALSE(queue.try_push(5));
+  EXPECT_EQ(PushResult::kOk, queue.try_push(4));
+  EXPECT_EQ(queue.try_push(5), PushResult::kFull);
 }
 
 TEST(BoundedQueue, FifoOrder) {
   BoundedQueue<int> queue(8);
-  for (int i = 0; i < 8; ++i) ASSERT_TRUE(queue.try_push(i));
+  for (int i = 0; i < 8; ++i) ASSERT_EQ(PushResult::kOk, queue.try_push(i));
   for (int i = 0; i < 8; ++i) EXPECT_EQ(queue.try_pop().value(), i);
   EXPECT_FALSE(queue.try_pop().has_value());
 }
@@ -41,22 +41,36 @@ TEST(BoundedQueue, FifoOrder) {
 TEST(BoundedQueue, ZeroCapacityClampsToOne) {
   BoundedQueue<int> queue(0);
   EXPECT_EQ(queue.capacity(), 1u);
-  EXPECT_TRUE(queue.try_push(1));
-  EXPECT_FALSE(queue.try_push(2));
+  EXPECT_EQ(PushResult::kOk, queue.try_push(1));
+  EXPECT_EQ(queue.try_push(2), PushResult::kFull);
 }
 
 TEST(BoundedQueue, CloseRejectsNewWorkButDrainsBacklog) {
   BoundedQueue<int> queue(4);
-  ASSERT_TRUE(queue.try_push(10));
-  ASSERT_TRUE(queue.try_push(11));
+  ASSERT_EQ(PushResult::kOk, queue.try_push(10));
+  ASSERT_EQ(PushResult::kOk, queue.try_push(11));
   queue.close();
   EXPECT_TRUE(queue.closed());
-  EXPECT_FALSE(queue.try_push(12));
+  EXPECT_EQ(queue.try_push(12), PushResult::kClosed);
 
   // Consumers still see everything queued before the close, then nullopt.
   EXPECT_EQ(queue.pop().value(), 10);
   EXPECT_EQ(queue.pop().value(), 11);
   EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(BoundedQueue, PushReportsClosedOverFullAtomically) {
+  // Regression for the submit-path TOCTOU: the rejection reason must come
+  // from the failed push itself, not a separate closed() probe. A queue that
+  // is both full and closed reports kClosed; full-but-open reports kFull.
+  BoundedQueue<int> queue(1);
+  ASSERT_EQ(PushResult::kOk, queue.try_push(1));
+  EXPECT_EQ(queue.try_push(2), PushResult::kFull);
+  queue.close();
+  EXPECT_EQ(queue.try_push(3), PushResult::kClosed);
+  // Draining does not reopen admission once closed.
+  EXPECT_EQ(queue.try_pop().value(), 1);
+  EXPECT_EQ(queue.try_push(4), PushResult::kClosed);
 }
 
 TEST(BoundedQueue, CloseWakesBlockedConsumers) {
@@ -66,7 +80,7 @@ TEST(BoundedQueue, CloseWakesBlockedConsumers) {
   for (std::size_t i = 0; i < results.size(); ++i) {
     consumers.emplace_back([&queue, &results, i] { results[i] = queue.pop(); });
   }
-  ASSERT_TRUE(queue.try_push(7));
+  ASSERT_EQ(PushResult::kOk, queue.try_push(7));
   queue.close();
   for (auto& consumer : consumers) consumer.join();
 
@@ -89,7 +103,7 @@ TEST(BoundedQueue, PopUntilTimesOutEmptyHanded) {
 
 TEST(BoundedQueue, PopUntilReturnsItemArrivingBeforeDeadline) {
   BoundedQueue<int> queue(2);
-  std::thread producer([&queue] { ASSERT_TRUE(queue.try_push(42)); });
+  std::thread producer([&queue] { ASSERT_EQ(PushResult::kOk, queue.try_push(42)); });
   // det:ok(wall-clock): pop_until takes a real steady_clock deadline by design
   const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
   EXPECT_EQ(queue.pop_until(deadline).value(), 42);
@@ -106,7 +120,7 @@ TEST(BoundedQueue, ConcurrentProducersConsumersDeliverEverythingOnce) {
     producers.emplace_back([&queue, p] {
       for (int i = 0; i < kPerProducer; ++i) {
         const int item = p * kPerProducer + i;
-        while (!queue.try_push(item)) std::this_thread::yield();
+        while (queue.try_push(item) != PushResult::kOk) std::this_thread::yield();
       }
     });
   }

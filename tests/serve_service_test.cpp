@@ -116,6 +116,18 @@ TEST_F(ServeService, FullQueueRejectsOverloadedImmediately) {
 
   // After stop, admission answers ShuttingDown immediately.
   EXPECT_EQ(service.submit(predict_request()).get().status, Status::kShuttingDown);
+
+  // Accounting regression: the two drained jobs were *accepted* and then
+  // failed — they count as failed_shutdown, never as admission rejects. The
+  // admission columns hold exactly the overflow push and the post-stop push,
+  // and accepted == completed after the drain.
+  const auto counters = service.stats().counters(Endpoint::kPredict);
+  EXPECT_EQ(counters.accepted, 2u);
+  EXPECT_EQ(counters.completed, 2u);
+  EXPECT_EQ(counters.failed_shutdown, 2u);
+  EXPECT_EQ(counters.failed_overload, 0u);
+  EXPECT_EQ(counters.rejected_overload, 1u);
+  EXPECT_EQ(counters.rejected_shutdown, 1u);
 }
 
 TEST_F(ServeService, DeadlineExpiryUsesInjectedVirtualClock) {
@@ -254,7 +266,7 @@ TEST_F(ServeService, OptimizeEndpointSearchesTheSnapshotSpace) {
   service.stop();
 }
 
-TEST_F(ServeService, ObserveWindowRepublishesTunedConfigs) {
+TEST_F(ServeService, ObserveWindowIsStaleWhileRevalidate) {
   ServiceOptions options;
   options.workers = 1;
   core::OnlineTuner tuner(*rafiki_);
@@ -263,25 +275,45 @@ TEST_F(ServeService, ObserveWindowRepublishesTunedConfigs) {
   service.attach_tuner(tuner);
   service.start();
 
+  // A cache-miss window answers immediately with the (default) current
+  // config, stale-marked — no GA runs on the request path, no new version
+  // is published yet.
   Request request;
   request.endpoint = Endpoint::kObserveWindow;
   request.read_ratio = 0.2;
   const auto first = service.call(request);
   ASSERT_TRUE(first.ok());
-  EXPECT_TRUE(first.reconfigured);
-  // The freshly optimized config was republished as a new snapshot version
-  // carrying the tuned entry for this read-ratio bucket.
-  EXPECT_EQ(first.model_version, 2u);
+  EXPECT_TRUE(first.stale);
+  EXPECT_FALSE(first.reconfigured);
+  // The version is read after the miss was enqueued, so a fast background
+  // GA may already have republished (1 = pre-retrain, 2 = raced ahead).
+  EXPECT_GE(first.model_version, 1u);
+  EXPECT_LE(first.model_version, 2u);
+  EXPECT_EQ(service.stats().counters(Endpoint::kObserveWindow).stale, 1u);
+
+  // Once the background worker finishes, the optimized config has been
+  // republished as a new snapshot version carrying the tuned entry.
+  service.wait_retrain_idle();
+  EXPECT_EQ(service.model_version(), 2u);
   const auto snapshot = service.snapshot();
   ASSERT_NE(snapshot, nullptr);
   EXPECT_EQ(snapshot->tuned.count(tuner.bucket_for(0.2)), 1u);
+  EXPECT_EQ(service.stats().retrain_counters().runs, 1u);
 
-  // A repeat window in the same bucket hits the tuner's memo cache: no new
-  // optimizer run, no new snapshot version.
+  // The next window in the bucket adopts the tuned config (fresh, not
+  // stale); a repeat after that is a pure cache hit.
   const auto second = service.call(request);
   ASSERT_TRUE(second.ok());
-  EXPECT_FALSE(second.reconfigured);
+  EXPECT_FALSE(second.stale);
+  EXPECT_TRUE(second.reconfigured);
   EXPECT_EQ(second.model_version, 2u);
+  EXPECT_EQ(second.config, snapshot->tuned.at(tuner.bucket_for(0.2)).config);
+
+  const auto third = service.call(request);
+  ASSERT_TRUE(third.ok());
+  EXPECT_FALSE(third.stale);
+  EXPECT_FALSE(third.reconfigured);
+  EXPECT_EQ(third.model_version, 2u);
   EXPECT_EQ(tuner.optimizer_runs(), 1u);
   service.stop();
 }

@@ -1,0 +1,305 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace rafiki::net {
+namespace {
+
+/// Remaining-time helper for poll(): clamped to >= 0 ms.
+// det:ok(wall-clock): socket-timeout bookkeeping only; no result depends on it
+int ms_until(std::chrono::steady_clock::time_point deadline) {
+  // det:ok(wall-clock): socket-timeout bookkeeping only
+  const auto now = std::chrono::steady_clock::now();
+  if (deadline <= now) return 0;
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now).count();
+  return ms > 0 ? static_cast<int>(ms) : 0;
+}
+
+}  // namespace
+
+const char* net_status_name(NetStatus status) noexcept {
+  switch (status) {
+    case NetStatus::kOk:
+      return "Ok";
+    case NetStatus::kNotConnected:
+      return "NotConnected";
+    case NetStatus::kConnectFailed:
+      return "ConnectFailed";
+    case NetStatus::kSendFailed:
+      return "SendFailed";
+    case NetStatus::kTimeout:
+      return "Timeout";
+    case NetStatus::kConnectionClosed:
+      return "ConnectionClosed";
+    case NetStatus::kProtocolError:
+      return "ProtocolError";
+    case NetStatus::kRemoteError:
+      return "RemoteError";
+  }
+  return "?";
+}
+
+Client::Client(ClientOptions options) : options_(options) {}
+
+Client::~Client() { close(); }
+
+NetStatus Client::connect(const std::string& host, std::uint16_t port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return NetStatus::kConnectFailed;
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close();
+    return NetStatus::kConnectFailed;
+  }
+  const int rc = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  if (rc != 0 && errno != EINPROGRESS) {
+    close();
+    return NetStatus::kConnectFailed;
+  }
+  if (rc != 0) {
+    // Non-blocking connect: wait for writability, then read the verdict.
+    // det:ok(wall-clock): connect-timeout bookkeeping only
+    const auto deadline = std::chrono::steady_clock::now() + options_.connect_timeout;
+    pollfd pfd{fd_, POLLOUT, 0};
+    for (;;) {
+      const int ready = ::poll(&pfd, 1, ms_until(deadline));
+      if (ready > 0) break;
+      if (ready == 0) {
+        close();
+        return NetStatus::kConnectFailed;  // timed out
+      }
+      if (errno != EINTR) {
+        close();
+        return NetStatus::kConnectFailed;
+      }
+    }
+    int err = 0;
+    socklen_t err_len = sizeof err;
+    if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0 || err != 0) {
+      close();
+      return NetStatus::kConnectFailed;
+    }
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return NetStatus::kOk;
+}
+
+void Client::close_fd() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::close() {
+  close_fd();
+  rbuf_.clear();
+  rpos_ = 0;
+  completed_.clear();
+}
+
+std::uint64_t Client::send(const serve::Request& request, NetStatus* status) {
+  const auto fail = [&](NetStatus reason) -> std::uint64_t {
+    if (status != nullptr) *status = reason;
+    return 0;
+  };
+  if (fd_ < 0) return fail(NetStatus::kNotConnected);
+
+  const std::uint64_t id = next_id_++;
+  std::vector<std::uint8_t> bytes;
+  encode_request(id, request, bytes);
+
+  // det:ok(wall-clock): send-timeout bookkeeping only
+  const auto deadline = std::chrono::steady_clock::now() + options_.request_timeout;
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd_, POLLOUT, 0};
+      const int ready = ::poll(&pfd, 1, ms_until(deadline));
+      if (ready > 0) continue;
+      if (ready == 0) return fail(NetStatus::kTimeout);
+      if (errno == EINTR) continue;
+      return fail(NetStatus::kSendFailed);
+    }
+    if (n < 0 && errno == EINTR) continue;
+    close();
+    return fail(NetStatus::kSendFailed);
+  }
+  if (status != nullptr) *status = NetStatus::kOk;
+  return id;
+}
+
+NetStatus Client::drain_frames() {
+  for (;;) {
+    Frame frame;
+    std::size_t consumed = 0;
+    const DecodeStatus status =
+        decode_frame(rbuf_.data() + rpos_, rbuf_.size() - rpos_, options_.max_payload,
+                     frame, consumed);
+    if (status == DecodeStatus::kNeedMore) break;
+    if (status == DecodeStatus::kOk) {
+      rpos_ += consumed;
+      CallResult result;
+      if (frame.type == FrameType::kResponse) {
+        result.net = NetStatus::kOk;
+        result.response = frame.response;
+      } else if (frame.type == FrameType::kError) {
+        result.net = NetStatus::kRemoteError;
+        result.remote_error = frame.error;
+      } else {
+        // A server never sends request frames; the stream is suspect.
+        close();
+        return NetStatus::kProtocolError;
+      }
+      completed_[frame.request_id] = result;
+      continue;
+    }
+    // Any malformed frame from the server side is unrecoverable for a
+    // client: drop the connection rather than guess at framing.
+    close();
+    return NetStatus::kProtocolError;
+  }
+  if (rpos_ == rbuf_.size()) {
+    rbuf_.clear();
+    rpos_ = 0;
+  } else if (rpos_ > 0) {
+    rbuf_.erase(rbuf_.begin(), rbuf_.begin() + static_cast<std::ptrdiff_t>(rpos_));
+    rpos_ = 0;
+  }
+  return NetStatus::kOk;
+}
+
+NetStatus Client::read_some(std::chrono::steady_clock::time_point deadline) {
+  pollfd pfd{fd_, POLLIN, 0};
+  for (;;) {
+    const int ready = ::poll(&pfd, 1, ms_until(deadline));
+    if (ready == 0) return NetStatus::kTimeout;
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      close_fd();
+      return NetStatus::kConnectionClosed;
+    }
+    break;
+  }
+  std::uint8_t chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      rbuf_.insert(rbuf_.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n == 0) {
+      close_fd();
+      return NetStatus::kConnectionClosed;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return NetStatus::kOk;
+    if (errno == EINTR) continue;
+    close_fd();
+    return NetStatus::kConnectionClosed;
+  }
+}
+
+CallResult Client::wait(std::uint64_t id) {
+  CallResult result;
+  // det:ok(wall-clock): request-timeout bookkeeping only
+  const auto deadline = std::chrono::steady_clock::now() + options_.request_timeout;
+  for (;;) {
+    const auto it = completed_.find(id);
+    if (it != completed_.end()) {
+      result = it->second;
+      completed_.erase(it);
+      return result;
+    }
+    if (fd_ < 0) {
+      // The socket died earlier, but frames read before the FIN may still be
+      // sitting undrained in the buffer.
+      drain_frames();
+      const auto late = completed_.find(id);
+      if (late != completed_.end()) {
+        result = late->second;
+        completed_.erase(late);
+        return result;
+      }
+      result.net = NetStatus::kConnectionClosed;
+      return result;
+    }
+    const NetStatus read_status = read_some(deadline);
+    if (read_status != NetStatus::kOk &&
+        // A closed/odd socket may still have delivered the frame we want;
+        // drain before reporting the failure.
+        read_status != NetStatus::kConnectionClosed) {
+      result.net = read_status;
+      return result;
+    }
+    const NetStatus drain_status = drain_frames();
+    if (drain_status != NetStatus::kOk) {
+      result.net = drain_status;
+      return result;
+    }
+    if (read_status == NetStatus::kConnectionClosed) {
+      const auto late = completed_.find(id);
+      if (late != completed_.end()) {
+        result = late->second;
+        completed_.erase(late);
+        return result;
+      }
+      result.net = NetStatus::kConnectionClosed;
+      return result;
+    }
+  }
+}
+
+CallResult Client::call(const serve::Request& request) {
+  NetStatus status = NetStatus::kOk;
+  const std::uint64_t id = send(request, &status);
+  if (id == 0) {
+    CallResult result;
+    result.net = status;
+    return result;
+  }
+  return wait(id);
+}
+
+CallResult Client::predict(double read_ratio, const engine::Config& config) {
+  serve::Request request;
+  request.endpoint = serve::Endpoint::kPredict;
+  request.read_ratio = read_ratio;
+  request.config = config;
+  return call(request);
+}
+
+CallResult Client::optimize(double read_ratio) {
+  serve::Request request;
+  request.endpoint = serve::Endpoint::kOptimize;
+  request.read_ratio = read_ratio;
+  return call(request);
+}
+
+CallResult Client::observe_window(double read_ratio) {
+  serve::Request request;
+  request.endpoint = serve::Endpoint::kObserveWindow;
+  request.read_ratio = read_ratio;
+  return call(request);
+}
+
+}  // namespace rafiki::net

@@ -1,0 +1,99 @@
+// net::Client — a small blocking client for the tuning service's RPC
+// front-end: connect/request timeouts, request pipelining (send many, wait by
+// id, responses may arrive out of order), and typed wrappers for the three
+// endpoints. One Client is one connection and is NOT thread-safe; use one
+// instance per thread (bench/net_load's client fleet does exactly that).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engine/config.h"
+#include "net/wire.h"
+#include "serve/types.h"
+
+namespace rafiki::net {
+
+/// Transport-level outcome of a call, orthogonal to serve::Status (which
+/// only exists once a response frame arrived).
+enum class NetStatus : std::uint8_t {
+  kOk = 0,
+  kNotConnected,
+  kConnectFailed,
+  kSendFailed,
+  /// No response within the request timeout. The connection stays open; a
+  /// late response is still matched by a later wait()/call().
+  kTimeout,
+  kConnectionClosed,
+  /// The byte stream violated the protocol (fatal decode on our side).
+  kProtocolError,
+  /// The server answered with an error frame; see CallResult::remote_error.
+  kRemoteError,
+};
+inline constexpr std::size_t kNetStatusCount = 8;
+
+const char* net_status_name(NetStatus status) noexcept;
+
+struct CallResult {
+  NetStatus net = NetStatus::kOk;
+  /// Set when net == kRemoteError (the server's error-frame code).
+  WireError remote_error = WireError::kNone;
+  /// Valid when net == kOk.
+  serve::Response response;
+  /// Transport delivered a response and the service said kOk.
+  bool ok() const noexcept { return net == NetStatus::kOk && response.ok(); }
+};
+
+struct ClientOptions {
+  std::chrono::milliseconds connect_timeout{2000};
+  std::chrono::milliseconds request_timeout{5000};
+  std::size_t max_payload = kDefaultMaxPayload;
+};
+
+class Client {
+ public:
+  explicit Client(ClientOptions options = {});
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  NetStatus connect(const std::string& host, std::uint16_t port);
+  void close();
+  bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Pipelined send: writes the request frame and returns its id without
+  /// waiting for the response. Returns 0 on failure (reason in *status).
+  std::uint64_t send(const serve::Request& request, NetStatus* status = nullptr);
+  /// Blocks until the response for `id` arrives (or the request timeout).
+  CallResult wait(std::uint64_t id);
+  /// send + wait.
+  CallResult call(const serve::Request& request);
+
+  // Typed wrappers for the three endpoints.
+  CallResult predict(double read_ratio,
+                     const engine::Config& config = engine::Config::defaults());
+  CallResult optimize(double read_ratio);
+  CallResult observe_window(double read_ratio);
+
+ private:
+  NetStatus read_some(std::chrono::steady_clock::time_point deadline);
+  NetStatus drain_frames();
+  /// Closes only the socket. Buffered frames and completed responses
+  /// survive — a FIN often arrives in the same read batch as the last
+  /// responses, and those must still be claimable by wait().
+  void close_fd();
+
+  ClientOptions options_;
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+  std::vector<std::uint8_t> rbuf_;
+  std::size_t rpos_ = 0;
+  /// Responses that arrived while waiting for a different id.
+  std::map<std::uint64_t, CallResult> completed_;
+};
+
+}  // namespace rafiki::net

@@ -1,0 +1,455 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace rafiki::net {
+namespace {
+
+/// How long a draining loop sleeps in poll() between completion checks.
+constexpr int kDrainPollMs = 50;
+
+double elapsed_us(std::chrono::steady_clock::time_point since,
+                  std::chrono::steady_clock::time_point until) {
+  return std::chrono::duration<double, std::micro>(until - since).count();
+}
+
+WireError wire_error_for(DecodeStatus status, FrameType type) {
+  switch (status) {
+    case DecodeStatus::kBadVersion:
+      return WireError::kUnsupportedVersion;
+    case DecodeStatus::kBadLength:
+      return WireError::kPayloadTooLarge;
+    case DecodeStatus::kBadPayload:
+      return WireError::kBadPayload;
+    case DecodeStatus::kBadEnum:
+      return type == FrameType::kRequest ? WireError::kUnknownEndpoint
+                                         : WireError::kBadFrame;
+    default:
+      return WireError::kBadFrame;
+  }
+}
+
+}  // namespace
+
+Server::Waker::~Waker() {
+  if (read_fd >= 0) ::close(read_fd);
+  if (write_fd >= 0) ::close(write_fd);
+}
+
+void Server::Waker::wake() const noexcept {
+  const std::uint8_t byte = 1;
+  // A full pipe already guarantees a pending wakeup; the result is moot.
+  [[maybe_unused]] const ssize_t n = ::write(write_fd, &byte, 1);
+}
+
+void Server::Waker::drain() const noexcept {
+  std::uint8_t sink[256];
+  while (::read(read_fd, sink, sizeof sink) > 0) {
+  }
+}
+
+Server::Server(serve::TuningService& service, ServerOptions options)
+    : service_(service), options_(std::move(options)), stats_(service.stats()) {
+  if (options_.io_threads == 0) options_.io_threads = 1;
+  if (options_.read_chunk == 0) options_.read_chunk = 4096;
+}
+
+Server::~Server() { stop(); }
+
+bool Server::start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (started_) return !stopped_;
+  if (stopped_) return false;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    last_error_ = "socket() failed";
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    last_error_ = "inet_pton(" + options_.host + ") failed";
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    last_error_ = "bind(" + options_.host + ") failed: " + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    last_error_ = "listen() failed";
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  loops_.clear();
+  for (std::size_t i = 0; i < options_.io_threads; ++i) {
+    auto loop = std::make_unique<Loop>();
+    loop->waker = std::make_shared<Waker>();
+    int pipe_fds[2];
+    if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) != 0) {
+      last_error_ = "pipe2() failed";
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      loops_.clear();
+      return false;
+    }
+    loop->waker->read_fd = pipe_fds[0];
+    loop->waker->write_fd = pipe_fds[1];
+    loops_.push_back(std::move(loop));
+  }
+  for (std::size_t i = 0; i < loops_.size(); ++i) {
+    loops_[i]->thread = std::thread([this, i] { loop_main(i); });
+  }
+  started_ = true;
+  return true;
+}
+
+void Server::stop() {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  draining_.store(true, std::memory_order_release);
+  for (auto& loop : loops_) {
+    if (loop->waker) loop->waker->wake();
+  }
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
+  }
+  // Loops are gone; close anything still registered (a connection handed to
+  // a loop in the instant it exited never got served — close it cleanly).
+  for (auto& loop : loops_) {
+    for (auto* list : {&loop->incoming, &loop->conns}) {
+      for (auto& conn : *list) {
+        if (conn->fd >= 0) close_connection(*conn);
+      }
+      list->clear();
+    }
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void Server::loop_main(std::size_t index) {
+  Loop& loop = *loops_[index];
+  const bool acceptor = index == 0;
+  std::vector<pollfd> pfds;
+
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(loop.incoming_mutex);
+      for (auto& conn : loop.incoming) loop.conns.push_back(std::move(conn));
+      loop.incoming.clear();
+    }
+    const bool draining = draining_.load(std::memory_order_acquire);
+    if (draining && loop.conns.empty()) {
+      std::lock_guard<std::mutex> lock(loop.incoming_mutex);
+      if (loop.incoming.empty()) return;
+      continue;  // late handoff: adopt it on the next pass
+    }
+
+    pfds.clear();
+    pfds.push_back({loop.waker->read_fd, POLLIN, 0});
+    const bool poll_listen = acceptor && !draining;
+    if (poll_listen) pfds.push_back({listen_fd_, POLLIN, 0});
+    const std::size_t base = pfds.size();
+    for (const auto& conn : loop.conns) {
+      short events = 0;
+      if (!conn->read_closed && !conn->fatal && !conn->dead.load()) {
+        events = static_cast<short>(events | POLLIN);
+      }
+      {
+        std::lock_guard<std::mutex> out_lock(conn->out_mutex);
+        if (conn->opos < conn->obuf.size()) events = static_cast<short>(events | POLLOUT);
+      }
+      pfds.push_back({conn->fd, events, 0});
+    }
+    // do_accept below may append to loop.conns; only the first `polled`
+    // entries have a pollfd, so bound the revents walk by this snapshot.
+    const std::size_t polled = loop.conns.size();
+
+    ::poll(pfds.data(), pfds.size(), draining ? kDrainPollMs : -1);
+    loop.waker->drain();
+    if (poll_listen && (pfds[1].revents & POLLIN) != 0) do_accept(loop);
+
+    for (std::size_t i = 0; i < polled; ++i) {
+      const ConnectionPtr& conn = loop.conns[i];
+      const short revents = pfds[base + i].revents;
+      if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) handle_read(*conn);
+      process_frames(conn);
+      flush(*conn);
+    }
+
+    for (std::size_t i = 0; i < loop.conns.size();) {
+      const ConnectionPtr& conn = loop.conns[i];
+      bool close = should_close(*conn);
+      if (!close && draining && idle(*conn)) {
+        // Last-chance read: catch bytes that raced in just before the drain
+        // began, answer them (kShuttingDown), and only then let go.
+        handle_read(*conn);
+        process_frames(conn);
+        flush(*conn);
+        close = idle(*conn) || should_close(*conn);
+      }
+      if (close) {
+        close_connection(*conn);
+        loop.conns.erase(loop.conns.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+}
+
+void Server::do_accept(Loop& loop) {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN (or a transient error): try again next poll
+    if (draining_.load(std::memory_order_acquire) ||
+        open_connections_.load() >= options_.max_connections) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    open_connections_.fetch_add(1);
+    stats_.record_connection_open();
+
+    Loop& target = *loops_[next_loop_];
+    next_loop_ = (next_loop_ + 1) % loops_.size();
+    conn->waker = target.waker;
+    if (&target == &loop) {
+      loop.conns.push_back(std::move(conn));
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(target.incoming_mutex);
+        target.incoming.push_back(std::move(conn));
+      }
+      target.waker->wake();
+    }
+  }
+}
+
+void Server::handle_read(Connection& conn) {
+  if (conn.read_closed || conn.fatal || conn.dead.load()) return;
+  // Bound unprocessed buffering: one oversized-frame claim is rejected at
+  // decode, so two max frames of slack is plenty.
+  const std::size_t cap = 2 * (options_.max_payload + kHeaderSize);
+  for (;;) {
+    if (conn.rbuf.size() - conn.rpos >= cap) return;
+    const std::size_t old = conn.rbuf.size();
+    conn.rbuf.resize(old + options_.read_chunk);
+    const ssize_t n = ::recv(conn.fd, conn.rbuf.data() + old, options_.read_chunk, 0);
+    if (n > 0) {
+      conn.rbuf.resize(old + static_cast<std::size_t>(n));
+      stats_.record_wire_read(static_cast<std::size_t>(n));
+      continue;
+    }
+    conn.rbuf.resize(old);
+    if (n == 0) {
+      conn.read_closed = true;  // peer FIN; finish in-flight work, then close
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    conn.dead.store(true);  // hard socket error: nothing further to salvage
+    return;
+  }
+}
+
+void Server::process_frames(const ConnectionPtr& conn) {
+  for (;;) {
+    Frame frame;
+    std::size_t consumed = 0;
+    const DecodeStatus status =
+        decode_frame(conn->rbuf.data() + conn->rpos, conn->rbuf.size() - conn->rpos,
+                     options_.max_payload, frame, consumed);
+    if (status == DecodeStatus::kNeedMore) break;
+    if (status == DecodeStatus::kOk) {
+      stats_.record_frame_in();
+      conn->rpos += consumed;
+      if (frame.type == FrameType::kRequest) {
+        handle_request(conn, frame);
+      } else {
+        // A client must only send requests; answer the misuse, keep the
+        // stream (the frame itself was well-formed).
+        queue_error(*conn, frame.request_id, WireError::kBadFrame);
+      }
+      continue;
+    }
+    stats_.record_decode_error();
+    const WireError error = wire_error_for(status, frame.type);
+    if (decode_recoverable(status)) {
+      conn->rpos += consumed;
+      queue_error(*conn, frame.request_id, error);
+      continue;
+    }
+    // Fatal: the stream offset is untrustworthy. One last error frame (id 0:
+    // no header could be believed), then close once it flushes.
+    queue_error(*conn, 0, error);
+    conn->fatal = true;
+    break;
+  }
+  if (conn->rpos == conn->rbuf.size()) {
+    conn->rbuf.clear();
+    conn->rpos = 0;
+  } else if (conn->rpos > 0) {
+    conn->rbuf.erase(conn->rbuf.begin(),
+                     conn->rbuf.begin() + static_cast<std::ptrdiff_t>(conn->rpos));
+    conn->rpos = 0;
+  }
+}
+
+void Server::handle_request(const ConnectionPtr& conn, const Frame& frame) {
+  const std::uint64_t id = frame.request_id;
+  const serve::Endpoint endpoint = frame.endpoint;
+
+  if (draining_.load(std::memory_order_acquire)) {
+    serve::Response response;
+    response.status = serve::Status::kShuttingDown;
+    queue_response(*conn, id, endpoint, response);
+    return;
+  }
+  if (conn->in_flight.load() >= options_.max_pipeline) {
+    // Per-connection backpressure surfaces on the wire instead of stalling
+    // TCP: the client sees a typed kOverloaded and can back off.
+    serve::Response response;
+    response.status = serve::Status::kOverloaded;
+    queue_response(*conn, id, endpoint, response);
+    return;
+  }
+
+  // det:ok(wall-clock): reporting-only wire-latency timestamp
+  const auto t0 = std::chrono::steady_clock::now();
+  conn->in_flight.fetch_add(1);
+  serve::ServiceStats* stats = &stats_;
+  const std::shared_ptr<Waker> waker = conn->waker;
+  const serve::Status admitted = service_.try_submit(
+      frame.request, [conn, waker, stats, id, endpoint, t0](serve::Response response) {
+        // Runs on a service worker thread. Touches only ref-counted state
+        // (connection buffers, the waker pipe) — never the Server itself.
+        std::vector<std::uint8_t> bytes;
+        encode_response(id, endpoint, response, bytes);
+        {
+          std::lock_guard<std::mutex> lock(conn->out_mutex);
+          conn->obuf.insert(conn->obuf.end(), bytes.begin(), bytes.end());
+        }
+        stats->record_frame_out();
+        // det:ok(wall-clock): reporting-only wire-latency measurement
+        const auto t1 = std::chrono::steady_clock::now();
+        stats->record_wire_latency(endpoint, elapsed_us(t0, t1));
+        conn->in_flight.fetch_sub(1, std::memory_order_release);
+        waker->wake();
+      });
+  if (admitted != serve::Status::kOk) {
+    // Not admitted — the callback will never fire. Answer inline with the
+    // admission verdict (Overloaded / ShuttingDown).
+    conn->in_flight.fetch_sub(1);
+    serve::Response response;
+    response.status = admitted;
+    queue_response(*conn, id, endpoint, response);
+  }
+}
+
+void Server::queue_response(Connection& conn, std::uint64_t request_id,
+                            serve::Endpoint endpoint, const serve::Response& response) {
+  std::vector<std::uint8_t> bytes;
+  encode_response(request_id, endpoint, response, bytes);
+  {
+    std::lock_guard<std::mutex> lock(conn.out_mutex);
+    conn.obuf.insert(conn.obuf.end(), bytes.begin(), bytes.end());
+  }
+  stats_.record_frame_out();
+  stats_.record_wire_latency(endpoint, 0.0);  // answered inline, no queueing
+}
+
+void Server::queue_error(Connection& conn, std::uint64_t request_id, WireError error) {
+  std::vector<std::uint8_t> bytes;
+  encode_error(request_id, error, bytes);
+  {
+    std::lock_guard<std::mutex> lock(conn.out_mutex);
+    conn.obuf.insert(conn.obuf.end(), bytes.begin(), bytes.end());
+  }
+  stats_.record_frame_out();
+  stats_.record_error_frame();
+}
+
+void Server::flush(Connection& conn) {
+  if (conn.dead.load()) return;
+  std::lock_guard<std::mutex> lock(conn.out_mutex);
+  while (conn.opos < conn.obuf.size()) {
+    const ssize_t n = ::send(conn.fd, conn.obuf.data() + conn.opos,
+                             conn.obuf.size() - conn.opos, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.opos += static_cast<std::size_t>(n);
+      stats_.record_wire_write(static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;  // POLLOUT resumes
+    if (n < 0 && errno == EINTR) continue;
+    conn.dead.store(true);  // peer is gone; drop whatever is left
+    conn.obuf.clear();
+    conn.opos = 0;
+    return;
+  }
+  conn.obuf.clear();
+  conn.opos = 0;
+}
+
+bool Server::idle(Connection& conn) const {
+  if (conn.fatal || conn.dead.load() || conn.read_closed) return false;
+  if (conn.in_flight.load(std::memory_order_acquire) != 0) return false;
+  if (conn.rpos < conn.rbuf.size()) return false;
+  std::lock_guard<std::mutex> lock(conn.out_mutex);
+  return conn.opos >= conn.obuf.size();
+}
+
+bool Server::should_close(Connection& conn) const {
+  if (conn.dead.load()) return true;
+  if (!conn.fatal && !conn.read_closed) return false;
+  if (conn.in_flight.load(std::memory_order_acquire) != 0) return false;
+  std::lock_guard<std::mutex> lock(conn.out_mutex);
+  return conn.opos >= conn.obuf.size();
+}
+
+void Server::close_connection(Connection& conn) {
+  if (conn.fd >= 0) {
+    ::close(conn.fd);
+    conn.fd = -1;
+    stats_.record_connection_close();
+    open_connections_.fetch_sub(1);
+  }
+}
+
+}  // namespace rafiki::net

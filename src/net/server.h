@@ -1,0 +1,152 @@
+// net::Server — the RPC front-end over TuningService: a poll-driven,
+// multi-threaded TCP server speaking the length-prefixed binary protocol of
+// net/wire.h.
+//
+//   * Non-blocking sockets throughout; each connection is owned by exactly
+//     one IO loop thread (round-robin assignment at accept), so read-side
+//     state needs no locks. Loop 0 doubles as the acceptor.
+//   * Pipelining — any number of requests (up to max_pipeline) may be in
+//     flight per connection; responses carry the request id they answer and
+//     may return out of order. Completion uses TuningService::try_submit's
+//     callback path: a worker thread encodes the response into the
+//     connection's (mutex-guarded) output buffer and wakes the owning loop
+//     through a pipe — the loop never blocks on a future.
+//   * Backpressure maps to the wire, not to TCP stalls: a full service queue
+//     or a full per-connection pipeline answers with a typed kOverloaded
+//     response immediately; the socket keeps draining.
+//   * Malformed frames: recoverable ones (bad enum/payload under a valid
+//     header) are answered with an error frame and the stream continues;
+//     fatal ones (bad magic/version/oversized length) get one final error
+//     frame and the connection closes.
+//   * stop() drains gracefully: accepting stops, in-flight requests finish
+//     and their responses flush, requests decoded during the drain are
+//     answered with kShuttingDown — no accepted frame is ever dropped.
+//   * Wire telemetry (connections, frames, bytes, decode errors, per-endpoint
+//     wire latency) folds into the service's ServiceStats.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/wire.h"
+#include "serve/service.h"
+
+namespace rafiki::net {
+
+struct ServerOptions {
+  /// Bind address. The default serves loopback only — remote exposure is an
+  /// explicit decision.
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; Server::port() reports the real one.
+  std::uint16_t port = 0;
+  /// IO loop threads. Loop 0 also accepts; connections are assigned
+  /// round-robin.
+  std::size_t io_threads = 1;
+  int backlog = 64;
+  /// Connections beyond this are accepted and immediately closed.
+  std::size_t max_connections = 256;
+  /// Frames claiming a larger payload are rejected before buffering.
+  std::size_t max_payload = kDefaultMaxPayload;
+  /// In-flight (submitted, unanswered) requests per connection; excess
+  /// requests answer kOverloaded on the wire.
+  std::size_t max_pipeline = 64;
+  /// recv() chunk size.
+  std::size_t read_chunk = 1 << 16;
+};
+
+class Server {
+ public:
+  /// The service must outlive the server.
+  explicit Server(serve::TuningService& service, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the IO loops. False on socket errors (see
+  /// last_error()). Idempotent.
+  bool start();
+  /// Graceful drain: stop accepting, answer everything already on the wire,
+  /// flush, close, join. Idempotent.
+  void stop();
+
+  /// Actual bound port (after start()); 0 before.
+  std::uint16_t port() const noexcept { return port_; }
+  bool running() const noexcept { return started_ && !stopped_; }
+  const std::string& last_error() const noexcept { return last_error_; }
+
+ private:
+  /// Wakeup pipe shared between an IO loop and the response callbacks that
+  /// need to rouse it. Callbacks can outlive stop() by a few instructions
+  /// (a worker mid-callback while the loops join), so the pipe's lifetime is
+  /// ref-counted rather than tied to the Server.
+  struct Waker {
+    int read_fd = -1;
+    int write_fd = -1;
+    ~Waker();
+    void wake() const noexcept;
+    void drain() const noexcept;
+  };
+
+  struct Connection {
+    int fd = -1;
+    /// Owning loop's waker; response callbacks use it to rouse the loop.
+    std::shared_ptr<Waker> waker;
+    // --- owned by the loop thread ---
+    std::vector<std::uint8_t> rbuf;
+    std::size_t rpos = 0;
+    bool read_closed = false;  ///< peer sent FIN (or read side gave up)
+    bool fatal = false;        ///< protocol-fatal: close once output flushes
+    // --- shared with response callbacks ---
+    std::mutex out_mutex;
+    std::vector<std::uint8_t> obuf;  ///< guarded by out_mutex
+    std::size_t opos = 0;            ///< guarded by out_mutex
+    std::atomic<bool> dead{false};   ///< socket broken: discard output
+    std::atomic<std::size_t> in_flight{0};
+  };
+  using ConnectionPtr = std::shared_ptr<Connection>;
+
+  struct Loop {
+    std::shared_ptr<Waker> waker;
+    std::mutex incoming_mutex;
+    std::vector<ConnectionPtr> incoming;  ///< handoff from the acceptor
+    std::vector<ConnectionPtr> conns;     ///< loop-thread only
+    std::thread thread;
+  };
+
+  void loop_main(std::size_t index);
+  void do_accept(Loop& loop);
+  void handle_read(Connection& conn);
+  void process_frames(const ConnectionPtr& conn);
+  void handle_request(const ConnectionPtr& conn, const Frame& frame);
+  void queue_response(Connection& conn, std::uint64_t request_id,
+                      serve::Endpoint endpoint, const serve::Response& response);
+  void queue_error(Connection& conn, std::uint64_t request_id, WireError error);
+  void flush(Connection& conn);
+  /// No pending work in either direction and the peer is still healthy —
+  /// the draining loop's criterion for letting a connection go.
+  bool idle(Connection& conn) const;
+  bool should_close(Connection& conn) const;
+  void close_connection(Connection& conn);
+
+  serve::TuningService& service_;
+  ServerOptions options_;
+  serve::ServiceStats& stats_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::size_t next_loop_ = 0;  ///< acceptor-thread only (round robin)
+  std::atomic<std::size_t> open_connections_{0};
+  std::atomic<bool> draining_{false};
+  std::mutex lifecycle_mutex_;
+  bool started_ = false;
+  bool stopped_ = false;
+  std::string last_error_;
+};
+
+}  // namespace rafiki::net

@@ -1,0 +1,304 @@
+#include "net/wire.h"
+
+#include <bit>
+#include <cmath>
+
+#include "engine/config.h"
+#include "engine/params.h"
+
+namespace rafiki::net {
+namespace {
+
+// Payload body sizes are fixed per frame type in protocol version 1; the
+// decoder checks the length prefix against them before touching the body.
+constexpr std::size_t kConfigWireSize = 2 + engine::kParamCount * 8;
+constexpr std::size_t kRequestPayloadSize = 8 + 8 + kConfigWireSize;
+constexpr std::size_t kResponsePayloadSize = 8 + 8 + 8 + 8 + kConfigWireSize + 8 + 1 + 1 + 8;
+constexpr std::size_t kErrorPayloadSize = 0;
+
+void put_header(std::vector<std::uint8_t>& out, FrameType type, std::uint8_t endpoint,
+                std::uint8_t code, std::uint64_t request_id, std::uint32_t payload_len) {
+  put_u32(out, kMagic);
+  put_u8(out, kProtocolVersion);
+  put_u8(out, static_cast<std::uint8_t>(type));
+  put_u8(out, endpoint);
+  put_u8(out, code);
+  put_u64(out, request_id);
+  put_u32(out, payload_len);
+}
+
+void put_config(std::vector<std::uint8_t>& out, const engine::Config& config) {
+  put_u16(out, static_cast<std::uint16_t>(engine::kParamCount));
+  for (std::size_t i = 0; i < engine::kParamCount; ++i) {
+    put_f64(out, config.get(static_cast<engine::ParamId>(i)));
+  }
+}
+
+bool get_finite_f64(WireReader& reader, double& v) {
+  return reader.get_f64(v) && std::isfinite(v);
+}
+
+bool get_config(WireReader& reader, engine::Config& config) {
+  std::uint16_t count = 0;
+  if (!reader.get_u16(count) || count != engine::kParamCount) return false;
+  for (std::size_t i = 0; i < engine::kParamCount; ++i) {
+    double value = 0.0;
+    if (!get_finite_f64(reader, value)) return false;
+    // set() snaps into the parameter's domain; for values produced by a real
+    // Config this is the identity, so round trips stay bit-exact — while a
+    // hostile out-of-domain (but finite) value is clamped, never stored raw.
+    config.set(static_cast<engine::ParamId>(i), value);
+  }
+  return true;
+}
+
+bool get_bool_byte(WireReader& reader, bool& v) {
+  std::uint8_t byte = 0;
+  if (!reader.get_u8(byte) || byte > 1) return false;
+  v = byte != 0;
+  return true;
+}
+
+DecodeStatus parse_request(WireReader& reader, serve::Request& request) {
+  if (!get_finite_f64(reader, request.read_ratio)) return DecodeStatus::kBadPayload;
+  if (!reader.get_u64(request.deadline)) return DecodeStatus::kBadPayload;
+  if (!get_config(reader, request.config)) return DecodeStatus::kBadPayload;
+  return reader.remaining() == 0 ? DecodeStatus::kOk : DecodeStatus::kBadPayload;
+}
+
+DecodeStatus parse_response(WireReader& reader, serve::Response& response) {
+  std::uint64_t batch_size = 0;
+  std::uint64_t evaluations = 0;
+  if (!reader.get_u64(response.model_version)) return DecodeStatus::kBadPayload;
+  if (!get_finite_f64(reader, response.mean)) return DecodeStatus::kBadPayload;
+  if (!get_finite_f64(reader, response.stddev)) return DecodeStatus::kBadPayload;
+  if (!reader.get_u64(batch_size)) return DecodeStatus::kBadPayload;
+  if (!get_config(reader, response.config)) return DecodeStatus::kBadPayload;
+  if (!get_finite_f64(reader, response.predicted_throughput)) {
+    return DecodeStatus::kBadPayload;
+  }
+  if (!get_bool_byte(reader, response.reconfigured)) return DecodeStatus::kBadPayload;
+  if (!get_bool_byte(reader, response.stale)) return DecodeStatus::kBadPayload;
+  if (!reader.get_u64(evaluations)) return DecodeStatus::kBadPayload;
+  response.batch_size = static_cast<std::size_t>(batch_size);
+  response.surrogate_evaluations = static_cast<std::size_t>(evaluations);
+  return reader.remaining() == 0 ? DecodeStatus::kOk : DecodeStatus::kBadPayload;
+}
+
+}  // namespace
+
+const char* frame_type_name(FrameType type) noexcept {
+  switch (type) {
+    case FrameType::kRequest:
+      return "Request";
+    case FrameType::kResponse:
+      return "Response";
+    case FrameType::kError:
+      return "Error";
+  }
+  return "?";
+}
+
+const char* wire_error_name(WireError error) noexcept {
+  switch (error) {
+    case WireError::kNone:
+      return "None";
+    case WireError::kBadFrame:
+      return "BadFrame";
+    case WireError::kBadPayload:
+      return "BadPayload";
+    case WireError::kUnsupportedVersion:
+      return "UnsupportedVersion";
+    case WireError::kPayloadTooLarge:
+      return "PayloadTooLarge";
+    case WireError::kUnknownEndpoint:
+      return "UnknownEndpoint";
+  }
+  return "?";
+}
+
+const char* decode_status_name(DecodeStatus status) noexcept {
+  switch (status) {
+    case DecodeStatus::kOk:
+      return "Ok";
+    case DecodeStatus::kNeedMore:
+      return "NeedMore";
+    case DecodeStatus::kBadMagic:
+      return "BadMagic";
+    case DecodeStatus::kBadVersion:
+      return "BadVersion";
+    case DecodeStatus::kBadLength:
+      return "BadLength";
+    case DecodeStatus::kBadFrameType:
+      return "BadFrameType";
+    case DecodeStatus::kBadEnum:
+      return "BadEnum";
+    case DecodeStatus::kBadPayload:
+      return "BadPayload";
+  }
+  return "?";
+}
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFFu));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xFFu));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xFFu));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+bool WireReader::get_u8(std::uint8_t& v) noexcept {
+  if (remaining() < 1) return false;
+  v = data_[pos_++];
+  return true;
+}
+
+bool WireReader::get_u16(std::uint16_t& v) noexcept {
+  if (remaining() < 2) return false;
+  v = static_cast<std::uint16_t>(static_cast<std::uint16_t>(data_[pos_]) |
+                                 static_cast<std::uint16_t>(data_[pos_ + 1]) << 8);
+  pos_ += 2;
+  return true;
+}
+
+bool WireReader::get_u32(std::uint32_t& v) noexcept {
+  if (remaining() < 4) return false;
+  v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 4;
+  return true;
+}
+
+bool WireReader::get_u64(std::uint64_t& v) noexcept {
+  if (remaining() < 8) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 8;
+  return true;
+}
+
+bool WireReader::get_f64(double& v) noexcept {
+  std::uint64_t bits = 0;
+  if (!get_u64(bits)) return false;
+  v = std::bit_cast<double>(bits);
+  return true;
+}
+
+void encode_request(std::uint64_t request_id, const serve::Request& request,
+                    std::vector<std::uint8_t>& out) {
+  put_header(out, FrameType::kRequest, static_cast<std::uint8_t>(request.endpoint), 0,
+             request_id, static_cast<std::uint32_t>(kRequestPayloadSize));
+  put_f64(out, request.read_ratio);
+  put_u64(out, request.deadline);
+  put_config(out, request.config);
+}
+
+void encode_response(std::uint64_t request_id, serve::Endpoint endpoint,
+                     const serve::Response& response, std::vector<std::uint8_t>& out) {
+  put_header(out, FrameType::kResponse, static_cast<std::uint8_t>(endpoint),
+             static_cast<std::uint8_t>(response.status), request_id,
+             static_cast<std::uint32_t>(kResponsePayloadSize));
+  put_u64(out, response.model_version);
+  put_f64(out, response.mean);
+  put_f64(out, response.stddev);
+  put_u64(out, static_cast<std::uint64_t>(response.batch_size));
+  put_config(out, response.config);
+  put_f64(out, response.predicted_throughput);
+  put_u8(out, response.reconfigured ? 1 : 0);
+  put_u8(out, response.stale ? 1 : 0);
+  put_u64(out, static_cast<std::uint64_t>(response.surrogate_evaluations));
+}
+
+void encode_error(std::uint64_t request_id, WireError error,
+                  std::vector<std::uint8_t>& out) {
+  put_header(out, FrameType::kError, 0, static_cast<std::uint8_t>(error), request_id,
+             static_cast<std::uint32_t>(kErrorPayloadSize));
+}
+
+DecodeStatus decode_frame(const std::uint8_t* data, std::size_t size,
+                          std::size_t max_payload, Frame& frame, std::size_t& consumed) {
+  consumed = 0;
+  if (size < kHeaderSize) return DecodeStatus::kNeedMore;
+
+  WireReader header(data, kHeaderSize);
+  std::uint32_t magic = 0;
+  std::uint8_t version = 0;
+  std::uint8_t type_byte = 0;
+  std::uint8_t endpoint_byte = 0;
+  std::uint8_t code_byte = 0;
+  std::uint64_t request_id = 0;
+  std::uint32_t payload_len = 0;
+  header.get_u32(magic);
+  header.get_u8(version);
+  header.get_u8(type_byte);
+  header.get_u8(endpoint_byte);
+  header.get_u8(code_byte);
+  header.get_u64(request_id);
+  header.get_u32(payload_len);
+
+  // Fatal checks first: if these fail the stream offset itself is suspect
+  // and no later frame boundary can be trusted.
+  if (magic != kMagic) return DecodeStatus::kBadMagic;
+  if (version != kProtocolVersion) return DecodeStatus::kBadVersion;
+  if (payload_len > max_payload) return DecodeStatus::kBadLength;
+  if (size < kHeaderSize + payload_len) return DecodeStatus::kNeedMore;
+
+  // From here on the full frame is buffered and its length prefix is sane,
+  // so every further failure is recoverable: report it, consume the frame,
+  // and let the caller keep the connection.
+  consumed = kHeaderSize + payload_len;
+  frame.request_id = request_id;
+
+  if (type_byte >= kFrameTypeCount) return DecodeStatus::kBadFrameType;
+  frame.type = static_cast<FrameType>(type_byte);
+
+  WireReader reader(data + kHeaderSize, payload_len);
+  switch (frame.type) {
+    case FrameType::kRequest: {
+      if (endpoint_byte >= serve::kEndpointCount) return DecodeStatus::kBadEnum;
+      if (code_byte != 0) return DecodeStatus::kBadEnum;  // reserved in requests
+      frame.endpoint = static_cast<serve::Endpoint>(endpoint_byte);
+      frame.request = serve::Request{};
+      frame.request.endpoint = frame.endpoint;
+      return parse_request(reader, frame.request);
+    }
+    case FrameType::kResponse: {
+      if (endpoint_byte >= serve::kEndpointCount) return DecodeStatus::kBadEnum;
+      if (code_byte >= serve::kStatusCount) return DecodeStatus::kBadEnum;
+      frame.endpoint = static_cast<serve::Endpoint>(endpoint_byte);
+      frame.response = serve::Response{};
+      frame.response.status = static_cast<serve::Status>(code_byte);
+      return parse_response(reader, frame.response);
+    }
+    case FrameType::kError: {
+      if (endpoint_byte != 0) return DecodeStatus::kBadEnum;  // reserved in errors
+      if (code_byte >= kWireErrorCount) return DecodeStatus::kBadEnum;
+      frame.error = static_cast<WireError>(code_byte);
+      return reader.remaining() == 0 ? DecodeStatus::kOk : DecodeStatus::kBadPayload;
+    }
+  }
+  return DecodeStatus::kBadFrameType;  // unreachable; switch is exhaustive
+}
+
+}  // namespace rafiki::net

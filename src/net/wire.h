@@ -1,0 +1,151 @@
+// Deterministic wire codec for the tuning service's RPC front-end.
+//
+// Framing is length-prefixed with a fixed 20-byte header; every multi-byte
+// field is serialized explicitly little-endian, one byte at a time — never a
+// memcpy of an in-memory struct — so the format is identical across
+// architectures and compilers (see the `wire-memcpy` rule in
+// tools/lint_rules.md). Doubles travel as their IEEE-754 bit pattern
+// (std::bit_cast to u64), so an encode/decode round trip is bit-exact.
+//
+//   offset  size  field
+//   0       4     magic          0x524B4631 ("1FKR" on the wire, LE)
+//   4       1     version        kProtocolVersion
+//   5       1     frame type     FrameType (request / response / error)
+//   6       1     endpoint       serve::Endpoint (0 for error frames)
+//   7       1     code           request: 0; response: serve::Status;
+//                                error: WireError
+//   8       8     request id     caller-chosen correlation id (pipelining)
+//   16      4     payload length bounded by the decoder's max_payload
+//
+// Decode is fuzz-resistant by construction: all reads are bounds-checked
+// cursor operations, lengths are bounded before any buffering decision, enum
+// bytes are range-checked against the *Count constants, and non-finite
+// doubles in payloads are rejected. Malformed input splits into *recoverable*
+// errors (valid header, bad body — the peer gets an error frame and the
+// stream continues) and *fatal* ones (the framing itself can't be trusted —
+// the connection closes).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "serve/types.h"
+
+namespace rafiki::net {
+
+inline constexpr std::uint32_t kMagic = 0x524B4631u;  // "1FKR" little-endian
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderSize = 20;
+/// Default per-frame payload bound; both sides reject bigger claims before
+/// buffering anything, so a hostile length prefix cannot balloon memory.
+inline constexpr std::size_t kDefaultMaxPayload = 1 << 16;
+
+enum class FrameType : std::uint8_t { kRequest = 0, kResponse = 1, kError = 2 };
+inline constexpr std::size_t kFrameTypeCount = 3;
+
+/// Wire-level error codes carried by error frames (header `code` byte).
+/// Service-level outcomes (Overloaded, ShuttingDown, ...) are NOT errors:
+/// they travel as regular response frames with the corresponding
+/// serve::Status, so clients always see a typed response.
+enum class WireError : std::uint8_t {
+  kNone = 0,
+  /// Header was well-formed but the frame type or an enum byte was out of
+  /// range.
+  kBadFrame,
+  /// Payload failed validation (wrong size, bad config count, non-finite
+  /// doubles).
+  kBadPayload,
+  kUnsupportedVersion,
+  kPayloadTooLarge,
+  /// Request named an endpoint outside serve::Endpoint's range.
+  kUnknownEndpoint,
+};
+inline constexpr std::size_t kWireErrorCount = 6;
+
+/// Outcome of a decode attempt over a byte stream.
+enum class DecodeStatus : std::uint8_t {
+  kOk = 0,
+  /// Not enough bytes buffered for a full frame yet; read more and retry.
+  kNeedMore,
+  // --- fatal: the stream cannot be resynchronized; close the connection ---
+  kBadMagic,
+  kBadVersion,
+  kBadLength,
+  // --- recoverable: header valid, frame skipped; answer with an error frame ---
+  kBadFrameType,
+  kBadEnum,
+  kBadPayload,
+};
+inline constexpr std::size_t kDecodeStatusCount = 8;
+
+/// True for decode outcomes after which the byte stream is still usable.
+constexpr bool decode_recoverable(DecodeStatus status) noexcept {
+  return status == DecodeStatus::kBadFrameType || status == DecodeStatus::kBadEnum ||
+         status == DecodeStatus::kBadPayload;
+}
+
+const char* frame_type_name(FrameType type) noexcept;
+const char* wire_error_name(WireError error) noexcept;
+const char* decode_status_name(DecodeStatus status) noexcept;
+
+/// One decoded frame. Which member is meaningful depends on `type`.
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  serve::Endpoint endpoint = serve::Endpoint::kPredict;
+  std::uint64_t request_id = 0;
+  serve::Request request;    ///< type == kRequest
+  serve::Response response;  ///< type == kResponse
+  WireError error = WireError::kNone;  ///< type == kError
+};
+
+// --- primitive little-endian put/get helpers (exposed for the codec tests) ---
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v);
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v);
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v);
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v);
+void put_f64(std::vector<std::uint8_t>& out, double v);
+
+/// Bounds-checked read cursor over a byte span. Every get_* returns false
+/// (without advancing) once the remaining bytes run out — the decoder can
+/// never over-read, whatever the input claims.
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  bool get_u8(std::uint8_t& v) noexcept;
+  bool get_u16(std::uint16_t& v) noexcept;
+  bool get_u32(std::uint32_t& v) noexcept;
+  bool get_u64(std::uint64_t& v) noexcept;
+  bool get_f64(double& v) noexcept;
+  std::size_t remaining() const noexcept { return size_ - pos_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// --- frame encoders (append to `out`) ---
+
+void encode_request(std::uint64_t request_id, const serve::Request& request,
+                    std::vector<std::uint8_t>& out);
+void encode_response(std::uint64_t request_id, serve::Endpoint endpoint,
+                     const serve::Response& response, std::vector<std::uint8_t>& out);
+void encode_error(std::uint64_t request_id, WireError error,
+                  std::vector<std::uint8_t>& out);
+
+/// Attempts to decode one frame from the front of [data, data + size).
+///
+///   kOk          — `frame` is filled; `consumed` is the whole frame size.
+///   kNeedMore    — incomplete; `consumed` is 0.
+///   recoverable  — header was valid: `frame.request_id` / `frame.endpoint`
+///                  are set (best effort), `consumed` skips the bad frame so
+///                  the caller can answer with an error frame and continue.
+///   fatal        — `consumed` is 0; the caller must drop the connection
+///                  (after optionally sending one last error frame).
+DecodeStatus decode_frame(const std::uint8_t* data, std::size_t size,
+                          std::size_t max_payload, Frame& frame, std::size_t& consumed);
+
+}  // namespace rafiki::net

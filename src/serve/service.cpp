@@ -80,14 +80,8 @@ void TuningService::publish_tuned(int bucket, const engine::Config& config,
   publish_locked(std::move(next));
 }
 
-std::future<Response> TuningService::submit(Request request) {
-  Job job;
-  job.request = request;
-  // det:ok(wall-clock): reporting-only latency timestamp; results never depend on it
-  job.enqueued = std::chrono::steady_clock::now();
-  auto future = job.promise.get_future();
-  const Endpoint endpoint = request.endpoint;
-
+Status TuningService::admit(Job job) {
+  const Endpoint endpoint = job.request.endpoint;
   const PushResult pushed = queue_.try_push(std::move(job));
   if (pushed != PushResult::kOk) {
     // The push itself reports why it failed — atomically, under the queue
@@ -96,17 +90,39 @@ std::future<Response> TuningService::submit(Request request) {
     const Status reason =
         pushed == PushResult::kClosed ? Status::kShuttingDown : Status::kOverloaded;
     stats_.record_reject(endpoint, reason);
+    return reason;
+  }
+  stats_.record_accept(endpoint, queue_.size());
+  return Status::kOk;
+}
+
+std::future<Response> TuningService::submit(Request request) {
+  Job job;
+  job.request = request;
+  // det:ok(wall-clock): reporting-only latency timestamp; results never depend on it
+  job.enqueued = std::chrono::steady_clock::now();
+  auto future = job.promise.get_future();
+
+  const Status admitted = admit(std::move(job));
+  if (admitted != Status::kOk) {
     // The rejected job (promise included) was consumed by the failed push;
     // answer through a fresh, already-satisfied promise.
     Response response;
-    response.status = reason;
+    response.status = admitted;
     std::promise<Response> rejected;
     future = rejected.get_future();
     rejected.set_value(response);
-    return future;
   }
-  stats_.record_accept(endpoint, queue_.size());
   return future;
+}
+
+Status TuningService::try_submit(Request request, ResponseCallback done) {
+  Job job;
+  job.request = request;
+  job.callback = std::move(done);
+  // det:ok(wall-clock): reporting-only latency timestamp; results never depend on it
+  job.enqueued = std::chrono::steady_clock::now();
+  return admit(std::move(job));
 }
 
 Response TuningService::call(const Request& request) { return submit(request).get(); }
@@ -185,7 +201,11 @@ void TuningService::finish(Job& job, Response response) {
   // det:ok(wall-clock): reporting-only latency measurement
   const auto now = std::chrono::steady_clock::now();
   stats_.record_done(job.request.endpoint, response.status, elapsed_us(job.enqueued, now));
-  job.promise.set_value(std::move(response));
+  if (job.callback) {
+    job.callback(std::move(response));
+  } else {
+    job.promise.set_value(std::move(response));
+  }
 }
 
 void TuningService::run_predict_batch(std::vector<Job> batch) {

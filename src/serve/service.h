@@ -103,6 +103,17 @@ class TuningService {
   /// when the request was not admitted.
   std::future<Response> submit(Request request);
 
+  /// Completion callback for try_submit. Invoked exactly once, from a worker
+  /// thread (or from stop()'s drain when no worker ever ran).
+  using ResponseCallback = std::function<void(Response)>;
+
+  /// Callback-style submission for event-loop callers (the net::Server) that
+  /// must not block on a future. Returns kOk when the request was admitted —
+  /// `done` then fires exactly once with the response — or the admission
+  /// verdict (Overloaded / ShuttingDown), in which case `done` is never
+  /// invoked and the caller answers inline.
+  Status try_submit(Request request, ResponseCallback done);
+
   /// Synchronous convenience wrapper: submit + wait.
   Response call(const Request& request);
 
@@ -115,6 +126,10 @@ class TuningService {
   void stop();
 
   const ServiceStats& stats() const noexcept { return stats_; }
+  /// Mutable stats handle for front-ends (the net::Server) that fold their
+  /// wire-level telemetry into the same sink. ServiceStats is internally
+  /// synchronized.
+  ServiceStats& stats() noexcept { return stats_; }
   std::size_t queue_depth() const { return queue_.size(); }
   /// Retrain tasks queued behind the background worker.
   std::size_t retrain_depth() const { return retrain_.depth(); }
@@ -126,9 +141,14 @@ class TuningService {
  private:
   struct Job {
     Request request;
+    /// Exactly one completion channel is armed per job: `callback` when the
+    /// job came through try_submit, `promise` otherwise.
     std::promise<Response> promise;
+    ResponseCallback callback;
     std::chrono::steady_clock::time_point enqueued;
   };
+
+  Status admit(Job job);
 
   void worker_loop();
   void run_single(Job job);

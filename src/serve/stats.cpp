@@ -233,4 +233,86 @@ Table ServiceStats::table() const {
   return table;
 }
 
+void ServiceStats::record_connection_open() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++wire_.connections_accepted;
+}
+
+void ServiceStats::record_connection_close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++wire_.connections_closed;
+}
+
+void ServiceStats::record_wire_read(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  wire_.bytes_in += bytes;
+}
+
+void ServiceStats::record_wire_write(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  wire_.bytes_out += bytes;
+}
+
+void ServiceStats::record_frame_in() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++wire_.frames_in;
+}
+
+void ServiceStats::record_frame_out() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++wire_.frames_out;
+}
+
+void ServiceStats::record_decode_error() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++wire_.decode_errors;
+}
+
+void ServiceStats::record_error_frame() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++wire_.error_frames_sent;
+}
+
+void ServiceStats::record_wire_latency(Endpoint endpoint, double latency_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& per = per_endpoint_[static_cast<std::size_t>(endpoint)];
+  per.wire_latency.add(latency_us);
+  per.wire_latency_stats.add(latency_us);
+}
+
+ServiceStats::WireCounters ServiceStats::wire_counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return wire_;
+}
+
+double ServiceStats::wire_latency_quantile(Endpoint endpoint, double q) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return per_endpoint_[static_cast<std::size_t>(endpoint)].wire_latency.quantile(q);
+}
+
+double ServiceStats::mean_wire_latency_us(Endpoint endpoint) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return per_endpoint_[static_cast<std::size_t>(endpoint)].wire_latency_stats.mean();
+}
+
+Table ServiceStats::wire_table() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Table table({"metric", "value"});
+  table.add_row({"connections accepted", std::to_string(wire_.connections_accepted)});
+  table.add_row({"connections active", std::to_string(wire_.active())});
+  table.add_row({"frames in", std::to_string(wire_.frames_in)});
+  table.add_row({"frames out", std::to_string(wire_.frames_out)});
+  table.add_row({"decode errors", std::to_string(wire_.decode_errors)});
+  table.add_row({"error frames sent", std::to_string(wire_.error_frames_sent)});
+  table.add_row({"bytes in", std::to_string(wire_.bytes_in)});
+  table.add_row({"bytes out", std::to_string(wire_.bytes_out)});
+  for (std::size_t i = 0; i < per_endpoint_.size(); ++i) {
+    const auto& per = per_endpoint_[i];
+    const std::string name = endpoint_name(static_cast<Endpoint>(i));
+    table.add_row({name + " wire p50 us", Table::num(per.wire_latency.quantile(0.5), 1)});
+    table.add_row({name + " wire p99 us", Table::num(per.wire_latency.quantile(0.99), 1)});
+  }
+  return table;
+}
+
 }  // namespace rafiki::serve

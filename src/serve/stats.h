@@ -66,6 +66,24 @@ class ServiceStats {
     std::uint64_t cancelled = 0;  ///< queued tasks cancelled at shutdown
   };
 
+  /// Wire-level telemetry from the RPC front-end (net::Server). Folded into
+  /// the same sink as the request counters so one stats object describes the
+  /// whole serving process.
+  struct WireCounters {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t connections_closed = 0;
+    std::uint64_t frames_in = 0;   ///< well-formed frames decoded off sockets
+    std::uint64_t frames_out = 0;  ///< response + error frames queued for write
+    /// Malformed frames (bad magic/version/length/enum/payload). Recoverable
+    /// ones are answered with an error frame; fatal ones close the connection.
+    std::uint64_t decode_errors = 0;
+    std::uint64_t error_frames_sent = 0;
+    std::uint64_t bytes_in = 0;
+    std::uint64_t bytes_out = 0;
+    /// Connections still open: accepted - closed.
+    std::uint64_t active() const noexcept { return connections_accepted - connections_closed; }
+  };
+
   /// A request passed admission control; `queue_depth` is sampled just after.
   void record_accept(Endpoint endpoint, std::size_t queue_depth);
   /// A request was turned away at admission (Overloaded / ShuttingDown).
@@ -78,6 +96,19 @@ class ServiceStats {
   /// A stale-marked response was served on this endpoint.
   void record_stale(Endpoint endpoint);
 
+  // --- wire-level recording (called by net::Server) ---
+  void record_connection_open();
+  void record_connection_close();
+  /// Bytes moved on sockets, counted per read()/write() chunk.
+  void record_wire_read(std::size_t bytes);
+  void record_wire_write(std::size_t bytes);
+  void record_frame_in();
+  void record_frame_out();
+  void record_decode_error();
+  void record_error_frame();
+  /// Wire-side latency (decode -> response queued for write) per endpoint.
+  void record_wire_latency(Endpoint endpoint, double latency_us);
+
   /// One background retrain task finished; latency is the task's run time.
   void record_retrain(double latency_us);
   /// A retrain task was enqueued; `queue_depth` is sampled just after.
@@ -89,6 +120,9 @@ class ServiceStats {
   Counters counters(Endpoint endpoint) const;
   Counters totals() const;
   RetrainCounters retrain_counters() const;
+  WireCounters wire_counters() const;
+  double wire_latency_quantile(Endpoint endpoint, double q) const;
+  double mean_wire_latency_us(Endpoint endpoint) const;
   double latency_quantile(Endpoint endpoint, double q) const;
   double mean_latency_us(Endpoint endpoint) const;
   double retrain_latency_quantile(double q) const;
@@ -105,14 +139,20 @@ class ServiceStats {
   /// Per-endpoint summary table ("endpoint | accepted | ok | overloaded |
   /// deadline | p50 | p99 | mean"); render() / to_csv() for output.
   Table table() const;
+  /// Wire-level summary ("metric | value" rows: connections, frames, bytes,
+  /// decode errors, per-endpoint wire p50/p99).
+  Table wire_table() const;
 
  private:
   struct PerEndpoint {
     Counters counters;
     Histogram latency;
     OnlineStats latency_stats;
+    Histogram wire_latency;
+    OnlineStats wire_latency_stats;
     explicit PerEndpoint(const StatsOptions& options)
-        : latency(0.0, options.latency_hi_us, options.latency_bins) {}
+        : latency(0.0, options.latency_hi_us, options.latency_bins),
+          wire_latency(0.0, options.latency_hi_us, options.latency_bins) {}
   };
 
   mutable std::mutex mutex_;
@@ -122,6 +162,7 @@ class ServiceStats {
   OnlineStats batch_stats_;
   OnlineStats depth_stats_;
   std::uint64_t batches_ = 0;
+  WireCounters wire_;
   RetrainCounters retrain_;
   Histogram retrain_hist_;
   OnlineStats retrain_stats_;

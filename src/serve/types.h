@@ -29,6 +29,10 @@ enum class Status : std::uint8_t {
   /// The service is stopping; no new work is admitted.
   kShuttingDown,
 };
+/// Number of Status values; keep in sync with the enum (the name-string
+/// exhaustiveness test walks [0, kStatusCount) and the wire codec range-checks
+/// decoded status bytes against it).
+inline constexpr std::size_t kStatusCount = 5;
 
 const char* endpoint_name(Endpoint endpoint) noexcept;
 const char* status_name(Status status) noexcept;

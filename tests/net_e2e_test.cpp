@@ -1,0 +1,468 @@
+// End-to-end over real sockets: net::Client -> loopback net::Server ->
+// TuningService. The core contract is *parity* — for each endpoint, a call
+// through the wire must return exactly what the same request returns through
+// the in-process submit path (same status, same config, bit-identical
+// predictions), the wire being a transparent transport, never a second
+// implementation. Also covered: pipelining across a snapshot republish,
+// typed backpressure (Overloaded / ShuttingDown on the wire), error frames
+// for garbage bytes, and a graceful drain that answers every in-flight frame.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/online.h"
+#include "core/rafiki.h"
+#include "engine/params.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "serve/service.h"
+#include "serve/snapshot.h"
+
+namespace rafiki::net {
+namespace {
+
+// One tiny trained pipeline shared by every test; training dominates the
+// suite's cost and all tests only read from it.
+class NetE2E : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    core::RafikiOptions options;
+    options.workload_grid = {0.2, 0.8};
+    options.n_configs = 5;
+    options.collect.measure.ops = 3000;
+    options.collect.measure.warmup_ops = 300;
+    options.ensemble.n_nets = 3;
+    options.ensemble.train.max_epochs = 30;
+    options.ga.generations = 6;
+    options.ga.population = 10;
+    rafiki_ = new core::Rafiki(options);
+    rafiki_->set_key_params(engine::key_params());
+    rafiki_->train(rafiki_->collect());
+    ASSERT_TRUE(rafiki_->trained());
+  }
+
+  static void TearDownTestSuite() {
+    delete rafiki_;
+    rafiki_ = nullptr;
+  }
+
+  static serve::Request predict_request(double read_ratio = 0.3) {
+    serve::Request request;
+    request.endpoint = serve::Endpoint::kPredict;
+    request.read_ratio = read_ratio;
+    return request;
+  }
+
+  /// Polls a condition without reading any clock: bounded iteration count
+  /// with a fixed sleep per probe.
+  static bool spin_until(const std::function<bool()>& pred, int probes = 10000) {
+    for (int i = 0; i < probes; ++i) {
+      if (pred()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return pred();
+  }
+
+  static core::Rafiki* rafiki_;
+};
+
+core::Rafiki* NetE2E::rafiki_ = nullptr;
+
+TEST_F(NetE2E, PredictParityWithInProcessSubmit) {
+  serve::ServiceOptions options;
+  options.workers = 1;
+  serve::TuningService service(options);
+  service.publish(serve::make_snapshot(*rafiki_));
+  service.start();
+  Server server(service);
+  ASSERT_TRUE(server.start()) << server.last_error();
+  ASSERT_NE(server.port(), 0);
+
+  Client client;
+  ASSERT_EQ(client.connect("127.0.0.1", server.port()), NetStatus::kOk);
+
+  const auto config = engine::Config::defaults().with(engine::key_params()[0], 1.0);
+  auto request = predict_request(0.35);
+  request.config = config;
+
+  const auto wire = client.predict(0.35, config);
+  const auto direct = service.call(request);
+  ASSERT_TRUE(wire.ok()) << net_status_name(wire.net);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(wire.response.status, direct.status);
+  EXPECT_EQ(wire.response.model_version, direct.model_version);
+  // Same snapshot, same kernel: the wire must not perturb a single bit.
+  EXPECT_EQ(wire.response.mean, direct.mean);
+  EXPECT_EQ(wire.response.stddev, direct.stddev);
+  EXPECT_EQ(wire.response.mean, rafiki_->predict(0.35, config));
+
+  const auto counters = service.stats().wire_counters();
+  EXPECT_EQ(counters.frames_in, 1u);
+  EXPECT_EQ(counters.frames_out, 1u);
+  EXPECT_EQ(counters.decode_errors, 0u);
+  EXPECT_GT(counters.bytes_in, 0u);
+  EXPECT_GT(counters.bytes_out, 0u);
+  EXPECT_EQ(counters.connections_accepted, 1u);
+
+  server.stop();
+  service.stop();
+}
+
+TEST_F(NetE2E, OptimizeParityWithInProcessSubmit) {
+  serve::ServiceOptions options;
+  options.workers = 1;
+  options.ga.population = 10;
+  options.ga.generations = 5;
+  serve::TuningService service(options);
+  service.publish(serve::make_snapshot(*rafiki_));
+  service.start();
+  Server server(service);
+  ASSERT_TRUE(server.start()) << server.last_error();
+
+  Client client;
+  ASSERT_EQ(client.connect("127.0.0.1", server.port()), NetStatus::kOk);
+
+  const auto wire = client.optimize(0.4);
+  serve::Request request;
+  request.endpoint = serve::Endpoint::kOptimize;
+  request.read_ratio = 0.4;
+  const auto direct = service.call(request);
+
+  ASSERT_TRUE(wire.ok()) << net_status_name(wire.net);
+  ASSERT_TRUE(direct.ok());
+  // The GA is seeded per call, so both routes must land on the same optimum
+  // with the same fitness and the same evaluation budget.
+  EXPECT_EQ(wire.response.status, direct.status);
+  EXPECT_EQ(wire.response.config, direct.config);
+  EXPECT_EQ(wire.response.predicted_throughput, direct.predicted_throughput);
+  EXPECT_EQ(wire.response.surrogate_evaluations, direct.surrogate_evaluations);
+  EXPECT_GT(wire.response.predicted_throughput, 0.0);
+
+  server.stop();
+  service.stop();
+}
+
+TEST_F(NetE2E, ObserveWindowParityThroughRetrainCycle) {
+  serve::ServiceOptions options;
+  options.workers = 1;
+  core::OnlineTuner tuner(*rafiki_);
+  serve::TuningService service(options);
+  service.publish(serve::make_snapshot(*rafiki_));
+  service.attach_tuner(tuner);
+  service.start();
+  Server server(service);
+  ASSERT_TRUE(server.start()) << server.last_error();
+
+  Client client;
+  ASSERT_EQ(client.connect("127.0.0.1", server.port()), NetStatus::kOk);
+
+  // Miss over the wire: immediate stale answer, background GA enqueued.
+  const auto first = client.observe_window(0.2);
+  ASSERT_TRUE(first.ok()) << net_status_name(first.net);
+  EXPECT_TRUE(first.response.stale);
+  EXPECT_FALSE(first.response.reconfigured);
+
+  service.wait_retrain_idle();
+  EXPECT_EQ(service.model_version(), 2u);
+
+  // Fresh hit over the wire adopts the tuned entry...
+  const auto second = client.observe_window(0.2);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second.response.stale);
+  EXPECT_TRUE(second.response.reconfigured);
+  EXPECT_EQ(second.response.model_version, 2u);
+
+  // ...and the in-process path agrees on the exact same tuned state.
+  serve::Request request;
+  request.endpoint = serve::Endpoint::kObserveWindow;
+  request.read_ratio = 0.2;
+  const auto direct = service.call(request);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(direct.status, second.response.status);
+  EXPECT_EQ(direct.config, second.response.config);
+  EXPECT_EQ(direct.predicted_throughput, second.response.predicted_throughput);
+  EXPECT_FALSE(direct.stale);
+
+  server.stop();
+  service.stop();
+}
+
+TEST_F(NetE2E, PipelinedRequestsSurviveSnapshotRepublishMidStream) {
+  constexpr std::uint64_t kPerPhase = 8;
+
+  serve::ServiceOptions options;
+  options.workers = 2;
+  options.queue_capacity = 128;
+  serve::TuningService service(options);
+  service.publish(serve::make_snapshot(*rafiki_));
+  service.start();
+  ServerOptions server_options;
+  server_options.io_threads = 2;
+  Server server(service, server_options);
+  ASSERT_TRUE(server.start()) << server.last_error();
+
+  Client client;
+  ASSERT_EQ(client.connect("127.0.0.1", server.port()), NetStatus::kOk);
+
+  // Phase 1 in flight, republish, phase 2 in flight — all on one pipelined
+  // connection; every id must come back OK against version 1 or 2.
+  std::vector<std::uint64_t> ids;
+  for (std::uint64_t i = 0; i < kPerPhase; ++i) {
+    NetStatus status = NetStatus::kOk;
+    const auto id = client.send(predict_request(0.25 + 0.01 * static_cast<double>(i)),
+                                &status);
+    ASSERT_NE(id, 0u) << net_status_name(status);
+    ids.push_back(id);
+  }
+  EXPECT_EQ(service.publish(serve::make_snapshot(*rafiki_)), 2u);
+  for (std::uint64_t i = 0; i < kPerPhase; ++i) {
+    const auto id = client.send(predict_request(0.55 + 0.01 * static_cast<double>(i)));
+    ASSERT_NE(id, 0u);
+    ids.push_back(id);
+  }
+
+  std::size_t v1 = 0;
+  std::size_t v2 = 0;
+  for (const auto id : ids) {
+    const auto result = client.wait(id);
+    ASSERT_EQ(result.net, NetStatus::kOk) << net_status_name(result.net);
+    ASSERT_TRUE(result.response.ok());
+    ASSERT_GE(result.response.model_version, 1u);
+    ASSERT_LE(result.response.model_version, 2u);
+    (result.response.model_version == 1 ? v1 : v2) += 1;
+  }
+  EXPECT_EQ(v1 + v2, 2 * kPerPhase);
+  // Requests sent after the republish returned can only see the new version.
+  EXPECT_GE(v2, kPerPhase);
+
+  const auto counters = service.stats().wire_counters();
+  EXPECT_EQ(counters.frames_in, 2 * kPerPhase);
+  EXPECT_EQ(counters.frames_out, 2 * kPerPhase);
+  EXPECT_EQ(counters.decode_errors, 0u);
+
+  server.stop();
+  service.stop();
+}
+
+TEST_F(NetE2E, GracefulDrainAnswersEveryInFlightFrame) {
+  constexpr std::uint64_t kInFlight = 16;
+
+  serve::ServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = 64;
+  serve::TuningService service(options);
+  service.publish(serve::make_snapshot(*rafiki_));
+  service.start();
+  Server server(service);
+  ASSERT_TRUE(server.start()) << server.last_error();
+  const auto port = server.port();
+
+  Client client;
+  ASSERT_EQ(client.connect("127.0.0.1", port), NetStatus::kOk);
+
+  std::vector<std::uint64_t> ids;
+  for (std::uint64_t i = 0; i < kInFlight; ++i) {
+    const auto id = client.send(predict_request(0.3 + 0.01 * static_cast<double>(i)));
+    ASSERT_NE(id, 0u);
+    ids.push_back(id);
+  }
+  // Wait until the server has decoded (and therefore admitted or answered)
+  // every frame, then drain. "Graceful" means: none of those 16 may be lost.
+  ASSERT_TRUE(spin_until([&] {
+    return service.stats().wire_counters().frames_in >= kInFlight;
+  }));
+  server.stop();
+
+  std::uint64_t answered_ok = 0;
+  std::uint64_t answered_shutdown = 0;
+  for (const auto id : ids) {
+    const auto result = client.wait(id);
+    ASSERT_EQ(result.net, NetStatus::kOk)
+        << "request " << id << " lost in drain: " << net_status_name(result.net);
+    if (result.response.status == serve::Status::kOk) {
+      ++answered_ok;
+    } else {
+      ASSERT_EQ(result.response.status, serve::Status::kShuttingDown);
+      ++answered_shutdown;
+    }
+  }
+  EXPECT_EQ(answered_ok + answered_shutdown, kInFlight);
+  const auto counters = service.stats().wire_counters();
+  EXPECT_EQ(counters.frames_out, kInFlight);
+  EXPECT_EQ(counters.decode_errors, 0u);
+  EXPECT_EQ(counters.active(), 0u);
+
+  // The listener is gone: nobody new gets in after a drain.
+  Client late;
+  EXPECT_NE(late.connect("127.0.0.1", port), NetStatus::kOk);
+
+  service.stop();
+}
+
+TEST_F(NetE2E, ServiceShutdownMapsToTypedShuttingDownResponse) {
+  serve::ServiceOptions options;
+  options.workers = 1;
+  serve::TuningService service(options);
+  service.publish(serve::make_snapshot(*rafiki_));
+  service.start();
+  service.stop();  // service is gone; the wire front-end is still up
+
+  Server server(service);
+  ASSERT_TRUE(server.start()) << server.last_error();
+  Client client;
+  ASSERT_EQ(client.connect("127.0.0.1", server.port()), NetStatus::kOk);
+
+  const auto result = client.predict(0.3);
+  // Transport-level success, service-level ShuttingDown — a typed response,
+  // not a dropped connection.
+  ASSERT_EQ(result.net, NetStatus::kOk) << net_status_name(result.net);
+  EXPECT_EQ(result.response.status, serve::Status::kShuttingDown);
+  server.stop();
+}
+
+TEST_F(NetE2E, PipelineLimitMapsToTypedOverloadedResponse) {
+  serve::ServiceOptions options;
+  options.workers = 0;  // nobody drains: the first request parks in flight
+  serve::TuningService service(options);
+  service.publish(serve::make_snapshot(*rafiki_));
+  service.start();
+  ServerOptions server_options;
+  server_options.max_pipeline = 1;
+  Server server(service, server_options);
+  ASSERT_TRUE(server.start()) << server.last_error();
+
+  Client client;
+  ASSERT_EQ(client.connect("127.0.0.1", server.port()), NetStatus::kOk);
+
+  const auto first = client.send(predict_request(0.3));
+  ASSERT_NE(first, 0u);
+  const auto second = client.send(predict_request(0.4));
+  ASSERT_NE(second, 0u);
+
+  // The second answer arrives while the first still waits on a worker.
+  const auto overloaded = client.wait(second);
+  ASSERT_EQ(overloaded.net, NetStatus::kOk);
+  EXPECT_EQ(overloaded.response.status, serve::Status::kOverloaded);
+
+  // The parked request is never dropped: the service drain fails it with a
+  // typed ShuttingDown that still travels the wire back to its id.
+  service.stop();
+  const auto drained = client.wait(first);
+  ASSERT_EQ(drained.net, NetStatus::kOk);
+  EXPECT_EQ(drained.response.status, serve::Status::kShuttingDown);
+
+  server.stop();
+}
+
+TEST_F(NetE2E, GarbageBytesGetOneErrorFrameThenClose) {
+  serve::ServiceOptions options;
+  options.workers = 1;
+  serve::TuningService service(options);
+  service.publish(serve::make_snapshot(*rafiki_));
+  service.start();
+  Server server(service);
+  ASSERT_TRUE(server.start()) << server.last_error();
+
+  // Raw socket, no protocol: the server must answer with exactly one error
+  // frame (request id 0 — no header could be believed) and hang up, instead
+  // of crashing or stalling.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+  const char garbage[] = "this is definitely not a frame header at all....";
+  ASSERT_EQ(::send(fd, garbage, sizeof garbage, MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof garbage));
+
+  std::vector<std::uint8_t> received;
+  std::uint8_t chunk[256];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) break;  // orderly FIN after the error frame
+    received.insert(received.end(), chunk, chunk + n);
+  }
+  ::close(fd);
+
+  Frame frame;
+  std::size_t consumed = 0;
+  ASSERT_EQ(decode_frame(received.data(), received.size(), kDefaultMaxPayload, frame,
+                         consumed),
+            DecodeStatus::kOk);
+  EXPECT_EQ(consumed, received.size());
+  EXPECT_EQ(frame.type, FrameType::kError);
+  EXPECT_EQ(frame.request_id, 0u);
+  EXPECT_EQ(frame.error, WireError::kBadFrame);
+  EXPECT_EQ(service.stats().wire_counters().decode_errors, 1u);
+  EXPECT_EQ(service.stats().wire_counters().error_frames_sent, 1u);
+
+  // The same server keeps serving well-formed clients afterwards.
+  Client client;
+  ASSERT_EQ(client.connect("127.0.0.1", server.port()), NetStatus::kOk);
+  EXPECT_TRUE(client.predict(0.3).ok());
+
+  server.stop();
+  service.stop();
+}
+
+TEST_F(NetE2E, ManyClientsAcrossIoThreads) {
+  constexpr int kClients = 4;
+  constexpr int kCallsPerClient = 10;
+
+  serve::ServiceOptions options;
+  options.workers = 2;
+  options.queue_capacity = 256;
+  serve::TuningService service(options);
+  service.publish(serve::make_snapshot(*rafiki_));
+  service.start();
+  ServerOptions server_options;
+  server_options.io_threads = 2;
+  Server server(service, server_options);
+  ASSERT_TRUE(server.start()) << server.last_error();
+
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client;
+      if (client.connect("127.0.0.1", server.port()) != NetStatus::kOk) {
+        failures[static_cast<std::size_t>(c)] = kCallsPerClient;
+        return;
+      }
+      for (int i = 0; i < kCallsPerClient; ++i) {
+        const auto result = client.predict(0.2 + 0.01 * static_cast<double>(i));
+        if (!result.ok()) ++failures[static_cast<std::size_t>(c)];
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[static_cast<std::size_t>(c)], 0) << "client " << c;
+  }
+  const auto counters = service.stats().wire_counters();
+  EXPECT_EQ(counters.frames_in, static_cast<std::uint64_t>(kClients * kCallsPerClient));
+  EXPECT_EQ(counters.frames_out, counters.frames_in);
+  EXPECT_EQ(counters.decode_errors, 0u);
+  EXPECT_EQ(counters.connections_accepted, static_cast<std::uint64_t>(kClients));
+
+  server.stop();
+  service.stop();
+  // The wire table renders alongside the request table from the same sink.
+  const auto text = service.stats().wire_table().render();
+  EXPECT_NE(text.find("frames in"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rafiki::net

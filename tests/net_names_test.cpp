@@ -1,0 +1,59 @@
+// Name-string exhaustiveness: every enum the wire protocol range-checks has a
+// *Count constant, and every value in [0, Count) must render a real, unique
+// name. A new enumerator without a name (or a Count left stale) fails here
+// before it can ship a "?" onto an operator's screen.
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "net/client.h"
+#include "net/wire.h"
+#include "serve/types.h"
+
+namespace rafiki::net {
+namespace {
+
+template <typename Enum, typename NameFn>
+void expect_exhaustive(std::size_t count, NameFn name_of, const char* label) {
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::string name = name_of(static_cast<Enum>(i));
+    EXPECT_NE(name, "?") << label << " value " << i << " has no name";
+    EXPECT_FALSE(name.empty()) << label << " value " << i;
+    EXPECT_TRUE(seen.insert(name).second)
+        << label << " value " << i << " duplicates name '" << name << "'";
+  }
+  // One past the end must fall through to the "?" sentinel, proving the
+  // Count constant is not smaller than the real enum.
+  EXPECT_STREQ(name_of(static_cast<Enum>(count)), "?") << label;
+}
+
+TEST(NetNames, EndpointNamesAreExhaustive) {
+  expect_exhaustive<serve::Endpoint>(serve::kEndpointCount, serve::endpoint_name,
+                                     "Endpoint");
+}
+
+TEST(NetNames, StatusNamesAreExhaustive) {
+  expect_exhaustive<serve::Status>(serve::kStatusCount, serve::status_name, "Status");
+}
+
+TEST(NetNames, FrameTypeNamesAreExhaustive) {
+  expect_exhaustive<FrameType>(kFrameTypeCount, frame_type_name, "FrameType");
+}
+
+TEST(NetNames, WireErrorNamesAreExhaustive) {
+  expect_exhaustive<WireError>(kWireErrorCount, wire_error_name, "WireError");
+}
+
+TEST(NetNames, DecodeStatusNamesAreExhaustive) {
+  expect_exhaustive<DecodeStatus>(kDecodeStatusCount, decode_status_name,
+                                  "DecodeStatus");
+}
+
+TEST(NetNames, NetStatusNamesAreExhaustive) {
+  expect_exhaustive<NetStatus>(kNetStatusCount, net_status_name, "NetStatus");
+}
+
+}  // namespace
+}  // namespace rafiki::net

@@ -1,0 +1,400 @@
+// Wire codec: bit-exact round trips for all three frame types, and
+// adversarial decoding — truncation at every byte boundary, hostile length
+// prefixes, garbage magic, out-of-range enum bytes, non-finite doubles,
+// trailing junk, and a deterministic fuzz loop. Run under ASan, the decoder
+// must never read past the buffer whatever the input claims.
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/config.h"
+#include "engine/params.h"
+#include "net/wire.h"
+#include "serve/types.h"
+#include "util/rng.h"
+
+namespace rafiki::net {
+namespace {
+
+// Header byte offsets (see the layout comment in net/wire.h).
+constexpr std::size_t kOffMagic = 0;
+constexpr std::size_t kOffVersion = 4;
+constexpr std::size_t kOffType = 5;
+constexpr std::size_t kOffEndpoint = 6;
+constexpr std::size_t kOffCode = 7;
+constexpr std::size_t kOffPayloadLen = 16;
+
+engine::Config test_config() {
+  auto config = engine::Config::defaults();
+  for (const auto id : engine::key_params()) {
+    config.set(id, config.get(id));  // identity: keep values in-domain
+  }
+  return config.with(engine::key_params()[0], 1.0).with(engine::key_params()[1], 64.0);
+}
+
+std::vector<std::uint8_t> request_bytes(std::uint64_t id, const serve::Request& request) {
+  std::vector<std::uint8_t> bytes;
+  encode_request(id, request, bytes);
+  return bytes;
+}
+
+DecodeStatus decode(const std::vector<std::uint8_t>& bytes, Frame& frame,
+                    std::size_t& consumed) {
+  return decode_frame(bytes.data(), bytes.size(), kDefaultMaxPayload, frame, consumed);
+}
+
+void patch_u32(std::vector<std::uint8_t>& bytes, std::size_t off, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    bytes[off + static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+TEST(NetWire, PrimitivesRoundTripLittleEndian) {
+  std::vector<std::uint8_t> out;
+  put_u16(out, 0x1234);
+  put_u32(out, 0xDEADBEEFu);
+  put_u64(out, 0x0102030405060708ull);
+  put_f64(out, -3.75);
+  // Explicit little-endian layout, independent of host order.
+  EXPECT_EQ(out[0], 0x34);
+  EXPECT_EQ(out[1], 0x12);
+  EXPECT_EQ(out[2], 0xEF);
+  EXPECT_EQ(out[5], 0xDE);
+
+  WireReader reader(out.data(), out.size());
+  std::uint16_t u16 = 0;
+  std::uint32_t u32 = 0;
+  std::uint64_t u64 = 0;
+  double f64 = 0.0;
+  ASSERT_TRUE(reader.get_u16(u16));
+  ASSERT_TRUE(reader.get_u32(u32));
+  ASSERT_TRUE(reader.get_u64(u64));
+  ASSERT_TRUE(reader.get_f64(f64));
+  EXPECT_EQ(u16, 0x1234);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0102030405060708ull);
+  EXPECT_EQ(f64, -3.75);
+  EXPECT_EQ(reader.remaining(), 0u);
+  // Exhausted reader refuses further reads without advancing.
+  std::uint8_t u8 = 0;
+  EXPECT_FALSE(reader.get_u8(u8));
+  EXPECT_FALSE(reader.get_u64(u64));
+}
+
+TEST(NetWire, RequestRoundTripIsBitExactForEveryEndpoint) {
+  for (std::size_t e = 0; e < serve::kEndpointCount; ++e) {
+    serve::Request request;
+    request.endpoint = static_cast<serve::Endpoint>(e);
+    request.read_ratio = 0.37;
+    request.deadline = 123456789ull;
+    request.config = test_config();
+
+    const auto bytes = request_bytes(0xABCDEF01ull + e, request);
+    Frame frame;
+    std::size_t consumed = 0;
+    ASSERT_EQ(decode(bytes, frame, consumed), DecodeStatus::kOk);
+    EXPECT_EQ(consumed, bytes.size());
+    EXPECT_EQ(frame.type, FrameType::kRequest);
+    EXPECT_EQ(frame.request_id, 0xABCDEF01ull + e);
+    EXPECT_EQ(frame.endpoint, request.endpoint);
+    EXPECT_EQ(frame.request.endpoint, request.endpoint);
+    EXPECT_EQ(frame.request.read_ratio, request.read_ratio);
+    EXPECT_EQ(frame.request.deadline, request.deadline);
+    EXPECT_EQ(frame.request.config, request.config);
+  }
+}
+
+TEST(NetWire, ResponseRoundTripIsBitExactForEveryStatus) {
+  for (std::size_t s = 0; s < serve::kStatusCount; ++s) {
+    serve::Response response;
+    response.status = static_cast<serve::Status>(s);
+    response.model_version = 42;
+    response.mean = 8123.25;
+    response.stddev = 17.5;
+    response.batch_size = 7;
+    response.config = test_config();
+    response.predicted_throughput = 9001.125;
+    response.reconfigured = (s % 2) == 0;
+    response.stale = (s % 2) == 1;
+    response.surrogate_evaluations = 360;
+
+    std::vector<std::uint8_t> bytes;
+    encode_response(77, serve::Endpoint::kOptimize, response, bytes);
+    Frame frame;
+    std::size_t consumed = 0;
+    ASSERT_EQ(decode(bytes, frame, consumed), DecodeStatus::kOk);
+    EXPECT_EQ(consumed, bytes.size());
+    EXPECT_EQ(frame.type, FrameType::kResponse);
+    EXPECT_EQ(frame.request_id, 77u);
+    EXPECT_EQ(frame.endpoint, serve::Endpoint::kOptimize);
+    EXPECT_EQ(frame.response.status, response.status);
+    EXPECT_EQ(frame.response.model_version, response.model_version);
+    EXPECT_EQ(frame.response.mean, response.mean);
+    EXPECT_EQ(frame.response.stddev, response.stddev);
+    EXPECT_EQ(frame.response.batch_size, response.batch_size);
+    EXPECT_EQ(frame.response.config, response.config);
+    EXPECT_EQ(frame.response.predicted_throughput, response.predicted_throughput);
+    EXPECT_EQ(frame.response.reconfigured, response.reconfigured);
+    EXPECT_EQ(frame.response.stale, response.stale);
+    EXPECT_EQ(frame.response.surrogate_evaluations, response.surrogate_evaluations);
+  }
+}
+
+TEST(NetWire, ErrorRoundTripForEveryErrorCode) {
+  for (std::size_t e = 0; e < kWireErrorCount; ++e) {
+    std::vector<std::uint8_t> bytes;
+    encode_error(e + 1, static_cast<WireError>(e), bytes);
+    EXPECT_EQ(bytes.size(), kHeaderSize);
+    Frame frame;
+    std::size_t consumed = 0;
+    ASSERT_EQ(decode(bytes, frame, consumed), DecodeStatus::kOk);
+    EXPECT_EQ(consumed, bytes.size());
+    EXPECT_EQ(frame.type, FrameType::kError);
+    EXPECT_EQ(frame.request_id, e + 1);
+    EXPECT_EQ(frame.error, static_cast<WireError>(e));
+  }
+}
+
+TEST(NetWire, TruncationAtEveryLengthNeedsMore) {
+  const auto bytes = request_bytes(5, serve::Request{});
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    Frame frame;
+    std::size_t consumed = 99;
+    EXPECT_EQ(decode_frame(bytes.data(), len, kDefaultMaxPayload, frame, consumed),
+              DecodeStatus::kNeedMore)
+        << "at length " << len;
+    EXPECT_EQ(consumed, 0u) << "at length " << len;
+  }
+}
+
+TEST(NetWire, PipelinedFramesDecodeBackToBack) {
+  std::vector<std::uint8_t> stream;
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    serve::Request request;
+    request.read_ratio = 0.1 * static_cast<double>(id);
+    encode_request(id, request, stream);
+  }
+  std::size_t pos = 0;
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    Frame frame;
+    std::size_t consumed = 0;
+    ASSERT_EQ(decode_frame(stream.data() + pos, stream.size() - pos, kDefaultMaxPayload,
+                           frame, consumed),
+              DecodeStatus::kOk);
+    EXPECT_EQ(frame.request_id, id);
+    pos += consumed;
+  }
+  EXPECT_EQ(pos, stream.size());
+}
+
+TEST(NetWire, GarbageMagicIsFatal) {
+  auto bytes = request_bytes(1, serve::Request{});
+  patch_u32(bytes, kOffMagic, 0x13371337u);
+  Frame frame;
+  std::size_t consumed = 99;
+  EXPECT_EQ(decode(bytes, frame, consumed), DecodeStatus::kBadMagic);
+  EXPECT_EQ(consumed, 0u);
+  EXPECT_FALSE(decode_recoverable(DecodeStatus::kBadMagic));
+}
+
+TEST(NetWire, UnknownVersionIsFatal) {
+  auto bytes = request_bytes(1, serve::Request{});
+  bytes[kOffVersion] = kProtocolVersion + 1;
+  Frame frame;
+  std::size_t consumed = 99;
+  EXPECT_EQ(decode(bytes, frame, consumed), DecodeStatus::kBadVersion);
+  EXPECT_EQ(consumed, 0u);
+  EXPECT_FALSE(decode_recoverable(DecodeStatus::kBadVersion));
+}
+
+TEST(NetWire, HostileLengthPrefixIsRejectedBeforeBuffering) {
+  auto bytes = request_bytes(1, serve::Request{});
+  // A claim past max_payload must fail *now* — not park the decoder in
+  // kNeedMore waiting for 4 GiB that will never come.
+  patch_u32(bytes, kOffPayloadLen, std::numeric_limits<std::uint32_t>::max());
+  Frame frame;
+  std::size_t consumed = 99;
+  EXPECT_EQ(decode(bytes, frame, consumed), DecodeStatus::kBadLength);
+  EXPECT_EQ(consumed, 0u);
+  EXPECT_FALSE(decode_recoverable(DecodeStatus::kBadLength));
+}
+
+TEST(NetWire, BadFrameTypeIsRecoverableAndConsumesTheFrame) {
+  auto bytes = request_bytes(9, serve::Request{});
+  bytes[kOffType] = static_cast<std::uint8_t>(kFrameTypeCount);
+  Frame frame;
+  std::size_t consumed = 0;
+  EXPECT_EQ(decode(bytes, frame, consumed), DecodeStatus::kBadFrameType);
+  // Recoverable: the id and the frame boundary survive so the peer can be
+  // answered and the stream resynchronized at the next frame.
+  EXPECT_EQ(consumed, bytes.size());
+  EXPECT_EQ(frame.request_id, 9u);
+  EXPECT_TRUE(decode_recoverable(DecodeStatus::kBadFrameType));
+}
+
+TEST(NetWire, OutOfRangeEnumBytesAreRecoverable) {
+  {
+    auto bytes = request_bytes(1, serve::Request{});
+    bytes[kOffEndpoint] = static_cast<std::uint8_t>(serve::kEndpointCount);
+    Frame frame;
+    std::size_t consumed = 0;
+    EXPECT_EQ(decode(bytes, frame, consumed), DecodeStatus::kBadEnum);
+    EXPECT_EQ(consumed, bytes.size());
+  }
+  {
+    // The code byte is reserved (0) in requests.
+    auto bytes = request_bytes(1, serve::Request{});
+    bytes[kOffCode] = 1;
+    Frame frame;
+    std::size_t consumed = 0;
+    EXPECT_EQ(decode(bytes, frame, consumed), DecodeStatus::kBadEnum);
+  }
+  {
+    std::vector<std::uint8_t> bytes;
+    encode_response(1, serve::Endpoint::kPredict, serve::Response{}, bytes);
+    bytes[kOffCode] = static_cast<std::uint8_t>(serve::kStatusCount);
+    Frame frame;
+    std::size_t consumed = 0;
+    EXPECT_EQ(decode(bytes, frame, consumed), DecodeStatus::kBadEnum);
+  }
+  {
+    std::vector<std::uint8_t> bytes;
+    encode_error(1, WireError::kBadFrame, bytes);
+    bytes[kOffCode] = static_cast<std::uint8_t>(kWireErrorCount);
+    Frame frame;
+    std::size_t consumed = 0;
+    EXPECT_EQ(decode(bytes, frame, consumed), DecodeStatus::kBadEnum);
+  }
+  {
+    // The endpoint byte is reserved (0) in error frames.
+    std::vector<std::uint8_t> bytes;
+    encode_error(1, WireError::kBadFrame, bytes);
+    bytes[kOffEndpoint] = 1;
+    Frame frame;
+    std::size_t consumed = 0;
+    EXPECT_EQ(decode(bytes, frame, consumed), DecodeStatus::kBadEnum);
+  }
+}
+
+TEST(NetWire, TrailingJunkInPayloadIsBadPayload) {
+  auto bytes = request_bytes(1, serve::Request{});
+  const auto claimed = static_cast<std::uint32_t>(bytes.size() - kHeaderSize + 4);
+  patch_u32(bytes, kOffPayloadLen, claimed);
+  bytes.insert(bytes.end(), {0xAA, 0xBB, 0xCC, 0xDD});
+  Frame frame;
+  std::size_t consumed = 0;
+  EXPECT_EQ(decode(bytes, frame, consumed), DecodeStatus::kBadPayload);
+  EXPECT_EQ(consumed, bytes.size());
+  EXPECT_TRUE(decode_recoverable(DecodeStatus::kBadPayload));
+}
+
+TEST(NetWire, ShortPayloadClaimIsBadPayload) {
+  auto bytes = request_bytes(1, serve::Request{});
+  patch_u32(bytes, kOffPayloadLen,
+            static_cast<std::uint32_t>(bytes.size() - kHeaderSize - 1));
+  Frame frame;
+  std::size_t consumed = 0;
+  EXPECT_EQ(decode(bytes, frame, consumed), DecodeStatus::kBadPayload);
+}
+
+TEST(NetWire, NonFiniteDoublesAreRejected) {
+  for (const double hostile : {std::numeric_limits<double>::quiet_NaN(),
+                               std::numeric_limits<double>::infinity(),
+                               -std::numeric_limits<double>::infinity()}) {
+    auto bytes = request_bytes(1, serve::Request{});
+    std::vector<std::uint8_t> patched;
+    put_f64(patched, hostile);
+    std::memcpy(bytes.data() + kHeaderSize, patched.data(), 8);  // read_ratio field
+    Frame frame;
+    std::size_t consumed = 0;
+    EXPECT_EQ(decode(bytes, frame, consumed), DecodeStatus::kBadPayload);
+  }
+}
+
+TEST(NetWire, WrongConfigCountIsBadPayload) {
+  auto bytes = request_bytes(1, serve::Request{});
+  // Config count u16 sits right after read_ratio (8) + deadline (8).
+  const std::size_t off = kHeaderSize + 16;
+  bytes[off] = static_cast<std::uint8_t>(engine::kParamCount + 1);
+  Frame frame;
+  std::size_t consumed = 0;
+  EXPECT_EQ(decode(bytes, frame, consumed), DecodeStatus::kBadPayload);
+}
+
+TEST(NetWire, NonBooleanFlagByteIsBadPayload) {
+  std::vector<std::uint8_t> bytes;
+  encode_response(1, serve::Endpoint::kPredict, serve::Response{}, bytes);
+  // `reconfigured` is the third-from-last field: ... | u8 | u8 | u64.
+  bytes[bytes.size() - 10] = 2;
+  Frame frame;
+  std::size_t consumed = 0;
+  EXPECT_EQ(decode(bytes, frame, consumed), DecodeStatus::kBadPayload);
+}
+
+TEST(NetWire, ByteByByteFeedDecodesExactlyOnce) {
+  serve::Request request;
+  request.read_ratio = 0.61;
+  const auto bytes = request_bytes(31, request);
+  std::vector<std::uint8_t> buffered;
+  int decoded = 0;
+  for (const auto byte : bytes) {
+    buffered.push_back(byte);
+    Frame frame;
+    std::size_t consumed = 0;
+    const auto status = decode_frame(buffered.data(), buffered.size(),
+                                     kDefaultMaxPayload, frame, consumed);
+    if (status == DecodeStatus::kOk) {
+      ++decoded;
+      EXPECT_EQ(buffered.size(), bytes.size());
+      EXPECT_EQ(frame.request_id, 31u);
+    } else {
+      ASSERT_EQ(status, DecodeStatus::kNeedMore);
+    }
+  }
+  EXPECT_EQ(decoded, 1);
+}
+
+// Deterministic fuzz: random garbage and randomly mutated valid frames. The
+// invariants are (1) no crash / no out-of-bounds read (ASan enforces), (2)
+// consumed never exceeds the buffer, (3) kOk never comes from a frame whose
+// magic was destroyed.
+TEST(NetWire, FuzzedInputNeverOverconsumes) {
+  Rng rng(2024);
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<std::uint8_t> bytes;
+    if (round % 2 == 0) {
+      const auto size = static_cast<std::size_t>(rng.bounded(256));
+      bytes.resize(size);
+      for (auto& byte : bytes) byte = static_cast<std::uint8_t>(rng.bounded(256));
+    } else {
+      serve::Request request;
+      request.read_ratio = rng.uniform();
+      encode_request(rng.next_u64(), request, bytes);
+      const auto flips = 1 + rng.bounded(8);
+      for (std::uint64_t f = 0; f < flips; ++f) {
+        bytes[static_cast<std::size_t>(rng.bounded(bytes.size()))] =
+            static_cast<std::uint8_t>(rng.bounded(256));
+      }
+    }
+    Frame frame;
+    std::size_t consumed = 0;
+    const auto status =
+        decode_frame(bytes.data(), bytes.size(), kDefaultMaxPayload, frame, consumed);
+    EXPECT_LE(consumed, bytes.size());
+    const bool fatal = status == DecodeStatus::kBadMagic ||
+                       status == DecodeStatus::kBadVersion ||
+                       status == DecodeStatus::kBadLength;
+    if (status == DecodeStatus::kNeedMore || fatal) {
+      EXPECT_EQ(consumed, 0u);
+    }
+    if (status == DecodeStatus::kOk) {
+      EXPECT_GE(consumed, kHeaderSize);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rafiki::net

@@ -20,6 +20,9 @@ Rules (ids used in findings and det:ok() suppressions):
                   never key results, seeds, or ordering on them
   unordered-iter  range-for over a std::unordered_{map,set} in a result path —
                   iteration order is implementation-defined
+  wire-memcpy     memcpy in src/net/ — the wire codec serializes byte-wise
+                  with explicit little-endian helpers; struct layout is not
+                  the wire format (path-scoped rule)
 
 Suppress a finding by annotating the offending line (or the line directly
 above it) with:  // det:ok(<rule-id>): <reason>
@@ -76,6 +79,17 @@ PATTERN_RULES = {
     ),
 }
 
+# Path-scoped rules: rule id -> (path prefix, regex, message). These fire only
+# in files whose repo-relative path starts with the prefix.
+PATH_PATTERN_RULES = {
+    "wire-memcpy": (
+        "src/net/",
+        re.compile(r"(?<![A-Za-z0-9_])(?:std::)?memcpy\s*\("),
+        "wire codec must serialize byte-wise via explicit little-endian helpers; "
+        "memcpy of in-memory values bakes host layout into the wire format",
+    ),
+}
+
 UNORDERED_DECL_RE = re.compile(
     r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s+(\w+)\s*[;({=]"
 )
@@ -123,6 +137,13 @@ def scan_file(path: Path, rel: Path) -> list[tuple[Path, int, str, str]]:
         allowed = suppressed_rules(lines, idx)
         for rule, (pattern, message) in PATTERN_RULES.items():
             if rule not in allowed and pattern.search(code):
+                findings.append((rel, idx + 1, rule, message))
+        for rule, (prefix, pattern, message) in PATH_PATTERN_RULES.items():
+            if (
+                rule not in allowed
+                and rel.as_posix().startswith(prefix)
+                and pattern.search(code)
+            ):
                 findings.append((rel, idx + 1, rule, message))
         if "unordered-iter" not in allowed:
             m = RANGE_FOR_RE.search(code) or RANGE_FOR_FALLBACK_RE.search(code)
@@ -189,11 +210,13 @@ void bad() {
 
 SELFTEST_CLEAN = """\
 #include "util/rng.h"
+#include <cstring>
 #include <unordered_map>
 double good(rafiki::Rng& rng) {
   // det:ok(wall-clock): reporting-only example
   auto t0 = std::chrono::steady_clock::now();
   double runtime = advance_time(acc);  // suffix match must not fire wall-clock
+  std::memcpy(dst, srcbuf, n);  // memcpy outside src/net/ is allowed
   std::unordered_map<int, double> acc2;
   // det:ok(unordered-iter): sink is order-insensitive (sorted downstream)
   for (const auto& [k, v] : acc2) keys.push_back(k);
@@ -201,21 +224,44 @@ double good(rafiki::Rng& rng) {
 }
 """
 
+SELFTEST_WIRE_BAD = """\
+#include <cstring>
+void encode(std::uint8_t* out, double v) {
+  std::memcpy(out, &v, sizeof v);  // host layout leaks onto the wire
+}
+"""
+
+SELFTEST_WIRE_CLEAN = """\
+#include <cstdint>
+void put_u16(std::uint8_t* out, std::uint16_t v) {
+  out[0] = static_cast<std::uint8_t>(v & 0xff);
+  out[1] = static_cast<std::uint8_t>(v >> 8);
+}
+"""
+
 
 def selftest() -> int:
     expected = {"c-rand", "random-device", "mt19937", "wall-clock", "thread-id",
-                "unordered-iter"}
+                "unordered-iter", "wire-memcpy"}
     with tempfile.TemporaryDirectory() as tmp:
         root = Path(tmp)
-        (root / "src").mkdir()
+        (root / "src" / "net").mkdir(parents=True)
         (root / "src" / "bad.cpp").write_text(SELFTEST_BAD)
+        (root / "src" / "net" / "codec.cpp").write_text(SELFTEST_WIRE_BAD)
         bad_findings = scan_tree(root)
         fired = {rule for (_, _, rule, _) in bad_findings}
         missing = expected - fired
         if missing:
             print(f"selftest FAILED: rules did not fire on bad input: {sorted(missing)}")
             return 1
+        # Path scoping: the same memcpy outside src/net/ must not fire.
+        outside = [f for f in bad_findings
+                   if f[2] == "wire-memcpy" and not f[0].as_posix().startswith("src/net/")]
+        if outside:
+            print("selftest FAILED: wire-memcpy fired outside src/net/")
+            return 1
         (root / "src" / "bad.cpp").write_text(SELFTEST_CLEAN)
+        (root / "src" / "net" / "codec.cpp").write_text(SELFTEST_WIRE_CLEAN)
         clean_findings = scan_tree(root)
         if clean_findings:
             for rel, lineno, rule, _ in clean_findings:

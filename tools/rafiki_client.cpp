@@ -1,0 +1,141 @@
+// rafiki_client — command-line client for the tuning service's RPC
+// front-end (net/wire.h protocol).
+//
+//   rafiki_client predict  [--host H] [--port P] [--rr R] [--set name=value ...]
+//   rafiki_client optimize [--host H] [--port P] [--rr R]
+//   rafiki_client observe  [--host H] [--port P] [--rr R]
+//
+// `predict` scores a configuration (defaults, overridden per --set) for the
+// given read ratio; `optimize` asks the server's GA for the best config;
+// `observe` feeds one workload window to the online tuner. Exit status is 0
+// only for a transport-OK, service-OK response.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "engine/config.h"
+#include "engine/params.h"
+#include "net/client.h"
+#include "serve/types.h"
+
+using namespace rafiki;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s predict|optimize|observe [--host H] [--port P] "
+               "[--rr R] [--set name=value ...]\n",
+               argv0);
+}
+
+void print_config(const engine::Config& config) {
+  std::printf("  config: %s\n", config.to_string().c_str());
+}
+
+int run(const net::CallResult& result, serve::Endpoint endpoint) {
+  if (result.net != net::NetStatus::kOk) {
+    std::fprintf(stderr, "transport error: %s", net_status_name(result.net));
+    if (result.net == net::NetStatus::kRemoteError) {
+      std::fprintf(stderr, " (%s)", wire_error_name(result.remote_error));
+    }
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+  const auto& response = result.response;
+  std::printf("status: %s (model version %llu)\n", serve::status_name(response.status),
+              static_cast<unsigned long long>(response.model_version));
+  if (!response.ok()) return 1;
+  switch (endpoint) {
+    case serve::Endpoint::kPredict:
+      std::printf("  predicted throughput: %.1f +/- %.1f ops/s (batch %zu)\n",
+                  response.mean, response.stddev, response.batch_size);
+      break;
+    case serve::Endpoint::kOptimize:
+      std::printf("  predicted throughput: %.1f ops/s (%zu surrogate evaluations)\n",
+                  response.predicted_throughput, response.surrogate_evaluations);
+      print_config(response.config);
+      break;
+    case serve::Endpoint::kObserveWindow:
+      std::printf("  %s%s, predicted throughput %.1f ops/s\n",
+                  response.reconfigured ? "reconfigured" : "kept current config",
+                  response.stale ? " (stale: re-optimization enqueued)" : "",
+                  response.predicted_throughput);
+      print_config(response.config);
+      break;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  serve::Endpoint endpoint;
+  const std::string command = argv[1];
+  if (command == "predict") {
+    endpoint = serve::Endpoint::kPredict;
+  } else if (command == "optimize") {
+    endpoint = serve::Endpoint::kOptimize;
+  } else if (command == "observe") {
+    endpoint = serve::Endpoint::kObserveWindow;
+  } else {
+    usage(argv[0]);
+    return 2;
+  }
+
+  std::string host = "127.0.0.1";
+  int port = 7117;
+  double read_ratio = 0.5;
+  auto config = engine::Config::defaults();
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "--rr" && i + 1 < argc) {
+      read_ratio = std::atof(argv[++i]);
+    } else if (arg == "--set" && i + 1 < argc) {
+      const std::string assignment = argv[++i];
+      const auto eq = assignment.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "--set expects name=value, got '%s'\n", assignment.c_str());
+        return 2;
+      }
+      const auto id = engine::find_param(assignment.substr(0, eq));
+      if (id == engine::ParamId::kCount) {
+        std::fprintf(stderr, "unknown parameter '%s'\n",
+                     assignment.substr(0, eq).c_str());
+        return 2;
+      }
+      config.set(id, std::atof(assignment.c_str() + eq + 1));
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "invalid port %d\n", port);
+    return 2;
+  }
+
+  net::Client client;
+  const auto connected = client.connect(host, static_cast<std::uint16_t>(port));
+  if (connected != net::NetStatus::kOk) {
+    std::fprintf(stderr, "connect %s:%d failed: %s\n", host.c_str(), port,
+                 net_status_name(connected));
+    return 2;
+  }
+
+  serve::Request request;
+  request.endpoint = endpoint;
+  request.read_ratio = read_ratio;
+  request.config = config;
+  return run(client.call(request), endpoint);
+}

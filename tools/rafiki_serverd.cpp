@@ -1,0 +1,110 @@
+// rafiki_serverd — standalone serving daemon: trains a small surrogate
+// pipeline, publishes the snapshot, and serves the RPC protocol until stdin
+// closes (or EOF in a pipe), then drains gracefully and prints the stats
+// tables. The counterpart of tools/rafiki_client.
+//
+//   rafiki_serverd [--port P] [--host H] [--io-threads N] [--workers N]
+//                  [--full]
+//
+// The default training profile is the CI smoke profile (seconds); --full
+// trains the mid-sized ensemble the benches use (minutes).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/online.h"
+#include "core/rafiki.h"
+#include "engine/params.h"
+#include "net/server.h"
+#include "serve/service.h"
+#include "serve/snapshot.h"
+
+using namespace rafiki;
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 7117;
+  std::size_t io_threads = 2;
+  std::size_t workers = 2;
+  bool full = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "--io-threads" && i + 1 < argc) {
+      io_threads = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--workers" && i + 1 < argc) {
+      workers = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--full") {
+      full = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--host H] [--port P] [--io-threads N] "
+                   "[--workers N] [--full]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (port < 0 || port > 65535) {
+    std::fprintf(stderr, "invalid port %d\n", port);
+    return 2;
+  }
+
+  core::RafikiOptions options;
+  options.workload_grid = full ? std::vector<double>{0.1, 0.5, 0.9}
+                               : std::vector<double>{0.2, 0.8};
+  options.n_configs = full ? 10 : 5;
+  options.collect.measure.ops = full ? 20000 : 3000;
+  options.collect.measure.warmup_ops = full ? 2000 : 300;
+  options.ensemble.n_nets = full ? 10 : 3;
+  options.ensemble.train.max_epochs = full ? 100 : 30;
+  std::printf("training the surrogate ensemble (%s profile)...\n",
+              full ? "full" : "smoke");
+  core::Rafiki rafiki(options);
+  rafiki.set_key_params(engine::key_params());
+  rafiki.train(rafiki.collect());
+  if (!rafiki.trained()) {
+    std::fprintf(stderr, "training failed\n");
+    return 1;
+  }
+
+  serve::ServiceOptions service_options;
+  service_options.workers = workers;
+  core::OnlineTuner tuner(rafiki);
+  serve::TuningService service(service_options);
+  service.publish(serve::make_snapshot(rafiki));
+  service.attach_tuner(tuner);
+  service.start();
+
+  net::ServerOptions server_options;
+  server_options.host = host;
+  server_options.port = static_cast<std::uint16_t>(port);
+  server_options.io_threads = io_threads;
+  net::Server server(service, server_options);
+  if (!server.start()) {
+    std::fprintf(stderr, "server start failed: %s\n", server.last_error().c_str());
+    service.stop();
+    return 1;
+  }
+  std::printf("serving on %s:%u (model version %llu); close stdin to stop\n",
+              host.c_str(), server.port(),
+              static_cast<unsigned long long>(service.model_version()));
+  std::fflush(stdout);
+
+  // Serve until stdin closes — works interactively (Ctrl-D), under a pipe,
+  // and under process supervisors that hold stdin open for the lifetime.
+  char buffer[256];
+  while (std::fgets(buffer, sizeof buffer, stdin) != nullptr) {
+  }
+
+  std::printf("draining...\n");
+  server.stop();
+  service.stop();
+
+  std::printf("\n=== request stats ===\n%s", service.stats().table().render().c_str());
+  std::printf("\n=== wire stats ===\n%s", service.stats().wire_table().render().c_str());
+  return 0;
+}

@@ -17,10 +17,14 @@
 //      errors across the whole run.
 //
 // Results go to stdout (ASCII tables) and BENCH_net.json. `--smoke` keeps
-// everything tiny for CI; `--out <path>` redirects the JSON.
+// everything tiny for CI; `--out <path>` redirects the JSON; `--shards N`
+// runs every phase against the ShardedTuningService router instead of a
+// single service (same gates — the wire contract is backend-agnostic).
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -31,6 +35,7 @@
 #include "net/client.h"
 #include "net/server.h"
 #include "serve/service.h"
+#include "serve/shard.h"
 #include "serve/snapshot.h"
 #include "util/histogram.h"
 
@@ -73,6 +78,18 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
 
+/// One service or an N-shard router behind the same TuningBackend surface.
+std::unique_ptr<serve::TuningBackend> make_backend(std::size_t shards,
+                                                   const serve::ServiceOptions& options) {
+  if (shards > 1) {
+    serve::ShardOptions shard_options;
+    shard_options.shards = shards;
+    shard_options.service = options;
+    return std::make_unique<serve::ShardedTuningService>(shard_options);
+  }
+  return std::make_unique<serve::TuningService>(options);
+}
+
 /// One closed-loop client: `calls` pipelined bursts of depth `pipeline`,
 /// recording per-request latency samples (burst time / burst size).
 void client_loop(std::uint16_t port, std::size_t calls, std::size_t pipeline,
@@ -113,18 +130,19 @@ void client_loop(std::uint16_t port, std::size_t calls, std::size_t pipeline,
   }
 }
 
-WireLoadResult wire_load(const core::Rafiki& rafiki, std::size_t clients,
-                         std::size_t pipeline, std::size_t calls_per_client) {
+WireLoadResult wire_load(const core::Rafiki& rafiki, std::size_t shards,
+                         std::size_t clients, std::size_t pipeline,
+                         std::size_t calls_per_client) {
   serve::ServiceOptions options;
   options.workers = 2;
   options.queue_capacity = 4096;
-  serve::TuningService service(options);
-  service.publish(serve::make_snapshot(rafiki));
-  service.start();
+  auto service = make_backend(shards, options);
+  service->publish(serve::make_snapshot(rafiki));
+  service->start();
   net::ServerOptions server_options;
   server_options.io_threads = 2;
   server_options.max_pipeline = pipeline + 1;  // the bench never self-throttles
-  net::Server server(service, server_options);
+  net::Server server(*service, server_options);
   if (!server.start()) {
     std::fprintf(stderr, "net_load: server start failed: %s\n",
                  server.last_error().c_str());
@@ -147,7 +165,7 @@ WireLoadResult wire_load(const core::Rafiki& rafiki, std::size_t clients,
   for (auto& thread : fleet) thread.join();
   const double elapsed = seconds_since(t0);
   server.stop();
-  service.stop();
+  service->stop();
 
   WireLoadResult result;
   result.clients = clients;
@@ -161,26 +179,27 @@ WireLoadResult wire_load(const core::Rafiki& rafiki, std::size_t clients,
   result.qps = static_cast<double>(result.ok) / elapsed;
   result.client_p50_us = merged.quantile(0.5);
   result.client_p99_us = merged.quantile(0.99);
-  const auto counters = service.stats().wire_counters();
+  const auto counters = service->stats().wire_counters();
   result.decode_errors = counters.decode_errors;
   result.frames_in = counters.frames_in;
   result.frames_out = counters.frames_out;
   result.server_wire_p99_us =
-      service.stats().wire_latency_quantile(serve::Endpoint::kPredict, 0.99);
+      service->stats().wire_latency_quantile(serve::Endpoint::kPredict, 0.99);
   return result;
 }
 
-MixedResult mixed_load(const core::Rafiki& rafiki, std::size_t clients,
-                       std::size_t calls_per_client, std::size_t window_every) {
+MixedResult mixed_load(const core::Rafiki& rafiki, std::size_t shards,
+                       std::size_t clients, std::size_t calls_per_client,
+                       std::size_t window_every) {
   serve::ServiceOptions options;
   options.workers = 2;
   options.queue_capacity = 4096;
   core::OnlineTuner tuner(rafiki);
-  serve::TuningService service(options);
-  service.publish(serve::make_snapshot(rafiki));
-  service.attach_tuner(tuner);
-  service.start();
-  net::Server server(service);
+  auto service = make_backend(shards, options);
+  service->publish(serve::make_snapshot(rafiki));
+  service->attach_tuner(tuner);
+  service->start();
+  net::Server server(*service);
   if (!server.start()) {
     std::fprintf(stderr, "net_load: server start failed: %s\n",
                  server.last_error().c_str());
@@ -208,32 +227,32 @@ MixedResult mixed_load(const core::Rafiki& rafiki, std::size_t clients,
     });
   }
   for (auto& thread : fleet) thread.join();
-  service.wait_retrain_idle();
+  service->wait_retrain_idle();
   server.stop();
 
   MixedResult result;
-  const auto predict = service.stats().counters(serve::Endpoint::kPredict);
-  const auto observe = service.stats().counters(serve::Endpoint::kObserveWindow);
+  const auto predict = service->endpoint_counters(serve::Endpoint::kPredict);
+  const auto observe = service->endpoint_counters(serve::Endpoint::kObserveWindow);
   result.predicts = predict.completed;
   result.windows = observe.completed;
   for (auto f : failed) result.failed += f;
   for (auto s : stale) result.stale_windows += s;
-  result.versions_published = service.model_version();
-  service.stop();
+  result.versions_published = service->model_version();
+  service->stop();
   return result;
 }
 
-DrainResult drain_under_fire(const core::Rafiki& rafiki, std::size_t clients,
-                             std::size_t pipeline) {
+DrainResult drain_under_fire(const core::Rafiki& rafiki, std::size_t shards,
+                             std::size_t clients, std::size_t pipeline) {
   serve::ServiceOptions options;
   options.workers = 2;
   options.queue_capacity = 4096;
-  serve::TuningService service(options);
-  service.publish(serve::make_snapshot(rafiki));
-  service.start();
+  auto service = make_backend(shards, options);
+  service->publish(serve::make_snapshot(rafiki));
+  service->start();
   net::ServerOptions server_options;
   server_options.max_pipeline = pipeline + 1;
-  net::Server server(service, server_options);
+  net::Server server(*service, server_options);
   if (!server.start()) {
     std::fprintf(stderr, "net_load: server start failed: %s\n",
                  server.last_error().c_str());
@@ -247,11 +266,15 @@ DrainResult drain_under_fire(const core::Rafiki& rafiki, std::size_t clients,
   std::vector<std::uint64_t> answered_ok(clients, 0);
   std::vector<std::uint64_t> answered_shutdown(clients, 0);
   std::vector<std::uint64_t> lost(clients, 0);
+  std::atomic<std::size_t> senders_done{0};
   std::vector<std::thread> fleet;
   for (std::size_t c = 0; c < clients; ++c) {
     fleet.emplace_back([&, c] {
       net::Client client;
-      if (client.connect("127.0.0.1", server.port()) != net::NetStatus::kOk) return;
+      if (client.connect("127.0.0.1", server.port()) != net::NetStatus::kOk) {
+        senders_done.fetch_add(1, std::memory_order_release);
+        return;
+      }
       std::vector<std::uint64_t> ids;
       for (std::size_t i = 0; i < pipeline; ++i) {
         serve::Request request;
@@ -261,6 +284,7 @@ DrainResult drain_under_fire(const core::Rafiki& rafiki, std::size_t clients,
         if (id != 0) ids.push_back(id);
       }
       submitted[c] = ids.size();
+      senders_done.fetch_add(1, std::memory_order_release);
       for (const auto id : ids) {
         const auto result = client.wait(id);
         if (result.net != net::NetStatus::kOk) {
@@ -277,14 +301,21 @@ DrainResult drain_under_fire(const core::Rafiki& rafiki, std::size_t clients,
       }
     });
   }
-  // Wait until the server has actually decoded traffic, then pull the plug
-  // mid-stream.
-  while (service.stats().wire_counters().frames_in < clients) {
+  // The contract covers frames the clients actually put on the wire: wait
+  // until every pipeline is fully sent (the frames then sit in socket or
+  // server buffers, far ahead of the 2 workers draining them) and the server
+  // has started decoding, then pull the plug with the rest in flight.
+  while (senders_done.load(std::memory_order_acquire) < clients) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::uint64_t total_sent = 0;
+  for (std::size_t c = 0; c < clients; ++c) total_sent += submitted[c];
+  while (total_sent != 0 && service->stats().wire_counters().frames_in == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   server.stop();
   for (auto& thread : fleet) thread.join();
-  service.stop();
+  service->stop();
 
   DrainResult result;
   for (std::size_t c = 0; c < clients; ++c) {
@@ -293,19 +324,21 @@ DrainResult drain_under_fire(const core::Rafiki& rafiki, std::size_t clients,
     result.answered_shutdown += answered_shutdown[c];
     result.lost += lost[c];
   }
-  result.decode_errors = service.stats().wire_counters().decode_errors;
+  result.decode_errors = service->stats().wire_counters().decode_errors;
   return result;
 }
 
 void write_json(const std::string& path, const std::vector<WireLoadResult>& load,
-                const MixedResult& mixed, const DrainResult& drain, bool smoke) {
+                const MixedResult& mixed, const DrainResult& drain, bool smoke,
+                std::size_t shards) {
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "net_load: cannot write %s\n", path.c_str());
     return;
   }
-  std::fprintf(out, "{\n  \"bench\": \"net_load\",\n  \"smoke\": %s,\n",
-               smoke ? "true" : "false");
+  std::fprintf(out,
+               "{\n  \"bench\": \"net_load\",\n  \"smoke\": %s,\n  \"shards\": %zu,\n",
+               smoke ? "true" : "false", shards);
   std::fprintf(out, "  \"wire_load\": [\n");
   for (std::size_t i = 0; i < load.size(); ++i) {
     const auto& l = load[i];
@@ -350,9 +383,14 @@ void write_json(const std::string& path, const std::vector<WireLoadResult>& load
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string out_path = "BENCH_net.json";
+  std::size_t shards = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = static_cast<std::size_t>(std::atoi(argv[++i]));
+      if (shards == 0) shards = 1;
+    }
   }
 
   core::RafikiOptions options;
@@ -373,7 +411,7 @@ int main(int argc, char** argv) {
   std::vector<WireLoadResult> load;
   for (std::size_t clients : {1u, 4u}) {
     for (std::size_t pipeline : {1u, 16u}) {
-      load.push_back(wire_load(rafiki, clients, pipeline, calls));
+      load.push_back(wire_load(rafiki, shards, clients, pipeline, calls));
     }
   }
   Table load_table({"clients", "pipeline", "QPS", "client p50 us", "client p99 us",
@@ -389,7 +427,7 @@ int main(int argc, char** argv) {
   benchutil::emit(load_table, "Phase A: closed-loop wire load (loopback RPC)");
 
   // Phase B: mixed endpoints with regime shifts through the wire.
-  const auto mixed = mixed_load(rafiki, smoke ? 2 : 4, smoke ? 40 : 200,
+  const auto mixed = mixed_load(rafiki, shards, smoke ? 2 : 4, smoke ? 40 : 200,
                                 smoke ? 10 : 25);
   Table mixed_table({"metric", "value"});
   mixed_table.add_row({"Predict completed", std::to_string(mixed.predicts)});
@@ -402,7 +440,7 @@ int main(int argc, char** argv) {
                      std::to_string(mixed.failed));
 
   // Phase C: graceful drain with deep pipelines in flight.
-  const auto drain = drain_under_fire(rafiki, smoke ? 2 : 4, smoke ? 16 : 64);
+  const auto drain = drain_under_fire(rafiki, shards, smoke ? 2 : 4, smoke ? 16 : 64);
   Table drain_table({"metric", "value"});
   drain_table.add_row({"frames submitted", std::to_string(drain.submitted)});
   drain_table.add_row({"answered Ok", std::to_string(drain.answered_ok)});
@@ -413,7 +451,7 @@ int main(int argc, char** argv) {
   benchutil::compare("frames lost across a server drain", "0",
                      std::to_string(drain.lost));
 
-  write_json(out_path, load, mixed, drain, smoke);
+  write_json(out_path, load, mixed, drain, smoke, shards);
 
   // Gates: transport correctness always (sanitizers included) — zero decode
   // errors, zero dropped responses, wire accounting balanced.

@@ -5,12 +5,12 @@
 //      predict_batch kernel at several batch sizes. The acceptance bar is
 //      batch >= 32 reaching >= 4x single-row throughput (same hardware,
 //      bit-identical results).
-//   B. Service load — concurrent closed-loop clients against TuningService
-//      across a {clients} x {max_batch} grid: QPS, p50/p99 latency and the
-//      realized micro-batch size from ServiceStats.
+//   B. Service load — concurrent closed-loop clients against the serving
+//      backend across a {clients} x {max_batch} grid: QPS, p50/p99 latency
+//      and the realized micro-batch size. `--shards N` runs the grid through
+//      the ShardedTuningService router instead of a single service.
 //   C. Snapshot swap under load — republish fresh model versions while
 //      clients hammer Predict; the bar is zero failed or blocked requests.
-//
 //   D. Regime changes in the closed loop — clients mix ObserveWindow calls
 //      (cycling through read-ratio regimes, so the tuner keeps missing its
 //      memo cache) into the Predict stream. With the async RetrainWorker,
@@ -20,12 +20,21 @@
 //      snapshot versions, and (without sanitizers) ObserveWindow p99 far
 //      below the mean background-retrain latency — proof the request path
 //      no longer absorbs optimizer spikes.
+//   E. Shard scaling — the same closed loop at shards in {1, 2, 4, 8}
+//      (max_batch = 1, clients in {1, 8}), plus a bit-parity sweep proving
+//      the sharded router returns exactly the unsharded (and scalar)
+//      predictions.
+//   F. Rebalance under fire — hot bands pinned to one shard, clients
+//      hammering them while the router migrates the hottest band away; the
+//      bar is zero failed or lost requests and at least one migration.
 //
 // Results go to stdout (ASCII tables) and BENCH_serve.json. `--smoke` keeps
-// everything tiny for CI; `--out <path>` redirects the JSON.
+// everything tiny for CI; `--out <path>` redirects the JSON; `--shards N`
+// routes phases B-D through an N-shard router.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -34,6 +43,7 @@
 #include "core/online.h"
 #include "engine/params.h"
 #include "serve/service.h"
+#include "serve/shard.h"
 #include "serve/snapshot.h"
 #include "util/rng.h"
 
@@ -52,12 +62,14 @@ struct MicroResult {
 struct LoadResult {
   std::size_t clients = 0;
   std::size_t max_batch = 0;
+  std::size_t shards = 1;
   double qps = 0.0;
   double p50_us = 0.0;
   double p99_us = 0.0;
   double mean_batch = 0.0;
   std::uint64_t ok = 0;
   std::uint64_t failed = 0;
+  std::uint64_t spills = 0;
 };
 
 struct SwapResult {
@@ -80,6 +92,29 @@ struct RegimeResult {
   double retrain_mean_us = 0.0;  // what each miss *would* have cost inline
 };
 
+struct ScalingResult {
+  std::size_t shards = 0;
+  double clients1_qps = 0.0;
+  double clients8_qps = 0.0;
+  double scaling = 0.0;
+  std::uint64_t failed = 0;
+  std::uint64_t spills = 0;
+};
+
+struct ParityResult {
+  std::uint64_t requests = 0;
+  bool sharded_equals_unsharded = false;
+  bool unsharded_equals_scalar = false;
+};
+
+struct RebalanceResult {
+  std::uint64_t requests = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t rebalances = 0;
+  std::uint64_t spills = 0;
+  bool route_changed = false;
+};
+
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   // det:ok(wall-clock): measuring throughput/latency is this benchmark's purpose
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
@@ -97,6 +132,25 @@ std::vector<engine::Config> random_configs(std::size_t n, Rng& rng) {
   return configs;
 }
 
+/// One service or an N-shard router behind the same TuningBackend surface.
+std::unique_ptr<serve::TuningBackend> make_backend(std::size_t shards,
+                                                   const serve::ServiceOptions& options) {
+  if (shards > 1) {
+    serve::ShardOptions shard_options;
+    shard_options.shards = shards;
+    shard_options.service = options;
+    return std::make_unique<serve::ShardedTuningService>(shard_options);
+  }
+  return std::make_unique<serve::TuningService>(options);
+}
+
+std::uint64_t backend_spills(const serve::TuningBackend& backend) {
+  if (const auto* sharded = dynamic_cast<const serve::ShardedTuningService*>(&backend)) {
+    return sharded->spills();
+  }
+  return 0;
+}
+
 MicroResult micro_bench(const core::Rafiki& rafiki, std::size_t batch, std::size_t rows,
                         std::size_t repeats) {
   Rng rng(4242);
@@ -106,30 +160,43 @@ MicroResult micro_bench(const core::Rafiki& rafiki, std::size_t batch, std::size
   MicroResult result;
   result.batch = batch;
 
+  // Best-of-3 timing passes per path: the scheduler can preempt a pass
+  // mid-loop (especially on small machines), and the best pass is the one
+  // closest to the kernel's actual cost.
+  constexpr std::size_t kPasses = 3;
+  const double total_rows = static_cast<double>(rows * repeats);
+
   // Single-row path.
   std::vector<double> single(rows, 0.0);
-  // det:ok(wall-clock): benchmark timing
-  const auto t0 = std::chrono::steady_clock::now();
-  for (std::size_t rep = 0; rep < repeats; ++rep) {
-    for (std::size_t i = 0; i < rows; ++i) single[i] = rafiki.predict(rr, configs[i]);
+  double single_s = 0.0;
+  for (std::size_t pass = 0; pass < kPasses; ++pass) {
+    // det:ok(wall-clock): benchmark timing
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+      for (std::size_t i = 0; i < rows; ++i) single[i] = rafiki.predict(rr, configs[i]);
+    }
+    const double elapsed = seconds_since(t0);
+    if (pass == 0 || elapsed < single_s) single_s = elapsed;
   }
-  const double single_s = seconds_since(t0);
 
   // Batched path, chunked at the requested batch size.
   std::vector<double> batched(rows, 0.0);
-  // det:ok(wall-clock): benchmark timing
-  const auto t1 = std::chrono::steady_clock::now();
-  for (std::size_t rep = 0; rep < repeats; ++rep) {
-    for (std::size_t lo = 0; lo < rows; lo += batch) {
-      const std::size_t hi = std::min(rows, lo + batch);
-      const std::vector<engine::Config> chunk(configs.begin() + lo, configs.begin() + hi);
-      const auto out = rafiki.predict_batch(rr, chunk);
-      for (std::size_t i = lo; i < hi; ++i) batched[i] = out[i - lo];
+  double batched_s = 0.0;
+  for (std::size_t pass = 0; pass < kPasses; ++pass) {
+    // det:ok(wall-clock): benchmark timing
+    const auto t1 = std::chrono::steady_clock::now();
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+      for (std::size_t lo = 0; lo < rows; lo += batch) {
+        const std::size_t hi = std::min(rows, lo + batch);
+        const std::vector<engine::Config> chunk(configs.begin() + lo, configs.begin() + hi);
+        const auto out = rafiki.predict_batch(rr, chunk);
+        for (std::size_t i = lo; i < hi; ++i) batched[i] = out[i - lo];
+      }
     }
+    const double elapsed = seconds_since(t1);
+    if (pass == 0 || elapsed < batched_s) batched_s = elapsed;
   }
-  const double batched_s = seconds_since(t1);
 
-  const double total_rows = static_cast<double>(rows * repeats);
   result.single_rows_per_s = total_rows / single_s;
   result.batched_rows_per_s = total_rows / batched_s;
   result.speedup = result.batched_rows_per_s / result.single_rows_per_s;
@@ -137,15 +204,15 @@ MicroResult micro_bench(const core::Rafiki& rafiki, std::size_t batch, std::size
   return result;
 }
 
-LoadResult load_bench(const core::Rafiki& rafiki, std::size_t clients,
+LoadResult load_bench(const core::Rafiki& rafiki, std::size_t shards, std::size_t clients,
                       std::size_t max_batch, std::size_t calls_per_client) {
   serve::ServiceOptions options;
   options.workers = 2;
   options.max_batch = max_batch;
   options.queue_capacity = 4096;
-  serve::TuningService service(options);
-  service.publish(serve::make_snapshot(rafiki));
-  service.start();
+  auto service = make_backend(shards, options);
+  service->publish(serve::make_snapshot(rafiki));
+  service->start();
 
   // det:ok(wall-clock): benchmark timing
   const auto t0 = std::chrono::steady_clock::now();
@@ -157,35 +224,37 @@ LoadResult load_bench(const core::Rafiki& rafiki, std::size_t clients,
         serve::Request request;
         request.endpoint = serve::Endpoint::kPredict;
         request.read_ratio = 0.2 + 0.05 * static_cast<double>(i % 12);
-        if (!service.call(request).ok()) ++failed[c];
+        if (!service->call(request).ok()) ++failed[c];
       }
     });
   }
   for (auto& client : pool) client.join();
   const double elapsed = seconds_since(t0);
-  service.stop();
+  service->stop();
 
   LoadResult result;
   result.clients = clients;
   result.max_batch = max_batch;
-  const auto counters = service.stats().counters(serve::Endpoint::kPredict);
+  result.shards = shards;
+  const auto counters = service->endpoint_counters(serve::Endpoint::kPredict);
   result.ok = counters.ok;
   for (auto f : failed) result.failed += f;
   result.qps = static_cast<double>(counters.ok) / elapsed;
-  result.p50_us = service.stats().latency_quantile(serve::Endpoint::kPredict, 0.5);
-  result.p99_us = service.stats().latency_quantile(serve::Endpoint::kPredict, 0.99);
-  result.mean_batch = service.stats().mean_batch_size();
+  result.p50_us = service->endpoint_latency_quantile(serve::Endpoint::kPredict, 0.5);
+  result.p99_us = service->endpoint_latency_quantile(serve::Endpoint::kPredict, 0.99);
+  result.mean_batch = service->mean_batch_size();
+  result.spills = backend_spills(*service);
   return result;
 }
 
-SwapResult swap_bench(const core::Rafiki& rafiki, std::size_t clients,
+SwapResult swap_bench(const core::Rafiki& rafiki, std::size_t shards, std::size_t clients,
                       std::size_t calls_per_client, std::size_t republishes) {
   serve::ServiceOptions options;
   options.workers = 2;
   options.queue_capacity = 4096;
-  serve::TuningService service(options);
-  service.publish(serve::make_snapshot(rafiki));
-  service.start();
+  auto service = make_backend(shards, options);
+  service->publish(serve::make_snapshot(rafiki));
+  service->start();
 
   std::vector<std::thread> pool;
   std::vector<std::uint64_t> failed(clients, 0);
@@ -195,34 +264,35 @@ SwapResult swap_bench(const core::Rafiki& rafiki, std::size_t clients,
         serve::Request request;
         request.endpoint = serve::Endpoint::kPredict;
         request.read_ratio = 0.3 + 0.04 * static_cast<double>(i % 10);
-        if (!service.call(request).ok()) ++failed[c];
+        if (!service->call(request).ok()) ++failed[c];
       }
     });
   }
   // Republish fresh versions for the entire time the clients are running.
   for (std::size_t i = 0; i < republishes; ++i) {
-    service.publish(serve::make_snapshot(rafiki));
+    service->publish(serve::make_snapshot(rafiki));
   }
   for (auto& client : pool) client.join();
-  service.stop();
+  service->stop();
 
   SwapResult result;
   result.requests = clients * calls_per_client;
   for (auto f : failed) result.failed += f;
-  result.versions_published = service.model_version();
+  result.versions_published = service->model_version();
   return result;
 }
 
-RegimeResult regime_bench(const core::Rafiki& rafiki, std::size_t clients,
-                          std::size_t calls_per_client, std::size_t window_every) {
+RegimeResult regime_bench(const core::Rafiki& rafiki, std::size_t shards,
+                          std::size_t clients, std::size_t calls_per_client,
+                          std::size_t window_every) {
   serve::ServiceOptions options;
   options.workers = 2;
   options.queue_capacity = 4096;
   core::OnlineTuner tuner(rafiki);
-  serve::TuningService service(options);
-  service.publish(serve::make_snapshot(rafiki));
-  service.attach_tuner(tuner);
-  service.start();
+  auto service = make_backend(shards, options);
+  service->publish(serve::make_snapshot(rafiki));
+  service->attach_tuner(tuner);
+  service->start();
 
   // Each client walks the same regime schedule: a new read-ratio regime
   // every `window_every` calls, opened by one ObserveWindow (the paper's
@@ -240,12 +310,12 @@ RegimeResult regime_bench(const core::Rafiki& rafiki, std::size_t clients,
         request.read_ratio = rr;
         if (i % window_every == 0) {
           request.endpoint = serve::Endpoint::kObserveWindow;
-          const auto response = service.call(request);
+          const auto response = service->call(request);
           if (!response.ok()) ++failed[c];
           if (response.stale) ++stale[c];
         } else {
           request.endpoint = serve::Endpoint::kPredict;
-          if (!service.call(request).ok()) ++failed[c];
+          if (!service->call(request).ok()) ++failed[c];
         }
       }
     });
@@ -253,39 +323,138 @@ RegimeResult regime_bench(const core::Rafiki& rafiki, std::size_t clients,
   for (auto& client : pool) client.join();
   // Let in-flight background optimizations republish before reading the
   // final snapshot state.
-  service.wait_retrain_idle();
+  service->wait_retrain_idle();
 
   RegimeResult result;
-  const auto predict = service.stats().counters(serve::Endpoint::kPredict);
-  const auto observe = service.stats().counters(serve::Endpoint::kObserveWindow);
+  const auto predict = service->endpoint_counters(serve::Endpoint::kPredict);
+  const auto observe = service->endpoint_counters(serve::Endpoint::kObserveWindow);
   result.predicts = predict.completed;
   result.windows = observe.completed;
   for (auto f : failed) result.failed += f;
   for (auto s : stale) result.stale_windows += s;
-  const auto retrain = service.stats().retrain_counters();
+  const auto retrain = service->retrain_counters();
   result.retrain_runs = retrain.runs;
   result.retrain_coalesced = retrain.coalesced;
-  result.versions_published = service.model_version();
-  const auto snapshot = service.snapshot();
+  result.versions_published = service->model_version();
+  const auto snapshot = service->snapshot();
   result.tuned_buckets = snapshot ? snapshot->tuned.size() : 0;
-  result.predict_p99_us = service.stats().latency_quantile(serve::Endpoint::kPredict, 0.99);
+  result.predict_p99_us = service->endpoint_latency_quantile(serve::Endpoint::kPredict, 0.99);
   result.observe_p99_us =
-      service.stats().latency_quantile(serve::Endpoint::kObserveWindow, 0.99);
-  result.retrain_mean_us = service.stats().mean_retrain_latency_us();
+      service->endpoint_latency_quantile(serve::Endpoint::kObserveWindow, 0.99);
+  result.retrain_mean_us = service->mean_retrain_latency_us();
+  service->stop();
+  return result;
+}
+
+ParityResult parity_bench(const core::Rafiki& rafiki, std::size_t shards,
+                          std::size_t requests) {
+  // Same request stream through the sharded router (batched), an unsharded
+  // service (batched), and the scalar predict path — all three must agree to
+  // the last bit for sharding to be a pure routing optimization.
+  Rng rng(20170711);
+  const auto configs = random_configs(requests, rng);
+  std::vector<double> rrs(requests);
+  for (std::size_t i = 0; i < requests; ++i) rrs[i] = 0.01 * static_cast<double>(i % 101);
+
+  const auto run = [&](std::size_t n_shards) {
+    serve::ServiceOptions options;
+    options.workers = 2;
+    options.max_batch = 32;
+    options.queue_capacity = 4096;
+    auto service = make_backend(n_shards, options);
+    service->publish(serve::make_snapshot(rafiki));
+    service->start();
+    std::vector<double> means(requests, 0.0);
+    for (std::size_t i = 0; i < requests; ++i) {
+      serve::Request request;
+      request.endpoint = serve::Endpoint::kPredict;
+      request.read_ratio = rrs[i];
+      request.config = configs[i];
+      means[i] = service->call(request).mean;
+    }
+    service->stop();
+    return means;
+  };
+
+  const auto sharded = run(shards);
+  const auto unsharded = run(1);
+  std::vector<double> scalar(requests, 0.0);
+  for (std::size_t i = 0; i < requests; ++i) scalar[i] = rafiki.predict(rrs[i], configs[i]);
+
+  ParityResult result;
+  result.requests = requests;
+  result.sharded_equals_unsharded = (sharded == unsharded);
+  result.unsharded_equals_scalar = (unsharded == scalar);
+  return result;
+}
+
+RebalanceResult rebalance_bench(const core::Rafiki& rafiki, std::size_t clients,
+                                std::size_t calls_per_client) {
+  serve::ShardOptions options;
+  options.shards = 4;
+  options.service.workers = 1;
+  options.service.max_batch = 8;
+  options.service.queue_capacity = 4096;
+  serve::ShardedTuningService service(options);
+  service.publish(serve::make_snapshot(rafiki));
+  service.start();
+
+  // Skew the initial placement: both hot bands (rr 0.20 and 0.80) on shard
+  // 0, so the router has something to migrate.
+  service.route_band(20, 0);
+  service.route_band(80, 0);
+
+  std::vector<std::thread> pool;
+  std::vector<std::uint64_t> failed(clients, 0);
+  std::atomic<bool> running{true};
+  for (std::size_t c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c] {
+      for (std::size_t i = 0; i < calls_per_client; ++i) {
+        serve::Request request;
+        request.endpoint = serve::Endpoint::kPredict;
+        request.read_ratio = (i % 2 == 0) ? 0.2 : 0.8;
+        if (!service.call(request).ok()) ++failed[c];
+      }
+    });
+  }
+  // Rebalance continuously while the clients are firing.
+  std::thread balancer([&] {
+    while (running.load(std::memory_order_relaxed)) {
+      service.rebalance_hottest();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (auto& client : pool) client.join();
+  running.store(false, std::memory_order_relaxed);
+  balancer.join();
   service.stop();
+
+  RebalanceResult result;
+  result.requests = clients * calls_per_client;
+  for (auto f : failed) result.failed += f;
+  result.rebalances = service.rebalances();
+  result.spills = service.spills();
+  result.route_changed =
+      service.shard_of_band(20) != 0 || service.shard_of_band(80) != 0;
+  // The merged completed count must account for every submitted request —
+  // nothing lost across migrations.
+  const auto totals = service.merged_totals();
+  if (totals.completed != result.requests) result.failed += result.requests;
   return result;
 }
 
 void write_json(const std::string& path, const std::vector<MicroResult>& micro,
                 const std::vector<LoadResult>& load, const SwapResult& swap,
-                const RegimeResult& regime, bool smoke) {
+                const RegimeResult& regime, const std::vector<ScalingResult>& scaling,
+                const ParityResult& parity, const RebalanceResult& rebalance, bool smoke,
+                std::size_t shards) {
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "serve_load: cannot write %s\n", path.c_str());
     return;
   }
-  std::fprintf(out, "{\n  \"bench\": \"serve_load\",\n  \"smoke\": %s,\n",
-               smoke ? "true" : "false");
+  std::fprintf(out, "{\n  \"bench\": \"serve_load\",\n  \"smoke\": %s,\n  \"shards\": %zu,\n",
+               smoke ? "true" : "false", shards);
   std::fprintf(out, "  \"microbench\": [\n");
   for (std::size_t i = 0; i < micro.size(); ++i) {
     const auto& m = micro[i];
@@ -300,13 +469,14 @@ void write_json(const std::string& path, const std::vector<MicroResult>& micro,
   for (std::size_t i = 0; i < load.size(); ++i) {
     const auto& l = load[i];
     std::fprintf(out,
-                 "    {\"clients\": %zu, \"max_batch\": %zu, \"qps\": %.1f, "
-                 "\"p50_us\": %.1f, \"p99_us\": %.1f, \"mean_batch\": %.2f, "
-                 "\"ok\": %llu, \"failed\": %llu}%s\n",
-                 l.clients, l.max_batch, l.qps, l.p50_us, l.p99_us, l.mean_batch,
+                 "    {\"clients\": %zu, \"max_batch\": %zu, \"shards\": %zu, "
+                 "\"qps\": %.1f, \"p50_us\": %.1f, \"p99_us\": %.1f, "
+                 "\"mean_batch\": %.2f, \"ok\": %llu, \"failed\": %llu, "
+                 "\"spills\": %llu}%s\n",
+                 l.clients, l.max_batch, l.shards, l.qps, l.p50_us, l.p99_us, l.mean_batch,
                  static_cast<unsigned long long>(l.ok),
                  static_cast<unsigned long long>(l.failed),
-                 i + 1 < load.size() ? "," : "");
+                 static_cast<unsigned long long>(l.spills), i + 1 < load.size() ? "," : "");
   }
   std::fprintf(out,
                "  ],\n  \"swap_under_load\": {\"requests\": %llu, \"failed\": %llu, "
@@ -319,7 +489,7 @@ void write_json(const std::string& path, const std::vector<MicroResult>& micro,
                "\"failed\": %llu, \"stale_windows\": %llu, \"retrain_runs\": %llu, "
                "\"retrain_coalesced\": %llu, \"versions_published\": %llu, "
                "\"tuned_buckets\": %llu, \"predict_p99_us\": %.1f, "
-               "\"observe_p99_us\": %.1f, \"retrain_mean_us\": %.1f}\n}\n",
+               "\"observe_p99_us\": %.1f, \"retrain_mean_us\": %.1f},\n",
                static_cast<unsigned long long>(regime.predicts),
                static_cast<unsigned long long>(regime.windows),
                static_cast<unsigned long long>(regime.failed),
@@ -329,6 +499,31 @@ void write_json(const std::string& path, const std::vector<MicroResult>& micro,
                static_cast<unsigned long long>(regime.versions_published),
                static_cast<unsigned long long>(regime.tuned_buckets),
                regime.predict_p99_us, regime.observe_p99_us, regime.retrain_mean_us);
+  std::fprintf(out, "  \"shard_scaling\": [\n");
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    const auto& s = scaling[i];
+    std::fprintf(out,
+                 "    {\"shards\": %zu, \"clients1_qps\": %.1f, \"clients8_qps\": %.1f, "
+                 "\"scaling\": %.2f, \"failed\": %llu, \"spills\": %llu}%s\n",
+                 s.shards, s.clients1_qps, s.clients8_qps, s.scaling,
+                 static_cast<unsigned long long>(s.failed),
+                 static_cast<unsigned long long>(s.spills),
+                 i + 1 < scaling.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n  \"sharded_parity\": {\"requests\": %llu, "
+               "\"sharded_equals_unsharded\": %s, \"unsharded_equals_scalar\": %s},\n",
+               static_cast<unsigned long long>(parity.requests),
+               parity.sharded_equals_unsharded ? "true" : "false",
+               parity.unsharded_equals_scalar ? "true" : "false");
+  std::fprintf(out,
+               "  \"rebalance_under_load\": {\"requests\": %llu, \"failed\": %llu, "
+               "\"rebalances\": %llu, \"spills\": %llu, \"route_changed\": %s}\n}\n",
+               static_cast<unsigned long long>(rebalance.requests),
+               static_cast<unsigned long long>(rebalance.failed),
+               static_cast<unsigned long long>(rebalance.rebalances),
+               static_cast<unsigned long long>(rebalance.spills),
+               rebalance.route_changed ? "true" : "false");
   std::fclose(out);
   benchutil::note("wrote " + path);
 }
@@ -338,9 +533,14 @@ void write_json(const std::string& path, const std::vector<MicroResult>& micro,
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string out_path = "BENCH_serve.json";
+  std::size_t shards = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = static_cast<std::size_t>(std::atoi(argv[++i]));
+      if (shards == 0) shards = 1;
+    }
   }
 
   // Train the surrogate the service will serve. The smoke profile matches
@@ -360,8 +560,10 @@ int main(int argc, char** argv) {
   rafiki.train(rafiki.collect());
 
   // Phase A: batched-kernel microbenchmark.
-  const std::size_t rows = smoke ? 512 : 4096;
-  const std::size_t repeats = smoke ? 2 : 5;
+  // Even the smoke profile needs multi-millisecond timing sections: with
+  // ~1 ms per pass the speedup ratio is scheduler noise, not a measurement.
+  const std::size_t rows = smoke ? 1024 : 4096;
+  const std::size_t repeats = smoke ? 4 : 5;
   std::vector<MicroResult> micro;
   for (std::size_t batch : {8u, 32u, 64u}) {
     micro.push_back(micro_bench(rafiki, batch, rows, repeats));
@@ -382,22 +584,27 @@ int main(int argc, char** argv) {
   std::vector<LoadResult> load;
   for (std::size_t clients : {1u, 4u, 8u}) {
     for (std::size_t max_batch : {1u, 32u}) {
-      load.push_back(load_bench(rafiki, clients, max_batch, calls));
+      load.push_back(load_bench(rafiki, shards, clients, max_batch, calls));
     }
   }
-  Table load_table(
-      {"clients", "max batch", "QPS", "p50 us", "p99 us", "mean batch", "failed"});
+  Table load_table({"clients", "max batch", "shards", "QPS", "p50 us", "p99 us",
+                    "mean batch", "failed"});
   for (const auto& l : load) {
     load_table.add_row({std::to_string(l.clients), std::to_string(l.max_batch),
-                        Table::ops(l.qps), Table::num(l.p50_us, 1),
-                        Table::num(l.p99_us, 1), Table::num(l.mean_batch, 2),
-                        std::to_string(l.failed)});
+                        std::to_string(l.shards), Table::ops(l.qps),
+                        Table::num(l.p50_us, 1), Table::num(l.p99_us, 1),
+                        Table::num(l.mean_batch, 2), std::to_string(l.failed)});
   }
   benchutil::emit(load_table, "Phase B: closed-loop service load");
+  const LoadResult* single_batched = nullptr;
+  for (const auto& l : load) {
+    if (l.clients == 1 && l.max_batch == 32) single_batched = &l;
+  }
+  benchutil::compare("single-client batched p99 (adaptive flush)", "< 1000 us",
+                     Table::num(single_batched->p99_us, 1) + " us");
 
   // Phase C: snapshot swaps during active load.
-  const auto swap =
-      swap_bench(rafiki, 4, smoke ? 60 : 300, smoke ? 20 : 100);
+  const auto swap = swap_bench(rafiki, shards, 4, smoke ? 60 : 300, smoke ? 20 : 100);
   benchutil::section("Phase C: snapshot swap under load");
   std::printf("%llu requests across %llu published versions, %llu failed\n",
               static_cast<unsigned long long>(swap.requests),
@@ -408,7 +615,7 @@ int main(int argc, char** argv) {
 
   // Phase D: regime changes mixed into the closed loop — the async-retrain
   // acceptance scenario.
-  const auto regime = regime_bench(rafiki, smoke ? 4 : 8, smoke ? 120 : 600,
+  const auto regime = regime_bench(rafiki, shards, smoke ? 4 : 8, smoke ? 120 : 600,
                                    smoke ? 20 : 40);
   Table regime_table({"metric", "value"});
   regime_table.add_row({"Predict completed", std::to_string(regime.predicts)});
@@ -432,10 +639,50 @@ int main(int argc, char** argv) {
                      Table::num(regime.observe_p99_us, 1) + " us vs " +
                          Table::num(regime.retrain_mean_us, 1) + " us");
 
-  write_json(out_path, micro, load, swap, regime, smoke);
+  // Phase E: shard scaling sweep + bit parity across backends.
+  std::vector<ScalingResult> scaling;
+  for (std::size_t n_shards : {1u, 2u, 4u, 8u}) {
+    ScalingResult entry;
+    entry.shards = n_shards;
+    const auto one = load_bench(rafiki, n_shards, 1, 1, calls);
+    const auto eight = load_bench(rafiki, n_shards, 8, 1, calls);
+    entry.clients1_qps = one.qps;
+    entry.clients8_qps = eight.qps;
+    entry.scaling = one.qps > 0.0 ? eight.qps / one.qps : 0.0;
+    entry.failed = one.failed + eight.failed;
+    entry.spills = one.spills + eight.spills;
+    scaling.push_back(entry);
+  }
+  Table scaling_table({"shards", "QPS (1 client)", "QPS (8 clients)", "scaling", "failed"});
+  for (const auto& s : scaling) {
+    scaling_table.add_row({std::to_string(s.shards), Table::ops(s.clients1_qps),
+                           Table::ops(s.clients8_qps), Table::num(s.scaling, 2) + "x",
+                           std::to_string(s.failed)});
+  }
+  benchutil::emit(scaling_table, "Phase E: shard scaling (max_batch = 1)");
+  const auto parity = parity_bench(rafiki, 4, smoke ? 128 : 512);
+  benchutil::compare("sharded == unsharded == scalar predictions", "bit-identical",
+                     parity.sharded_equals_unsharded && parity.unsharded_equals_scalar
+                         ? "yes"
+                         : "NO");
+
+  // Phase F: hot-band rebalance while clients hammer the hot shards.
+  const auto rebalance = rebalance_bench(rafiki, 4, smoke ? 200 : 1000);
+  benchutil::section("Phase F: rebalance under load");
+  std::printf("%llu requests, %llu failed, %llu migrations (%llu spills), route %s\n",
+              static_cast<unsigned long long>(rebalance.requests),
+              static_cast<unsigned long long>(rebalance.failed),
+              static_cast<unsigned long long>(rebalance.rebalances),
+              static_cast<unsigned long long>(rebalance.spills),
+              rebalance.route_changed ? "migrated" : "UNCHANGED");
+  benchutil::compare("failed/lost requests across rebalance", "0",
+                     std::to_string(rebalance.failed));
+
+  write_json(out_path, micro, load, swap, regime, scaling, parity, rebalance, smoke,
+             shards);
 
   // Sanitizer builds run this as a concurrency smoke: correctness gates
-  // (bitwise equality, zero failures) still apply, but the speedup bar is
+  // (bitwise equality, zero failures) still apply, but the speedup bars are
   // only meaningful without instrumentation overhead.
 #if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
   constexpr bool kPerfGate = false;  // GCC sanitizer macros
@@ -448,6 +695,11 @@ int main(int argc, char** argv) {
 #else
   constexpr bool kPerfGate = true;
 #endif
+  // The 1-to-8-client scaling bar additionally needs 8 hardware threads to
+  // be physically reachable; on smaller machines the sweep still runs (and
+  // its numbers are recorded) but the ratio is not gated.
+  const bool scaling_gate = kPerfGate && std::thread::hardware_concurrency() >= 8;
+
   bool pass = (!kPerfGate || accept.speedup >= 4.0) && swap.failed == 0;
   for (const auto& m : micro) pass = pass && m.bitwise_equal;
   for (const auto& l : load) pass = pass && l.failed == 0;
@@ -460,10 +712,33 @@ int main(int argc, char** argv) {
   pass = pass && regime.retrain_runs >= 1;
   pass = pass && regime.tuned_buckets >= 1;
   pass = pass && regime.versions_published > 1;
-  // Perf gate: serving a window must be far cheaper than the GA it no
-  // longer runs inline (sanitizer instrumentation distorts both sides).
-  if (kPerfGate) pass = pass && regime.observe_p99_us < regime.retrain_mean_us;
-  std::printf("\nserve_load: %s%s\n", pass ? "PASS" : "FAIL",
-              kPerfGate ? "" : " (perf gate skipped: sanitizer build)");
+  // Perf gates: serving a window must be far cheaper than the GA it no
+  // longer runs inline, and the adaptive batcher must keep a lone batched
+  // client at sub-millisecond p99 (both distorted by sanitizers). The
+  // off-path-retrain bar additionally needs a core for the background
+  // thread to run on — with a single hardware thread the GA preempts the
+  // request worker and the tail absorbs it regardless of architecture.
+  if (kPerfGate && std::thread::hardware_concurrency() >= 2) {
+    pass = pass && regime.observe_p99_us < regime.retrain_mean_us;
+  }
+  if (kPerfGate) pass = pass && single_batched->p99_us < 1000.0;
+  // Sharding gates: structural ones always on (zero failures, parity,
+  // a real migration); the >= 4x scaling ratio only where 8 clients can
+  // actually run in parallel.
+  for (const auto& s : scaling) pass = pass && s.failed == 0;
+  pass = pass && parity.sharded_equals_unsharded && parity.unsharded_equals_scalar;
+  pass = pass && rebalance.failed == 0 && rebalance.rebalances >= 1 &&
+         rebalance.route_changed;
+  if (scaling_gate) {
+    bool scaled = false;
+    for (const auto& s : scaling) {
+      if (s.shards >= 4 && s.scaling >= 4.0) scaled = true;
+    }
+    pass = pass && scaled;
+  }
+  std::printf("\nserve_load: %s%s%s\n", pass ? "PASS" : "FAIL",
+              kPerfGate ? "" : " (perf gates skipped: sanitizer build)",
+              scaling_gate ? ""
+                           : " (scaling gate skipped: < 8 hardware threads)");
   return pass ? 0 : 1;
 }

@@ -1,9 +1,12 @@
 #include "ml/ensemble.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 
 namespace rafiki::ml {
 
@@ -25,16 +28,51 @@ void SurrogateEnsemble::fit(const std::vector<std::vector<double>>& X,
   layers.insert(layers.end(), options.hidden.begin(), options.hidden.end());
   layers.push_back(1);
 
-  nets_.clear();
-  errors_.clear();
+  // Pre-split one RNG per member in serial seed order, then train members in
+  // parallel: each task touches only its own net/error/RNG slot, so the
+  // weights are bit-identical to the old serial loop at any thread count.
   Rng rng(options.seed);
-  for (std::size_t k = 0; k < options.n_nets; ++k) {
-    Mlp net(layers);
-    Rng net_rng = rng.split();
-    net.randomize(net_rng);
-    const auto result = train_lm_bayes(net, Xn, yn, options.train);
-    nets_.push_back(std::move(net));
-    errors_.push_back(result.mse);
+  std::vector<Rng> net_rngs;
+  net_rngs.reserve(options.n_nets);
+  for (std::size_t k = 0; k < options.n_nets; ++k) net_rngs.push_back(rng.split());
+
+  nets_.assign(options.n_nets, Mlp(layers));
+  errors_.assign(options.n_nets, 0.0);
+
+  std::size_t threads =
+      options.train_threads ? options.train_threads
+                            : std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  threads = std::min(threads, options.n_nets);
+
+  const auto train_member = [&](std::size_t k) {
+    nets_[k].randomize(net_rngs[k]);
+    const auto result = train_lm_bayes(nets_[k], Xn, yn, options.train);
+    errors_[k] = result.mse;
+  };
+
+  if (threads <= 1) {
+    for (std::size_t k = 0; k < options.n_nets; ++k) train_member(k);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    const auto worker = [&] {
+      for (std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
+           k < options.n_nets; k = next.fetch_add(1, std::memory_order_relaxed)) {
+        try {
+          train_member(k);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads - 1);
+    for (std::size_t t = 0; t + 1 < threads; ++t) pool.emplace_back(worker);
+    worker();
+    for (auto& thread : pool) thread.join();
+    if (first_error) std::rethrow_exception(first_error);
   }
 
   // Prune the worst-performing fraction by training error.

@@ -22,6 +22,12 @@ struct EnsembleOptions {
   std::vector<std::size_t> hidden = {14, 4};
   TrainOptions train;
   std::uint64_t seed = 1234;
+  /// Worker threads for member training: 0 = one per hardware thread, 1 =
+  /// strictly serial. The paper's members train from independent initial
+  /// weights, so they parallelize embarrassingly; per-net RNGs are pre-split
+  /// in serial seed order, which keeps the trained weights bit-identical at
+  /// any thread count (asserted in determinism_test).
+  std::size_t train_threads = 0;
 };
 
 class SurrogateEnsemble {

@@ -59,7 +59,7 @@ void Server::Waker::drain() const noexcept {
   }
 }
 
-Server::Server(serve::TuningService& service, ServerOptions options)
+Server::Server(serve::TuningBackend& service, ServerOptions options)
     : service_(service), options_(std::move(options)), stats_(service.stats()) {
   if (options_.io_threads == 0) options_.io_threads = 1;
   if (options_.read_chunk == 0) options_.read_chunk = 4096;
@@ -163,6 +163,8 @@ void Server::loop_main(std::size_t index) {
   Loop& loop = *loops_[index];
   const bool acceptor = index == 0;
   std::vector<pollfd> pfds;
+  bool drain_deadline_set = false;
+  std::chrono::steady_clock::time_point drain_deadline{};
 
   for (;;) {
     {
@@ -171,15 +173,27 @@ void Server::loop_main(std::size_t index) {
       loop.incoming.clear();
     }
     const bool draining = draining_.load(std::memory_order_acquire);
+    if (draining && !drain_deadline_set) {
+      drain_deadline_set = true;
+      // det:ok(wall-clock): the drain grace bounds real elapsed time by design
+      drain_deadline = std::chrono::steady_clock::now() + options_.drain_grace;
+    }
     if (draining && loop.conns.empty()) {
-      std::lock_guard<std::mutex> lock(loop.incoming_mutex);
-      if (loop.incoming.empty()) return;
-      continue;  // late handoff: adopt it on the next pass
+      // The accept queue may still hold connections whose handshake finished
+      // before the drain began — possibly with frames already buffered.
+      // Closing the listener would RST them mid-request, so adopt them and
+      // let the drain path answer (kShuttingDown) before closing.
+      if (acceptor) do_accept(loop);
+      if (loop.conns.empty()) {
+        std::lock_guard<std::mutex> lock(loop.incoming_mutex);
+        if (loop.incoming.empty()) return;
+      }
+      continue;  // late handoff or backlog adoption: serve it next pass
     }
 
     pfds.clear();
     pfds.push_back({loop.waker->read_fd, POLLIN, 0});
-    const bool poll_listen = acceptor && !draining;
+    const bool poll_listen = acceptor;
     if (poll_listen) pfds.push_back({listen_fd_, POLLIN, 0});
     const std::size_t base = pfds.size();
     for (const auto& conn : loop.conns) {
@@ -213,12 +227,19 @@ void Server::loop_main(std::size_t index) {
       const ConnectionPtr& conn = loop.conns[i];
       bool close = should_close(*conn);
       if (!close && draining && idle(*conn)) {
-        // Last-chance read: catch bytes that raced in just before the drain
-        // began, answer them (kShuttingDown), and only then let go.
+        // Catch bytes that raced in just before (or during) the drain and
+        // answer them (kShuttingDown). An idle connection is then the
+        // peer's to release: a client mid-burst may have frames on the wire
+        // that a momentary idle observation would lose, so hold the
+        // connection until its FIN arrives (read_closed -> should_close) —
+        // or the drain grace expires, which bounds stop() against silent
+        // peers.
         handle_read(*conn);
         process_frames(conn);
         flush(*conn);
-        close = idle(*conn) || should_close(*conn);
+        // det:ok(wall-clock): the drain grace bounds real elapsed time by design
+        const bool grace_expired = std::chrono::steady_clock::now() >= drain_deadline;
+        close = should_close(*conn) || (idle(*conn) && grace_expired);
       }
       if (close) {
         close_connection(*conn);
@@ -234,8 +255,7 @@ void Server::do_accept(Loop& loop) {
   for (;;) {
     const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) return;  // EAGAIN (or a transient error): try again next poll
-    if (draining_.load(std::memory_order_acquire) ||
-        open_connections_.load() >= options_.max_connections) {
+    if (open_connections_.load() >= options_.max_connections) {
       ::close(fd);
       continue;
     }
@@ -246,8 +266,13 @@ void Server::do_accept(Loop& loop) {
     open_connections_.fetch_add(1);
     stats_.record_connection_open();
 
-    Loop& target = *loops_[next_loop_];
-    next_loop_ = (next_loop_ + 1) % loops_.size();
+    // During a drain, sibling loops may already have exited; keep backlog
+    // adoptions on the accepting loop so every registered connection is
+    // polled until it is answered and closed. The drain grace still bounds
+    // how long any of them can linger.
+    const bool draining = draining_.load(std::memory_order_acquire);
+    Loop& target = draining ? loop : *loops_[next_loop_];
+    if (!draining) next_loop_ = (next_loop_ + 1) % loops_.size();
     conn->waker = target.waker;
     if (&target == &loop) {
       loop.conns.push_back(std::move(conn));

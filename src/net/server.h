@@ -1,4 +1,5 @@
-// net::Server — the RPC front-end over TuningService: a poll-driven,
+// net::Server — the RPC front-end over a serve::TuningBackend (the single
+// TuningService or the ShardedTuningService router): a poll-driven,
 // multi-threaded TCP server speaking the length-prefixed binary protocol of
 // net/wire.h.
 //
@@ -18,14 +19,19 @@
 //     header) are answered with an error frame and the stream continues;
 //     fatal ones (bad magic/version/oversized length) get one final error
 //     frame and the connection closes.
-//   * stop() drains gracefully: accepting stops, in-flight requests finish
-//     and their responses flush, requests decoded during the drain are
-//     answered with kShuttingDown — no accepted frame is ever dropped.
+//   * stop() drains gracefully: in-flight requests finish and their
+//     responses flush, requests decoded during the drain are answered with
+//     kShuttingDown — no accepted frame is ever dropped. Connections whose
+//     handshake completed before the drain (still sitting in the accept
+//     backlog) are adopted and answered too, instead of being RST by the
+//     listener close. Idle connections are held until the peer closes (its
+//     frames may still be on the wire), bounded by ServerOptions::drain_grace.
 //   * Wire telemetry (connections, frames, bytes, decode errors, per-endpoint
 //     wire latency) folds into the service's ServiceStats.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -34,7 +40,7 @@
 #include <vector>
 
 #include "net/wire.h"
-#include "serve/service.h"
+#include "serve/backend.h"
 
 namespace rafiki::net {
 
@@ -57,12 +63,19 @@ struct ServerOptions {
   std::size_t max_pipeline = 64;
   /// recv() chunk size.
   std::size_t read_chunk = 1 << 16;
+  /// Drain grace: how long stop() keeps an *idle* connection open waiting
+  /// for the peer's FIN. A momentarily-idle connection can have frames
+  /// already on the wire (a client mid-burst); closing it on the first idle
+  /// observation loses them. The peer closing its end (or going dead) still
+  /// releases the connection immediately — the grace only bounds how long a
+  /// silent, healthy peer can hold up stop().
+  std::chrono::milliseconds drain_grace{250};
 };
 
 class Server {
  public:
-  /// The service must outlive the server.
-  explicit Server(serve::TuningService& service, ServerOptions options = {});
+  /// The backend must outlive the server.
+  explicit Server(serve::TuningBackend& service, ServerOptions options = {});
   ~Server();
 
   Server(const Server&) = delete;
@@ -71,8 +84,9 @@ class Server {
   /// Binds, listens, and spawns the IO loops. False on socket errors (see
   /// last_error()). Idempotent.
   bool start();
-  /// Graceful drain: stop accepting, answer everything already on the wire,
-  /// flush, close, join. Idempotent.
+  /// Graceful drain: answer everything already on the wire (including
+  /// connections still in the accept backlog), flush, close, join.
+  /// Idempotent.
   void stop();
 
   /// Actual bound port (after start()); 0 before.
@@ -134,7 +148,7 @@ class Server {
   bool should_close(Connection& conn) const;
   void close_connection(Connection& conn);
 
-  serve::TuningService& service_;
+  serve::TuningBackend& service_;
   ServerOptions options_;
   serve::ServiceStats& stats_;
   int listen_fd_ = -1;

@@ -1,0 +1,87 @@
+// The serving-plane surface shared by the single TuningService and the
+// ShardedTuningService router: snapshot publication, request submission, and
+// lifecycle. Front-ends (net::Server, rafiki_serverd, the load benches)
+// program against this interface so a process can swap between one service
+// and an N-shard fleet with a flag.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+
+#include "serve/snapshot.h"
+#include "serve/stats.h"
+#include "serve/types.h"
+#include "util/table.h"
+
+namespace rafiki::core {
+class OnlineTuner;
+}
+
+namespace rafiki::serve {
+
+/// Completion callback for try_submit. Invoked exactly once, from a worker
+/// thread (or from stop()'s drain when no worker ever ran).
+using ResponseCallback = std::function<void(Response)>;
+
+class TuningBackend {
+ public:
+  virtual ~TuningBackend() = default;
+
+  /// Atomically publishes a new model version (stamping a monotonically
+  /// increasing version number) and returns it. In-flight requests keep the
+  /// snapshot they already resolved; new requests see this one. Safe to call
+  /// from any thread, including while serving.
+  virtual std::uint64_t publish(ModelSnapshot snapshot) = 0;
+  /// Currently published snapshot (null before the first publish).
+  virtual std::shared_ptr<const ModelSnapshot> snapshot() const = 0;
+  virtual std::uint64_t model_version() const = 0;
+
+  /// Enables the ObserveWindow endpoint by wiring the tuner (which must
+  /// outlive this backend) to the background retrain machinery and the
+  /// snapshot registry. Call before start().
+  virtual void attach_tuner(core::OnlineTuner& tuner) = 0;
+
+  /// Asynchronous submission. Admission control resolves immediately: the
+  /// returned future is already satisfied with Overloaded / ShuttingDown
+  /// when the request was not admitted.
+  virtual std::future<Response> submit(Request request) = 0;
+  /// Callback-style submission for event-loop callers (the net::Server) that
+  /// must not block on a future. Returns kOk when the request was admitted —
+  /// `done` then fires exactly once with the response — or the admission
+  /// verdict (Overloaded / ShuttingDown), in which case `done` is never
+  /// invoked and the caller answers inline.
+  virtual Status try_submit(Request request, ResponseCallback done) = 0;
+
+  virtual void start() = 0;
+  virtual void stop() = 0;
+
+  /// Telemetry sink for wire-level front-ends. For a sharded backend this is
+  /// the router-level stats object (wire telemetry is per-process, not
+  /// per-shard); request-path counters live in the shards and are merged by
+  /// stats_table(). ServiceStats is internally synchronized and lock-free on
+  /// the record path.
+  virtual ServiceStats& stats() noexcept = 0;
+  virtual const ServiceStats& stats() const noexcept = 0;
+  /// Per-endpoint summary table; merge-on-read across shards for a sharded
+  /// backend, identical layout either way.
+  virtual Table stats_table() const = 0;
+
+  /// Numeric merged telemetry (benches and gates read these; for a sharded
+  /// backend they fold every shard's striped stats on each call).
+  virtual ServiceStats::Counters endpoint_counters(Endpoint endpoint) const = 0;
+  virtual ServiceStats::RetrainCounters retrain_counters() const = 0;
+  virtual double endpoint_latency_quantile(Endpoint endpoint, double q) const = 0;
+  virtual double mean_batch_size() const = 0;
+  virtual double mean_retrain_latency_us() const = 0;
+
+  /// Blocks until background retrain work is idle — the barrier tests and
+  /// benches use to observe the post-republish state.
+  virtual void wait_retrain_idle() = 0;
+
+  /// Synchronous convenience wrapper: submit + wait.
+  Response call(const Request& request) { return submit(request).get(); }
+};
+
+}  // namespace rafiki::serve

@@ -62,6 +62,13 @@ void TuningService::attach_tuner(core::OnlineTuner& tuner) {
   tuner_.store(&tuner, std::memory_order_release);
 }
 
+void TuningService::bind_tuner(core::OnlineTuner& tuner) {
+  // Pointer only — the tuner's single-slot hooks stay untouched so a router
+  // that shares one tuner across shards can own them (attach_tuner here
+  // would make last-attached-shard win and drop everyone else's republish).
+  tuner_.store(&tuner, std::memory_order_release);
+}
+
 void TuningService::publish_tuned(int bucket, const engine::Config& config,
                                   double predicted) {
   // Copy-on-write republication: the tuned-config table rides inside the
@@ -125,8 +132,6 @@ Status TuningService::try_submit(Request request, ResponseCallback done) {
   return admit(std::move(job));
 }
 
-Response TuningService::call(const Request& request) { return submit(request).get(); }
-
 void TuningService::start() {
   std::lock_guard<std::mutex> lock(lifecycle_mutex_);
   if (started_ || stopped_) return;
@@ -182,6 +187,11 @@ void TuningService::worker_loop() {
     while (batch.size() < options_.max_batch) {
       auto next = queue_.try_pop();
       if (!next) {
+        // Adaptive flush: an empty queue means no co-arriving requests to
+        // coalesce — run what we have now rather than stalling everyone in
+        // the batch for the rest of the window (the 1-client/batch-32 case
+        // degraded to window-bound throughput before this).
+        if (options_.adaptive_batch) break;
         next = queue_.pop_until(flush_at);
         if (!next) break;  // window elapsed (or queue closed and drained)
       }

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "opt/ga.h"
+#include "serve/backend.h"
 #include "serve/queue.h"
 #include "serve/retrain.h"
 #include "serve/snapshot.h"
@@ -55,6 +56,13 @@ struct ServiceOptions {
   std::size_t max_batch = 32;
   /// ...or once this much real time has passed since the batch opened.
   std::chrono::microseconds batch_window{200};
+  /// Adaptive flush: run the batch as soon as the queue momentarily empties
+  /// instead of sleeping out the remainder of batch_window. Under load the
+  /// queue is never empty and batches still fill to max_batch; a lone client
+  /// gets queue-depth-1 latency instead of a mandatory window stall. Disable
+  /// to get the strict fill-or-time-out batcher (the injected-clock batch
+  /// tests use this mode).
+  bool adaptive_batch = true;
   /// Virtual clock for request deadlines. Deterministic by construction: the
   /// default never advances, so deadlines never expire unless a clock is
   /// injected (tests drive an atomic counter; a deployment would plug in a
@@ -72,23 +80,20 @@ struct ServiceOptions {
   bool drain_retrain_on_stop = false;
 };
 
-class TuningService {
+class TuningService : public TuningBackend {
  public:
   explicit TuningService(ServiceOptions options = {});
-  ~TuningService();
+  ~TuningService() override;
 
   TuningService(const TuningService&) = delete;
   TuningService& operator=(const TuningService&) = delete;
 
-  /// Atomically publishes a new model version (stamping a monotonically
-  /// increasing version number) and returns it. In-flight requests keep the
-  /// snapshot they already resolved; new requests see this one. Safe to call
-  /// from any thread, including while serving.
-  std::uint64_t publish(ModelSnapshot snapshot);
+  /// See TuningBackend::publish.
+  std::uint64_t publish(ModelSnapshot snapshot) override;
 
   /// Currently published snapshot (null before the first publish).
-  std::shared_ptr<const ModelSnapshot> snapshot() const { return registry_.get(); }
-  std::uint64_t model_version() const;
+  std::shared_ptr<const ModelSnapshot> snapshot() const override { return registry_.get(); }
+  std::uint64_t model_version() const override;
 
   /// Enables the ObserveWindow endpoint. The tuner (which must outlive this
   /// service) becomes stale-while-revalidate: its cache misses and
@@ -96,46 +101,59 @@ class TuningService {
   /// its publish hook is pointed at the snapshot registry, so every freshly
   /// optimized config is republished as a new snapshot version. Call before
   /// start().
-  void attach_tuner(core::OnlineTuner& tuner);
+  void attach_tuner(core::OnlineTuner& tuner) override;
 
-  /// Asynchronous submission. Admission control resolves immediately: the
-  /// returned future is already satisfied with Overloaded / ShuttingDown
-  /// when the request was not admitted.
-  std::future<Response> submit(Request request);
+  /// Shard-fleet variant of attach_tuner: makes the shared tuner visible to
+  /// this service's ObserveWindow path WITHOUT claiming the tuner's
+  /// single-slot publish / async-optimize hooks. The ShardedTuningService
+  /// installs fan-out hooks once at the router and then binds the tuner to
+  /// every shard through this.
+  void bind_tuner(core::OnlineTuner& tuner);
 
-  /// Completion callback for try_submit. Invoked exactly once, from a worker
-  /// thread (or from stop()'s drain when no worker ever ran).
-  using ResponseCallback = std::function<void(Response)>;
+  /// Directly enqueues a background retrain for `bucket` on this service's
+  /// RetrainWorker (the router's async-optimize fan-out target).
+  void enqueue_retrain(int bucket, double read_ratio) { retrain_.enqueue(bucket, read_ratio); }
 
-  /// Callback-style submission for event-loop callers (the net::Server) that
-  /// must not block on a future. Returns kOk when the request was admitted —
-  /// `done` then fires exactly once with the response — or the admission
-  /// verdict (Overloaded / ShuttingDown), in which case `done` is never
-  /// invoked and the caller answers inline.
-  Status try_submit(Request request, ResponseCallback done);
+  /// Publishes one tuned (bucket -> config) entry by copy-on-write
+  /// republication of the current snapshot. The single-service publish hook
+  /// and the sharded router's fan-out both land here.
+  void publish_tuned(int bucket, const engine::Config& config, double predicted);
 
-  /// Synchronous convenience wrapper: submit + wait.
-  Response call(const Request& request);
+  /// See TuningBackend::submit / try_submit.
+  std::future<Response> submit(Request request) override;
+  Status try_submit(Request request, ResponseCallback done) override;
 
   /// Spawns the worker pool (idempotent). Requests submitted before start()
   /// wait in the queue.
-  void start();
+  void start() override;
   /// Closes admission, drains the backlog, joins workers. Queued requests
   /// are still answered (drained by the workers, or failed with
   /// ShuttingDown if no worker ever ran). Idempotent.
-  void stop();
+  void stop() override;
 
-  const ServiceStats& stats() const noexcept { return stats_; }
+  const ServiceStats& stats() const noexcept override { return stats_; }
   /// Mutable stats handle for front-ends (the net::Server) that fold their
   /// wire-level telemetry into the same sink. ServiceStats is internally
-  /// synchronized.
-  ServiceStats& stats() noexcept { return stats_; }
+  /// synchronized (lock-free striped atomics).
+  ServiceStats& stats() noexcept override { return stats_; }
+  Table stats_table() const override { return stats_.table(); }
+  ServiceStats::Counters endpoint_counters(Endpoint endpoint) const override {
+    return stats_.counters(endpoint);
+  }
+  ServiceStats::RetrainCounters retrain_counters() const override {
+    return stats_.retrain_counters();
+  }
+  double endpoint_latency_quantile(Endpoint endpoint, double q) const override {
+    return stats_.latency_quantile(endpoint, q);
+  }
+  double mean_batch_size() const override { return stats_.mean_batch_size(); }
+  double mean_retrain_latency_us() const override { return stats_.mean_retrain_latency_us(); }
   std::size_t queue_depth() const { return queue_.size(); }
   /// Retrain tasks queued behind the background worker.
   std::size_t retrain_depth() const { return retrain_.depth(); }
   /// Blocks until the background retrain worker is idle — the barrier tests
   /// and benches use to observe the post-republish state.
-  void wait_retrain_idle() { retrain_.wait_idle(); }
+  void wait_retrain_idle() override { retrain_.wait_idle(); }
   const ServiceOptions& options() const noexcept { return options_; }
 
  private:
@@ -159,7 +177,6 @@ class TuningService {
     return request.deadline != kNoDeadline && now > request.deadline;
   }
   std::uint64_t publish_locked(ModelSnapshot snapshot);
-  void publish_tuned(int bucket, const engine::Config& config, double predicted);
 
   ServiceOptions options_;
   SnapshotRegistry registry_;

@@ -1,0 +1,243 @@
+#include "serve/shard.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/online.h"
+
+namespace rafiki::serve {
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+}  // namespace
+
+std::size_t ShardedTuningService::band_of(double read_ratio) noexcept {
+  const long scaled = std::lround(read_ratio * 100.0);
+  return static_cast<std::size_t>(
+      std::clamp<long>(scaled, 0, static_cast<long>(kBands - 1)));
+}
+
+std::uint64_t ShardedTuningService::band_fingerprint(std::size_t band) noexcept {
+  // splitmix64 finalizer: pure function of the band index, so the
+  // band->shard map is reproducible across restarts for a fixed shard count.
+  std::uint64_t z = static_cast<std::uint64_t>(band) + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+ShardedTuningService::ShardedTuningService(ShardOptions options)
+    : options_(std::move(options)), router_stats_(options_.service.stats) {
+  options_.shards = std::clamp<std::size_t>(options_.shards, 1, 128);
+  shards_.reserve(options_.shards);
+  for (std::size_t i = 0; i < options_.shards; ++i)
+    shards_.push_back(std::make_unique<TuningService>(options_.service));
+  for (std::size_t band = 0; band < kBands; ++band) {
+    route_[band].store(static_cast<std::uint8_t>(band_fingerprint(band) % options_.shards),
+                       kRelaxed);
+  }
+}
+
+ShardedTuningService::~ShardedTuningService() { stop(); }
+
+std::uint64_t ShardedTuningService::publish(ModelSnapshot snapshot) {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  std::uint64_t version = 0;
+  for (auto& shard : shards_) version = shard->publish(snapshot);
+  return version;
+}
+
+std::shared_ptr<const ModelSnapshot> ShardedTuningService::snapshot() const {
+  return shards_.front()->snapshot();
+}
+
+std::uint64_t ShardedTuningService::model_version() const {
+  return shards_.front()->model_version();
+}
+
+void ShardedTuningService::attach_tuner(core::OnlineTuner& tuner) {
+  // The tuner's hooks are single-slot, so the router — not any one shard —
+  // must own them and fan out.
+  tuner.set_publish_hook([this](int bucket, const core::Rafiki::OptimizeResult& result) {
+    std::lock_guard<std::mutex> lock(publish_mutex_);
+    for (auto& shard : shards_)
+      shard->publish_tuned(bucket, result.config, result.predicted_throughput);
+  });
+  tuner.set_async_optimize_hook([this](int bucket, double read_ratio) {
+    // Route the background optimization to the shard that owns the band, so
+    // its retrain coalescing map sees every request for its workloads. The
+    // tuner's bucket stays the coalescing key, exactly as unsharded.
+    shards_[shard_of(read_ratio)]->enqueue_retrain(bucket, read_ratio);
+  });
+  for (auto& shard : shards_) shard->bind_tuner(tuner);
+}
+
+std::size_t ShardedTuningService::shard_of_band(std::size_t band) const noexcept {
+  return route_[std::min(band, kBands - 1)].load(kRelaxed) % shards_.size();
+}
+
+std::size_t ShardedTuningService::shard_of(double read_ratio) const noexcept {
+  return shard_of_band(band_of(read_ratio));
+}
+
+void ShardedTuningService::route_band(std::size_t band, std::size_t shard_index) noexcept {
+  if (band >= kBands || shard_index >= shards_.size()) return;
+  route_[band].store(static_cast<std::uint8_t>(shard_index), kRelaxed);
+}
+
+Status ShardedTuningService::try_submit(Request request, ResponseCallback done) {
+  const std::size_t band = band_of(request.read_ratio);
+  band_hits_[band].fetch_add(1, kRelaxed);
+  const std::size_t home = shard_of_band(band);
+
+  // `done` is passed by copy per attempt: a failed admission consumes the
+  // callback it was handed, and the next shard needs a live one.
+  Status verdict = shards_[home]->try_submit(request, done);
+  if (verdict != Status::kOverloaded) return verdict;
+
+  const std::size_t tries = std::min(options_.spill_limit, shards_.size() - 1);
+  for (std::size_t i = 1; i <= tries; ++i) {
+    const std::size_t sibling = (home + i) % shards_.size();
+    verdict = shards_[sibling]->try_submit(request, done);
+    if (verdict == Status::kOk) {
+      spills_.fetch_add(1, kRelaxed);
+      return verdict;
+    }
+    if (verdict == Status::kShuttingDown) return verdict;
+  }
+  return verdict;
+}
+
+std::future<Response> ShardedTuningService::submit(Request request) {
+  auto promise = std::make_shared<std::promise<Response>>();
+  auto future = promise->get_future();
+  const Status admitted =
+      try_submit(request, [promise](Response response) { promise->set_value(std::move(response)); });
+  if (admitted != Status::kOk) {
+    Response response;
+    response.status = admitted;
+    promise->set_value(response);
+  }
+  return future;
+}
+
+void ShardedTuningService::start() {
+  for (auto& shard : shards_) shard->start();
+}
+
+void ShardedTuningService::stop() {
+  for (auto& shard : shards_) shard->stop();
+}
+
+void ShardedTuningService::wait_retrain_idle() {
+  for (auto& shard : shards_) shard->wait_retrain_idle();
+}
+
+bool ShardedTuningService::rebalance_hottest() {
+  std::lock_guard<std::mutex> lock(rebalance_mutex_);
+  const std::size_t n = shards_.size();
+  if (n < 2) return false;
+
+  // Shard load = routed hits of the bands it currently owns; also track each
+  // shard's hottest band so the migration victim falls out of the same scan.
+  std::vector<std::uint64_t> load(n, 0);
+  std::vector<std::size_t> hottest_band(n, kBands);
+  std::vector<std::uint64_t> hottest_hits(n, 0);
+  for (std::size_t band = 0; band < kBands; ++band) {
+    const std::size_t owner = shard_of_band(band);
+    const std::uint64_t hits = band_hits_[band].load(kRelaxed);
+    load[owner] += hits;
+    if (hits > hottest_hits[owner]) {
+      hottest_hits[owner] = hits;
+      hottest_band[owner] = band;
+    }
+  }
+
+  std::size_t most = 0;
+  std::size_t least = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (load[i] > load[most]) most = i;
+    if (load[i] < load[least]) least = i;
+  }
+  if (most == least || hottest_band[most] == kBands) return false;
+  // Greedy improvement check: migrate only if the receiver stays below the
+  // donor's current load, otherwise the move just swaps the hot spot.
+  const std::uint64_t moved = hottest_hits[most];
+  if (moved == 0 || load[least] + moved >= load[most]) return false;
+
+  route_[hottest_band[most]].store(static_cast<std::uint8_t>(least), kRelaxed);
+  rebalances_.fetch_add(1, kRelaxed);
+  return true;
+}
+
+ServiceStats::Counters ShardedTuningService::endpoint_counters(Endpoint endpoint) const {
+  ServiceStats::Counters sum;
+  for (const auto& shard : shards_) sum.merge(shard->stats().counters(endpoint));
+  return sum;
+}
+
+ServiceStats::Counters ShardedTuningService::merged_totals() const {
+  ServiceStats::Counters sum;
+  for (const auto& shard : shards_) sum.merge(shard->stats().totals());
+  return sum;
+}
+
+ServiceStats::RetrainCounters ShardedTuningService::retrain_counters() const {
+  ServiceStats::RetrainCounters sum;
+  for (const auto& shard : shards_) {
+    const auto per = shard->stats().retrain_counters();
+    sum.runs += per.runs;
+    sum.coalesced += per.coalesced;
+    sum.rejected += per.rejected;
+    sum.cancelled += per.cancelled;
+  }
+  return sum;
+}
+
+double ShardedTuningService::endpoint_latency_quantile(Endpoint endpoint, double q) const {
+  auto agg = router_stats_.endpoint_aggregate(endpoint);
+  for (const auto& shard : shards_) agg.merge(shard->stats().endpoint_aggregate(endpoint));
+  return agg.latency.quantile(q);
+}
+
+double ShardedTuningService::mean_batch_size() const {
+  // Weight each shard's mean by its batch count: total predicted rows over
+  // total batches, same definition as the single-service counter.
+  double rows = 0.0;
+  double batches = 0.0;
+  for (const auto& shard : shards_) {
+    const auto n = static_cast<double>(shard->stats().batches());
+    rows += shard->stats().mean_batch_size() * n;
+    batches += n;
+  }
+  return batches > 0.0 ? rows / batches : 0.0;
+}
+
+double ShardedTuningService::mean_retrain_latency_us() const {
+  double total = 0.0;
+  double runs = 0.0;
+  for (const auto& shard : shards_) {
+    const auto n = static_cast<double>(shard->stats().retrain_counters().runs);
+    total += shard->stats().mean_retrain_latency_us() * n;
+    runs += n;
+  }
+  return runs > 0.0 ? total / runs : 0.0;
+}
+
+Table ShardedTuningService::stats_table() const {
+  std::vector<ServiceStats::EndpointAggregate> aggs;
+  aggs.reserve(kEndpointCount);
+  for (std::size_t i = 0; i < kEndpointCount; ++i) {
+    const auto endpoint = static_cast<Endpoint>(i);
+    // The router stats object contributes the wire-side view (and zeros for
+    // the request-path counters it never records).
+    auto agg = router_stats_.endpoint_aggregate(endpoint);
+    for (const auto& shard : shards_) agg.merge(shard->stats().endpoint_aggregate(endpoint));
+    aggs.push_back(std::move(agg));
+  }
+  return ServiceStats::table_of(aggs);
+}
+
+}  // namespace rafiki::serve

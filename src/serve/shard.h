@@ -1,0 +1,168 @@
+// Sharded serving: a router that partitions the tuning service by workload
+// fingerprint, after the per-workload-signature tuning of Tuneful and the
+// paper's per-RR-bucket model cache.
+//
+//   client ──try_submit──▶ router ──band(rr)──▶ route table ──▶ shard k
+//                            │                     ▲                │
+//                            │  kOverloaded spill  │ rebalance      ├─ queue
+//                            └──▶ shard k+1 ...    │ (hot band      ├─ workers
+//                                                  │  migration)    ├─ batcher
+//                                                  └────────────────┴─ retrain
+//
+// Each shard is a full TuningService — its own bounded queue, worker pool,
+// micro-batcher, snapshot registry slot, and retrain coalescing map — so the
+// hot path shares NOTHING across shards: no common queue mutex, no common
+// stats lock (ServiceStats is itself striped), no common registry. Requests
+// are routed by a stable fingerprint of their read-ratio band (band =
+// percent bucket of the read ratio, the same quantization the tuner's model
+// cache uses), so one workload's traffic always lands on one shard and its
+// tuned-config republishes never contend with another's.
+//
+// Policies:
+//   * Spill — if the home shard's queue is full (kOverloaded), the router
+//     retries up to `spill_limit` sibling shards before giving up. Safe for
+//     every endpoint: Predict/Optimize are pure functions of the snapshot
+//     (identical on all shards; see publish), ObserveWindow goes through the
+//     single shared, internally-synchronized tuner.
+//   * Rebalance — per-band hit counters feed rebalance_hottest(), which
+//     migrates the hottest band of the most-loaded shard to the
+//     least-loaded one with a single atomic route-table store. In-flight
+//     requests finish on the shard that admitted them; nothing is dropped.
+//   * Publish fan-out — publish() and the tuner's tuned-config hook write
+//     the same snapshot/entry to every shard under one router mutex, so
+//     shard versions advance in lockstep and a spilled request reads the
+//     same model it would have read at home.
+//   * Stats merge-on-read — request-path telemetry stays in the shards'
+//     striped ServiceStats; stats_table() folds the per-endpoint aggregates
+//     of every shard (plus the router's wire-level stats object) into one
+//     table with the exact layout of the unsharded service.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "serve/backend.h"
+#include "serve/service.h"
+
+namespace rafiki::serve {
+
+struct ShardOptions {
+  /// Shard count; clamped to [1, 128]. Every shard gets a full copy of
+  /// `service` (queue, worker pool, batcher, retrain worker).
+  std::size_t shards = 4;
+  ServiceOptions service{};
+  /// On a home-shard Overloaded verdict, try up to this many sibling shards
+  /// (in route order) before reporting Overloaded to the caller. 0 disables
+  /// spilling.
+  std::size_t spill_limit = 1;
+};
+
+class ShardedTuningService : public TuningBackend {
+ public:
+  /// Read-ratio bands: percent buckets of rr in [0, 1] — the same
+  /// quantization as the tuner's per-bucket model cache, so one tuned
+  /// workload maps to exactly one band.
+  static constexpr std::size_t kBands = 101;
+
+  /// Percent band of a read ratio (clamped into [0, kBands)).
+  static std::size_t band_of(double read_ratio) noexcept;
+  /// Stable fingerprint of a band: a pure integer mix (splitmix64 finalizer)
+  /// of the band index — no pointers, no process state — so band->shard
+  /// assignment is identical across restarts and machines for a given shard
+  /// count.
+  static std::uint64_t band_fingerprint(std::size_t band) noexcept;
+
+  explicit ShardedTuningService(ShardOptions options = {});
+  ~ShardedTuningService() override;
+
+  ShardedTuningService(const ShardedTuningService&) = delete;
+  ShardedTuningService& operator=(const ShardedTuningService&) = delete;
+
+  /// Fans the snapshot out to every shard under one mutex; shard versions
+  /// advance in lockstep. Returns the (common) new version.
+  std::uint64_t publish(ModelSnapshot snapshot) override;
+  std::shared_ptr<const ModelSnapshot> snapshot() const override;
+  std::uint64_t model_version() const override;
+
+  /// Claims the shared tuner's single-slot hooks for the router: tuned
+  /// configs fan out to every shard's snapshot, async optimizations route to
+  /// the owning shard's RetrainWorker; every shard gets the tuner bound
+  /// (bind_tuner) for its ObserveWindow path.
+  void attach_tuner(core::OnlineTuner& tuner) override;
+
+  std::future<Response> submit(Request request) override;
+  Status try_submit(Request request, ResponseCallback done) override;
+
+  void start() override;
+  void stop() override;
+
+  /// Router-level stats: wire telemetry (net::Server records here) plus
+  /// nothing on the request path — request counters live in the shards.
+  ServiceStats& stats() noexcept override { return router_stats_; }
+  const ServiceStats& stats() const noexcept override { return router_stats_; }
+  /// Merge-on-read across all shards + the router stats object. Per-shard
+  /// admission verdicts are summed as-is, so a spilled request contributes
+  /// one Overloaded reject at home and one accept at the sibling; spills()
+  /// says how many rejects were absorbed that way.
+  Table stats_table() const override;
+
+  void wait_retrain_idle() override;
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  TuningService& shard(std::size_t index) { return *shards_[index]; }
+  const TuningService& shard(std::size_t index) const { return *shards_[index]; }
+  /// Current route of a read ratio / band (lock-free relaxed load).
+  std::size_t shard_of(double read_ratio) const noexcept;
+  std::size_t shard_of_band(std::size_t band) const noexcept;
+  /// Pins a band to a shard (tests, manual rebalance).
+  void route_band(std::size_t band, std::size_t shard_index) noexcept;
+
+  /// Migrates the hottest band of the most-loaded shard (by routed request
+  /// count) to the least-loaded shard. Returns false when there is nothing
+  /// to move (uniform load, single shard, or no traffic).
+  bool rebalance_hottest();
+
+  /// Requests absorbed by a sibling shard after a home-shard Overloaded.
+  std::uint64_t spills() const noexcept { return spills_.load(std::memory_order_relaxed); }
+  /// Successful rebalance_hottest() migrations.
+  std::uint64_t rebalances() const noexcept {
+    return rebalances_.load(std::memory_order_relaxed);
+  }
+
+  /// Cross-shard merged views (sum over shards; see stats_table caveat on
+  /// spill double-counting of admission verdicts).
+  ServiceStats::Counters endpoint_counters(Endpoint endpoint) const override;
+  ServiceStats::Counters merged_totals() const;
+  ServiceStats::RetrainCounters retrain_counters() const override;
+  double endpoint_latency_quantile(Endpoint endpoint, double q) const override;
+  /// Request-weighted mean micro-batch size across shards.
+  double mean_batch_size() const override;
+  /// Run-weighted mean background-retrain latency across shards.
+  double mean_retrain_latency_us() const override;
+
+  const ShardOptions& options() const noexcept { return options_; }
+
+ private:
+  ShardOptions options_;
+  std::vector<std::unique_ptr<TuningService>> shards_;
+  /// band -> shard index. uint8 caps shards at 128 (clamped in the ctor);
+  /// reads are relaxed atomic loads on the submit path, writes only from
+  /// route_band / rebalance_hottest.
+  std::array<std::atomic<std::uint8_t>, kBands> route_{};
+  /// Per-band routed-request counters (relaxed); rebalance input.
+  std::array<std::atomic<std::uint64_t>, kBands> band_hits_{};
+  ServiceStats router_stats_;
+  std::atomic<std::uint64_t> spills_{0};
+  std::atomic<std::uint64_t> rebalances_{0};
+  /// Serializes fan-out publishes so all shards see the same snapshot
+  /// sequence (and therefore mint identical version numbers).
+  std::mutex publish_mutex_;
+  /// Serializes route-table rewrites (reads stay lock-free).
+  std::mutex rebalance_mutex_;
+};
+
+}  // namespace rafiki::serve

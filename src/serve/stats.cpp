@@ -4,6 +4,28 @@
 
 namespace rafiki::serve {
 
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+/// Stripe slot for the calling thread. Slots are handed out by an atomic
+/// ticket counter on first use (NOT by hashing the thread id, which the
+/// determinism lint bans); masked by the stripe count, so with stripes >=
+/// worker-pool size each worker effectively owns a slab.
+std::size_t thread_slot() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot = next.fetch_add(1, kRelaxed);
+  return slot;
+}
+
+std::size_t pow2_at_least(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
 const char* endpoint_name(Endpoint endpoint) noexcept {
   switch (endpoint) {
     case Endpoint::kPredict:
@@ -32,285 +54,441 @@ const char* status_name(Status status) noexcept {
   return "?";
 }
 
-ServiceStats::ServiceStats(StatsOptions options)
-    : options_(options),
-      batch_hist_(1.0, static_cast<double>(options.max_batch) + 1.0,
-                  std::max<std::size_t>(options.max_batch, 1)),
-      retrain_hist_(0.0, options.retrain_hi_us, std::max<std::size_t>(options.retrain_bins, 1)) {
-  per_endpoint_.reserve(kEndpointCount);
-  for (std::size_t i = 0; i < kEndpointCount; ++i) per_endpoint_.emplace_back(options_);
-}
+// --- AtomicHist -------------------------------------------------------------
 
-void ServiceStats::record_accept(Endpoint endpoint, std::size_t queue_depth) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++per_endpoint_[static_cast<std::size_t>(endpoint)].counters.accepted;
-  depth_stats_.add(static_cast<double>(queue_depth));
-}
+ServiceStats::AtomicHist::AtomicHist(double lo_in, double hi_in, std::size_t n)
+    : lo(lo_in),
+      hi(hi_in),
+      width((hi_in - lo_in) / static_cast<double>(n ? n : 1)),
+      bins(n ? n : 1) {}
 
-void ServiceStats::record_reject(Endpoint endpoint, Status reason) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto& counters = per_endpoint_[static_cast<std::size_t>(endpoint)].counters;
-  if (reason == Status::kShuttingDown) {
-    ++counters.rejected_shutdown;
+void ServiceStats::AtomicHist::add(double x) noexcept {
+  // Same clamping rule as util/Histogram::add so the merged view is
+  // bin-for-bin identical to what the old single histogram recorded.
+  std::size_t bin;
+  if (x < lo) {
+    bin = 0;
+  } else if (x >= hi) {
+    bin = bins.size() - 1;
   } else {
-    ++counters.rejected_overload;
+    bin = static_cast<std::size_t>((x - lo) / width);
+    bin = std::min(bin, bins.size() - 1);
+  }
+  bins[bin].fetch_add(1, kRelaxed);
+}
+
+void ServiceStats::AtomicHist::merge_into(Histogram& out) const noexcept {
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    const std::uint64_t n = bins[i].load(kRelaxed);
+    if (n == 0) continue;
+    // Bin midpoint lands back in bin i of any histogram with the same
+    // [lo, hi)/bin-count layout.
+    out.add_binned(lo + (static_cast<double>(i) + 0.5) * width,
+                   static_cast<std::size_t>(n));
   }
 }
 
+// --- stripe construction ----------------------------------------------------
+
+ServiceStats::EndpointStripe::EndpointStripe(const StatsOptions& options)
+    : latency(0.0, options.latency_hi_us, std::max<std::size_t>(options.latency_bins, 1)),
+      wire_latency(0.0, options.latency_hi_us,
+                   std::max<std::size_t>(options.latency_bins, 1)) {}
+
+ServiceStats::Stripe::Stripe(const StatsOptions& options)
+    : batch_hist(1.0, static_cast<double>(options.max_batch) + 1.0,
+                 std::max<std::size_t>(options.max_batch, 1)) {
+  per_endpoint.reserve(kEndpointCount);
+  for (std::size_t i = 0; i < kEndpointCount; ++i)
+    per_endpoint.push_back(std::make_unique<EndpointStripe>(options));
+}
+
+ServiceStats::ServiceStats(StatsOptions options)
+    : options_(options),
+      retrain_hist_(0.0, options.retrain_hi_us,
+                    std::max<std::size_t>(options.retrain_bins, 1)) {
+  const std::size_t n = pow2_at_least(std::max<std::size_t>(options_.stripes, 1));
+  stripe_mask_ = n - 1;
+  stripes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) stripes_.push_back(std::make_unique<Stripe>(options_));
+}
+
+ServiceStats::Stripe& ServiceStats::stripe() noexcept {
+  return *stripes_[thread_slot() & stripe_mask_];
+}
+
+// --- record path (relaxed atomics only; no locks) ---------------------------
+
+void ServiceStats::record_accept(Endpoint endpoint, std::size_t queue_depth) {
+  Stripe& s = stripe();
+  s.per_endpoint[static_cast<std::size_t>(endpoint)]->counters[kIdxAccepted].fetch_add(
+      1, kRelaxed);
+  s.depth_stats.add(static_cast<double>(queue_depth));
+}
+
+void ServiceStats::record_reject(Endpoint endpoint, Status reason) {
+  auto& per = endpoint_stripe(endpoint);
+  const std::size_t idx =
+      reason == Status::kShuttingDown ? kIdxRejShutdown : kIdxRejOverload;
+  per.counters[idx].fetch_add(1, kRelaxed);
+}
+
 void ServiceStats::record_done(Endpoint endpoint, Status status, double latency_us) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto& per = per_endpoint_[static_cast<std::size_t>(endpoint)];
-  ++per.counters.completed;
+  auto& per = endpoint_stripe(endpoint);
+  per.counters[kIdxCompleted].fetch_add(1, kRelaxed);
+  std::size_t idx = kIdxFailedOverload;
   switch (status) {
     case Status::kOk:
-      ++per.counters.ok;
+      idx = kIdxOk;
       break;
     case Status::kDeadlineExceeded:
-      ++per.counters.rejected_deadline;
+      idx = kIdxRejDeadline;
       break;
     case Status::kNotReady:
-      ++per.counters.not_ready;
+      idx = kIdxNotReady;
       break;
     // These two were *accepted* and only failed afterwards (e.g. drained
     // with kShuttingDown by stop()); they must not pollute the
     // admission-reject counters that record_reject owns.
     case Status::kShuttingDown:
-      ++per.counters.failed_shutdown;
+      idx = kIdxFailedShutdown;
       break;
     case Status::kOverloaded:
-      ++per.counters.failed_overload;
+      idx = kIdxFailedOverload;
       break;
   }
+  per.counters[idx].fetch_add(1, kRelaxed);
   per.latency.add(latency_us);
   per.latency_stats.add(latency_us);
 }
 
 void ServiceStats::record_stale(Endpoint endpoint) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++per_endpoint_[static_cast<std::size_t>(endpoint)].counters.stale;
+  endpoint_stripe(endpoint).counters[kIdxStale].fetch_add(1, kRelaxed);
+}
+
+void ServiceStats::record_batch(std::size_t batch_size) {
+  Stripe& s = stripe();
+  s.batches.fetch_add(1, kRelaxed);
+  s.batch_hist.add(static_cast<double>(batch_size));
+  s.batch_stats.add(static_cast<double>(batch_size));
+}
+
+void ServiceStats::record_connection_open() {
+  stripe().wire[kIdxConnOpen].fetch_add(1, kRelaxed);
+}
+
+void ServiceStats::record_connection_close() {
+  stripe().wire[kIdxConnClosed].fetch_add(1, kRelaxed);
+}
+
+void ServiceStats::record_wire_read(std::size_t bytes) {
+  stripe().wire[kIdxBytesIn].fetch_add(bytes, kRelaxed);
+}
+
+void ServiceStats::record_wire_write(std::size_t bytes) {
+  stripe().wire[kIdxBytesOut].fetch_add(bytes, kRelaxed);
+}
+
+void ServiceStats::record_frame_in() { stripe().wire[kIdxFramesIn].fetch_add(1, kRelaxed); }
+
+void ServiceStats::record_frame_out() { stripe().wire[kIdxFramesOut].fetch_add(1, kRelaxed); }
+
+void ServiceStats::record_decode_error() {
+  stripe().wire[kIdxDecodeErr].fetch_add(1, kRelaxed);
+}
+
+void ServiceStats::record_error_frame() {
+  stripe().wire[kIdxErrFrames].fetch_add(1, kRelaxed);
+}
+
+void ServiceStats::record_wire_latency(Endpoint endpoint, double latency_us) {
+  auto& per = endpoint_stripe(endpoint);
+  per.wire_latency.add(latency_us);
+  per.wire_stats.add(latency_us);
 }
 
 void ServiceStats::record_retrain(double latency_us) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++retrain_.runs;
+  retrain_counters_[0].fetch_add(1, kRelaxed);
   retrain_hist_.add(latency_us);
   retrain_stats_.add(latency_us);
 }
 
 void ServiceStats::record_retrain_enqueue(std::size_t queue_depth) {
-  std::lock_guard<std::mutex> lock(mutex_);
   retrain_depth_stats_.add(static_cast<double>(queue_depth));
 }
 
 void ServiceStats::record_retrain_coalesced() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++retrain_.coalesced;
+  retrain_counters_[1].fetch_add(1, kRelaxed);
 }
 
 void ServiceStats::record_retrain_rejected() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++retrain_.rejected;
+  retrain_counters_[2].fetch_add(1, kRelaxed);
 }
 
 void ServiceStats::record_retrain_cancelled(std::uint64_t count) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  retrain_.cancelled += count;
+  retrain_counters_[3].fetch_add(count, kRelaxed);
 }
 
-void ServiceStats::record_batch(std::size_t batch_size) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++batches_;
-  batch_hist_.add(static_cast<double>(batch_size));
-  batch_stats_.add(static_cast<double>(batch_size));
+// --- read path (merge-on-read over stripes) ---------------------------------
+
+void ServiceStats::Counters::merge(const Counters& other) noexcept {
+  accepted += other.accepted;
+  completed += other.completed;
+  ok += other.ok;
+  rejected_overload += other.rejected_overload;
+  rejected_deadline += other.rejected_deadline;
+  not_ready += other.not_ready;
+  rejected_shutdown += other.rejected_shutdown;
+  failed_shutdown += other.failed_shutdown;
+  failed_overload += other.failed_overload;
+  stale += other.stale;
+}
+
+std::uint64_t ServiceStats::sum_counter(Endpoint endpoint, std::size_t idx) const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& s : stripes_)
+    sum += s->per_endpoint[static_cast<std::size_t>(endpoint)]->counters[idx].load(kRelaxed);
+  return sum;
+}
+
+void ServiceStats::fill_counters(Endpoint endpoint, Counters& out) const noexcept {
+  out.accepted = sum_counter(endpoint, kIdxAccepted);
+  out.completed = sum_counter(endpoint, kIdxCompleted);
+  out.ok = sum_counter(endpoint, kIdxOk);
+  out.rejected_overload = sum_counter(endpoint, kIdxRejOverload);
+  out.rejected_deadline = sum_counter(endpoint, kIdxRejDeadline);
+  out.not_ready = sum_counter(endpoint, kIdxNotReady);
+  out.rejected_shutdown = sum_counter(endpoint, kIdxRejShutdown);
+  out.failed_shutdown = sum_counter(endpoint, kIdxFailedShutdown);
+  out.failed_overload = sum_counter(endpoint, kIdxFailedOverload);
+  out.stale = sum_counter(endpoint, kIdxStale);
 }
 
 ServiceStats::Counters ServiceStats::counters(Endpoint endpoint) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return per_endpoint_[static_cast<std::size_t>(endpoint)].counters;
+  Counters out;
+  fill_counters(endpoint, out);
+  return out;
 }
 
 ServiceStats::Counters ServiceStats::totals() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   Counters sum;
-  for (const auto& per : per_endpoint_) {
-    sum.accepted += per.counters.accepted;
-    sum.completed += per.counters.completed;
-    sum.ok += per.counters.ok;
-    sum.rejected_overload += per.counters.rejected_overload;
-    sum.rejected_deadline += per.counters.rejected_deadline;
-    sum.not_ready += per.counters.not_ready;
-    sum.rejected_shutdown += per.counters.rejected_shutdown;
-    sum.failed_shutdown += per.counters.failed_shutdown;
-    sum.failed_overload += per.counters.failed_overload;
-    sum.stale += per.counters.stale;
+  for (std::size_t i = 0; i < kEndpointCount; ++i) {
+    Counters per;
+    fill_counters(static_cast<Endpoint>(i), per);
+    sum.merge(per);
   }
   return sum;
 }
 
+ServiceStats::EndpointAggregate::EndpointAggregate(const StatsOptions& options)
+    : latency(0.0, options.latency_hi_us, std::max<std::size_t>(options.latency_bins, 1)),
+      wire_latency(0.0, options.latency_hi_us,
+                   std::max<std::size_t>(options.latency_bins, 1)) {}
+
+double ServiceStats::EndpointAggregate::mean_latency_us() const noexcept {
+  return latency_count ? latency_sum / static_cast<double>(latency_count) : 0.0;
+}
+
+void ServiceStats::EndpointAggregate::merge(const EndpointAggregate& other) noexcept {
+  counters.merge(other.counters);
+  latency.merge(other.latency);
+  wire_latency.merge(other.wire_latency);
+  latency_count += other.latency_count;
+  latency_sum += other.latency_sum;
+  wire_count += other.wire_count;
+  wire_sum += other.wire_sum;
+}
+
+ServiceStats::EndpointAggregate ServiceStats::endpoint_aggregate(Endpoint endpoint) const {
+  EndpointAggregate agg(options_);
+  fill_counters(endpoint, agg.counters);
+  for (const auto& s : stripes_) {
+    const auto& per = *s->per_endpoint[static_cast<std::size_t>(endpoint)];
+    per.latency.merge_into(agg.latency);
+    per.wire_latency.merge_into(agg.wire_latency);
+    agg.latency_count += per.latency_stats.n.load(kRelaxed);
+    agg.latency_sum += per.latency_stats.sum.load(kRelaxed);
+    agg.wire_count += per.wire_stats.n.load(kRelaxed);
+    agg.wire_sum += per.wire_stats.sum.load(kRelaxed);
+  }
+  return agg;
+}
+
 ServiceStats::RetrainCounters ServiceStats::retrain_counters() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return retrain_;
+  RetrainCounters out;
+  out.runs = retrain_counters_[0].load(kRelaxed);
+  out.coalesced = retrain_counters_[1].load(kRelaxed);
+  out.rejected = retrain_counters_[2].load(kRelaxed);
+  out.cancelled = retrain_counters_[3].load(kRelaxed);
+  return out;
 }
 
-double ServiceStats::retrain_latency_quantile(double q) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return retrain_hist_.quantile(q);
-}
-
-double ServiceStats::mean_retrain_latency_us() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return retrain_stats_.mean();
-}
-
-double ServiceStats::mean_retrain_depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return retrain_depth_stats_.mean();
-}
-
-double ServiceStats::max_retrain_depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return retrain_depth_stats_.count() ? retrain_depth_stats_.max() : 0.0;
+ServiceStats::WireCounters ServiceStats::wire_counters() const {
+  WireCounters out;
+  for (const auto& s : stripes_) {
+    out.connections_accepted += s->wire[kIdxConnOpen].load(kRelaxed);
+    out.connections_closed += s->wire[kIdxConnClosed].load(kRelaxed);
+    out.frames_in += s->wire[kIdxFramesIn].load(kRelaxed);
+    out.frames_out += s->wire[kIdxFramesOut].load(kRelaxed);
+    out.decode_errors += s->wire[kIdxDecodeErr].load(kRelaxed);
+    out.error_frames_sent += s->wire[kIdxErrFrames].load(kRelaxed);
+    out.bytes_in += s->wire[kIdxBytesIn].load(kRelaxed);
+    out.bytes_out += s->wire[kIdxBytesOut].load(kRelaxed);
+  }
+  return out;
 }
 
 double ServiceStats::latency_quantile(Endpoint endpoint, double q) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return per_endpoint_[static_cast<std::size_t>(endpoint)].latency.quantile(q);
+  Histogram merged(0.0, options_.latency_hi_us,
+                   std::max<std::size_t>(options_.latency_bins, 1));
+  for (const auto& s : stripes_)
+    s->per_endpoint[static_cast<std::size_t>(endpoint)]->latency.merge_into(merged);
+  return merged.quantile(q);
 }
 
 double ServiceStats::mean_latency_us(Endpoint endpoint) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return per_endpoint_[static_cast<std::size_t>(endpoint)].latency_stats.mean();
+  std::uint64_t n = 0;
+  double sum = 0.0;
+  for (const auto& s : stripes_) {
+    const auto& acc = s->per_endpoint[static_cast<std::size_t>(endpoint)]->latency_stats;
+    n += acc.n.load(kRelaxed);
+    sum += acc.sum.load(kRelaxed);
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double ServiceStats::wire_latency_quantile(Endpoint endpoint, double q) const {
+  Histogram merged(0.0, options_.latency_hi_us,
+                   std::max<std::size_t>(options_.latency_bins, 1));
+  for (const auto& s : stripes_)
+    s->per_endpoint[static_cast<std::size_t>(endpoint)]->wire_latency.merge_into(merged);
+  return merged.quantile(q);
+}
+
+double ServiceStats::mean_wire_latency_us(Endpoint endpoint) const {
+  std::uint64_t n = 0;
+  double sum = 0.0;
+  for (const auto& s : stripes_) {
+    const auto& acc = s->per_endpoint[static_cast<std::size_t>(endpoint)]->wire_stats;
+    n += acc.n.load(kRelaxed);
+    sum += acc.sum.load(kRelaxed);
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double ServiceStats::retrain_latency_quantile(double q) const {
+  Histogram merged(0.0, options_.retrain_hi_us,
+                   std::max<std::size_t>(options_.retrain_bins, 1));
+  retrain_hist_.merge_into(merged);
+  return merged.quantile(q);
+}
+
+double ServiceStats::mean_retrain_latency_us() const {
+  const std::uint64_t n = retrain_stats_.n.load(kRelaxed);
+  return n ? retrain_stats_.sum.load(kRelaxed) / static_cast<double>(n) : 0.0;
+}
+
+double ServiceStats::mean_retrain_depth() const {
+  const std::uint64_t n = retrain_depth_stats_.n.load(kRelaxed);
+  return n ? retrain_depth_stats_.sum.load(kRelaxed) / static_cast<double>(n) : 0.0;
+}
+
+double ServiceStats::max_retrain_depth() const {
+  return retrain_depth_stats_.n.load(kRelaxed) ? retrain_depth_stats_.max.load(kRelaxed)
+                                               : 0.0;
 }
 
 double ServiceStats::mean_batch_size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return batch_stats_.mean();
+  std::uint64_t n = 0;
+  double sum = 0.0;
+  for (const auto& s : stripes_) {
+    n += s->batch_stats.n.load(kRelaxed);
+    sum += s->batch_stats.sum.load(kRelaxed);
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
 }
 
 double ServiceStats::max_batch_size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return batch_stats_.count() ? batch_stats_.max() : 0.0;
+  double mx = 0.0;
+  for (const auto& s : stripes_)
+    if (s->batch_stats.n.load(kRelaxed)) mx = std::max(mx, s->batch_stats.max.load(kRelaxed));
+  return mx;
 }
 
 double ServiceStats::batch_quantile(double q) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return batch_hist_.quantile(q);
+  Histogram merged(1.0, static_cast<double>(options_.max_batch) + 1.0,
+                   std::max<std::size_t>(options_.max_batch, 1));
+  for (const auto& s : stripes_) s->batch_hist.merge_into(merged);
+  return merged.quantile(q);
 }
 
 double ServiceStats::mean_queue_depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return depth_stats_.mean();
+  std::uint64_t n = 0;
+  double sum = 0.0;
+  for (const auto& s : stripes_) {
+    n += s->depth_stats.n.load(kRelaxed);
+    sum += s->depth_stats.sum.load(kRelaxed);
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
 }
 
 double ServiceStats::max_queue_depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return depth_stats_.count() ? depth_stats_.max() : 0.0;
+  double mx = 0.0;
+  for (const auto& s : stripes_)
+    if (s->depth_stats.n.load(kRelaxed)) mx = std::max(mx, s->depth_stats.max.load(kRelaxed));
+  return mx;
 }
 
 std::uint64_t ServiceStats::batches() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return batches_;
+  std::uint64_t sum = 0;
+  for (const auto& s : stripes_) sum += s->batches.load(kRelaxed);
+  return sum;
 }
 
-Table ServiceStats::table() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+Table ServiceStats::table_of(std::span<const EndpointAggregate> per_endpoint) {
   Table table({"endpoint", "accepted", "ok", "stale", "overloaded", "deadline",
                "not ready", "failed", "p50 us", "p99 us", "mean us"});
-  for (std::size_t i = 0; i < per_endpoint_.size(); ++i) {
-    const auto& per = per_endpoint_[i];
+  for (std::size_t i = 0; i < per_endpoint.size(); ++i) {
+    const auto& agg = per_endpoint[i];
     table.add_row({endpoint_name(static_cast<Endpoint>(i)),
-                   std::to_string(per.counters.accepted), std::to_string(per.counters.ok),
-                   std::to_string(per.counters.stale),
-                   std::to_string(per.counters.rejected_overload),
-                   std::to_string(per.counters.rejected_deadline),
-                   std::to_string(per.counters.not_ready),
-                   std::to_string(per.counters.failed_shutdown +
-                                  per.counters.failed_overload),
-                   Table::num(per.latency.quantile(0.5), 1),
-                   Table::num(per.latency.quantile(0.99), 1),
-                   Table::num(per.latency_stats.mean(), 1)});
+                   std::to_string(agg.counters.accepted), std::to_string(agg.counters.ok),
+                   std::to_string(agg.counters.stale),
+                   std::to_string(agg.counters.rejected_overload),
+                   std::to_string(agg.counters.rejected_deadline),
+                   std::to_string(agg.counters.not_ready),
+                   std::to_string(agg.counters.failed_shutdown +
+                                  agg.counters.failed_overload),
+                   Table::num(agg.latency.quantile(0.5), 1),
+                   Table::num(agg.latency.quantile(0.99), 1),
+                   Table::num(agg.mean_latency_us(), 1)});
   }
   return table;
 }
 
-void ServiceStats::record_connection_open() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++wire_.connections_accepted;
-}
-
-void ServiceStats::record_connection_close() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++wire_.connections_closed;
-}
-
-void ServiceStats::record_wire_read(std::size_t bytes) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  wire_.bytes_in += bytes;
-}
-
-void ServiceStats::record_wire_write(std::size_t bytes) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  wire_.bytes_out += bytes;
-}
-
-void ServiceStats::record_frame_in() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++wire_.frames_in;
-}
-
-void ServiceStats::record_frame_out() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++wire_.frames_out;
-}
-
-void ServiceStats::record_decode_error() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++wire_.decode_errors;
-}
-
-void ServiceStats::record_error_frame() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++wire_.error_frames_sent;
-}
-
-void ServiceStats::record_wire_latency(Endpoint endpoint, double latency_us) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto& per = per_endpoint_[static_cast<std::size_t>(endpoint)];
-  per.wire_latency.add(latency_us);
-  per.wire_latency_stats.add(latency_us);
-}
-
-ServiceStats::WireCounters ServiceStats::wire_counters() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return wire_;
-}
-
-double ServiceStats::wire_latency_quantile(Endpoint endpoint, double q) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return per_endpoint_[static_cast<std::size_t>(endpoint)].wire_latency.quantile(q);
-}
-
-double ServiceStats::mean_wire_latency_us(Endpoint endpoint) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return per_endpoint_[static_cast<std::size_t>(endpoint)].wire_latency_stats.mean();
+Table ServiceStats::table() const {
+  std::vector<EndpointAggregate> aggs;
+  aggs.reserve(kEndpointCount);
+  for (std::size_t i = 0; i < kEndpointCount; ++i)
+    aggs.push_back(endpoint_aggregate(static_cast<Endpoint>(i)));
+  return table_of(aggs);
 }
 
 Table ServiceStats::wire_table() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const WireCounters wire = wire_counters();
   Table table({"metric", "value"});
-  table.add_row({"connections accepted", std::to_string(wire_.connections_accepted)});
-  table.add_row({"connections active", std::to_string(wire_.active())});
-  table.add_row({"frames in", std::to_string(wire_.frames_in)});
-  table.add_row({"frames out", std::to_string(wire_.frames_out)});
-  table.add_row({"decode errors", std::to_string(wire_.decode_errors)});
-  table.add_row({"error frames sent", std::to_string(wire_.error_frames_sent)});
-  table.add_row({"bytes in", std::to_string(wire_.bytes_in)});
-  table.add_row({"bytes out", std::to_string(wire_.bytes_out)});
-  for (std::size_t i = 0; i < per_endpoint_.size(); ++i) {
-    const auto& per = per_endpoint_[i];
-    const std::string name = endpoint_name(static_cast<Endpoint>(i));
-    table.add_row({name + " wire p50 us", Table::num(per.wire_latency.quantile(0.5), 1)});
-    table.add_row({name + " wire p99 us", Table::num(per.wire_latency.quantile(0.99), 1)});
+  table.add_row({"connections accepted", std::to_string(wire.connections_accepted)});
+  table.add_row({"connections active", std::to_string(wire.active())});
+  table.add_row({"frames in", std::to_string(wire.frames_in)});
+  table.add_row({"frames out", std::to_string(wire.frames_out)});
+  table.add_row({"decode errors", std::to_string(wire.decode_errors)});
+  table.add_row({"error frames sent", std::to_string(wire.error_frames_sent)});
+  table.add_row({"bytes in", std::to_string(wire.bytes_in)});
+  table.add_row({"bytes out", std::to_string(wire.bytes_out)});
+  for (std::size_t i = 0; i < kEndpointCount; ++i) {
+    const auto endpoint = static_cast<Endpoint>(i);
+    const std::string name = endpoint_name(endpoint);
+    table.add_row({name + " wire p50 us", Table::num(wire_latency_quantile(endpoint, 0.5), 1)});
+    table.add_row({name + " wire p99 us", Table::num(wire_latency_quantile(endpoint, 0.99), 1)});
   }
   return table;
 }

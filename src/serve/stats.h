@@ -1,18 +1,40 @@
 // Thread-safe service telemetry: per-endpoint latency histograms (reusing
-// util/histogram for the p50/p99 quantiles), admission/rejection/QPS
-// counters, queue-depth samples, and the micro-batcher's batch-size
+// util/histogram bin layout for the p50/p99 quantiles), admission/rejection/
+// QPS counters, queue-depth samples, and the micro-batcher's batch-size
 // distribution. Dumpable through the repo's standard ASCII-table/CSV
 // renderer. Latencies are wall-clock measurements and reporting-only: no
 // request result depends on them.
+//
+// The record path is lock-free by construction. Writers land on one of a
+// small number of *stripes* — slabs of relaxed atomics selected by a
+// per-thread slot — so concurrent workers never contend on a mutex (the
+// pre-stripe design serialized every record_* call on one lock, which showed
+// up as the flat 1→8-client scaling curve in BENCH_serve.json). Readers
+// aggregate across stripes on demand (merge-on-read).
+//
+// Memory-ordering contract:
+//   * Every record_* increment is a relaxed atomic RMW; every read-side
+//     aggregation is a relaxed load. Individual counters are never torn and
+//     never lost.
+//   * No ordering is promised BETWEEN counters: a reader racing a writer may
+//     observe `completed` ahead of `accepted`, or a histogram total that
+//     lags its bins. Monotone per-counter, eventually consistent overall.
+//   * Exact totals (e.g. `accepted == completed` after drain) hold once the
+//     reader has a real happens-before edge over the writers — joining the
+//     worker pool (TuningService::stop) or any acquire/release handoff.
+//     Tests and benches read after stop()/join and therefore see exact
+//     values; live dashboards see a crossing-lag of at most a few ops.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <mutex>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "serve/types.h"
 #include "util/histogram.h"
-#include "util/stats.h"
 #include "util/table.h"
 
 namespace rafiki::serve {
@@ -28,11 +50,18 @@ struct StatsOptions {
   /// are orders of magnitude slower than request service.
   double retrain_hi_us = 5.0e6;
   std::size_t retrain_bins = 200;
+  /// Hot-path stripe count (rounded up to a power of two). Each recording
+  /// thread hashes to one stripe; more stripes = less false sharing at the
+  /// cost of read-time aggregation work. 8 covers typical worker pools.
+  std::size_t stripes = 8;
 };
 
 class ServiceStats {
  public:
   explicit ServiceStats(StatsOptions options = {});
+
+  ServiceStats(const ServiceStats&) = delete;
+  ServiceStats& operator=(const ServiceStats&) = delete;
 
   struct Counters {
     std::uint64_t accepted = 0;
@@ -56,6 +85,8 @@ class ServiceStats {
     /// cache-missed window answered with the previous config while a
     /// background optimization was pending.
     std::uint64_t stale = 0;
+
+    void merge(const Counters& other) noexcept;
   };
 
   /// Background-retrain telemetry (the RetrainWorker's counters).
@@ -82,6 +113,25 @@ class ServiceStats {
     std::uint64_t bytes_out = 0;
     /// Connections still open: accepted - closed.
     std::uint64_t active() const noexcept { return connections_accepted - connections_closed; }
+  };
+
+  /// Merge-on-read view of one endpoint: every stripe of this stats object
+  /// folded together. The sharded router merges these across shards to
+  /// render one fleet-wide table (ShardedTuningService::stats_table).
+  struct EndpointAggregate {
+    explicit EndpointAggregate(const StatsOptions& options);
+    Counters counters;
+    Histogram latency;
+    Histogram wire_latency;
+    std::uint64_t latency_count = 0;
+    double latency_sum = 0.0;
+    std::uint64_t wire_count = 0;
+    double wire_sum = 0.0;
+
+    double mean_latency_us() const noexcept;
+    /// Folds another shard's aggregate in; histogram ranges must match
+    /// (same StatsOptions), which shards sharing one template guarantee.
+    void merge(const EndpointAggregate& other) noexcept;
   };
 
   /// A request passed admission control; `queue_depth` is sampled just after.
@@ -119,6 +169,7 @@ class ServiceStats {
 
   Counters counters(Endpoint endpoint) const;
   Counters totals() const;
+  EndpointAggregate endpoint_aggregate(Endpoint endpoint) const;
   RetrainCounters retrain_counters() const;
   WireCounters wire_counters() const;
   double wire_latency_quantile(Endpoint endpoint, double q) const;
@@ -139,34 +190,111 @@ class ServiceStats {
   /// Per-endpoint summary table ("endpoint | accepted | ok | overloaded |
   /// deadline | p50 | p99 | mean"); render() / to_csv() for output.
   Table table() const;
+  /// Renders the standard per-endpoint table from externally merged
+  /// aggregates, one entry per Endpoint in enum order — the sharded router's
+  /// merge-on-read output shares the exact layout of a single service.
+  static Table table_of(std::span<const EndpointAggregate> per_endpoint);
   /// Wire-level summary ("metric | value" rows: connections, frames, bytes,
   /// decode errors, per-endpoint wire p50/p99).
   Table wire_table() const;
 
+  const StatsOptions& options() const noexcept { return options_; }
+
  private:
-  struct PerEndpoint {
-    Counters counters;
-    Histogram latency;
-    OnlineStats latency_stats;
-    Histogram wire_latency;
-    OnlineStats wire_latency_stats;
-    explicit PerEndpoint(const StatsOptions& options)
-        : latency(0.0, options.latency_hi_us, options.latency_bins),
-          wire_latency(0.0, options.latency_hi_us, options.latency_bins) {}
+  /// Relaxed-atomic count/sum/max accumulator (the striped stand-in for the
+  /// old Welford OnlineStats; only mean/max/count were ever consumed).
+  struct AtomicAccum {
+    std::atomic<std::uint64_t> n{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> max{0.0};
+    void add(double x) noexcept {
+      n.fetch_add(1, std::memory_order_relaxed);
+      sum.fetch_add(x, std::memory_order_relaxed);
+      double seen = max.load(std::memory_order_relaxed);
+      while (x > seen &&
+             !max.compare_exchange_weak(seen, x, std::memory_order_relaxed)) {
+      }
+    }
   };
 
-  mutable std::mutex mutex_;
+  /// Relaxed-atomic fixed-bin histogram with the same bin layout as
+  /// util/Histogram (uniform [lo, hi), clamped edges).
+  struct AtomicHist {
+    AtomicHist(double lo, double hi, std::size_t bins);
+    void add(double x) noexcept;
+    /// Folds this stripe's bins into a plain histogram (relaxed loads).
+    void merge_into(Histogram& out) const noexcept;
+    double lo;
+    double hi;
+    double width;
+    std::vector<std::atomic<std::uint64_t>> bins;
+  };
+
+  enum CtrIdx : std::size_t {
+    kIdxAccepted = 0,
+    kIdxCompleted,
+    kIdxOk,
+    kIdxRejOverload,
+    kIdxRejDeadline,
+    kIdxNotReady,
+    kIdxRejShutdown,
+    kIdxFailedShutdown,
+    kIdxFailedOverload,
+    kIdxStale,
+    kCtrCount,
+  };
+
+  enum WireIdx : std::size_t {
+    kIdxConnOpen = 0,
+    kIdxConnClosed,
+    kIdxFramesIn,
+    kIdxFramesOut,
+    kIdxDecodeErr,
+    kIdxErrFrames,
+    kIdxBytesIn,
+    kIdxBytesOut,
+    kWireCount,
+  };
+
+  struct EndpointStripe {
+    explicit EndpointStripe(const StatsOptions& options);
+    std::array<std::atomic<std::uint64_t>, kCtrCount> counters{};
+    AtomicHist latency;
+    AtomicAccum latency_stats;
+    AtomicHist wire_latency;
+    AtomicAccum wire_stats;
+  };
+
+  /// One writer slab. alignas keeps separate stripes off each other's cache
+  /// lines; within a stripe, (mostly) one thread writes. Endpoint slabs sit
+  /// behind unique_ptr because atomics make them non-movable.
+  struct alignas(64) Stripe {
+    explicit Stripe(const StatsOptions& options);
+    std::vector<std::unique_ptr<EndpointStripe>> per_endpoint;  // kEndpointCount
+    AtomicHist batch_hist;
+    AtomicAccum batch_stats;
+    std::atomic<std::uint64_t> batches{0};
+    AtomicAccum depth_stats;
+    std::array<std::atomic<std::uint64_t>, kWireCount> wire{};
+  };
+
+  Stripe& stripe() noexcept;
+  EndpointStripe& endpoint_stripe(Endpoint endpoint) noexcept {
+    return *stripe().per_endpoint[static_cast<std::size_t>(endpoint)];
+  }
+  std::uint64_t sum_counter(Endpoint endpoint, std::size_t idx) const noexcept;
+  void fill_counters(Endpoint endpoint, Counters& out) const noexcept;
+
   StatsOptions options_;
-  std::vector<PerEndpoint> per_endpoint_;
-  Histogram batch_hist_;
-  OnlineStats batch_stats_;
-  OnlineStats depth_stats_;
-  std::uint64_t batches_ = 0;
-  WireCounters wire_;
-  RetrainCounters retrain_;
-  Histogram retrain_hist_;
-  OnlineStats retrain_stats_;
-  OnlineStats retrain_depth_stats_;
+  std::size_t stripe_mask_ = 0;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+
+  // Retrain telemetry is written by one background thread plus low-rate
+  // enqueuers: plain (unstriped) relaxed atomics are contention-free enough.
+  std::array<std::atomic<std::uint64_t>, 4> retrain_counters_{};
+  AtomicHist retrain_hist_;
+  AtomicAccum retrain_stats_;
+  AtomicAccum retrain_depth_stats_;
 };
 
 }  // namespace rafiki::serve

@@ -27,6 +27,26 @@ void Histogram::add_all(std::span<const double> xs) noexcept {
   for (double x : xs) add(x);
 }
 
+void Histogram::add_binned(double x, std::size_t count) noexcept {
+  std::size_t bin;
+  if (x < lo_) {
+    bin = 0;
+  } else if (x >= hi_) {
+    bin = counts_.size() - 1;
+  } else {
+    bin = static_cast<std::size_t>((x - lo_) / width_);
+    bin = std::min(bin, counts_.size() - 1);
+  }
+  counts_[bin] += count;
+  total_ += count;
+}
+
+void Histogram::merge(const Histogram& other) noexcept {
+  const std::size_t n = std::min(counts_.size(), other.counts_.size());
+  for (std::size_t i = 0; i < n; ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
 double Histogram::bin_lo(std::size_t bin) const noexcept {
   return lo_ + width_ * static_cast<double>(bin);
 }

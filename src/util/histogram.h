@@ -17,6 +17,12 @@ class Histogram {
 
   void add(double x) noexcept;
   void add_all(std::span<const double> xs) noexcept;
+  /// Adds `count` samples into the bin that contains `x` (the striped-stats
+  /// merge path, where per-stripe bin counts are folded in wholesale).
+  void add_binned(double x, std::size_t count) noexcept;
+  /// Folds another histogram's counts into this one. Both must have been
+  /// constructed with the same [lo, hi) range and bin count.
+  void merge(const Histogram& other) noexcept;
 
   std::size_t bin_count() const noexcept { return counts_.size(); }
   std::size_t count(std::size_t bin) const { return counts_.at(bin); }

@@ -72,6 +72,30 @@ TEST(Determinism, PipelineIsBitIdenticalAcrossRuns) {
   EXPECT_EQ(0, std::memcmp(&first.predicted, &second.predicted, sizeof(double)));
 }
 
+TEST(Determinism, ParallelEnsembleTrainingIsBitIdenticalToSerial) {
+  // SurrogateEnsemble::fit trains members on a thread pool; per-member RNGs
+  // are pre-split serially from the ensemble seed, so the schedule cannot
+  // leak into the weights. Thread counts are forced explicitly (1 vs 4)
+  // because hardware_concurrency on the CI box may itself be 1.
+  auto options = tiny_options();
+  options.ensemble.train_threads = 1;  // strictly serial reference
+  const auto serial = run_pipeline(options);
+  options.ensemble.train_threads = 4;
+  const auto parallel = run_pipeline(options);
+
+  ASSERT_FALSE(serial.member_params.empty());
+  ASSERT_EQ(serial.member_params.size(), parallel.member_params.size());
+  for (std::size_t n = 0; n < serial.member_params.size(); ++n) {
+    const auto& a = serial.member_params[n];
+    const auto& b = parallel.member_params[n];
+    ASSERT_EQ(a.size(), b.size()) << "net " << n;
+    EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(double)))
+        << "net " << n << " weights differ between serial and parallel training";
+  }
+  EXPECT_EQ(serial.best_config, parallel.best_config);
+  EXPECT_EQ(0, std::memcmp(&serial.predicted, &parallel.predicted, sizeof(double)));
+}
+
 TEST(Determinism, DifferentSeedsActuallyChangeTheRun) {
   // Guards the test above against vacuity: if seeds were ignored somewhere,
   // both tests would pass while the pipeline ignored its inputs.

@@ -111,7 +111,11 @@ TEST_F(NetE2E, PredictParityWithInProcessSubmit) {
   EXPECT_EQ(counters.frames_out, 1u);
   EXPECT_EQ(counters.decode_errors, 0u);
   EXPECT_GT(counters.bytes_in, 0u);
-  EXPECT_GT(counters.bytes_out, 0u);
+  // bytes_out is recorded by the IO loop *after* send() returns, and the
+  // response can reach the client before that thread is rescheduled — poll
+  // instead of snapshotting.
+  EXPECT_TRUE(spin_until(
+      [&] { return service.stats().wire_counters().bytes_out > 0; }));
   EXPECT_EQ(counters.connections_accepted, 1u);
 
   server.stop();
@@ -305,6 +309,45 @@ TEST_F(NetE2E, GracefulDrainAnswersEveryInFlightFrame) {
   // The listener is gone: nobody new gets in after a drain.
   Client late;
   EXPECT_NE(late.connect("127.0.0.1", port), NetStatus::kOk);
+
+  service.stop();
+}
+
+// A connection whose TCP handshake completed before stop() may still be
+// sitting in the accept backlog — with frames already sent — if the IO loop
+// was busy. The drain must adopt it and answer those frames (kShuttingDown at
+// worst) rather than let the listener close RST it. Regression test: every
+// client below connects and fully sends *before* stop(), so every frame must
+// come back typed, accepted or not.
+TEST_F(NetE2E, DrainAdoptsConnectionsStillInTheAcceptBacklog) {
+  constexpr std::size_t kClients = 8;
+
+  serve::ServiceOptions options;
+  options.workers = 1;
+  serve::TuningService service(options);
+  service.publish(serve::make_snapshot(*rafiki_));
+  service.start();
+  Server server(service);
+  ASSERT_TRUE(server.start()) << server.last_error();
+
+  std::vector<Client> fleet(kClients);
+  std::vector<std::uint64_t> ids(kClients, 0);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    ASSERT_EQ(fleet[c].connect("127.0.0.1", server.port()), NetStatus::kOk);
+    ids[c] = fleet[c].send(predict_request(0.3 + 0.01 * static_cast<double>(c)));
+    ASSERT_NE(ids[c], 0u);
+  }
+  // No wait for the server to accept or decode: the point is that some of
+  // these connections are still in the backlog when the drain starts.
+  server.stop();
+
+  for (std::size_t c = 0; c < kClients; ++c) {
+    const auto result = fleet[c].wait(ids[c]);
+    ASSERT_EQ(result.net, NetStatus::kOk)
+        << "client " << c << " lost in drain: " << net_status_name(result.net);
+    EXPECT_TRUE(result.response.status == serve::Status::kOk ||
+                result.response.status == serve::Status::kShuttingDown);
+  }
 
   service.stop();
 }

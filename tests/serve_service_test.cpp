@@ -181,6 +181,9 @@ TEST_F(ServeService, BatcherFlushesOnTimeTriggerBelowMaxBatch) {
   options.workers = 1;
   options.max_batch = 32;
   options.batch_window = std::chrono::microseconds(500);
+  // Strict fill-or-time-out mode: this test exercises the window trigger
+  // itself, so the adaptive empty-queue flush must stay out of the way.
+  options.adaptive_batch = false;
   TuningService service(options);
   service.publish(make_snapshot(*rafiki_));
 
@@ -196,6 +199,30 @@ TEST_F(ServeService, BatcherFlushesOnTimeTriggerBelowMaxBatch) {
   }
   service.stop();
   EXPECT_EQ(service.stats().batches(), 1u);
+}
+
+TEST_F(ServeService, AdaptiveBatcherFlushesWhenQueueEmpties) {
+  // Regression for the lone-client stall: with a strict batcher a single
+  // request under a large max_batch sleeps out the whole flush window
+  // (throughput degraded to ~1/batch_window). The adaptive batcher runs the
+  // batch the moment the queue momentarily empties, so an absurdly long
+  // window must not delay a lone request.
+  ServiceOptions options;
+  options.workers = 1;
+  options.max_batch = 32;
+  options.batch_window = std::chrono::seconds(30);
+  ASSERT_TRUE(options.adaptive_batch);  // the default: documents the contract
+  TuningService service(options);
+  service.publish(make_snapshot(*rafiki_));
+  service.start();
+
+  auto future = service.submit(predict_request());
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(5)), std::future_status::ready)
+      << "single request stalled behind the batch window";
+  const auto response = future.get();
+  EXPECT_EQ(response.status, Status::kOk);
+  EXPECT_EQ(response.batch_size, 1u);
+  service.stop();
 }
 
 TEST_F(ServeService, SnapshotSwapUnderConcurrentLoadLosesNothing) {

@@ -4,7 +4,11 @@
 // tables. The counterpart of tools/rafiki_client.
 //
 //   rafiki_serverd [--port P] [--host H] [--io-threads N] [--workers N]
-//                  [--full]
+//                  [--shards N] [--full]
+//
+// --shards N (N > 1) serves through the ShardedTuningService router —
+// per-read-ratio-band shards, each with its own queue/workers/batcher — and
+// prints the cross-shard merged stats table on drain.
 //
 // The default training profile is the CI smoke profile (seconds); --full
 // trains the mid-sized ensemble the benches use (minutes).
@@ -16,8 +20,11 @@
 #include "core/online.h"
 #include "core/rafiki.h"
 #include "engine/params.h"
+#include <memory>
+
 #include "net/server.h"
 #include "serve/service.h"
+#include "serve/shard.h"
 #include "serve/snapshot.h"
 
 using namespace rafiki;
@@ -27,6 +34,7 @@ int main(int argc, char** argv) {
   int port = 7117;
   std::size_t io_threads = 2;
   std::size_t workers = 2;
+  std::size_t shards = 1;
   bool full = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -38,12 +46,14 @@ int main(int argc, char** argv) {
       io_threads = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (arg == "--workers" && i + 1 < argc) {
       workers = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--shards" && i + 1 < argc) {
+      shards = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (arg == "--full") {
       full = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--host H] [--port P] [--io-threads N] "
-                   "[--workers N] [--full]\n",
+                   "[--workers N] [--shards N] [--full]\n",
                    argv[0]);
       return 2;
     }
@@ -74,7 +84,16 @@ int main(int argc, char** argv) {
   serve::ServiceOptions service_options;
   service_options.workers = workers;
   core::OnlineTuner tuner(rafiki);
-  serve::TuningService service(service_options);
+  std::unique_ptr<serve::TuningBackend> backend;
+  if (shards > 1) {
+    serve::ShardOptions shard_options;
+    shard_options.shards = shards;
+    shard_options.service = service_options;
+    backend = std::make_unique<serve::ShardedTuningService>(shard_options);
+  } else {
+    backend = std::make_unique<serve::TuningService>(service_options);
+  }
+  serve::TuningBackend& service = *backend;
   service.publish(serve::make_snapshot(rafiki));
   service.attach_tuner(tuner);
   service.start();
@@ -89,9 +108,11 @@ int main(int argc, char** argv) {
     service.stop();
     return 1;
   }
-  std::printf("serving on %s:%u (model version %llu); close stdin to stop\n",
+  std::printf("serving on %s:%u (model version %llu, %zu shard%s); "
+              "close stdin to stop\n",
               host.c_str(), server.port(),
-              static_cast<unsigned long long>(service.model_version()));
+              static_cast<unsigned long long>(service.model_version()), shards,
+              shards == 1 ? "" : "s");
   std::fflush(stdout);
 
   // Serve until stdin closes — works interactively (Ctrl-D), under a pipe,
@@ -104,7 +125,9 @@ int main(int argc, char** argv) {
   server.stop();
   service.stop();
 
-  std::printf("\n=== request stats ===\n%s", service.stats().table().render().c_str());
+  // stats_table() merges across shards for the sharded backend; wire-level
+  // telemetry always lives in the backend's front-end stats object.
+  std::printf("\n=== request stats ===\n%s", service.stats_table().render().c_str());
   std::printf("\n=== wire stats ===\n%s", service.stats().wire_table().render().c_str());
   return 0;
 }

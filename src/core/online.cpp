@@ -13,27 +13,27 @@ int OnlineTuner::bucket_for(double read_ratio) const noexcept {
 }
 
 void OnlineTuner::set_publish_hook(PublishHook hook) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   publish_ = std::move(hook);
 }
 
 void OnlineTuner::set_async_optimize_hook(AsyncOptimizeHook hook) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   async_optimize_ = std::move(hook);
 }
 
 bool OnlineTuner::cached(double read_ratio) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return cache_.count(bucket_for(read_ratio)) != 0;
 }
 
 std::size_t OnlineTuner::reconfigurations() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return reconfigurations_;
 }
 
 std::size_t OnlineTuner::optimizer_runs() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return optimizer_runs_;
 }
 
@@ -67,19 +67,19 @@ OnlineTuner::Decision OnlineTuner::decide_locked(double read_ratio) {
 }
 
 OnlineTuner::Decision OnlineTuner::decide(double read_ratio) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return decide_locked(read_ratio);
 }
 
 bool OnlineTuner::run_optimize(double read_ratio) {
   const int bucket = bucket_for(read_ratio);
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (cache_.count(bucket) != 0) return false;  // coalesced: already optimized
     if (in_flight_.count(bucket) != 0) {
       // Another thread is mid-GA for this bucket; wait for its result so
       // callers relying on inline semantics observe a warm cache on return.
-      optimize_done_.wait(lock, [&] { return in_flight_.count(bucket) == 0; });
+      while (in_flight_.count(bucket) != 0) optimize_done_.wait(mutex_);
       return false;
     }
     in_flight_.insert(bucket);
@@ -91,7 +91,7 @@ bool OnlineTuner::run_optimize(double read_ratio) {
 
   PublishHook publish;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     in_flight_.erase(bucket);
     cache_.emplace(bucket, result);
     ++optimizer_runs_;
@@ -105,7 +105,7 @@ bool OnlineTuner::run_optimize(double read_ratio) {
 void OnlineTuner::prefetch(double read_ratio) {
   AsyncOptimizeHook async;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (cache_.count(bucket_for(read_ratio)) != 0) return;
     async = async_optimize_;
   }
@@ -120,7 +120,7 @@ OnlineTuner::Decision OnlineTuner::on_window(double read_ratio) {
   Decision decision;
   AsyncOptimizeHook async;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     decision = decide_locked(read_ratio);
     if (!decision.stale) return decision;
     async = async_optimize_;

@@ -17,14 +17,13 @@
 // concurrent on_window / prefetch / run_optimize callers are safe.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <set>
 
 #include "core/rafiki.h"
+#include "util/sync.h"
 
 namespace rafiki::core {
 
@@ -101,22 +100,25 @@ class OnlineTuner {
   const OnlineTunerOptions& options() const noexcept { return options_; }
 
  private:
-  Decision decide_locked(double read_ratio);
+  Decision decide_locked(double read_ratio) REQUIRES(mutex_);
 
   const Rafiki* rafiki_;
   OnlineTunerOptions options_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable optimize_done_;
-  PublishHook publish_;
-  AsyncOptimizeHook async_optimize_;
-  std::map<int, Rafiki::OptimizeResult> cache_;  // bucket -> optimized result
-  std::set<int> in_flight_;  // buckets currently being optimized (lock dropped)
-  engine::Config current_ = engine::Config::defaults();
-  double current_rr_ = -1.0;  // RR the current config was chosen for
-  bool have_config_ = false;
-  std::size_t reconfigurations_ = 0;
-  std::size_t optimizer_runs_ = 0;
+  mutable Mutex mutex_;
+  CondVar optimize_done_;
+  PublishHook publish_ GUARDED_BY(mutex_);
+  AsyncOptimizeHook async_optimize_ GUARDED_BY(mutex_);
+  /// bucket -> optimized result
+  std::map<int, Rafiki::OptimizeResult> cache_ GUARDED_BY(mutex_);
+  /// buckets currently being optimized (lock dropped for the GA itself)
+  std::set<int> in_flight_ GUARDED_BY(mutex_);
+  engine::Config current_ GUARDED_BY(mutex_) = engine::Config::defaults();
+  /// RR the current config was chosen for.
+  double current_rr_ GUARDED_BY(mutex_) = -1.0;
+  bool have_config_ GUARDED_BY(mutex_) = false;
+  std::size_t reconfigurations_ GUARDED_BY(mutex_) = 0;
+  std::size_t optimizer_runs_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace rafiki::core

@@ -3,10 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
+
+#include "util/sync.h"
 
 namespace rafiki::ml {
 
@@ -55,14 +56,17 @@ void SurrogateEnsemble::fit(const std::vector<std::vector<double>>& X,
   } else {
     std::atomic<std::size_t> next{0};
     std::exception_ptr first_error;
-    std::mutex error_mutex;
+    // Local mutex: GUARDED_BY cannot annotate captured locals, so the
+    // contract here is the surrounding scope — first_error is only touched
+    // under error_mutex inside the workers and read after all joins.
+    Mutex error_mutex;
     const auto worker = [&] {
       for (std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
            k < options.n_nets; k = next.fetch_add(1, std::memory_order_relaxed)) {
         try {
           train_member(k);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(error_mutex);
+          MutexLock lock(error_mutex);
           if (!first_error) first_error = std::current_exception();
         }
       }

@@ -68,7 +68,7 @@ Server::Server(serve::TuningBackend& service, ServerOptions options)
 Server::~Server() { stop(); }
 
 bool Server::start() {
-  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  MutexLock lock(lifecycle_mutex_);
   if (started_) return !stopped_;
   if (stopped_) return false;
 
@@ -132,7 +132,7 @@ bool Server::start() {
 
 void Server::stop() {
   {
-    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    MutexLock lock(lifecycle_mutex_);
     if (stopped_) return;
     stopped_ = true;
   }
@@ -146,12 +146,19 @@ void Server::stop() {
   // Loops are gone; close anything still registered (a connection handed to
   // a loop in the instant it exited never got served — close it cleanly).
   for (auto& loop : loops_) {
-    for (auto* list : {&loop->incoming, &loop->conns}) {
-      for (auto& conn : *list) {
+    {
+      // The loop threads are joined; the lock is for the analysis (and any
+      // future acceptor that might outlive them), not a live race.
+      MutexLock lock(loop->incoming_mutex);
+      for (auto& conn : loop->incoming) {
         if (conn->fd >= 0) close_connection(*conn);
       }
-      list->clear();
+      loop->incoming.clear();
     }
+    for (auto& conn : loop->conns) {
+      if (conn->fd >= 0) close_connection(*conn);
+    }
+    loop->conns.clear();
   }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -168,7 +175,7 @@ void Server::loop_main(std::size_t index) {
 
   for (;;) {
     {
-      std::lock_guard<std::mutex> lock(loop.incoming_mutex);
+      MutexLock lock(loop.incoming_mutex);
       for (auto& conn : loop.incoming) loop.conns.push_back(std::move(conn));
       loop.incoming.clear();
     }
@@ -185,7 +192,7 @@ void Server::loop_main(std::size_t index) {
       // let the drain path answer (kShuttingDown) before closing.
       if (acceptor) do_accept(loop);
       if (loop.conns.empty()) {
-        std::lock_guard<std::mutex> lock(loop.incoming_mutex);
+        MutexLock lock(loop.incoming_mutex);
         if (loop.incoming.empty()) return;
       }
       continue;  // late handoff or backlog adoption: serve it next pass
@@ -198,11 +205,13 @@ void Server::loop_main(std::size_t index) {
     const std::size_t base = pfds.size();
     for (const auto& conn : loop.conns) {
       short events = 0;
-      if (!conn->read_closed && !conn->fatal && !conn->dead.load()) {
+      // dead is loop-thread-local state (see server.h): relaxed suffices.
+      if (!conn->read_closed && !conn->fatal &&
+          !conn->dead.load(std::memory_order_relaxed)) {
         events = static_cast<short>(events | POLLIN);
       }
       {
-        std::lock_guard<std::mutex> out_lock(conn->out_mutex);
+        MutexLock out_lock(conn->out_mutex);
         if (conn->opos < conn->obuf.size()) events = static_cast<short>(events | POLLOUT);
       }
       pfds.push_back({conn->fd, events, 0});
@@ -255,7 +264,9 @@ void Server::do_accept(Loop& loop) {
   for (;;) {
     const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) return;  // EAGAIN (or a transient error): try again next poll
-    if (open_connections_.load() >= options_.max_connections) {
+    // Approximate admission bound: closes on other loops may lag a beat,
+    // which only makes the cap momentarily conservative. Relaxed is enough.
+    if (open_connections_.load(std::memory_order_relaxed) >= options_.max_connections) {
       ::close(fd);
       continue;
     }
@@ -263,7 +274,7 @@ void Server::do_accept(Loop& loop) {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
-    open_connections_.fetch_add(1);
+    open_connections_.fetch_add(1, std::memory_order_relaxed);
     stats_.record_connection_open();
 
     // During a drain, sibling loops may already have exited; keep backlog
@@ -278,7 +289,7 @@ void Server::do_accept(Loop& loop) {
       loop.conns.push_back(std::move(conn));
     } else {
       {
-        std::lock_guard<std::mutex> lock(target.incoming_mutex);
+        MutexLock lock(target.incoming_mutex);
         target.incoming.push_back(std::move(conn));
       }
       target.waker->wake();
@@ -287,7 +298,7 @@ void Server::do_accept(Loop& loop) {
 }
 
 void Server::handle_read(Connection& conn) {
-  if (conn.read_closed || conn.fatal || conn.dead.load()) return;
+  if (conn.read_closed || conn.fatal || conn.dead.load(std::memory_order_relaxed)) return;
   // Bound unprocessed buffering: one oversized-frame claim is rejected at
   // decode, so two max frames of slack is plenty.
   const std::size_t cap = 2 * (options_.max_payload + kHeaderSize);
@@ -308,7 +319,8 @@ void Server::handle_read(Connection& conn) {
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) return;
     if (errno == EINTR) continue;
-    conn.dead.store(true);  // hard socket error: nothing further to salvage
+    // Loop-thread-only flag (see server.h): relaxed store, no ordering needed.
+    conn.dead.store(true, std::memory_order_relaxed);
     return;
   }
 }
@@ -366,7 +378,9 @@ void Server::handle_request(const ConnectionPtr& conn, const Frame& frame) {
     queue_response(*conn, id, endpoint, response);
     return;
   }
-  if (conn->in_flight.load() >= options_.max_pipeline) {
+  // Loop-thread admission check: we see our own increments; a worker's
+  // decrement arriving late only over-rejects for one pass. Relaxed is fine.
+  if (conn->in_flight.load(std::memory_order_relaxed) >= options_.max_pipeline) {
     // Per-connection backpressure surfaces on the wire instead of stalling
     // TCP: the client sees a typed kOverloaded and can back off.
     serve::Response response;
@@ -377,7 +391,8 @@ void Server::handle_request(const ConnectionPtr& conn, const Frame& frame) {
 
   // det:ok(wall-clock): reporting-only wire-latency timestamp
   const auto t0 = std::chrono::steady_clock::now();
-  conn->in_flight.fetch_add(1);
+  // The submit handoff (queue mutex) publishes this increment to workers.
+  conn->in_flight.fetch_add(1, std::memory_order_relaxed);
   serve::ServiceStats* stats = &stats_;
   const std::shared_ptr<Waker> waker = conn->waker;
   const serve::Status admitted = service_.try_submit(
@@ -387,7 +402,7 @@ void Server::handle_request(const ConnectionPtr& conn, const Frame& frame) {
         std::vector<std::uint8_t> bytes;
         encode_response(id, endpoint, response, bytes);
         {
-          std::lock_guard<std::mutex> lock(conn->out_mutex);
+          MutexLock lock(conn->out_mutex);
           conn->obuf.insert(conn->obuf.end(), bytes.begin(), bytes.end());
         }
         stats->record_frame_out();
@@ -400,7 +415,8 @@ void Server::handle_request(const ConnectionPtr& conn, const Frame& frame) {
   if (admitted != serve::Status::kOk) {
     // Not admitted — the callback will never fire. Answer inline with the
     // admission verdict (Overloaded / ShuttingDown).
-    conn->in_flight.fetch_sub(1);
+    // Same-thread undo of the increment above; nothing to publish.
+    conn->in_flight.fetch_sub(1, std::memory_order_relaxed);
     serve::Response response;
     response.status = admitted;
     queue_response(*conn, id, endpoint, response);
@@ -412,7 +428,7 @@ void Server::queue_response(Connection& conn, std::uint64_t request_id,
   std::vector<std::uint8_t> bytes;
   encode_response(request_id, endpoint, response, bytes);
   {
-    std::lock_guard<std::mutex> lock(conn.out_mutex);
+    MutexLock lock(conn.out_mutex);
     conn.obuf.insert(conn.obuf.end(), bytes.begin(), bytes.end());
   }
   stats_.record_frame_out();
@@ -423,7 +439,7 @@ void Server::queue_error(Connection& conn, std::uint64_t request_id, WireError e
   std::vector<std::uint8_t> bytes;
   encode_error(request_id, error, bytes);
   {
-    std::lock_guard<std::mutex> lock(conn.out_mutex);
+    MutexLock lock(conn.out_mutex);
     conn.obuf.insert(conn.obuf.end(), bytes.begin(), bytes.end());
   }
   stats_.record_frame_out();
@@ -431,8 +447,8 @@ void Server::queue_error(Connection& conn, std::uint64_t request_id, WireError e
 }
 
 void Server::flush(Connection& conn) {
-  if (conn.dead.load()) return;
-  std::lock_guard<std::mutex> lock(conn.out_mutex);
+  if (conn.dead.load(std::memory_order_relaxed)) return;
+  MutexLock lock(conn.out_mutex);
   while (conn.opos < conn.obuf.size()) {
     const ssize_t n = ::send(conn.fd, conn.obuf.data() + conn.opos,
                              conn.obuf.size() - conn.opos, MSG_NOSIGNAL);
@@ -443,7 +459,7 @@ void Server::flush(Connection& conn) {
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;  // POLLOUT resumes
     if (n < 0 && errno == EINTR) continue;
-    conn.dead.store(true);  // peer is gone; drop whatever is left
+    conn.dead.store(true, std::memory_order_relaxed);  // peer is gone; drop the rest
     conn.obuf.clear();
     conn.opos = 0;
     return;
@@ -453,18 +469,23 @@ void Server::flush(Connection& conn) {
 }
 
 bool Server::idle(Connection& conn) const {
-  if (conn.fatal || conn.dead.load() || conn.read_closed) return false;
+  if (conn.fatal || conn.dead.load(std::memory_order_relaxed) || conn.read_closed) {
+    return false;
+  }
+  // Acquire pairs with the callback's fetch_sub(release): once in_flight
+  // reads 0 here, the worker's obuf append is visible too.
   if (conn.in_flight.load(std::memory_order_acquire) != 0) return false;
   if (conn.rpos < conn.rbuf.size()) return false;
-  std::lock_guard<std::mutex> lock(conn.out_mutex);
+  MutexLock lock(conn.out_mutex);
   return conn.opos >= conn.obuf.size();
 }
 
 bool Server::should_close(Connection& conn) const {
-  if (conn.dead.load()) return true;
+  if (conn.dead.load(std::memory_order_relaxed)) return true;
   if (!conn.fatal && !conn.read_closed) return false;
+  // Acquire pairs with the callback's fetch_sub(release); see idle().
   if (conn.in_flight.load(std::memory_order_acquire) != 0) return false;
-  std::lock_guard<std::mutex> lock(conn.out_mutex);
+  MutexLock lock(conn.out_mutex);
   return conn.opos >= conn.obuf.size();
 }
 
@@ -473,7 +494,7 @@ void Server::close_connection(Connection& conn) {
     ::close(conn.fd);
     conn.fd = -1;
     stats_.record_connection_close();
-    open_connections_.fetch_sub(1);
+    open_connections_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 

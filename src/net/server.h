@@ -34,13 +34,13 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "net/wire.h"
 #include "serve/backend.h"
+#include "util/sync.h"
 
 namespace rafiki::net {
 
@@ -91,8 +91,14 @@ class Server {
 
   /// Actual bound port (after start()); 0 before.
   std::uint16_t port() const noexcept { return port_; }
-  bool running() const noexcept { return started_ && !stopped_; }
-  const std::string& last_error() const noexcept { return last_error_; }
+  bool running() const {
+    MutexLock lock(lifecycle_mutex_);
+    return started_ && !stopped_;
+  }
+  std::string last_error() const {
+    MutexLock lock(lifecycle_mutex_);
+    return last_error_;
+  }
 
  private:
   /// Wakeup pipe shared between an IO loop and the response callbacks that
@@ -117,19 +123,26 @@ class Server {
     bool read_closed = false;  ///< peer sent FIN (or read side gave up)
     bool fatal = false;        ///< protocol-fatal: close once output flushes
     // --- shared with response callbacks ---
-    std::mutex out_mutex;
-    std::vector<std::uint8_t> obuf;  ///< guarded by out_mutex
-    std::size_t opos = 0;            ///< guarded by out_mutex
-    std::atomic<bool> dead{false};   ///< socket broken: discard output
+    rafiki::Mutex out_mutex;
+    std::vector<std::uint8_t> obuf GUARDED_BY(out_mutex);
+    std::size_t opos GUARDED_BY(out_mutex) = 0;
+    /// Socket broken: discard output. Written and read on the owning loop
+    /// thread only (handle_read / flush); atomic so that invariant is a
+    /// tearing-safe implementation detail, not a correctness cliff.
+    std::atomic<bool> dead{false};
+    /// Incremented on the loop thread at submit; decremented by the service
+    /// worker's completion callback (release) — idle()/should_close() load
+    /// with acquire to order against the callback's buffer writes.
     std::atomic<std::size_t> in_flight{0};
   };
   using ConnectionPtr = std::shared_ptr<Connection>;
 
   struct Loop {
     std::shared_ptr<Waker> waker;
-    std::mutex incoming_mutex;
-    std::vector<ConnectionPtr> incoming;  ///< handoff from the acceptor
-    std::vector<ConnectionPtr> conns;     ///< loop-thread only
+    rafiki::Mutex incoming_mutex;
+    /// Handoff from the acceptor.
+    std::vector<ConnectionPtr> incoming GUARDED_BY(incoming_mutex);
+    std::vector<ConnectionPtr> conns;  ///< loop-thread only
     std::thread thread;
   };
 
@@ -157,10 +170,10 @@ class Server {
   std::size_t next_loop_ = 0;  ///< acceptor-thread only (round robin)
   std::atomic<std::size_t> open_connections_{0};
   std::atomic<bool> draining_{false};
-  std::mutex lifecycle_mutex_;
-  bool started_ = false;
-  bool stopped_ = false;
-  std::string last_error_;
+  mutable rafiki::Mutex lifecycle_mutex_;
+  bool started_ GUARDED_BY(lifecycle_mutex_) = false;
+  bool stopped_ GUARDED_BY(lifecycle_mutex_) = false;
+  std::string last_error_ GUARDED_BY(lifecycle_mutex_);
 };
 
 }  // namespace rafiki::net

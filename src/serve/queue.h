@@ -6,16 +6,20 @@
 // then observe std::nullopt. The timed pop exists only for the
 // micro-batcher's real-time flush window — nothing a request *returns*
 // depends on these waits, so the determinism contract is untouched.
+//
+// The locking discipline is a compile-time contract (util/sync.h): every
+// mutable field is GUARDED_BY(mutex_) and take_locked() REQUIRES it, so an
+// unlocked access is a build error under the `tsa` preset.
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "util/sync.h"
 
 namespace rafiki::serve {
 
@@ -44,7 +48,7 @@ class BoundedQueue {
   /// a concurrent close().
   PushResult try_push(T item) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_) return PushResult::kClosed;
       if (items_.size() >= capacity_) return PushResult::kFull;
       items_.push_back(std::move(item));
@@ -55,22 +59,24 @@ class BoundedQueue {
 
   /// Blocks until an item is available or the queue is closed and drained.
   std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    MutexLock lock(mutex_);
+    while (!closed_ && items_.empty()) ready_.wait(mutex_);
     return take_locked();
   }
 
   /// Non-blocking pop.
   std::optional<T> try_pop() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return take_locked();
   }
 
   /// Blocks until an item arrives, the queue closes, or `deadline` (real
   /// time) passes — the micro-batcher's flush-window wait.
   std::optional<T> pop_until(std::chrono::steady_clock::time_point deadline) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    ready_.wait_until(lock, deadline, [&] { return closed_ || !items_.empty(); });
+    MutexLock lock(mutex_);
+    while (!closed_ && items_.empty()) {
+      if (ready_.wait_until(mutex_, deadline) == std::cv_status::timeout) break;
+    }
     return take_locked();
   }
 
@@ -78,26 +84,26 @@ class BoundedQueue {
   /// std::nullopt.
   void close() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
     ready_.notify_all();
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return closed_;
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
   std::size_t capacity() const noexcept { return capacity_; }
 
  private:
-  std::optional<T> take_locked() {
+  std::optional<T> take_locked() REQUIRES(mutex_) {
     if (items_.empty()) return std::nullopt;
     std::optional<T> item(std::move(items_.front()));
     items_.pop_front();
@@ -105,10 +111,10 @@ class BoundedQueue {
   }
 
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable ready_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar ready_;
+  std::deque<T> items_ GUARDED_BY(mutex_);
+  bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace rafiki::serve

@@ -10,24 +10,37 @@
 #include <memory>
 #include <utility>
 
+#include "util/sync.h"
+
 // libstdc++'s lock-free std::atomic<shared_ptr> (_Sp_atomic) protects its
-// internal pointer with a lock bit embedded in the refcount word and releases
-// the reader side with a relaxed store. The mutual exclusion is real, but
-// TSan's happens-before machinery cannot see it, so every concurrent
-// get()/set() pair reports a false race inside the library. Under TSan we
-// substitute a mutex-backed slot — identical semantics, and the rest of the
-// serve layer still gets checked — and keep the lock-free path everywhere
-// else.
+// internal pointer with a lock bit embedded in the refcount word; the mutual
+// exclusion on the *slot word* is real, but the reader side is released with
+// a relaxed store that TSan's happens-before machinery cannot see, so every
+// concurrent get()/set() pair reports a false race inside the library. Under
+// TSan we substitute a mutex-backed slot and keep the lock-free path
+// everywhere else.
+//
+// Ordering audit (both paths publish with the same visibility guarantee):
+//   * Lock-free path — set() stores with memory_order_release and get()
+//     loads with memory_order_acquire. The pairing is load-bearing beyond
+//     the slot pointer itself: it is what makes the pointee's fields (the
+//     snapshot built and filled before set()) visible to a reader thread
+//     that obtained the pointer, so neither side may be weakened to
+//     relaxed. (The shared_ptr control block alone only orders the
+//     refcount, not the payload writes.)
+//   * TSan path — slot_ is GUARDED_BY(mutex_); the publisher's writes
+//     happen-before mutex_.unlock() in set(), which synchronizes-with the
+//     reader's mutex_.lock() in get(). A mutex release/acquire is at least
+//     as strong as the store(release)/load(acquire) pairing it replaces, so
+//     the two modes are semantically identical — the mutex slot is a TSan
+//     visibility aid, not a weaker substitute.
+
 #if defined(__SANITIZE_THREAD__)
 #define RAFIKI_REGISTRY_TSAN 1
 #elif defined(__has_feature)
 #if __has_feature(thread_sanitizer)
 #define RAFIKI_REGISTRY_TSAN 1
 #endif
-#endif
-
-#if defined(RAFIKI_REGISTRY_TSAN)
-#include <mutex>
 #endif
 
 namespace rafiki::serve {
@@ -39,7 +52,7 @@ class VersionedRegistry {
   /// shared_ptr pins that version for the caller's lifetime of use.
   std::shared_ptr<const T> get() const noexcept {
 #if defined(RAFIKI_REGISTRY_TSAN)
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return slot_;
 #else
     return slot_.load(std::memory_order_acquire);
@@ -50,7 +63,7 @@ class VersionedRegistry {
   /// whatever version they already hold.
   void set(std::shared_ptr<const T> value) noexcept {
 #if defined(RAFIKI_REGISTRY_TSAN)
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     slot_ = std::move(value);
 #else
     slot_.store(std::move(value), std::memory_order_release);
@@ -59,8 +72,8 @@ class VersionedRegistry {
 
  private:
 #if defined(RAFIKI_REGISTRY_TSAN)
-  mutable std::mutex mutex_;
-  std::shared_ptr<const T> slot_;
+  mutable Mutex mutex_;
+  std::shared_ptr<const T> slot_ GUARDED_BY(mutex_);
 #else
   std::atomic<std::shared_ptr<const T>> slot_{};
 #endif

@@ -23,7 +23,7 @@ RetrainWorker::Ticket RetrainWorker::enqueue(int bucket, double read_ratio) {
   Ticket ticket;
   std::size_t depth_after = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_ || stopped_) return finished_ticket(RetrainEnqueue::kStopped);
     const auto pending = pending_.find(bucket);
     if (pending != pending_.end()) {
@@ -55,7 +55,7 @@ RetrainWorker::Ticket RetrainWorker::enqueue(int bucket, double read_ratio) {
 }
 
 void RetrainWorker::start() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (started_ || stopping_ || stopped_) return;
   started_ = true;
   thread_ = std::thread([this] { loop(); });
@@ -65,8 +65,8 @@ void RetrainWorker::loop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      ready_.wait(lock, [&] { return stopping_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && tasks_.empty()) ready_.wait(mutex_);
       if (tasks_.empty()) break;                 // stopping with nothing queued
       if (stopping_ && !drain_on_stop_) break;   // cancel mode: stop() fails the backlog
       task = std::move(tasks_.front());
@@ -85,7 +85,7 @@ void RetrainWorker::loop() {
     }
 
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       pending_.erase(task.bucket);
       running_ = false;
     }
@@ -96,7 +96,7 @@ void RetrainWorker::loop() {
 
 void RetrainWorker::stop(bool drain) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopped_) return;
     stopping_ = true;
     drain_on_stop_ = drain;
@@ -108,7 +108,7 @@ void RetrainWorker::stop(bool drain) {
   // resolve every promise instead of abandoning its futures.
   std::deque<Task> leftover;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopped_ = true;
     leftover.swap(tasks_);
     pending_.clear();
@@ -121,18 +121,18 @@ void RetrainWorker::stop(bool drain) {
 }
 
 std::size_t RetrainWorker::depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return tasks_.size();
 }
 
 bool RetrainWorker::stopping() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stopping_;
 }
 
 void RetrainWorker::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [&] { return stopped_ || (tasks_.empty() && !running_); });
+  MutexLock lock(mutex_);
+  while (!stopped_ && !(tasks_.empty() && !running_)) idle_.wait(mutex_);
 }
 
 }  // namespace rafiki::serve

@@ -20,17 +20,16 @@
 //     runs/coalesced/rejected/cancelled counters in ServiceStats.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <map>
-#include <mutex>
 #include <thread>
 
 #include "serve/stats.h"
+#include "util/sync.h"
 
 namespace rafiki::serve {
 
@@ -118,19 +117,23 @@ class RetrainWorker {
   RetrainOptions options_;
   ServiceStats* stats_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable ready_;
-  std::condition_variable idle_;
-  std::deque<Task> tasks_;
+  mutable Mutex mutex_;
+  CondVar ready_;
+  CondVar idle_;
+  std::deque<Task> tasks_ GUARDED_BY(mutex_);
   /// bucket -> pending task's future; covers queued AND currently-running
   /// tasks, so same-bucket requests coalesce for the task's whole lifetime.
-  std::map<int, std::shared_future<RetrainOutcome>> pending_;
+  std::map<int, std::shared_future<RetrainOutcome>> pending_ GUARDED_BY(mutex_);
+  /// Spawned under mutex_ in start(); joined lock-free in stop() after the
+  /// stopping_ handshake (joining under the lock would deadlock the loop).
+  /// start()/stop() are lifecycle calls — concurrent start+stop is a caller
+  /// contract violation, exactly as with the raw std::thread before.
   std::thread thread_;
-  bool started_ = false;
-  bool stopping_ = false;
-  bool stopped_ = false;
-  bool drain_on_stop_ = true;
-  bool running_ = false;  // the worker is executing a task right now
+  bool started_ GUARDED_BY(mutex_) = false;
+  bool stopping_ GUARDED_BY(mutex_) = false;
+  bool stopped_ GUARDED_BY(mutex_) = false;
+  bool drain_on_stop_ GUARDED_BY(mutex_) = true;
+  bool running_ GUARDED_BY(mutex_) = false;  // the worker is executing a task right now
 };
 
 }  // namespace rafiki::serve

@@ -31,7 +31,7 @@ TuningService::TuningService(ServiceOptions options)
 TuningService::~TuningService() { stop(); }
 
 std::uint64_t TuningService::publish(ModelSnapshot snapshot) {
-  std::lock_guard<std::mutex> lock(publish_mutex_);
+  MutexLock lock(publish_mutex_);
   return publish_locked(std::move(snapshot));
 }
 
@@ -73,7 +73,7 @@ void TuningService::publish_tuned(int bucket, const engine::Config& config,
                                   double predicted) {
   // Copy-on-write republication: the tuned-config table rides inside the
   // immutable snapshot, so readers see it with the same lock-free load.
-  std::lock_guard<std::mutex> lock(publish_mutex_);
+  MutexLock lock(publish_mutex_);
   const auto current = registry_.get();
   if (!current) {
     // Nothing real is published yet: don't burn a version on a snapshot
@@ -133,7 +133,7 @@ Status TuningService::try_submit(Request request, ResponseCallback done) {
 }
 
 void TuningService::start() {
-  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  MutexLock lock(lifecycle_mutex_);
   if (started_ || stopped_) return;
   started_ = true;
   retrain_.start();
@@ -145,7 +145,7 @@ void TuningService::start() {
 
 void TuningService::stop() {
   {
-    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    MutexLock lock(lifecycle_mutex_);
     if (stopped_) return;
     stopped_ = true;
   }

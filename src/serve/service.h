@@ -28,7 +28,6 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -39,6 +38,7 @@
 #include "serve/snapshot.h"
 #include "serve/stats.h"
 #include "serve/types.h"
+#include "util/sync.h"
 
 namespace rafiki::core {
 class OnlineTuner;
@@ -176,24 +176,26 @@ class TuningService : public TuningBackend {
   bool expired(const Request& request, Tick now) const {
     return request.deadline != kNoDeadline && now > request.deadline;
   }
-  std::uint64_t publish_locked(ModelSnapshot snapshot);
+  std::uint64_t publish_locked(ModelSnapshot snapshot) REQUIRES(publish_mutex_);
 
   ServiceOptions options_;
   SnapshotRegistry registry_;
-  std::uint64_t version_counter_ = 0;  // guarded by publish_mutex_
-  std::mutex publish_mutex_;
+  Mutex publish_mutex_;
+  std::uint64_t version_counter_ GUARDED_BY(publish_mutex_) = 0;
   /// Tuned entries published before any real snapshot exists are parked here
-  /// (guarded by publish_mutex_) instead of minting a version around a
-  /// default-constructed, untrained ModelSnapshot; the first real publish
-  /// folds them in.
-  std::map<int, TunedEntry> pending_tuned_;
+  /// instead of minting a version around a default-constructed, untrained
+  /// ModelSnapshot; the first real publish folds them in.
+  std::map<int, TunedEntry> pending_tuned_ GUARDED_BY(publish_mutex_);
   BoundedQueue<Job> queue_;
   ServiceStats stats_;
   RetrainWorker retrain_;
+  /// Spawned under lifecycle_mutex_ in start(); joined lock-free in stop()
+  /// after the stopped_ handshake (the workers drain the closed queue, so a
+  /// join under the lock could wait on threads that are still serving).
   std::vector<std::thread> workers_;
-  std::mutex lifecycle_mutex_;
-  bool started_ = false;
-  bool stopped_ = false;
+  Mutex lifecycle_mutex_;
+  bool started_ GUARDED_BY(lifecycle_mutex_) = false;
+  bool stopped_ GUARDED_BY(lifecycle_mutex_) = false;
   std::atomic<core::OnlineTuner*> tuner_{nullptr};
 };
 

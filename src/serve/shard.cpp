@@ -43,7 +43,7 @@ ShardedTuningService::ShardedTuningService(ShardOptions options)
 ShardedTuningService::~ShardedTuningService() { stop(); }
 
 std::uint64_t ShardedTuningService::publish(ModelSnapshot snapshot) {
-  std::lock_guard<std::mutex> lock(publish_mutex_);
+  MutexLock lock(publish_mutex_);
   std::uint64_t version = 0;
   for (auto& shard : shards_) version = shard->publish(snapshot);
   return version;
@@ -61,7 +61,7 @@ void ShardedTuningService::attach_tuner(core::OnlineTuner& tuner) {
   // The tuner's hooks are single-slot, so the router — not any one shard —
   // must own them and fan out.
   tuner.set_publish_hook([this](int bucket, const core::Rafiki::OptimizeResult& result) {
-    std::lock_guard<std::mutex> lock(publish_mutex_);
+    MutexLock lock(publish_mutex_);
     for (auto& shard : shards_)
       shard->publish_tuned(bucket, result.config, result.predicted_throughput);
   });
@@ -136,7 +136,7 @@ void ShardedTuningService::wait_retrain_idle() {
 }
 
 bool ShardedTuningService::rebalance_hottest() {
-  std::lock_guard<std::mutex> lock(rebalance_mutex_);
+  MutexLock lock(rebalance_mutex_);
   const std::size_t n = shards_.size();
   if (n < 2) return false;
 

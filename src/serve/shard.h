@@ -42,11 +42,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "serve/backend.h"
 #include "serve/service.h"
+#include "util/sync.h"
 
 namespace rafiki::serve {
 
@@ -159,10 +159,15 @@ class ShardedTuningService : public TuningBackend {
   std::atomic<std::uint64_t> spills_{0};
   std::atomic<std::uint64_t> rebalances_{0};
   /// Serializes fan-out publishes so all shards see the same snapshot
-  /// sequence (and therefore mint identical version numbers).
-  std::mutex publish_mutex_;
-  /// Serializes route-table rewrites (reads stay lock-free).
-  std::mutex rebalance_mutex_;
+  /// sequence (and therefore mint identical version numbers). Lock
+  /// hierarchy: acquired BEFORE any shard's publish_mutex_ (the fan-out
+  /// calls into shard->publish/publish_tuned while held) — see "Concurrency
+  /// contracts" in DESIGN.md; never acquired from shard code.
+  Mutex publish_mutex_;
+  /// Serializes route-table rewrites (reads stay lock-free relaxed atomic
+  /// loads on the submit path; the route_ slots themselves are atomics, so
+  /// they carry no GUARDED_BY — the mutex only orders writers).
+  Mutex rebalance_mutex_;
 };
 
 }  // namespace rafiki::serve

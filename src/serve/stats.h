@@ -24,6 +24,12 @@
 //     worker pool (TuningService::stop) or any acquire/release handoff.
 //     Tests and benches read after stop()/join and therefore see exact
 //     values; live dashboards see a crossing-lag of at most a few ops.
+//   * Every atomic op in this file names its ordering explicitly (the
+//     kRelaxed alias) — enforced tree-wide for src/serve/ and src/net/ by
+//     the `memory-order` rule in tools/check_determinism.py, so a future
+//     edit cannot silently fall back to seq_cst or, worse, look ordered
+//     without being chosen. There are no locks below the stripes; this
+//     file is the leaf of the lock hierarchy (DESIGN.md §5e).
 #pragma once
 
 #include <array>

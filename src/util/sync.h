@@ -1,0 +1,176 @@
+// Compile-time concurrency contracts: Clang -Wthread-safety capability
+// annotations plus annotated wrappers over the std synchronization
+// primitives. The serve/net stack's locking discipline (which field is
+// guarded by which mutex, which methods require a lock held) used to live in
+// DESIGN.md prose and TSan's dynamic coverage; with these types the compiler
+// checks it on every build of every TU — the `tsa` preset turns violations
+// into hard errors (-Werror=thread-safety-analysis).
+//
+// Usage:
+//   * Declare locks as rafiki::Mutex, hold them with rafiki::MutexLock
+//     (scoped), wait with rafiki::CondVar. std::mutex /
+//     std::condition_variable are not used directly in concurrent code —
+//     they are invisible to the analysis.
+//   * Annotate every field written under a lock with GUARDED_BY(mutex_),
+//     and every method that expects the caller to hold a lock with
+//     REQUIRES(mutex_).
+//   * Condition-variable predicates that read guarded state must be written
+//     as explicit `while (!pred) cv.wait(mutex)` loops in the annotated
+//     function, NOT as lambda predicates — the analysis is intraprocedural
+//     and cannot see that a lambda runs with the lock held.
+//   * NO_THREAD_SAFETY_ANALYSIS is a last resort; every use site MUST carry
+//     a `// tsa:ok: <reason>` justification comment on the same line or the
+//     line above (enforced by tools/check_determinism.py, rule
+//     `tsa-justification`).
+//
+// On non-Clang compilers every macro expands to nothing and the wrappers
+// compile to the underlying std types with zero overhead, so GCC builds are
+// unaffected; only Clang builds get the analysis.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------------------------------
+// Annotation macro set (the standard capability-analysis vocabulary; see
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__)
+#define RAFIKI_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define RAFIKI_THREAD_ANNOTATION(x)  // no-op: GCC/MSVC have no capability analysis
+#endif
+
+#ifndef CAPABILITY
+#define CAPABILITY(x) RAFIKI_THREAD_ANNOTATION(capability(x))
+#endif
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY RAFIKI_THREAD_ANNOTATION(scoped_lockable)
+#endif
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) RAFIKI_THREAD_ANNOTATION(guarded_by(x))
+#endif
+#ifndef PT_GUARDED_BY
+#define PT_GUARDED_BY(x) RAFIKI_THREAD_ANNOTATION(pt_guarded_by(x))
+#endif
+#ifndef ACQUIRED_BEFORE
+#define ACQUIRED_BEFORE(...) RAFIKI_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#endif
+#ifndef ACQUIRED_AFTER
+#define ACQUIRED_AFTER(...) RAFIKI_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#endif
+#ifndef REQUIRES
+#define REQUIRES(...) RAFIKI_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#endif
+#ifndef REQUIRES_SHARED
+#define REQUIRES_SHARED(...) \
+  RAFIKI_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#endif
+#ifndef ACQUIRE
+#define ACQUIRE(...) RAFIKI_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#endif
+#ifndef ACQUIRE_SHARED
+#define ACQUIRE_SHARED(...) \
+  RAFIKI_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#endif
+#ifndef RELEASE
+#define RELEASE(...) RAFIKI_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#endif
+#ifndef RELEASE_SHARED
+#define RELEASE_SHARED(...) \
+  RAFIKI_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#endif
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(...) RAFIKI_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#endif
+#ifndef EXCLUDES
+#define EXCLUDES(...) RAFIKI_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#endif
+#ifndef ASSERT_CAPABILITY
+#define ASSERT_CAPABILITY(x) RAFIKI_THREAD_ANNOTATION(assert_capability(x))
+#endif
+#ifndef RETURN_CAPABILITY
+#define RETURN_CAPABILITY(x) RAFIKI_THREAD_ANNOTATION(lock_returned(x))
+#endif
+#ifndef NO_THREAD_SAFETY_ANALYSIS
+#define NO_THREAD_SAFETY_ANALYSIS RAFIKI_THREAD_ANNOTATION(no_thread_safety_analysis)
+#endif
+
+namespace rafiki {
+
+class CondVar;
+
+/// Annotated mutex: a zero-overhead std::mutex wrapper the capability
+/// analysis can see. Fields guarded by one are declared GUARDED_BY(mu_);
+/// methods expecting it held are declared REQUIRES(mu_).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Scoped lock (the std::lock_guard shape the analysis understands): holds
+/// the mutex for the enclosing scope, so guarded accesses inside that scope
+/// type-check.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) ACQUIRE(mutex) : mutex_(mutex) { mutex_.lock(); }
+  ~MutexLock() RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable over rafiki::Mutex. All waits REQUIRE the mutex held;
+/// internally the wait adopts the already-held std::mutex (no
+/// condition_variable_any overhead) and re-owns it before returning, so the
+/// caller's capability is intact on both sides of the wait exactly as the
+/// annotation promises. No predicate overloads on purpose: predicates read
+/// guarded state, and a lambda would escape the analysis — spell the
+/// `while (!pred) cv.wait(mutex);` loop in the annotated caller instead.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Atomically releases `mutex`, blocks, and reacquires before returning.
+  /// Spurious wakeups happen; always wait in a predicate loop.
+  void wait(Mutex& mutex) REQUIRES(mutex) {
+    std::unique_lock<std::mutex> adopted(mutex.mu_, std::adopt_lock);
+    cv_.wait(adopted);
+    adopted.release();  // the caller still owns the lock, as annotated
+  }
+
+  /// Timed wait (real-time deadline); see wait() for the locking contract.
+  std::cv_status wait_until(Mutex& mutex,
+                            std::chrono::steady_clock::time_point deadline)
+      REQUIRES(mutex) {
+    std::unique_lock<std::mutex> adopted(mutex.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(adopted, deadline);
+    adopted.release();
+    return status;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace rafiki

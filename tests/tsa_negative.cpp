@@ -1,0 +1,44 @@
+// Negative-compile fixture proving the thread-safety analysis actually fires.
+//
+// A lint that never fails is indistinguishable from one that is wired up
+// wrong (bad flag spelling, macros expanding to nothing under the wrong
+// compiler), so the tsa.analysis_fires ctest compiles this file with
+// -DRAFIKI_TSA_EXPECT_FAIL under -Werror=thread-safety-analysis and asserts
+// the compile FAILS (WILL_FAIL): the unguarded read of a GUARDED_BY field
+// must be rejected. The tsa.negative_control test compiles the correctly
+// locked variant with the same flags and must succeed — together they pin
+// both directions of the analysis. Registered only under clang; GCC has no
+// capability analysis (the macros are no-ops there by design).
+#include "util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void increment() {
+    rafiki::MutexLock lock(mutex_);
+    value_ += 1;
+  }
+
+#if defined(RAFIKI_TSA_EXPECT_FAIL)
+  // Deliberate contract violation: guarded field read without the lock.
+  int value() const { return value_; }
+#else
+  int value() const {
+    rafiki::MutexLock lock(mutex_);
+    return value_;
+  }
+#endif
+
+ private:
+  mutable rafiki::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.increment();
+  return counter.value() == 1 ? 0 : 1;
+}

@@ -24,6 +24,18 @@ Rules (ids used in findings and det:ok() suppressions):
                   with explicit little-endian helpers; struct layout is not
                   the wire format (path-scoped rule)
 
+Concurrency-contract rules (same suppression syntax):
+  memory-order    atomic load/store/RMW without an explicit std::memory_order
+                  argument under src/serve/ or src/net/ — the bare seq_cst
+                  default hides the intended ordering from reviewers and from
+                  the registry/stats visibility audits. Named constexpr
+                  aliases (kRelaxed, kAcquire, ...) count as explicit.
+                  (path-scoped rule)
+  tsa-justification  NO_THREAD_SAFETY_ANALYSIS without a `// tsa:ok: <reason>`
+                  comment on the same line or the line above — escaping the
+                  Clang capability analysis must be justified in place
+                  (src/util/sync.h, which defines the macro, is exempt)
+
 Suppress a finding by annotating the offending line (or the line directly
 above it) with:  // det:ok(<rule-id>): <reason>
 
@@ -90,6 +102,32 @@ PATH_PATTERN_RULES = {
     ),
 }
 
+# --- memory-order rule ------------------------------------------------------
+# Member calls on std::atomic that take an optional std::memory_order. Bare
+# calls default to seq_cst, which both over-synchronizes and — worse — hides
+# whether the author *thought* about the required ordering. Scoped to the
+# concurrent serving stack; the offline math code has no atomics to audit.
+MEMORY_ORDER_PREFIXES = ("src/serve/", "src/net/")
+ATOMIC_CALL_RE = re.compile(
+    r"(?:\.|->)\s*(?P<op>load|store|exchange|fetch_add|fetch_sub|fetch_and|"
+    r"fetch_or|fetch_xor|compare_exchange_weak|compare_exchange_strong)\s*\("
+)
+# An explicit order is either the std token or one of the codebase's named
+# constexpr aliases (e.g. `constexpr auto kRelaxed = std::memory_order_relaxed`).
+EXPLICIT_ORDER_RE = re.compile(
+    r"memory_order|(?<![A-Za-z0-9_])k(Relaxed|Consume|Acquire|Release|AcqRel|SeqCst)"
+    r"(?![A-Za-z0-9_])"
+)
+# How many continuation lines to gather while balancing the call's parens.
+ATOMIC_CALL_MAX_SPAN = 8
+
+# --- tsa-justification rule -------------------------------------------------
+# Every escape hatch from the Clang thread-safety analysis must say why, right
+# where it is used. The macro's own definition site is exempt.
+TSA_ESCAPE_RE = re.compile(r"(?<![A-Za-z0-9_])NO_THREAD_SAFETY_ANALYSIS(?![A-Za-z0-9_])")
+TSA_JUSTIFY_RE = re.compile(r"//\s*tsa:ok:\s*\S")
+TSA_EXEMPT_FILES = {Path("src/util/sync.h")}
+
 UNORDERED_DECL_RE = re.compile(
     r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s+(\w+)\s*[;({=]"
 )
@@ -116,6 +154,29 @@ def suppressed_rules(lines: list[str], idx: int) -> set[str]:
     return rules
 
 
+def gather_call_args(code_lines: list[str], idx: int, start: int) -> str | None:
+    """Collect the argument text of a call whose open paren is at
+    code_lines[idx][start - 1], balancing parens across up to
+    ATOMIC_CALL_MAX_SPAN lines. Returns None if the call never closes in that
+    window (treated as no-finding rather than a guess)."""
+    depth = 1
+    parts: list[str] = []
+    pos = start
+    for i in range(idx, min(idx + ATOMIC_CALL_MAX_SPAN, len(code_lines))):
+        segment = code_lines[i][pos:] if i == idx else code_lines[i]
+        for j, ch in enumerate(segment):
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+                if depth == 0:
+                    parts.append(segment[:j])
+                    return "".join(parts)
+        parts.append(segment)
+        pos = 0
+    return None
+
+
 def scan_file(path: Path, rel: Path) -> list[tuple[Path, int, str, str]]:
     findings = []
     try:
@@ -129,6 +190,10 @@ def scan_file(path: Path, rel: Path) -> list[tuple[Path, int, str, str]]:
         code = strip_strings(LINE_COMMENT_RE.sub("", line))
         for m in UNORDERED_DECL_RE.finditer(code):
             unordered_names.add(m.group(1))
+
+    # Comment/string-stripped view of every line, for multi-line arg gathering.
+    code_lines = [strip_strings(LINE_COMMENT_RE.sub("", line)) for line in lines]
+    memory_order_scoped = rel.as_posix().startswith(MEMORY_ORDER_PREFIXES)
 
     for idx, raw in enumerate(lines):
         code = strip_strings(LINE_COMMENT_RE.sub("", raw))
@@ -145,6 +210,40 @@ def scan_file(path: Path, rel: Path) -> list[tuple[Path, int, str, str]]:
                 and pattern.search(code)
             ):
                 findings.append((rel, idx + 1, rule, message))
+        if memory_order_scoped and "memory-order" not in allowed:
+            for m in ATOMIC_CALL_RE.finditer(code):
+                args = gather_call_args(code_lines, idx, m.end())
+                if args is not None and not EXPLICIT_ORDER_RE.search(args):
+                    findings.append(
+                        (
+                            rel,
+                            idx + 1,
+                            "memory-order",
+                            f"atomic {m.group('op')}() without an explicit "
+                            "std::memory_order; the bare seq_cst default hides "
+                            "the intended ordering — state it (or a kRelaxed-"
+                            "style alias), or annotate det:ok(memory-order)",
+                        )
+                    )
+        if (
+            "tsa-justification" not in allowed
+            and rel not in TSA_EXEMPT_FILES
+            and TSA_ESCAPE_RE.search(code)
+        ):
+            justified = any(
+                0 <= i < len(lines) and TSA_JUSTIFY_RE.search(lines[i])
+                for i in (idx, idx - 1)
+            )
+            if not justified:
+                findings.append(
+                    (
+                        rel,
+                        idx + 1,
+                        "tsa-justification",
+                        "NO_THREAD_SAFETY_ANALYSIS requires a `// tsa:ok: "
+                        "<reason>` comment on this line or the line above",
+                    )
+                )
         if "unordered-iter" not in allowed:
             m = RANGE_FOR_RE.search(code) or RANGE_FOR_FALLBACK_RE.search(code)
             if m:
@@ -239,29 +338,74 @@ void put_u16(std::uint8_t* out, std::uint16_t v) {
 }
 """
 
+SELFTEST_SERVE_BAD = """\
+#include <atomic>
+void hot(std::atomic<int>& a, std::atomic<bool>& flag) {
+  int v = a.load();                       // bare seq_cst default
+  flag.store(true);                       // bare seq_cst default
+  a.fetch_add(
+      1);                                 // multi-line call, still bare
+  int expected = v;
+  a.compare_exchange_weak(expected, v + 1);
+  NO_THREAD_SAFETY_ANALYSIS               // no justification comment
+}
+"""
+
+SELFTEST_SERVE_CLEAN = """\
+#include <atomic>
+constexpr auto kRelaxed = std::memory_order_relaxed;
+void hot(std::atomic<int>& a, std::atomic<bool>& flag) {
+  int v = a.load(std::memory_order_acquire);
+  flag.store(true, std::memory_order_release);
+  a.fetch_add(
+      1, kRelaxed);                       // named alias counts as explicit
+  // det:ok(memory-order): example of a reviewed seq_cst site
+  a.fetch_sub(1);
+  overloaded.store(v);                    // det:ok(memory-order): reviewed
+  // tsa:ok: example justification on the line above
+  NO_THREAD_SAFETY_ANALYSIS
+  NO_THREAD_SAFETY_ANALYSIS  // tsa:ok: same-line justification also accepted
+}
+"""
+
 
 def selftest() -> int:
     expected = {"c-rand", "random-device", "mt19937", "wall-clock", "thread-id",
-                "unordered-iter", "wire-memcpy"}
+                "unordered-iter", "wire-memcpy", "memory-order", "tsa-justification"}
     with tempfile.TemporaryDirectory() as tmp:
         root = Path(tmp)
         (root / "src" / "net").mkdir(parents=True)
+        (root / "src" / "serve").mkdir(parents=True)
         (root / "src" / "bad.cpp").write_text(SELFTEST_BAD)
         (root / "src" / "net" / "codec.cpp").write_text(SELFTEST_WIRE_BAD)
+        (root / "src" / "serve" / "hot.cpp").write_text(SELFTEST_SERVE_BAD)
+        # The identical atomic calls outside src/serve+src/net must not fire;
+        # NO_THREAD_SAFETY_ANALYSIS is checked everywhere (one more expected).
+        (root / "src" / "outside.cpp").write_text(SELFTEST_SERVE_BAD)
         bad_findings = scan_tree(root)
         fired = {rule for (_, _, rule, _) in bad_findings}
         missing = expected - fired
         if missing:
             print(f"selftest FAILED: rules did not fire on bad input: {sorted(missing)}")
             return 1
-        # Path scoping: the same memcpy outside src/net/ must not fire.
-        outside = [f for f in bad_findings
-                   if f[2] == "wire-memcpy" and not f[0].as_posix().startswith("src/net/")]
-        if outside:
-            print("selftest FAILED: wire-memcpy fired outside src/net/")
+        # Path scoping: the same construct outside its scoped prefix must not
+        # fire (memcpy outside src/net/, bare atomics outside serve/net).
+        for rule, prefixes in (("wire-memcpy", ("src/net/",)),
+                               ("memory-order", MEMORY_ORDER_PREFIXES)):
+            outside = [f for f in bad_findings
+                       if f[2] == rule and not f[0].as_posix().startswith(prefixes)]
+            if outside:
+                print(f"selftest FAILED: {rule} fired outside {prefixes}")
+                return 1
+        bare = [f for f in bad_findings
+                if f[2] == "memory-order" and f[0].as_posix() == "src/serve/hot.cpp"]
+        if len(bare) != 4:  # load, store, multi-line fetch_add, CAS
+            print(f"selftest FAILED: expected 4 memory-order findings, got {len(bare)}")
             return 1
         (root / "src" / "bad.cpp").write_text(SELFTEST_CLEAN)
         (root / "src" / "net" / "codec.cpp").write_text(SELFTEST_WIRE_CLEAN)
+        (root / "src" / "serve" / "hot.cpp").write_text(SELFTEST_SERVE_CLEAN)
+        (root / "src" / "outside.cpp").unlink()
         clean_findings = scan_tree(root)
         if clean_findings:
             for rel, lineno, rule, _ in clean_findings:

@@ -21,7 +21,7 @@
 //      below the mean background-retrain latency — proof the request path
 //      no longer absorbs optimizer spikes.
 //   E. Shard scaling — the same closed loop at shards in {1, 2, 4, 8}
-//      (max_batch = 1, clients in {1, 8}), plus a bit-parity sweep proving
+//      (max_batch = 1, clients in {1, 8, 64}), plus a bit-parity sweep proving
 //      the sharded router returns exactly the unsharded (and scalar)
 //      predictions.
 //   F. Rebalance under fire — hot bands pinned to one shard, clients
@@ -96,6 +96,7 @@ struct ScalingResult {
   std::size_t shards = 0;
   double clients1_qps = 0.0;
   double clients8_qps = 0.0;
+  double clients64_qps = 0.0;
   double scaling = 0.0;
   std::uint64_t failed = 0;
   std::uint64_t spills = 0;
@@ -504,8 +505,9 @@ void write_json(const std::string& path, const std::vector<MicroResult>& micro,
     const auto& s = scaling[i];
     std::fprintf(out,
                  "    {\"shards\": %zu, \"clients1_qps\": %.1f, \"clients8_qps\": %.1f, "
-                 "\"scaling\": %.2f, \"failed\": %llu, \"spills\": %llu}%s\n",
-                 s.shards, s.clients1_qps, s.clients8_qps, s.scaling,
+                 "\"clients64_qps\": %.1f, \"scaling\": %.2f, \"failed\": %llu, "
+                 "\"spills\": %llu}%s\n",
+                 s.shards, s.clients1_qps, s.clients8_qps, s.clients64_qps, s.scaling,
                  static_cast<unsigned long long>(s.failed),
                  static_cast<unsigned long long>(s.spills),
                  i + 1 < scaling.size() ? "," : "");
@@ -640,23 +642,31 @@ int main(int argc, char** argv) {
                          Table::num(regime.retrain_mean_us, 1) + " us");
 
   // Phase E: shard scaling sweep + bit parity across backends.
+  // The 64-client point stresses admission under far more closed-loop
+  // producers than workers; a shorter per-client loop keeps its wall time in
+  // line with the rest of the sweep.
+  const std::size_t calls64 = smoke ? 20 : 100;
   std::vector<ScalingResult> scaling;
   for (std::size_t n_shards : {1u, 2u, 4u, 8u}) {
     ScalingResult entry;
     entry.shards = n_shards;
     const auto one = load_bench(rafiki, n_shards, 1, 1, calls);
     const auto eight = load_bench(rafiki, n_shards, 8, 1, calls);
+    const auto sixty_four = load_bench(rafiki, n_shards, 64, 1, calls64);
     entry.clients1_qps = one.qps;
     entry.clients8_qps = eight.qps;
+    entry.clients64_qps = sixty_four.qps;
     entry.scaling = one.qps > 0.0 ? eight.qps / one.qps : 0.0;
-    entry.failed = one.failed + eight.failed;
-    entry.spills = one.spills + eight.spills;
+    entry.failed = one.failed + eight.failed + sixty_four.failed;
+    entry.spills = one.spills + eight.spills + sixty_four.spills;
     scaling.push_back(entry);
   }
-  Table scaling_table({"shards", "QPS (1 client)", "QPS (8 clients)", "scaling", "failed"});
+  Table scaling_table({"shards", "QPS (1 client)", "QPS (8 clients)",
+                       "QPS (64 clients)", "scaling", "failed"});
   for (const auto& s : scaling) {
     scaling_table.add_row({std::to_string(s.shards), Table::ops(s.clients1_qps),
-                           Table::ops(s.clients8_qps), Table::num(s.scaling, 2) + "x",
+                           Table::ops(s.clients8_qps), Table::ops(s.clients64_qps),
+                           Table::num(s.scaling, 2) + "x",
                            std::to_string(s.failed)});
   }
   benchutil::emit(scaling_table, "Phase E: shard scaling (max_batch = 1)");

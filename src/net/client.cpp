@@ -282,6 +282,7 @@ CallResult Client::call(const serve::Request& request) {
 
 CallResult Client::predict(double read_ratio, const engine::Config& config) {
   serve::Request request;
+  request.tenant = options_.tenant;
   request.endpoint = serve::Endpoint::kPredict;
   request.read_ratio = read_ratio;
   request.config = config;
@@ -290,6 +291,7 @@ CallResult Client::predict(double read_ratio, const engine::Config& config) {
 
 CallResult Client::optimize(double read_ratio) {
   serve::Request request;
+  request.tenant = options_.tenant;
   request.endpoint = serve::Endpoint::kOptimize;
   request.read_ratio = read_ratio;
   return call(request);
@@ -297,6 +299,7 @@ CallResult Client::optimize(double read_ratio) {
 
 CallResult Client::observe_window(double read_ratio) {
   serve::Request request;
+  request.tenant = options_.tenant;
   request.endpoint = serve::Endpoint::kObserveWindow;
   request.read_ratio = read_ratio;
   return call(request);

@@ -51,6 +51,10 @@ struct ClientOptions {
   std::chrono::milliseconds connect_timeout{2000};
   std::chrono::milliseconds request_timeout{5000};
   std::size_t max_payload = kDefaultMaxPayload;
+  /// Tenant namespace stamped on every request the typed wrappers build
+  /// (predict/optimize/observe_window). Raw send()/call() requests keep
+  /// whatever tenant the caller set. 0 is the default namespace.
+  serve::TenantId tenant = 0;
 };
 
 class Client {
@@ -73,11 +77,16 @@ class Client {
   /// send + wait.
   CallResult call(const serve::Request& request);
 
-  // Typed wrappers for the three endpoints.
+  // Typed wrappers for the three endpoints. Each stamps the configured
+  // tenant (ClientOptions::tenant / set_tenant) on the request.
   CallResult predict(double read_ratio,
                      const engine::Config& config = engine::Config::defaults());
   CallResult optimize(double read_ratio);
   CallResult observe_window(double read_ratio);
+
+  /// Switches the tenant namespace for subsequent typed-wrapper calls.
+  void set_tenant(serve::TenantId tenant) noexcept { options_.tenant = tenant; }
+  serve::TenantId tenant() const noexcept { return options_.tenant; }
 
  private:
   NetStatus read_some(std::chrono::steady_clock::time_point deadline);

@@ -336,12 +336,15 @@ void Server::process_frames(const ConnectionPtr& conn) {
     if (status == DecodeStatus::kOk) {
       stats_.record_frame_in();
       conn->rpos += consumed;
+      // Adopt the peer's dialect: every answer from here on is encoded in
+      // the version of the last well-formed frame it sent.
+      conn->wire_version = frame.version;
       if (frame.type == FrameType::kRequest) {
         handle_request(conn, frame);
       } else {
         // A client must only send requests; answer the misuse, keep the
         // stream (the frame itself was well-formed).
-        queue_error(*conn, frame.request_id, WireError::kBadFrame);
+        queue_error(*conn, frame.request_id, WireError::kBadFrame, frame.tenant);
       }
       continue;
     }
@@ -371,11 +374,12 @@ void Server::process_frames(const ConnectionPtr& conn) {
 void Server::handle_request(const ConnectionPtr& conn, const Frame& frame) {
   const std::uint64_t id = frame.request_id;
   const serve::Endpoint endpoint = frame.endpoint;
+  const serve::TenantId tenant = frame.tenant;
 
   if (draining_.load(std::memory_order_acquire)) {
     serve::Response response;
     response.status = serve::Status::kShuttingDown;
-    queue_response(*conn, id, endpoint, response);
+    queue_response(*conn, id, endpoint, response, tenant);
     return;
   }
   // Loop-thread admission check: we see our own increments; a worker's
@@ -385,7 +389,7 @@ void Server::handle_request(const ConnectionPtr& conn, const Frame& frame) {
     // TCP: the client sees a typed kOverloaded and can back off.
     serve::Response response;
     response.status = serve::Status::kOverloaded;
-    queue_response(*conn, id, endpoint, response);
+    queue_response(*conn, id, endpoint, response, tenant);
     return;
   }
 
@@ -395,12 +399,16 @@ void Server::handle_request(const ConnectionPtr& conn, const Frame& frame) {
   conn->in_flight.fetch_add(1, std::memory_order_relaxed);
   serve::ServiceStats* stats = &stats_;
   const std::shared_ptr<Waker> waker = conn->waker;
+  // The callback snapshots the peer's dialect at submit time: wire_version
+  // is loop-thread-owned, so a worker thread must not read it later.
+  const std::uint8_t version = conn->wire_version;
   const serve::Status admitted = service_.try_submit(
-      frame.request, [conn, waker, stats, id, endpoint, t0](serve::Response response) {
+      frame.request,
+      [conn, waker, stats, id, endpoint, tenant, version, t0](serve::Response response) {
         // Runs on a service worker thread. Touches only ref-counted state
         // (connection buffers, the waker pipe) — never the Server itself.
         std::vector<std::uint8_t> bytes;
-        encode_response(id, endpoint, response, bytes);
+        encode_response(id, endpoint, response, bytes, tenant, version);
         {
           MutexLock lock(conn->out_mutex);
           conn->obuf.insert(conn->obuf.end(), bytes.begin(), bytes.end());
@@ -419,14 +427,15 @@ void Server::handle_request(const ConnectionPtr& conn, const Frame& frame) {
     conn->in_flight.fetch_sub(1, std::memory_order_relaxed);
     serve::Response response;
     response.status = admitted;
-    queue_response(*conn, id, endpoint, response);
+    queue_response(*conn, id, endpoint, response, tenant);
   }
 }
 
 void Server::queue_response(Connection& conn, std::uint64_t request_id,
-                            serve::Endpoint endpoint, const serve::Response& response) {
+                            serve::Endpoint endpoint, const serve::Response& response,
+                            serve::TenantId tenant) {
   std::vector<std::uint8_t> bytes;
-  encode_response(request_id, endpoint, response, bytes);
+  encode_response(request_id, endpoint, response, bytes, tenant, conn.wire_version);
   {
     MutexLock lock(conn.out_mutex);
     conn.obuf.insert(conn.obuf.end(), bytes.begin(), bytes.end());
@@ -435,9 +444,10 @@ void Server::queue_response(Connection& conn, std::uint64_t request_id,
   stats_.record_wire_latency(endpoint, 0.0);  // answered inline, no queueing
 }
 
-void Server::queue_error(Connection& conn, std::uint64_t request_id, WireError error) {
+void Server::queue_error(Connection& conn, std::uint64_t request_id, WireError error,
+                         serve::TenantId tenant) {
   std::vector<std::uint8_t> bytes;
-  encode_error(request_id, error, bytes);
+  encode_error(request_id, error, bytes, tenant, conn.wire_version);
   {
     MutexLock lock(conn.out_mutex);
     conn.obuf.insert(conn.obuf.end(), bytes.begin(), bytes.end());

@@ -122,6 +122,10 @@ class Server {
     std::size_t rpos = 0;
     bool read_closed = false;  ///< peer sent FIN (or read side gave up)
     bool fatal = false;        ///< protocol-fatal: close once output flushes
+    /// Protocol version of the most recent well-formed frame from this peer
+    /// (loop-thread only). Responses and error frames are encoded in the
+    /// peer's own dialect, so a v1 client never receives a 24-byte header.
+    std::uint8_t wire_version = kProtocolVersion;
     // --- shared with response callbacks ---
     rafiki::Mutex out_mutex;
     std::vector<std::uint8_t> obuf GUARDED_BY(out_mutex);
@@ -151,9 +155,12 @@ class Server {
   void handle_read(Connection& conn);
   void process_frames(const ConnectionPtr& conn);
   void handle_request(const ConnectionPtr& conn, const Frame& frame);
+  /// Encodes in the connection's wire_version, echoing the request's tenant.
   void queue_response(Connection& conn, std::uint64_t request_id,
-                      serve::Endpoint endpoint, const serve::Response& response);
-  void queue_error(Connection& conn, std::uint64_t request_id, WireError error);
+                      serve::Endpoint endpoint, const serve::Response& response,
+                      serve::TenantId tenant);
+  void queue_error(Connection& conn, std::uint64_t request_id, WireError error,
+                   serve::TenantId tenant = 0);
   void flush(Connection& conn);
   /// No pending work in either direction and the peer is still healthy —
   /// the draining loop's criterion for letting a connection go.

@@ -9,21 +9,24 @@
 namespace rafiki::net {
 namespace {
 
-// Payload body sizes are fixed per frame type in protocol version 1; the
-// decoder checks the length prefix against them before touching the body.
+// Payload body sizes are fixed per frame type (identical in protocol
+// versions 1 and 2 — the version bump only grew the header); the decoder
+// checks the length prefix against them before touching the body.
 constexpr std::size_t kConfigWireSize = 2 + engine::kParamCount * 8;
 constexpr std::size_t kRequestPayloadSize = 8 + 8 + kConfigWireSize;
 constexpr std::size_t kResponsePayloadSize = 8 + 8 + 8 + 8 + kConfigWireSize + 8 + 1 + 1 + 8;
 constexpr std::size_t kErrorPayloadSize = 0;
 
 void put_header(std::vector<std::uint8_t>& out, FrameType type, std::uint8_t endpoint,
-                std::uint8_t code, std::uint64_t request_id, std::uint32_t payload_len) {
+                std::uint8_t code, std::uint64_t request_id, serve::TenantId tenant,
+                std::uint32_t payload_len, std::uint8_t version) {
   put_u32(out, kMagic);
-  put_u8(out, kProtocolVersion);
+  put_u8(out, version);
   put_u8(out, static_cast<std::uint8_t>(type));
   put_u8(out, endpoint);
   put_u8(out, code);
   put_u64(out, request_id);
+  if (version >= 2) put_u32(out, tenant);  // v1 headers have no tenant field
   put_u32(out, payload_len);
 }
 
@@ -206,19 +209,21 @@ bool WireReader::get_f64(double& v) noexcept {
 }
 
 void encode_request(std::uint64_t request_id, const serve::Request& request,
-                    std::vector<std::uint8_t>& out) {
+                    std::vector<std::uint8_t>& out, std::uint8_t version) {
   put_header(out, FrameType::kRequest, static_cast<std::uint8_t>(request.endpoint), 0,
-             request_id, static_cast<std::uint32_t>(kRequestPayloadSize));
+             request_id, request.tenant, static_cast<std::uint32_t>(kRequestPayloadSize),
+             version);
   put_f64(out, request.read_ratio);
   put_u64(out, request.deadline);
   put_config(out, request.config);
 }
 
 void encode_response(std::uint64_t request_id, serve::Endpoint endpoint,
-                     const serve::Response& response, std::vector<std::uint8_t>& out) {
+                     const serve::Response& response, std::vector<std::uint8_t>& out,
+                     serve::TenantId tenant, std::uint8_t version) {
   put_header(out, FrameType::kResponse, static_cast<std::uint8_t>(endpoint),
-             static_cast<std::uint8_t>(response.status), request_id,
-             static_cast<std::uint32_t>(kResponsePayloadSize));
+             static_cast<std::uint8_t>(response.status), request_id, tenant,
+             static_cast<std::uint32_t>(kResponsePayloadSize), version);
   put_u64(out, response.model_version);
   put_f64(out, response.mean);
   put_f64(out, response.stddev);
@@ -231,23 +236,28 @@ void encode_response(std::uint64_t request_id, serve::Endpoint endpoint,
 }
 
 void encode_error(std::uint64_t request_id, WireError error,
-                  std::vector<std::uint8_t>& out) {
+                  std::vector<std::uint8_t>& out, serve::TenantId tenant,
+                  std::uint8_t version) {
   put_header(out, FrameType::kError, 0, static_cast<std::uint8_t>(error), request_id,
-             static_cast<std::uint32_t>(kErrorPayloadSize));
+             tenant, static_cast<std::uint32_t>(kErrorPayloadSize), version);
 }
 
 DecodeStatus decode_frame(const std::uint8_t* data, std::size_t size,
                           std::size_t max_payload, Frame& frame, std::size_t& consumed) {
   consumed = 0;
-  if (size < kHeaderSize) return DecodeStatus::kNeedMore;
+  // The fixed prefix shared by both header layouts (through the request id)
+  // is 16 bytes; the version byte at offset 4 then selects how much more
+  // header to expect. Never read past `size`.
+  if (size < kHeaderSizeV1) return DecodeStatus::kNeedMore;
 
-  WireReader header(data, kHeaderSize);
+  WireReader header(data, size < kHeaderSize ? size : kHeaderSize);
   std::uint32_t magic = 0;
   std::uint8_t version = 0;
   std::uint8_t type_byte = 0;
   std::uint8_t endpoint_byte = 0;
   std::uint8_t code_byte = 0;
   std::uint64_t request_id = 0;
+  serve::TenantId tenant = 0;
   std::uint32_t payload_len = 0;
   header.get_u32(magic);
   header.get_u8(version);
@@ -255,25 +265,33 @@ DecodeStatus decode_frame(const std::uint8_t* data, std::size_t size,
   header.get_u8(endpoint_byte);
   header.get_u8(code_byte);
   header.get_u64(request_id);
-  header.get_u32(payload_len);
 
   // Fatal checks first: if these fail the stream offset itself is suspect
-  // and no later frame boundary can be trusted.
+  // and no later frame boundary can be trusted. An unknown version is fatal
+  // because the header *length* depends on it.
   if (magic != kMagic) return DecodeStatus::kBadMagic;
-  if (version != kProtocolVersion) return DecodeStatus::kBadVersion;
+  if (version < kMinProtocolVersion || version > kProtocolVersion) {
+    return DecodeStatus::kBadVersion;
+  }
+  const std::size_t header_size = version == 1 ? kHeaderSizeV1 : kHeaderSize;
+  if (size < header_size) return DecodeStatus::kNeedMore;
+  if (version >= 2) header.get_u32(tenant);  // v1 compat decode: tenant 0
+  header.get_u32(payload_len);
   if (payload_len > max_payload) return DecodeStatus::kBadLength;
-  if (size < kHeaderSize + payload_len) return DecodeStatus::kNeedMore;
+  if (size < header_size + payload_len) return DecodeStatus::kNeedMore;
 
   // From here on the full frame is buffered and its length prefix is sane,
   // so every further failure is recoverable: report it, consume the frame,
   // and let the caller keep the connection.
-  consumed = kHeaderSize + payload_len;
+  consumed = header_size + payload_len;
   frame.request_id = request_id;
+  frame.version = version;
+  frame.tenant = tenant;
 
   if (type_byte >= kFrameTypeCount) return DecodeStatus::kBadFrameType;
   frame.type = static_cast<FrameType>(type_byte);
 
-  WireReader reader(data + kHeaderSize, payload_len);
+  WireReader reader(data + header_size, payload_len);
   switch (frame.type) {
     case FrameType::kRequest: {
       if (endpoint_byte >= serve::kEndpointCount) return DecodeStatus::kBadEnum;
@@ -281,6 +299,7 @@ DecodeStatus decode_frame(const std::uint8_t* data, std::size_t size,
       frame.endpoint = static_cast<serve::Endpoint>(endpoint_byte);
       frame.request = serve::Request{};
       frame.request.endpoint = frame.endpoint;
+      frame.request.tenant = tenant;
       return parse_request(reader, frame.request);
     }
     case FrameType::kResponse: {

@@ -1,21 +1,32 @@
 // Deterministic wire codec for the tuning service's RPC front-end.
 //
-// Framing is length-prefixed with a fixed 20-byte header; every multi-byte
+// Framing is length-prefixed with a fixed-size header; every multi-byte
 // field is serialized explicitly little-endian, one byte at a time — never a
 // memcpy of an in-memory struct — so the format is identical across
 // architectures and compilers (see the `wire-memcpy` rule in
 // tools/lint_rules.md). Doubles travel as their IEEE-754 bit pattern
 // (std::bit_cast to u64), so an encode/decode round trip is bit-exact.
 //
+// Protocol version 2 ("RKF2") header — 24 bytes:
+//
 //   offset  size  field
 //   0       4     magic          0x524B4631 ("1FKR" on the wire, LE)
-//   4       1     version        kProtocolVersion
+//   4       1     version        2 (kProtocolVersion)
 //   5       1     frame type     FrameType (request / response / error)
 //   6       1     endpoint       serve::Endpoint (0 for error frames)
 //   7       1     code           request: 0; response: serve::Status;
 //                                error: WireError
 //   8       8     request id     caller-chosen correlation id (pipelining)
-//   16      4     payload length bounded by the decoder's max_payload
+//   16      4     tenant id      serve::TenantId namespace (0 = default)
+//   20      4     payload length bounded by the decoder's max_payload
+//
+// Version 1 ("RKF1") frames are the same layout minus the tenant field
+// (20-byte header, payload length at offset 16). The decoder still accepts
+// them — compat decode: the frame lands in tenant 0 and `Frame::version`
+// records 1 so a server can answer a v1 peer in v1. Any *other* version byte
+// is fatal (kBadVersion): an unknown header layout means the stream offset
+// itself cannot be trusted, per the PR 4 fatal-vs-recoverable taxonomy.
+// Payload bodies are identical in both versions.
 //
 // Decode is fuzz-resistant by construction: all reads are bounds-checked
 // cursor operations, lengths are bounded before any buffering decision, enum
@@ -35,8 +46,12 @@
 namespace rafiki::net {
 
 inline constexpr std::uint32_t kMagic = 0x524B4631u;  // "1FKR" little-endian
-inline constexpr std::uint8_t kProtocolVersion = 1;
-inline constexpr std::size_t kHeaderSize = 20;
+inline constexpr std::uint8_t kProtocolVersion = 2;
+/// Oldest version the decoder still accepts (compat decode into tenant 0).
+inline constexpr std::uint8_t kMinProtocolVersion = 1;
+inline constexpr std::size_t kHeaderSize = 24;
+/// Header size of a version-1 frame (no tenant field).
+inline constexpr std::size_t kHeaderSizeV1 = 20;
 /// Default per-frame payload bound; both sides reject bigger claims before
 /// buffering anything, so a hostile length prefix cannot balloon memory.
 inline constexpr std::size_t kDefaultMaxPayload = 1 << 16;
@@ -94,6 +109,12 @@ struct Frame {
   FrameType type = FrameType::kRequest;
   serve::Endpoint endpoint = serve::Endpoint::kPredict;
   std::uint64_t request_id = 0;
+  /// Header version this frame arrived in (1 or 2). A server answers each
+  /// peer in the version the peer spoke.
+  std::uint8_t version = kProtocolVersion;
+  /// Tenant namespace from the v2 header (always 0 for v1 frames). For
+  /// request frames this is also copied into `request.tenant`.
+  serve::TenantId tenant = 0;
   serve::Request request;    ///< type == kRequest
   serve::Response response;  ///< type == kResponse
   WireError error = WireError::kNone;  ///< type == kError
@@ -128,13 +149,21 @@ class WireReader {
 };
 
 // --- frame encoders (append to `out`) ---
+//
+// `version` selects the header layout (2 by default; 1 emits the legacy
+// 20-byte header, dropping the tenant field — v1 peers have no tenant
+// namespace on the wire). Payload bytes are identical in both versions.
 
 void encode_request(std::uint64_t request_id, const serve::Request& request,
-                    std::vector<std::uint8_t>& out);
+                    std::vector<std::uint8_t>& out,
+                    std::uint8_t version = kProtocolVersion);
 void encode_response(std::uint64_t request_id, serve::Endpoint endpoint,
-                     const serve::Response& response, std::vector<std::uint8_t>& out);
+                     const serve::Response& response, std::vector<std::uint8_t>& out,
+                     serve::TenantId tenant = 0,
+                     std::uint8_t version = kProtocolVersion);
 void encode_error(std::uint64_t request_id, WireError error,
-                  std::vector<std::uint8_t>& out);
+                  std::vector<std::uint8_t>& out, serve::TenantId tenant = 0,
+                  std::uint8_t version = kProtocolVersion);
 
 /// Attempts to decode one frame from the front of [data, data + size).
 ///

@@ -38,6 +38,18 @@ class TuningBackend {
   virtual std::shared_ptr<const ModelSnapshot> snapshot() const = 0;
   virtual std::uint64_t model_version() const = 0;
 
+  /// Per-tenant views. Tenant 0 is the default namespace, so for a
+  /// single-tenant backend these are the plain snapshot()/model_version();
+  /// backends without tenant slots serve every tenant from the same slot.
+  virtual std::shared_ptr<const ModelSnapshot> tenant_snapshot(TenantId tenant) const {
+    (void)tenant;
+    return snapshot();
+  }
+  virtual std::uint64_t tenant_model_version(TenantId tenant) const {
+    (void)tenant;
+    return model_version();
+  }
+
   /// Enables the ObserveWindow endpoint by wiring the tuner (which must
   /// outlive this backend) to the background retrain machinery and the
   /// snapshot registry. Call before start().

@@ -19,13 +19,13 @@ RetrainWorker::Ticket RetrainWorker::finished_ticket(RetrainEnqueue result) {
   return ticket;
 }
 
-RetrainWorker::Ticket RetrainWorker::enqueue(int bucket, double read_ratio) {
+RetrainWorker::Ticket RetrainWorker::enqueue(std::uint64_t key, double read_ratio) {
   Ticket ticket;
   std::size_t depth_after = 0;
   {
     MutexLock lock(mutex_);
     if (stopping_ || stopped_) return finished_ticket(RetrainEnqueue::kStopped);
-    const auto pending = pending_.find(bucket);
+    const auto pending = pending_.find(key);
     if (pending != pending_.end()) {
       ticket.result = RetrainEnqueue::kCoalesced;
       ticket.done = pending->second;
@@ -33,10 +33,10 @@ RetrainWorker::Ticket RetrainWorker::enqueue(int bucket, double read_ratio) {
       ticket = finished_ticket(RetrainEnqueue::kRejected);
     } else {
       Task task;
-      task.bucket = bucket;
+      task.key = key;
       task.read_ratio = read_ratio;
       task.future = task.promise.get_future().share();
-      pending_.emplace(bucket, task.future);
+      pending_.emplace(key, task.future);
       ticket.result = RetrainEnqueue::kEnqueued;
       ticket.done = task.future;
       tasks_.push_back(std::move(task));
@@ -76,7 +76,7 @@ void RetrainWorker::loop() {
 
     // det:ok(wall-clock): reporting-only retrain latency measurement
     const auto t0 = std::chrono::steady_clock::now();
-    run_(task.bucket, task.read_ratio);
+    run_(task.key, task.read_ratio);
     // det:ok(wall-clock): reporting-only retrain latency measurement
     const auto t1 = std::chrono::steady_clock::now();
     if (stats_) {
@@ -86,7 +86,7 @@ void RetrainWorker::loop() {
 
     {
       MutexLock lock(mutex_);
-      pending_.erase(task.bucket);
+      pending_.erase(task.key);
       running_ = false;
     }
     task.promise.set_value(RetrainOutcome::kCompleted);

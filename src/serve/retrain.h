@@ -29,9 +29,25 @@
 #include <thread>
 
 #include "serve/stats.h"
+#include "serve/types.h"
 #include "util/sync.h"
 
 namespace rafiki::serve {
+
+/// Composes the retrain coalescing key from a tenant namespace and a
+/// read-ratio bucket. Each tenant owns a disjoint key-space: tenant A's
+/// bucket-7 GA run never coalesces against (or dedups) tenant B's bucket-7
+/// run, because their keys differ in the high word.
+constexpr std::uint64_t retrain_key(TenantId tenant, int bucket) noexcept {
+  return (static_cast<std::uint64_t>(tenant) << 32) |
+         static_cast<std::uint32_t>(bucket);
+}
+constexpr TenantId retrain_key_tenant(std::uint64_t key) noexcept {
+  return static_cast<TenantId>(key >> 32);
+}
+constexpr int retrain_key_bucket(std::uint64_t key) noexcept {
+  return static_cast<int>(static_cast<std::uint32_t>(key));
+}
 
 struct RetrainOptions {
   /// Bounded retrain backlog; enqueues beyond this are rejected (the caller
@@ -58,10 +74,11 @@ enum class RetrainOutcome : std::uint8_t { kCompleted = 0, kCancelled };
 class RetrainWorker {
  public:
   /// Runs one background optimization. Invoked on the worker thread only,
-  /// with no worker lock held. (The serve layer points this at
-  /// OnlineTuner::run_optimize, which itself coalesces already-cached
-  /// buckets into a no-op.)
-  using RunFn = std::function<void(int bucket, double read_ratio)>;
+  /// with no worker lock held. `key` is the coalescing key — plain bucket
+  /// numbers for a single-tenant service, retrain_key(tenant, bucket) for a
+  /// fleet. (The serve layer points this at OnlineTuner::run_optimize, which
+  /// itself coalesces already-cached buckets into a no-op.)
+  using RunFn = std::function<void(std::uint64_t key, double read_ratio)>;
 
   /// `stats` may be null (no telemetry); when set it must outlive the worker.
   explicit RetrainWorker(RunFn run, RetrainOptions options = {},
@@ -81,9 +98,9 @@ class RetrainWorker {
     }
   };
 
-  /// Requests a background optimization for this bucket. Never blocks and
-  /// never runs the optimizer on the calling thread.
-  Ticket enqueue(int bucket, double read_ratio);
+  /// Requests a background optimization for this coalescing key. Never
+  /// blocks and never runs the optimizer on the calling thread.
+  Ticket enqueue(std::uint64_t key, double read_ratio);
 
   /// Spawns the worker thread (idempotent; no-op after stop()).
   void start();
@@ -104,7 +121,7 @@ class RetrainWorker {
 
  private:
   struct Task {
-    int bucket = 0;
+    std::uint64_t key = 0;
     double read_ratio = 0.0;
     std::promise<RetrainOutcome> promise;
     std::shared_future<RetrainOutcome> future;
@@ -121,9 +138,9 @@ class RetrainWorker {
   CondVar ready_;
   CondVar idle_;
   std::deque<Task> tasks_ GUARDED_BY(mutex_);
-  /// bucket -> pending task's future; covers queued AND currently-running
-  /// tasks, so same-bucket requests coalesce for the task's whole lifetime.
-  std::map<int, std::shared_future<RetrainOutcome>> pending_ GUARDED_BY(mutex_);
+  /// key -> pending task's future; covers queued AND currently-running
+  /// tasks, so same-key requests coalesce for the task's whole lifetime.
+  std::map<std::uint64_t, std::shared_future<RetrainOutcome>> pending_ GUARDED_BY(mutex_);
   /// Spawned under mutex_ in start(); joined lock-free in stop() after the
   /// stopping_ handshake (joining under the lock would deadlock the loop).
   /// start()/stop() are lifecycle calls — concurrent start+stop is a caller

@@ -12,79 +12,109 @@ double elapsed_us(std::chrono::steady_clock::time_point since,
   return std::chrono::duration<double, std::micro>(until - since).count();
 }
 
+ServiceOptions sanitize(ServiceOptions options) {
+  if (options.tenants == 0) options.tenants = 1;
+  return options;
+}
+
 }  // namespace
 
 TuningService::TuningService(ServiceOptions options)
-    : options_(std::move(options)),
+    : options_(sanitize(std::move(options))),
+      registries_(options_.tenants),
+      version_counters_(options_.tenants, 0),
+      pending_tuned_(options_.tenants),
       queue_(options_.queue_capacity),
       stats_(options_.stats),
       retrain_(
-          // The worker thread delegates to the tuner's optimize path; the
-          // tuner coalesces already-cached buckets into a no-op, and its
-          // publish hook republishes the result through the registry.
-          [this](int /*bucket*/, double read_ratio) {
-            auto* tuner = tuner_.load(std::memory_order_acquire);
+          // The worker thread delegates to the owning tenant's optimize
+          // path; the tuner coalesces already-cached buckets into a no-op,
+          // and its publish hook republishes the result through that
+          // tenant's registry slot.
+          [this](std::uint64_t key, double read_ratio) {
+            auto* tuner = tuner_for(retrain_key_tenant(key));
             if (tuner != nullptr) tuner->run_optimize(read_ratio);
           },
-          options_.retrain, &stats_) {}
+          options_.retrain, &stats_),
+      tuners_(options_.tenants) {}
 
 TuningService::~TuningService() { stop(); }
 
 std::uint64_t TuningService::publish(ModelSnapshot snapshot) {
   MutexLock lock(publish_mutex_);
-  return publish_locked(std::move(snapshot));
+  // Every tenant slot gets the new model; each stamps its own version (so a
+  // tenant's version history stays monotonic and tenant-local). Tenant 0's
+  // version is returned for single-tenant callers.
+  std::uint64_t first = 0;
+  for (TenantId tenant = 1; tenant < registries_.size(); ++tenant) {
+    publish_locked(tenant, snapshot);  // copies; tenant 0 below takes the original
+  }
+  first = publish_locked(0, std::move(snapshot));
+  return first;
 }
 
-std::uint64_t TuningService::publish_locked(ModelSnapshot snapshot) {
-  // Fold in tuned entries that arrived before the first real publish;
-  // entries already in the snapshot win.
-  for (const auto& [bucket, entry] : pending_tuned_) snapshot.tuned.emplace(bucket, entry);
-  pending_tuned_.clear();
-  snapshot.version = ++version_counter_;
+std::uint64_t TuningService::publish_locked(TenantId tenant, ModelSnapshot snapshot) {
+  // Fold in tuned entries that arrived before this tenant's first real
+  // publish; entries already in the snapshot win.
+  auto& pending = pending_tuned_[tenant];
+  for (const auto& [bucket, entry] : pending) snapshot.tuned.emplace(bucket, entry);
+  pending.clear();
+  snapshot.version = ++version_counters_[tenant];
   const std::uint64_t version = snapshot.version;
-  registry_.set(std::make_shared<const ModelSnapshot>(std::move(snapshot)));
+  registries_[tenant].set(std::make_shared<const ModelSnapshot>(std::move(snapshot)));
   return version;
 }
 
 std::uint64_t TuningService::model_version() const {
-  const auto snapshot = registry_.get();
+  const auto snapshot = registries_[0].get();
+  return snapshot ? snapshot->version : 0;
+}
+
+std::uint64_t TuningService::tenant_model_version(TenantId tenant) const {
+  const auto snapshot = tenant_snapshot(tenant);
   return snapshot ? snapshot->version : 0;
 }
 
 void TuningService::attach_tuner(core::OnlineTuner& tuner) {
   tuner.set_publish_hook([this](int bucket, const core::Rafiki::OptimizeResult& result) {
-    publish_tuned(bucket, result.config, result.predicted_throughput);
+    publish_tuned(0, bucket, result.config, result.predicted_throughput);
   });
   // Route the tuner's cache misses (ObserveWindow staleness, prefetch) to
   // the background worker: no GA ever runs on a request-path thread.
-  tuner.set_async_optimize_hook(
-      [this](int bucket, double read_ratio) { retrain_.enqueue(bucket, read_ratio); });
-  tuner_.store(&tuner, std::memory_order_release);
+  tuner.set_async_optimize_hook([this](int bucket, double read_ratio) {
+    retrain_.enqueue(retrain_key(0, bucket), read_ratio);
+  });
+  tuners_[0].store(&tuner, std::memory_order_release);
 }
 
-void TuningService::bind_tuner(core::OnlineTuner& tuner) {
+void TuningService::bind_tenant_tuner(TenantId tenant, core::OnlineTuner& tuner) {
   // Pointer only — the tuner's single-slot hooks stay untouched so a router
-  // that shares one tuner across shards can own them (attach_tuner here
-  // would make last-attached-shard win and drop everyone else's republish).
-  tuner_.store(&tuner, std::memory_order_release);
+  // or fleet that shares / owns the tuner can install them itself
+  // (attach_tuner here would make last-attached-shard win and drop everyone
+  // else's republish).
+  if (tenant >= tuners_.size()) return;
+  tuners_[tenant].store(&tuner, std::memory_order_release);
 }
 
-void TuningService::publish_tuned(int bucket, const engine::Config& config,
-                                  double predicted) {
+void TuningService::publish_tuned(TenantId tenant, int bucket,
+                                  const engine::Config& config, double predicted) {
   // Copy-on-write republication: the tuned-config table rides inside the
   // immutable snapshot, so readers see it with the same lock-free load.
+  // Only this tenant's slot is touched; sibling tenants keep the exact
+  // shared_ptr (and version) they were already serving.
+  if (tenant >= registries_.size()) return;
   MutexLock lock(publish_mutex_);
-  const auto current = registry_.get();
+  const auto current = registries_[tenant].get();
   if (!current) {
     // Nothing real is published yet: don't burn a version on a snapshot
     // with an untrained ensemble and null space — park the entry until the
-    // first publish() folds it in.
-    pending_tuned_[bucket] = TunedEntry{config, predicted};
+    // tenant's first publish() folds it in.
+    pending_tuned_[tenant][bucket] = TunedEntry{config, predicted};
     return;
   }
   ModelSnapshot next = *current;
   next.tuned[bucket] = TunedEntry{config, predicted};
-  publish_locked(std::move(next));
+  publish_locked(tenant, std::move(next));
 }
 
 Status TuningService::admit(Job job) {
@@ -219,42 +249,52 @@ void TuningService::finish(Job& job, Response response) {
 }
 
 void TuningService::run_predict_batch(std::vector<Job> batch) {
-  const auto snapshot = registry_.get();
   const Tick now = now_tick();
 
-  // Deadline / readiness triage before any model work.
-  std::vector<Job> live;
-  live.reserve(batch.size());
+  // Deadline triage, then partition by tenant: a micro-batch may interleave
+  // tenants, and each group must evaluate against its own tenant's snapshot.
+  // std::map keeps the per-tenant order deterministic (ascending TenantId);
+  // within a group, arrival order is preserved.
+  std::map<TenantId, std::vector<Job>> groups;
   for (auto& job : batch) {
-    Response response;
     if (expired(job.request, now)) {
+      Response response;
       response.status = Status::kDeadlineExceeded;
       finish(job, response);
-    } else if (!snapshot || !snapshot->ensemble.trained()) {
-      response.status = Status::kNotReady;
-      finish(job, response);
     } else {
-      live.push_back(std::move(job));
+      groups[job.request.tenant].push_back(std::move(job));
     }
   }
-  if (live.empty()) return;
 
-  std::vector<std::vector<double>> rows;
-  rows.reserve(live.size());
-  for (const auto& job : live) {
-    rows.push_back(snapshot->feature_row(job.request.read_ratio, job.request.config));
-  }
-  const auto predictions = snapshot->ensemble.predict_batch_with_uncertainty(rows);
-  stats_.record_batch(live.size());
+  for (auto& [tenant, live] : groups) {
+    const auto snapshot = tenant_snapshot(tenant);
+    if (!snapshot || !snapshot->ensemble.trained()) {
+      // Unknown tenant, or the tenant's slot has no trained model yet.
+      for (auto& job : live) {
+        Response response;
+        response.status = Status::kNotReady;
+        finish(job, response);
+      }
+      continue;
+    }
 
-  for (std::size_t i = 0; i < live.size(); ++i) {
-    Response response;
-    response.status = Status::kOk;
-    response.model_version = snapshot->version;
-    response.mean = predictions[i].mean;
-    response.stddev = predictions[i].stddev;
-    response.batch_size = live.size();
-    finish(live[i], response);
+    std::vector<std::vector<double>> rows;
+    rows.reserve(live.size());
+    for (const auto& job : live) {
+      rows.push_back(snapshot->feature_row(job.request.read_ratio, job.request.config));
+    }
+    const auto predictions = snapshot->ensemble.predict_batch_with_uncertainty(rows);
+    stats_.record_batch(live.size());
+
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      Response response;
+      response.status = Status::kOk;
+      response.model_version = snapshot->version;
+      response.mean = predictions[i].mean;
+      response.stddev = predictions[i].stddev;
+      response.batch_size = live.size();
+      finish(live[i], response);
+    }
   }
 }
 
@@ -276,7 +316,7 @@ void TuningService::run_single(Job job) {
       return;
     }
     case Endpoint::kOptimize: {
-      const auto snapshot = registry_.get();
+      const auto snapshot = tenant_snapshot(job.request.tenant);
       if (!snapshot || !snapshot->ensemble.trained() || !snapshot->space) {
         response.status = Status::kNotReady;
         break;
@@ -303,7 +343,7 @@ void TuningService::run_single(Job job) {
       break;
     }
     case Endpoint::kObserveWindow: {
-      auto* tuner = tuner_.load(std::memory_order_acquire);
+      auto* tuner = tuner_for(job.request.tenant);
       if (tuner == nullptr) {
         response.status = Status::kNotReady;
         break;
@@ -315,7 +355,7 @@ void TuningService::run_single(Job job) {
       // once the background GA completes.
       const auto decision = tuner->on_window(job.request.read_ratio);
       response.status = Status::kOk;
-      response.model_version = model_version();
+      response.model_version = tenant_model_version(job.request.tenant);
       response.config = decision.config;
       response.reconfigured = decision.reconfigured;
       response.stale = decision.stale;

@@ -24,6 +24,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <future>
 #include <map>
@@ -47,6 +48,12 @@ class OnlineTuner;
 namespace rafiki::serve {
 
 struct ServiceOptions {
+  /// Tenant namespaces served by this instance (dense ids [0, tenants)).
+  /// Every tenant gets its own snapshot slot, version counter, pending-tuned
+  /// table, tuner pointer, and retrain coalescing key-space. 1 (the default)
+  /// is exactly the original single-tenant service: tenant 0 is the default
+  /// namespace pre-tenant callers land in. 0 is normalized to 1.
+  std::size_t tenants = 1;
   /// Worker threads spawned by start(). 0 is valid (and useful in tests):
   /// requests queue deterministically until start() is called with workers.
   std::size_t workers = 2;
@@ -88,12 +95,21 @@ class TuningService : public TuningBackend {
   TuningService(const TuningService&) = delete;
   TuningService& operator=(const TuningService&) = delete;
 
-  /// See TuningBackend::publish.
+  /// See TuningBackend::publish. Fans the snapshot out to every tenant slot
+  /// (each slot stamps its own version); returns tenant 0's new version.
   std::uint64_t publish(ModelSnapshot snapshot) override;
 
-  /// Currently published snapshot (null before the first publish).
-  std::shared_ptr<const ModelSnapshot> snapshot() const override { return registry_.get(); }
+  /// Tenant 0's currently published snapshot (null before the first publish).
+  std::shared_ptr<const ModelSnapshot> snapshot() const override {
+    return registries_[0].get();
+  }
   std::uint64_t model_version() const override;
+
+  /// Per-tenant views (null / 0 for an out-of-range tenant).
+  std::shared_ptr<const ModelSnapshot> tenant_snapshot(TenantId tenant) const override {
+    return tenant < registries_.size() ? registries_[tenant].get() : nullptr;
+  }
+  std::uint64_t tenant_model_version(TenantId tenant) const override;
 
   /// Enables the ObserveWindow endpoint. The tuner (which must outlive this
   /// service) becomes stale-while-revalidate: its cache misses and
@@ -107,17 +123,35 @@ class TuningService : public TuningBackend {
   /// this service's ObserveWindow path WITHOUT claiming the tuner's
   /// single-slot publish / async-optimize hooks. The ShardedTuningService
   /// installs fan-out hooks once at the router and then binds the tuner to
-  /// every shard through this.
-  void bind_tuner(core::OnlineTuner& tuner);
+  /// every shard through this. Binds tenant 0.
+  void bind_tuner(core::OnlineTuner& tuner) { bind_tenant_tuner(0, tuner); }
 
-  /// Directly enqueues a background retrain for `bucket` on this service's
-  /// RetrainWorker (the router's async-optimize fan-out target).
-  void enqueue_retrain(int bucket, double read_ratio) { retrain_.enqueue(bucket, read_ratio); }
+  /// Binds the tuner serving one tenant namespace (the tenant fleet owns one
+  /// OnlineTuner per tenant and binds each to every shard). Pointer only —
+  /// the tuner's single-slot hooks stay with whoever installed them.
+  void bind_tenant_tuner(TenantId tenant, core::OnlineTuner& tuner);
 
-  /// Publishes one tuned (bucket -> config) entry by copy-on-write
-  /// republication of the current snapshot. The single-service publish hook
-  /// and the sharded router's fan-out both land here.
-  void publish_tuned(int bucket, const engine::Config& config, double predicted);
+  /// Directly enqueues a background retrain for tenant 0's `bucket` on this
+  /// service's RetrainWorker (the router's async-optimize fan-out target).
+  void enqueue_retrain(int bucket, double read_ratio) {
+    retrain_.enqueue(retrain_key(0, bucket), read_ratio);
+  }
+  /// Tenant-qualified retrain: coalesces within the tenant's own key-space,
+  /// never against another tenant's run for the same bucket.
+  void enqueue_retrain(TenantId tenant, int bucket, double read_ratio) {
+    retrain_.enqueue(retrain_key(tenant, bucket), read_ratio);
+  }
+
+  /// Publishes one tuned (bucket -> config) entry into tenant 0's slot by
+  /// copy-on-write republication of its current snapshot. The single-service
+  /// publish hook and the sharded router's fan-out both land here.
+  void publish_tuned(int bucket, const engine::Config& config, double predicted) {
+    publish_tuned(0, bucket, config, predicted);
+  }
+  /// Tenant-qualified variant: only `tenant`'s slot is republished; every
+  /// other tenant's served snapshot (pointer, version, configs) is untouched.
+  void publish_tuned(TenantId tenant, int bucket, const engine::Config& config,
+                     double predicted);
 
   /// See TuningBackend::submit / try_submit.
   std::future<Response> submit(Request request) override;
@@ -176,16 +210,26 @@ class TuningService : public TuningBackend {
   bool expired(const Request& request, Tick now) const {
     return request.deadline != kNoDeadline && now > request.deadline;
   }
-  std::uint64_t publish_locked(ModelSnapshot snapshot) REQUIRES(publish_mutex_);
+  core::OnlineTuner* tuner_for(TenantId tenant) const noexcept {
+    return tenant < tuners_.size() ? tuners_[tenant].load(std::memory_order_acquire)
+                                   : nullptr;
+  }
+  std::uint64_t publish_locked(TenantId tenant, ModelSnapshot snapshot)
+      REQUIRES(publish_mutex_);
 
   ServiceOptions options_;
-  SnapshotRegistry registry_;
+  /// Per-tenant snapshot slots, indexed by TenantId (deque: a
+  /// SnapshotRegistry is immovable, and the slot set is fixed at
+  /// construction). All slots share publish_mutex_; readers are lock-free.
+  std::deque<SnapshotRegistry> registries_;
   Mutex publish_mutex_;
-  std::uint64_t version_counter_ GUARDED_BY(publish_mutex_) = 0;
+  /// Per-tenant version counters; each tenant's versions are monotonic in
+  /// its own slot (publishes to tenant A never advance tenant B).
+  std::vector<std::uint64_t> version_counters_ GUARDED_BY(publish_mutex_);
   /// Tuned entries published before any real snapshot exists are parked here
-  /// instead of minting a version around a default-constructed, untrained
-  /// ModelSnapshot; the first real publish folds them in.
-  std::map<int, TunedEntry> pending_tuned_ GUARDED_BY(publish_mutex_);
+  /// (per tenant) instead of minting a version around a default-constructed,
+  /// untrained ModelSnapshot; the tenant's first real publish folds them in.
+  std::vector<std::map<int, TunedEntry>> pending_tuned_ GUARDED_BY(publish_mutex_);
   BoundedQueue<Job> queue_;
   ServiceStats stats_;
   RetrainWorker retrain_;
@@ -196,7 +240,8 @@ class TuningService : public TuningBackend {
   Mutex lifecycle_mutex_;
   bool started_ GUARDED_BY(lifecycle_mutex_) = false;
   bool stopped_ GUARDED_BY(lifecycle_mutex_) = false;
-  std::atomic<core::OnlineTuner*> tuner_{nullptr};
+  /// Per-tenant tuner pointers, indexed by TenantId; null until bound.
+  std::deque<std::atomic<core::OnlineTuner*>> tuners_;
 };
 
 }  // namespace rafiki::serve

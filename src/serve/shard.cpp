@@ -20,9 +20,19 @@ std::size_t ShardedTuningService::band_of(double read_ratio) noexcept {
 }
 
 std::uint64_t ShardedTuningService::band_fingerprint(std::size_t band) noexcept {
-  // splitmix64 finalizer: pure function of the band index, so the
-  // band->shard map is reproducible across restarts for a fixed shard count.
-  std::uint64_t z = static_cast<std::uint64_t>(band) + 0x9e3779b97f4a7c15ull;
+  return route_fingerprint(0, band);
+}
+
+std::uint64_t ShardedTuningService::route_fingerprint(TenantId tenant,
+                                                      std::size_t band) noexcept {
+  // splitmix64 finalizer over the packed (tenant, band) key: a pure integer
+  // mix — no pointers, no process state — so key->slot->shard assignment is
+  // reproducible across restarts for a fixed shard count. Bands fit in 7
+  // bits (kBands = 101), so the packing is collision-free, and tenant 0
+  // reduces to the original per-band fingerprint.
+  std::uint64_t z = ((static_cast<std::uint64_t>(tenant) << 7) |
+                     static_cast<std::uint64_t>(band)) +
+                    0x9e3779b97f4a7c15ull;
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
   return z ^ (z >> 31);
@@ -34,9 +44,11 @@ ShardedTuningService::ShardedTuningService(ShardOptions options)
   shards_.reserve(options_.shards);
   for (std::size_t i = 0; i < options_.shards; ++i)
     shards_.push_back(std::make_unique<TuningService>(options_.service));
-  for (std::size_t band = 0; band < kBands; ++band) {
-    route_[band].store(static_cast<std::uint8_t>(band_fingerprint(band) % options_.shards),
-                       kRelaxed);
+  for (std::size_t slot = 0; slot < kRouteSlots; ++slot) {
+    // Initial slot->shard spread reuses the same pure mix (of the slot
+    // index), keeping the table identical across restarts.
+    route_[slot].store(
+        static_cast<std::uint8_t>(band_fingerprint(slot) % options_.shards), kRelaxed);
   }
 }
 
@@ -57,40 +69,72 @@ std::uint64_t ShardedTuningService::model_version() const {
   return shards_.front()->model_version();
 }
 
+std::shared_ptr<const ModelSnapshot> ShardedTuningService::tenant_snapshot(
+    TenantId tenant) const {
+  return shards_.front()->tenant_snapshot(tenant);
+}
+
+std::uint64_t ShardedTuningService::tenant_model_version(TenantId tenant) const {
+  return shards_.front()->tenant_model_version(tenant);
+}
+
 void ShardedTuningService::attach_tuner(core::OnlineTuner& tuner) {
+  attach_tenant_tuner(0, tuner);
+}
+
+void ShardedTuningService::attach_tenant_tuner(TenantId tenant, core::OnlineTuner& tuner) {
   // The tuner's hooks are single-slot, so the router — not any one shard —
-  // must own them and fan out.
-  tuner.set_publish_hook([this](int bucket, const core::Rafiki::OptimizeResult& result) {
-    MutexLock lock(publish_mutex_);
-    for (auto& shard : shards_)
-      shard->publish_tuned(bucket, result.config, result.predicted_throughput);
+  // must own them and fan out. Each tenant has its own tuner, so each
+  // tenant's hooks are claimed independently.
+  tuner.set_publish_hook(
+      [this, tenant](int bucket, const core::Rafiki::OptimizeResult& result) {
+        publish_tuned(tenant, bucket, result.config, result.predicted_throughput);
+      });
+  tuner.set_async_optimize_hook([this, tenant](int bucket, double read_ratio) {
+    // Route the background optimization to the shard that owns the (tenant,
+    // band) key, so its retrain coalescing map sees every request for its
+    // workloads. retrain_key(tenant, bucket) is the coalescing key: same
+    // per-bucket dedup as unsharded, but never across tenants.
+    shards_[shard_of_key(tenant, band_of(read_ratio))]->enqueue_retrain(tenant, bucket,
+                                                                        read_ratio);
   });
-  tuner.set_async_optimize_hook([this](int bucket, double read_ratio) {
-    // Route the background optimization to the shard that owns the band, so
-    // its retrain coalescing map sees every request for its workloads. The
-    // tuner's bucket stays the coalescing key, exactly as unsharded.
-    shards_[shard_of(read_ratio)]->enqueue_retrain(bucket, read_ratio);
-  });
-  for (auto& shard : shards_) shard->bind_tuner(tuner);
+  for (auto& shard : shards_) shard->bind_tenant_tuner(tenant, tuner);
+}
+
+void ShardedTuningService::publish_tuned(TenantId tenant, int bucket,
+                                         const engine::Config& config, double predicted) {
+  MutexLock lock(publish_mutex_);
+  for (auto& shard : shards_) shard->publish_tuned(tenant, bucket, config, predicted);
+}
+
+std::size_t ShardedTuningService::shard_of_key(TenantId tenant,
+                                               std::size_t band) const noexcept {
+  return route_[route_slot(tenant, std::min(band, kBands - 1))].load(kRelaxed) %
+         shards_.size();
 }
 
 std::size_t ShardedTuningService::shard_of_band(std::size_t band) const noexcept {
-  return route_[std::min(band, kBands - 1)].load(kRelaxed) % shards_.size();
+  return shard_of_key(0, band);
 }
 
 std::size_t ShardedTuningService::shard_of(double read_ratio) const noexcept {
-  return shard_of_band(band_of(read_ratio));
+  return shard_of_key(0, band_of(read_ratio));
 }
 
 void ShardedTuningService::route_band(std::size_t band, std::size_t shard_index) noexcept {
+  route_key(0, band, shard_index);
+}
+
+void ShardedTuningService::route_key(TenantId tenant, std::size_t band,
+                                     std::size_t shard_index) noexcept {
   if (band >= kBands || shard_index >= shards_.size()) return;
-  route_[band].store(static_cast<std::uint8_t>(shard_index), kRelaxed);
+  route_[route_slot(tenant, band)].store(static_cast<std::uint8_t>(shard_index), kRelaxed);
 }
 
 Status ShardedTuningService::try_submit(Request request, ResponseCallback done) {
-  const std::size_t band = band_of(request.read_ratio);
-  band_hits_[band].fetch_add(1, kRelaxed);
-  const std::size_t home = shard_of_band(band);
+  const std::size_t slot = route_slot(request.tenant, band_of(request.read_ratio));
+  slot_hits_[slot].fetch_add(1, kRelaxed);
+  const std::size_t home = route_[slot].load(kRelaxed) % shards_.size();
 
   // `done` is passed by copy per attempt: a failed admission consumes the
   // callback it was handed, and the next shard needs a live one.
@@ -125,10 +169,44 @@ std::future<Response> ShardedTuningService::submit(Request request) {
 
 void ShardedTuningService::start() {
   for (auto& shard : shards_) shard->start();
+  if (options_.rebalance_interval.count() > 0) {
+    MutexLock lock(rebalance_lifecycle_mutex_);
+    if (!rebalance_started_ && !rebalance_stop_) {
+      rebalance_started_ = true;
+      rebalance_thread_ = std::thread([this] { rebalance_loop(); });
+    }
+  }
 }
 
 void ShardedTuningService::stop() {
+  {
+    MutexLock lock(rebalance_lifecycle_mutex_);
+    rebalance_stop_ = true;
+  }
+  rebalance_stop_cv_.notify_all();
+  if (rebalance_thread_.joinable()) rebalance_thread_.join();
   for (auto& shard : shards_) shard->stop();
+}
+
+void ShardedTuningService::rebalance_loop() {
+  for (;;) {
+    {
+      MutexLock lock(rebalance_lifecycle_mutex_);
+      // The pacing deadline is real time by design: it decides only *when*
+      // the policy thread looks at the telemetry, never what any request
+      // returns (a migration just changes which shard serves a key).
+      // det:ok(wall-clock): policy-thread pacing only, results unaffected
+      const auto deadline = std::chrono::steady_clock::now() + options_.rebalance_interval;
+      while (!rebalance_stop_) {
+        if (rebalance_stop_cv_.wait_until(rebalance_lifecycle_mutex_, deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
+      if (rebalance_stop_) return;
+    }
+    rebalance_hottest();
+  }
 }
 
 void ShardedTuningService::wait_retrain_idle() {
@@ -140,18 +218,18 @@ bool ShardedTuningService::rebalance_hottest() {
   const std::size_t n = shards_.size();
   if (n < 2) return false;
 
-  // Shard load = routed hits of the bands it currently owns; also track each
-  // shard's hottest band so the migration victim falls out of the same scan.
+  // Shard load = routed hits of the slots it currently owns; also track each
+  // shard's hottest slot so the migration victim falls out of the same scan.
   std::vector<std::uint64_t> load(n, 0);
-  std::vector<std::size_t> hottest_band(n, kBands);
+  std::vector<std::size_t> hottest_slot(n, kRouteSlots);
   std::vector<std::uint64_t> hottest_hits(n, 0);
-  for (std::size_t band = 0; band < kBands; ++band) {
-    const std::size_t owner = shard_of_band(band);
-    const std::uint64_t hits = band_hits_[band].load(kRelaxed);
+  for (std::size_t slot = 0; slot < kRouteSlots; ++slot) {
+    const std::size_t owner = route_[slot].load(kRelaxed) % n;
+    const std::uint64_t hits = slot_hits_[slot].load(kRelaxed);
     load[owner] += hits;
     if (hits > hottest_hits[owner]) {
       hottest_hits[owner] = hits;
-      hottest_band[owner] = band;
+      hottest_slot[owner] = slot;
     }
   }
 
@@ -161,13 +239,13 @@ bool ShardedTuningService::rebalance_hottest() {
     if (load[i] > load[most]) most = i;
     if (load[i] < load[least]) least = i;
   }
-  if (most == least || hottest_band[most] == kBands) return false;
+  if (most == least || hottest_slot[most] == kRouteSlots) return false;
   // Greedy improvement check: migrate only if the receiver stays below the
   // donor's current load, otherwise the move just swaps the hot spot.
   const std::uint64_t moved = hottest_hits[most];
   if (moved == 0 || load[least] + moved >= load[most]) return false;
 
-  route_[hottest_band[most]].store(static_cast<std::uint8_t>(least), kRelaxed);
+  route_[hottest_slot[most]].store(static_cast<std::uint8_t>(least), kRelaxed);
   rebalances_.fetch_add(1, kRelaxed);
   return true;
 }

@@ -10,24 +10,29 @@
 //                                                  └────────────────┴─ retrain
 //
 // Each shard is a full TuningService — its own bounded queue, worker pool,
-// micro-batcher, snapshot registry slot, and retrain coalescing map — so the
+// micro-batcher, snapshot registry slots, and retrain coalescing map — so the
 // hot path shares NOTHING across shards: no common queue mutex, no common
 // stats lock (ServiceStats is itself striped), no common registry. Requests
-// are routed by a stable fingerprint of their read-ratio band (band =
-// percent bucket of the read ratio, the same quantization the tuner's model
-// cache uses), so one workload's traffic always lands on one shard and its
-// tuned-config republishes never contend with another's.
+// are routed by a stable fingerprint of their (tenant, read-ratio band) key
+// (band = percent bucket of the read ratio, the same quantization the
+// tuner's model cache uses), hashed into a fixed table of route slots — so
+// one tenant-workload's traffic always lands on one shard and its
+// tuned-config republishes never contend with another's, while different
+// tenants at the same read ratio can land on different shards.
 //
 // Policies:
 //   * Spill — if the home shard's queue is full (kOverloaded), the router
 //     retries up to `spill_limit` sibling shards before giving up. Safe for
-//     every endpoint: Predict/Optimize are pure functions of the snapshot
-//     (identical on all shards; see publish), ObserveWindow goes through the
-//     single shared, internally-synchronized tuner.
-//   * Rebalance — per-band hit counters feed rebalance_hottest(), which
-//     migrates the hottest band of the most-loaded shard to the
-//     least-loaded one with a single atomic route-table store. In-flight
-//     requests finish on the shard that admitted them; nothing is dropped.
+//     every endpoint: Predict/Optimize are pure functions of the tenant's
+//     snapshot (identical on all shards; see publish), ObserveWindow goes
+//     through the tenant's single shared, internally-synchronized tuner.
+//   * Rebalance — per-route-slot hit counters feed rebalance_hottest(),
+//     which migrates the hottest slot of the most-loaded shard to the
+//     least-loaded one with a single atomic route-table store. With
+//     ShardOptions::rebalance_interval set, a background policy thread runs
+//     this migration automatically off the striped telemetry — no explicit
+//     rebalance_hottest() calls needed. In-flight requests finish on the
+//     shard that admitted them; nothing is dropped.
 //   * Publish fan-out — publish() and the tuner's tuned-config hook write
 //     the same snapshot/entry to every shard under one router mutex, so
 //     shard versions advance in lockstep and a spilled request reads the
@@ -40,8 +45,10 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "serve/backend.h"
@@ -59,6 +66,12 @@ struct ShardOptions {
   /// (in route order) before reporting Overloaded to the caller. 0 disables
   /// spilling.
   std::size_t spill_limit = 1;
+  /// Automatic rebalance: start() spawns a background policy thread that
+  /// wakes at this interval and migrates the hottest (tenant, band) route
+  /// slot off the most-loaded shard (exactly rebalance_hottest(), driven by
+  /// the same striped hit telemetry). Zero (the default) disables the
+  /// thread; explicit rebalance_hottest() calls work either way.
+  std::chrono::milliseconds rebalance_interval{0};
 };
 
 class ShardedTuningService : public TuningBackend {
@@ -67,14 +80,25 @@ class ShardedTuningService : public TuningBackend {
   /// quantization as the tuner's per-bucket model cache, so one tuned
   /// workload maps to exactly one band.
   static constexpr std::size_t kBands = 101;
+  /// Route-table size: (tenant, band) keys hash into this many slots, each
+  /// atomically mapped to a shard. A slot is the unit of migration; distinct
+  /// keys sharing a slot move together (ordinary hash-sharding collisions).
+  static constexpr std::size_t kRouteSlots = 1024;
 
   /// Percent band of a read ratio (clamped into [0, kBands)).
   static std::size_t band_of(double read_ratio) noexcept;
-  /// Stable fingerprint of a band: a pure integer mix (splitmix64 finalizer)
-  /// of the band index — no pointers, no process state — so band->shard
-  /// assignment is identical across restarts and machines for a given shard
-  /// count.
+  /// Stable fingerprint of a band in the default tenant namespace (tenant
+  /// 0): a pure integer mix (splitmix64 finalizer) of the band index — no
+  /// pointers, no process state — so band->shard assignment is identical
+  /// across restarts and machines for a given shard count.
   static std::uint64_t band_fingerprint(std::size_t band) noexcept;
+  /// Stable fingerprint of a (tenant, band) routing key; tenant 0 reduces to
+  /// band_fingerprint, so pre-tenant routing is unchanged.
+  static std::uint64_t route_fingerprint(TenantId tenant, std::size_t band) noexcept;
+  /// Route-table slot of a (tenant, band) key.
+  static std::size_t route_slot(TenantId tenant, std::size_t band) noexcept {
+    return static_cast<std::size_t>(route_fingerprint(tenant, band) % kRouteSlots);
+  }
 
   explicit ShardedTuningService(ShardOptions options = {});
   ~ShardedTuningService() override;
@@ -87,12 +111,27 @@ class ShardedTuningService : public TuningBackend {
   std::uint64_t publish(ModelSnapshot snapshot) override;
   std::shared_ptr<const ModelSnapshot> snapshot() const override;
   std::uint64_t model_version() const override;
+  std::shared_ptr<const ModelSnapshot> tenant_snapshot(TenantId tenant) const override;
+  std::uint64_t tenant_model_version(TenantId tenant) const override;
 
   /// Claims the shared tuner's single-slot hooks for the router: tuned
   /// configs fan out to every shard's snapshot, async optimizations route to
   /// the owning shard's RetrainWorker; every shard gets the tuner bound
-  /// (bind_tuner) for its ObserveWindow path.
+  /// (bind_tuner) for its ObserveWindow path. Equivalent to
+  /// attach_tenant_tuner(0, tuner).
   void attach_tuner(core::OnlineTuner& tuner) override;
+
+  /// Tenant-fleet variant of attach_tuner: claims `tuner`'s hooks for one
+  /// tenant namespace — republishes fan out into every shard's slot for
+  /// `tenant` only, background optimizations enqueue under the tenant's own
+  /// retrain key-space on the owning shard, and the tuner is bound to every
+  /// shard's ObserveWindow path for this tenant.
+  void attach_tenant_tuner(TenantId tenant, core::OnlineTuner& tuner);
+
+  /// Tenant-qualified tuned-entry fan-out (all shards, one tenant slot,
+  /// lockstep under the router publish mutex).
+  void publish_tuned(TenantId tenant, int bucket, const engine::Config& config,
+                     double predicted);
 
   std::future<Response> submit(Request request) override;
   Status try_submit(Request request, ResponseCallback done) override;
@@ -115,15 +154,21 @@ class ShardedTuningService : public TuningBackend {
   std::size_t shard_count() const noexcept { return shards_.size(); }
   TuningService& shard(std::size_t index) { return *shards_[index]; }
   const TuningService& shard(std::size_t index) const { return *shards_[index]; }
-  /// Current route of a read ratio / band (lock-free relaxed load).
+  /// Current route of a tenant-0 read ratio / band (lock-free relaxed load).
   std::size_t shard_of(double read_ratio) const noexcept;
   std::size_t shard_of_band(std::size_t band) const noexcept;
-  /// Pins a band to a shard (tests, manual rebalance).
+  /// Current route of a (tenant, band) key.
+  std::size_t shard_of_key(TenantId tenant, std::size_t band) const noexcept;
+  /// Pins a tenant-0 band to a shard (tests, manual rebalance).
   void route_band(std::size_t band, std::size_t shard_index) noexcept;
+  /// Pins a (tenant, band) key's route slot to a shard.
+  void route_key(TenantId tenant, std::size_t band, std::size_t shard_index) noexcept;
 
-  /// Migrates the hottest band of the most-loaded shard (by routed request
-  /// count) to the least-loaded shard. Returns false when there is nothing
-  /// to move (uniform load, single shard, or no traffic).
+  /// Migrates the hottest route slot of the most-loaded shard (by routed
+  /// request count) to the least-loaded shard. Returns false when there is
+  /// nothing to move (uniform load, single shard, or no traffic). The
+  /// rebalance policy thread (ShardOptions::rebalance_interval) calls this
+  /// on a timer; it is also safe to call manually at any time.
   bool rebalance_hottest();
 
   /// Requests absorbed by a sibling shard after a home-shard Overloaded.
@@ -147,17 +192,27 @@ class ShardedTuningService : public TuningBackend {
   const ShardOptions& options() const noexcept { return options_; }
 
  private:
+  void rebalance_loop();
+
   ShardOptions options_;
   std::vector<std::unique_ptr<TuningService>> shards_;
-  /// band -> shard index. uint8 caps shards at 128 (clamped in the ctor);
-  /// reads are relaxed atomic loads on the submit path, writes only from
-  /// route_band / rebalance_hottest.
-  std::array<std::atomic<std::uint8_t>, kBands> route_{};
-  /// Per-band routed-request counters (relaxed); rebalance input.
-  std::array<std::atomic<std::uint64_t>, kBands> band_hits_{};
+  /// route slot -> shard index. uint8 caps shards at 128 (clamped in the
+  /// ctor); reads are relaxed atomic loads on the submit path, writes only
+  /// from route_key / rebalance_hottest.
+  std::array<std::atomic<std::uint8_t>, kRouteSlots> route_{};
+  /// Per-route-slot routed-request counters (relaxed); rebalance input —
+  /// the striped telemetry the policy thread migrates on.
+  std::array<std::atomic<std::uint64_t>, kRouteSlots> slot_hits_{};
   ServiceStats router_stats_;
   std::atomic<std::uint64_t> spills_{0};
   std::atomic<std::uint64_t> rebalances_{0};
+  /// Rebalance policy thread (only when rebalance_interval > 0). Spawned in
+  /// start(), stopped via the stop_ handshake + join in stop().
+  std::thread rebalance_thread_;
+  Mutex rebalance_lifecycle_mutex_;
+  CondVar rebalance_stop_cv_;
+  bool rebalance_started_ GUARDED_BY(rebalance_lifecycle_mutex_) = false;
+  bool rebalance_stop_ GUARDED_BY(rebalance_lifecycle_mutex_) = false;
   /// Serializes fan-out publishes so all shards see the same snapshot
   /// sequence (and therefore mint identical version numbers). Lock
   /// hierarchy: acquired BEFORE any shard's publish_mutex_ (the fan-out

@@ -229,6 +229,18 @@ void ServiceStats::record_retrain_cancelled(std::uint64_t count) {
   retrain_counters_[3].fetch_add(count, kRelaxed);
 }
 
+void ServiceStats::record_tenant_admit() { fleet_counters_[0].fetch_add(1, kRelaxed); }
+
+void ServiceStats::record_quota_reject() { fleet_counters_[1].fetch_add(1, kRelaxed); }
+
+void ServiceStats::record_inflight_reject() {
+  fleet_counters_[2].fetch_add(1, kRelaxed);
+}
+
+void ServiceStats::record_unknown_tenant() {
+  fleet_counters_[3].fetch_add(1, kRelaxed);
+}
+
 // --- read path (merge-on-read over stripes) ---------------------------------
 
 void ServiceStats::Counters::merge(const Counters& other) noexcept {
@@ -320,6 +332,15 @@ ServiceStats::RetrainCounters ServiceStats::retrain_counters() const {
   out.coalesced = retrain_counters_[1].load(kRelaxed);
   out.rejected = retrain_counters_[2].load(kRelaxed);
   out.cancelled = retrain_counters_[3].load(kRelaxed);
+  return out;
+}
+
+ServiceStats::FleetCounters ServiceStats::fleet_counters() const {
+  FleetCounters out;
+  out.admitted = fleet_counters_[0].load(kRelaxed);
+  out.quota_rejected = fleet_counters_[1].load(kRelaxed);
+  out.inflight_rejected = fleet_counters_[2].load(kRelaxed);
+  out.unknown_tenant = fleet_counters_[3].load(kRelaxed);
   return out;
 }
 

@@ -103,6 +103,18 @@ class ServiceStats {
     std::uint64_t cancelled = 0;  ///< queued tasks cancelled at shutdown
   };
 
+  /// Fleet-admission telemetry (the tenant::TenantFleet's fairness counters):
+  /// how many requests each admission stage turned away before the backend
+  /// ever saw them. `admitted + quota_rejected + inflight_rejected +
+  /// unknown_tenant` equals the number of try_submit calls that reached the
+  /// fleet (exact after a happens-before edge, like every counter here).
+  struct FleetCounters {
+    std::uint64_t admitted = 0;           ///< passed tenant admission control
+    std::uint64_t quota_rejected = 0;     ///< token-bucket rate limit (Overloaded)
+    std::uint64_t inflight_rejected = 0;  ///< per-tenant in-flight cap (Overloaded)
+    std::uint64_t unknown_tenant = 0;     ///< tenant id outside the fleet (NotReady)
+  };
+
   /// Wire-level telemetry from the RPC front-end (net::Server). Folded into
   /// the same sink as the request counters so one stats object describes the
   /// whole serving process.
@@ -165,6 +177,12 @@ class ServiceStats {
   /// Wire-side latency (decode -> response queued for write) per endpoint.
   void record_wire_latency(Endpoint endpoint, double latency_us);
 
+  // --- fleet-admission recording (called by tenant::TenantFleet) ---
+  void record_tenant_admit();
+  void record_quota_reject();
+  void record_inflight_reject();
+  void record_unknown_tenant();
+
   /// One background retrain task finished; latency is the task's run time.
   void record_retrain(double latency_us);
   /// A retrain task was enqueued; `queue_depth` is sampled just after.
@@ -177,6 +195,7 @@ class ServiceStats {
   Counters totals() const;
   EndpointAggregate endpoint_aggregate(Endpoint endpoint) const;
   RetrainCounters retrain_counters() const;
+  FleetCounters fleet_counters() const;
   WireCounters wire_counters() const;
   double wire_latency_quantile(Endpoint endpoint, double q) const;
   double mean_wire_latency_us(Endpoint endpoint) const;
@@ -298,6 +317,10 @@ class ServiceStats {
   // Retrain telemetry is written by one background thread plus low-rate
   // enqueuers: plain (unstriped) relaxed atomics are contention-free enough.
   std::array<std::atomic<std::uint64_t>, 4> retrain_counters_{};
+  // Fleet admission telemetry: written on the front-end's submit path, but
+  // behind a per-tenant quota check that already does an atomic RMW — one
+  // more unstriped relaxed counter does not change the contention picture.
+  std::array<std::atomic<std::uint64_t>, 4> fleet_counters_{};
   AtomicHist retrain_hist_;
   AtomicAccum retrain_stats_;
   AtomicAccum retrain_depth_stats_;

@@ -43,8 +43,16 @@ const char* status_name(Status status) noexcept;
 using Tick = std::uint64_t;
 inline constexpr Tick kNoDeadline = std::numeric_limits<Tick>::max();
 
+/// Tenant namespace id. Tenants are dense [0, tenants); tenant 0 is the
+/// default namespace every pre-tenant caller lands in, so a fleet of one
+/// behaves exactly like the original single-tenant service.
+using TenantId = std::uint32_t;
+
 struct Request {
   Endpoint endpoint = Endpoint::kPredict;
+  /// Tenant namespace this request executes in (snapshot slot, tuner state,
+  /// retrain coalescing key-space). Travels on the wire in protocol v2.
+  TenantId tenant = 0;
   /// The characterized workload the request concerns (all endpoints).
   double read_ratio = 0.5;
   /// Configuration to score (kPredict only).

@@ -1,0 +1,77 @@
+#include "tenant/quota.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace rafiki::tenant {
+
+TenantQuota::TenantQuota(QuotaOptions options) : options_(std::move(options)) {
+  if (options_.rate_per_s > 0.0 && options_.burst <= 0.0) {
+    options_.burst = options_.rate_per_s;
+  }
+}
+
+std::uint64_t TenantQuota::now_us() const {
+  if (options_.clock_us) return options_.clock_us();
+  // Admission rate limiting is real-time by design: the clock decides only
+  // whether a request is admitted (kOverloaded), never what an admitted
+  // request computes. Tests inject a deterministic clock instead.
+  // det:ok(wall-clock): admission-only rate limit; results never depend on it
+  const auto now = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(now.time_since_epoch())
+          .count());
+}
+
+void TenantQuota::refill_locked(std::uint64_t now) {
+  if (!primed_) {
+    // First observation: start from a full bucket so a tenant's initial
+    // burst is its configured burst, not zero.
+    tokens_ = options_.burst;
+    last_refill_us_ = now;
+    primed_ = true;
+    return;
+  }
+  if (now <= last_refill_us_) return;  // injected clocks may repeat a tick
+  const double elapsed_s = static_cast<double>(now - last_refill_us_) * 1e-6;
+  tokens_ = std::min(options_.burst, tokens_ + elapsed_s * options_.rate_per_s);
+  last_refill_us_ = now;
+}
+
+bool TenantQuota::try_acquire_token() {
+  if (options_.rate_per_s <= 0.0) return true;
+  const std::uint64_t now = now_us();
+  MutexLock lock(mutex_);
+  refill_locked(now);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+bool TenantQuota::begin_request() {
+  if (options_.max_in_flight == 0) return true;
+  // Exact under concurrency: each claimer reserves a slot first and undoes
+  // the reservation if it overshot, so at most max_in_flight claimers ever
+  // hold a slot simultaneously.
+  const std::size_t prev = in_flight_.fetch_add(1, std::memory_order_relaxed);
+  if (prev >= options_.max_in_flight) {
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void TenantQuota::end_request() {
+  if (options_.max_in_flight == 0) return;
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+double TenantQuota::tokens() {
+  if (options_.rate_per_s <= 0.0) return 0.0;
+  const std::uint64_t now = now_us();
+  MutexLock lock(mutex_);
+  refill_locked(now);
+  return tokens_;
+}
+
+}  // namespace rafiki::tenant

@@ -1,0 +1,90 @@
+// Per-tenant admission quota: a token bucket for sustained request rate plus
+// an in-flight cap for concurrency, both mapping to the wire's typed
+// kOverloaded verdict. The quota is the fleet's noisy-neighbour firewall —
+// one tenant saturating its budget is rejected at fleet admission, before it
+// can occupy a shard queue slot a well-behaved tenant needs.
+//
+// The token bucket runs on an injectable microsecond clock so tests drive
+// refill deterministically; the default clock is the steady clock, which is
+// the one deliberate wall-clock dependency in this subsystem (admission rate
+// limiting is real-time by definition; no request *result* depends on it —
+// only whether the request is admitted at all, exactly like queue-full
+// Overloaded verdicts in the serve layer).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "util/sync.h"
+
+namespace rafiki::tenant {
+
+struct QuotaOptions {
+  /// Sustained admission rate in requests/second. 0 (the default) disables
+  /// rate limiting entirely — the bucket always has a token.
+  double rate_per_s = 0.0;
+  /// Bucket capacity (burst size) in requests. 0 defaults to rate_per_s
+  /// (one second of burst); ignored when rate limiting is disabled.
+  double burst = 0.0;
+  /// Maximum concurrently in-flight requests (admitted but not yet
+  /// completed). 0 (the default) disables the cap.
+  std::size_t max_in_flight = 0;
+  /// Microsecond clock for token refill. Tests inject an atomic counter for
+  /// deterministic refill; unset uses the steady clock (see file comment).
+  std::function<std::uint64_t()> clock_us;
+};
+
+/// Thread-safe admission quota for one tenant. The token bucket is mutex
+/// protected (refill arithmetic is a read-modify-write over two fields); the
+/// in-flight count is a lock-free atomic because begin/end run on the
+/// request hot path of every admitted request.
+class TenantQuota {
+ public:
+  explicit TenantQuota(QuotaOptions options = {});
+
+  TenantQuota(const TenantQuota&) = delete;
+  TenantQuota& operator=(const TenantQuota&) = delete;
+
+  /// Takes one token from the bucket. Returns false (caller rejects with
+  /// kOverloaded) when the tenant has exhausted its rate budget; always true
+  /// when rate limiting is disabled.
+  bool try_acquire_token();
+
+  /// Claims an in-flight slot. Returns false (caller rejects with
+  /// kOverloaded) when the tenant is already at max_in_flight. A true return
+  /// MUST be paired with exactly one end_request() when the request
+  /// completes — the fleet wraps the response callback to guarantee this.
+  bool begin_request();
+  /// Releases the slot claimed by a successful begin_request().
+  void end_request();
+
+  /// Currently claimed in-flight slots (telemetry; racy by nature).
+  std::size_t in_flight() const noexcept {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+  /// Current token count, refilled to now (telemetry / tests).
+  double tokens();
+
+  const QuotaOptions& options() const noexcept { return options_; }
+
+ private:
+  std::uint64_t now_us() const;
+  void refill_locked(std::uint64_t now) REQUIRES(mutex_);
+
+  QuotaOptions options_;
+  Mutex mutex_;
+  double tokens_ GUARDED_BY(mutex_) = 0.0;
+  std::uint64_t last_refill_us_ GUARDED_BY(mutex_) = 0;
+  bool primed_ GUARDED_BY(mutex_) = false;
+  /// In-flight count. Pure admission gate, not a synchronization edge: the
+  /// increment-check-undo in begin_request() is exact (fetch_add returns the
+  /// previous value, so concurrent claimers never double-admit past the
+  /// cap), and relaxed ordering suffices because nothing is published
+  /// through this counter — the request handoff that follows admission has
+  /// its own happens-before edges (queue mutex).
+  std::atomic<std::size_t> in_flight_{0};
+};
+
+}  // namespace rafiki::tenant

@@ -1,0 +1,17 @@
+#include "tenant/registry.h"
+
+#include "core/online.h"
+
+namespace rafiki::tenant {
+
+TenantRegistry::TenantRegistry(
+    std::size_t tenants,
+    const std::function<QuotaOptions(serve::TenantId)>& quota_for) {
+  if (tenants == 0) tenants = 1;
+  for (std::size_t t = 0; t < tenants; ++t) {
+    const auto id = static_cast<serve::TenantId>(t);
+    states_.emplace_back(id, quota_for ? quota_for(id) : QuotaOptions{});
+  }
+}
+
+}  // namespace rafiki::tenant

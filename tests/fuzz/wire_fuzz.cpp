@@ -7,7 +7,8 @@
 //   1. decode_frame never reads out of bounds, crashes, or hangs (the
 //      sanitizers catch the first two; the harness is loop-free per input).
 //   2. consumed <= size always.
-//   3. kOk / recoverable  -> consumed >= kHeaderSize (a frame was consumed).
+//   3. kOk / recoverable  -> consumed >= the decoded version's header size
+//      (24 bytes for v2, 20 for a v1-compat frame).
 //   4. kNeedMore / fatal  -> consumed == 0 (the stream offset is untouched).
 //   5. kOk -> re-encoding the decoded frame and decoding again yields kOk
 //      with identical fields (decode/encode is a stable round trip).
@@ -44,6 +45,8 @@ using rafiki::net::Frame;
 using rafiki::net::FrameType;
 using rafiki::net::kDefaultMaxPayload;
 using rafiki::net::kHeaderSize;
+using rafiki::net::kHeaderSizeV1;
+using rafiki::net::kProtocolVersion;
 
 [[noreturn]] void fail(const char* invariant, std::size_t size) {
   std::fprintf(stderr, "wire_fuzz: invariant violated: %s (input size %zu)\n",
@@ -52,8 +55,9 @@ using rafiki::net::kHeaderSize;
 }
 
 bool requests_equal(const rafiki::serve::Request& a, const rafiki::serve::Request& b) {
-  return a.endpoint == b.endpoint && a.read_ratio == b.read_ratio &&
-         a.config == b.config && a.deadline == b.deadline;
+  return a.endpoint == b.endpoint && a.tenant == b.tenant &&
+         a.read_ratio == b.read_ratio && a.config == b.config &&
+         a.deadline == b.deadline;
 }
 
 bool responses_equal(const rafiki::serve::Response& a, const rafiki::serve::Response& b) {
@@ -66,6 +70,7 @@ bool responses_equal(const rafiki::serve::Response& a, const rafiki::serve::Resp
 
 bool frames_equal(const Frame& a, const Frame& b) {
   if (a.type != b.type || a.request_id != b.request_id) return false;
+  if (a.version != b.version || a.tenant != b.tenant) return false;
   switch (a.type) {
     case FrameType::kRequest:
       return a.endpoint == b.endpoint && requests_equal(a.request, b.request);
@@ -84,25 +89,29 @@ void check_one(const std::uint8_t* data, std::size_t size, std::size_t max_paylo
 
   if (consumed > size) fail("consumed > size", size);
   if (status == DecodeStatus::kOk || decode_recoverable(status)) {
-    if (consumed < kHeaderSize) fail("frame consumed without a full header", size);
+    // frame.version is set whenever a frame boundary was established.
+    const std::size_t header_size = frame.version == 1 ? kHeaderSizeV1 : kHeaderSize;
+    if (consumed < header_size) fail("frame consumed without a full header", size);
   } else {
     if (consumed != 0) fail("kNeedMore/fatal must not consume bytes", size);
   }
   if (status != DecodeStatus::kOk) return;
 
   // Round trip: what we decoded must re-encode into bytes that decode back
-  // to the same frame in one piece.
+  // to the same frame in one piece — in the SAME protocol version it arrived
+  // in (the server answers v1 peers in v1), with the tenant preserved.
   std::vector<std::uint8_t> bytes;
   switch (frame.type) {
     case FrameType::kRequest:
-      rafiki::net::encode_request(frame.request_id, frame.request, bytes);
+      rafiki::net::encode_request(frame.request_id, frame.request, bytes, frame.version);
       break;
     case FrameType::kResponse:
       rafiki::net::encode_response(frame.request_id, frame.endpoint, frame.response,
-                                   bytes);
+                                   bytes, frame.tenant, frame.version);
       break;
     case FrameType::kError:
-      rafiki::net::encode_error(frame.request_id, frame.error, bytes);
+      rafiki::net::encode_error(frame.request_id, frame.error, bytes, frame.tenant,
+                                frame.version);
       break;
   }
   Frame again;
@@ -133,6 +142,9 @@ using rafiki::Rng;
 
 rafiki::serve::Request random_request(Rng& rng) {
   rafiki::serve::Request request;
+  request.tenant = rng.bernoulli(0.5)
+                       ? 0
+                       : static_cast<rafiki::serve::TenantId>(rng.next_u64());
   request.endpoint = static_cast<rafiki::serve::Endpoint>(
       rng.uniform_int(0, static_cast<std::int64_t>(rafiki::serve::kEndpointCount) - 1));
   request.read_ratio = rng.uniform();
@@ -165,23 +177,29 @@ rafiki::serve::Response random_response(Rng& rng) {
 std::vector<std::uint8_t> random_valid_frame(Rng& rng) {
   std::vector<std::uint8_t> bytes;
   const std::uint64_t id = rng.next_u64();
+  // 1-in-4 frames speak the legacy v1 dialect, so the version-bump decode
+  // path (20-byte header, implicit tenant 0) sees constant fuzz pressure.
+  const std::uint8_t version = rng.bernoulli(0.25) ? 1 : kProtocolVersion;
+  const auto tenant = static_cast<rafiki::serve::TenantId>(rng.next_u64());
   switch (rng.uniform_int(0, 2)) {
-    case 0:
-      rafiki::net::encode_request(id, random_request(rng), bytes);
+    case 0: {
+      rafiki::serve::Request request = random_request(rng);
+      rafiki::net::encode_request(id, request, bytes, version);
       break;
+    }
     case 1:
       rafiki::net::encode_response(
           id,
           static_cast<rafiki::serve::Endpoint>(rng.uniform_int(
               0, static_cast<std::int64_t>(rafiki::serve::kEndpointCount) - 1)),
-          random_response(rng), bytes);
+          random_response(rng), bytes, tenant, version);
       break;
     default:
       rafiki::net::encode_error(
           id,
           static_cast<rafiki::net::WireError>(rng.uniform_int(
               0, static_cast<std::int64_t>(rafiki::net::kWireErrorCount) - 1)),
-          bytes);
+          bytes, tenant, version);
       break;
   }
   return bytes;
@@ -289,12 +307,60 @@ int generate_corpus(const std::filesystem::path& dir) {
     seeds.emplace_back("seed_bad_version.bin", bytes);
   }
   {
-    std::vector<std::uint8_t> bytes = random_valid_frame(rng);
+    // Oversize length claim under a v2 header: payload_len lives at offset
+    // 20 (offset 16 is the tenant field in RKF2).
+    std::vector<std::uint8_t> bytes;
+    rafiki::net::encode_request(10, rafiki::serve::Request{}, bytes);
+    bytes[20] = 0xFF;
+    bytes[21] = 0xFF;
+    bytes[22] = 0xFF;
+    bytes[23] = 0x7F;
+    seeds.emplace_back("seed_oversize_claim.bin", bytes);
+  }
+  // Version-bump coverage: well-formed v1 frames of each type, a v1
+  // oversize claim (payload_len at offset 16 in the short header), a v2
+  // frame with the extreme tenant id, and a mixed-dialect pipelined pair.
+  {
+    std::vector<std::uint8_t> bytes;
+    rafiki::net::encode_request(11, rafiki::serve::Request{}, bytes, /*version=*/1);
+    seeds.emplace_back("seed_v1_request.bin", bytes);
+  }
+  {
+    std::vector<std::uint8_t> bytes;
+    rafiki::net::encode_response(12, rafiki::serve::Endpoint::kPredict,
+                                 rafiki::serve::Response{}, bytes, /*tenant=*/0,
+                                 /*version=*/1);
+    seeds.emplace_back("seed_v1_response.bin", bytes);
+  }
+  {
+    std::vector<std::uint8_t> bytes;
+    rafiki::net::encode_error(13, rafiki::net::WireError::kBadFrame, bytes,
+                              /*tenant=*/0, /*version=*/1);
+    seeds.emplace_back("seed_v1_error.bin", bytes);
+  }
+  {
+    std::vector<std::uint8_t> bytes;
+    rafiki::net::encode_request(14, rafiki::serve::Request{}, bytes, /*version=*/1);
     bytes[16] = 0xFF;
     bytes[17] = 0xFF;
     bytes[18] = 0xFF;
     bytes[19] = 0x7F;
-    seeds.emplace_back("seed_oversize_claim.bin", bytes);
+    seeds.emplace_back("seed_v1_oversize_claim.bin", bytes);
+  }
+  {
+    rafiki::serve::Request request;
+    request.tenant = 0xFFFFFFFFu;
+    std::vector<std::uint8_t> bytes;
+    rafiki::net::encode_request(15, request, bytes);
+    seeds.emplace_back("seed_tenant_extreme.bin", bytes);
+  }
+  {
+    std::vector<std::uint8_t> bytes;
+    rafiki::net::encode_request(16, rafiki::serve::Request{}, bytes, /*version=*/1);
+    rafiki::serve::Request second;
+    second.tenant = 42;
+    rafiki::net::encode_request(17, second, bytes);
+    seeds.emplace_back("seed_mixed_versions.bin", bytes);
   }
   for (const auto& [name, bytes] : seeds) {
     std::ofstream out(dir / name, std::ios::binary);

@@ -25,7 +25,10 @@ constexpr std::size_t kOffVersion = 4;
 constexpr std::size_t kOffType = 5;
 constexpr std::size_t kOffEndpoint = 6;
 constexpr std::size_t kOffCode = 7;
-constexpr std::size_t kOffPayloadLen = 16;
+constexpr std::size_t kOffTenant = 16;
+constexpr std::size_t kOffPayloadLen = 20;
+// v1 header: no tenant field; payload_len sits where tenant is in v2.
+constexpr std::size_t kOffPayloadLenV1 = 16;
 
 engine::Config test_config() {
   auto config = engine::Config::defaults();
@@ -105,6 +108,125 @@ TEST(NetWire, RequestRoundTripIsBitExactForEveryEndpoint) {
     EXPECT_EQ(frame.request.deadline, request.deadline);
     EXPECT_EQ(frame.request.config, request.config);
   }
+}
+
+TEST(NetWire, TenantIdRoundTripsBitExactly) {
+  // Tenant 0 (the default namespace), a mid-range id, and the full 32-bit
+  // extreme all survive the header round trip bit-exactly, and the decoder
+  // mirrors the header tenant into the decoded request.
+  for (const serve::TenantId tenant : {0u, 7u, 0xFFFFFFFFu}) {
+    serve::Request request;
+    request.tenant = tenant;
+    request.read_ratio = 0.42;
+    const auto bytes = request_bytes(11, request);
+    EXPECT_EQ(bytes[kOffVersion], kProtocolVersion);
+    Frame frame;
+    std::size_t consumed = 0;
+    ASSERT_EQ(decode(bytes, frame, consumed), DecodeStatus::kOk);
+    EXPECT_EQ(frame.version, kProtocolVersion);
+    EXPECT_EQ(frame.tenant, tenant);
+    EXPECT_EQ(frame.request.tenant, tenant);
+  }
+}
+
+TEST(NetWire, ResponseAndErrorCarryTheTenant) {
+  {
+    std::vector<std::uint8_t> bytes;
+    encode_response(5, serve::Endpoint::kPredict, serve::Response{}, bytes,
+                    /*tenant=*/0xDEADBEEFu);
+    Frame frame;
+    std::size_t consumed = 0;
+    ASSERT_EQ(decode(bytes, frame, consumed), DecodeStatus::kOk);
+    EXPECT_EQ(frame.type, FrameType::kResponse);
+    EXPECT_EQ(frame.tenant, 0xDEADBEEFu);
+  }
+  {
+    std::vector<std::uint8_t> bytes;
+    encode_error(6, WireError::kBadPayload, bytes, /*tenant=*/3u);
+    Frame frame;
+    std::size_t consumed = 0;
+    ASSERT_EQ(decode(bytes, frame, consumed), DecodeStatus::kOk);
+    EXPECT_EQ(frame.type, FrameType::kError);
+    EXPECT_EQ(frame.tenant, 3u);
+  }
+}
+
+TEST(NetWire, V1FramesDecodeIntoTheDefaultTenant) {
+  // A v1 peer's frame has a 20-byte header and no tenant field; the decoder
+  // must accept it, land it in tenant 0, and report version 1 so the server
+  // can answer in kind. Payload bodies are identical across versions.
+  serve::Request request;
+  request.read_ratio = 0.37;
+  request.deadline = 99;
+  request.config = test_config();
+  std::vector<std::uint8_t> bytes;
+  encode_request(21, request, bytes, /*version=*/1);
+  EXPECT_EQ(bytes[kOffVersion], 1);
+  Frame frame;
+  std::size_t consumed = 0;
+  ASSERT_EQ(decode(bytes, frame, consumed), DecodeStatus::kOk);
+  EXPECT_EQ(consumed, bytes.size());
+  EXPECT_EQ(frame.version, 1);
+  EXPECT_EQ(frame.tenant, 0u);
+  EXPECT_EQ(frame.request.tenant, 0u);
+  EXPECT_EQ(frame.request.read_ratio, request.read_ratio);
+  EXPECT_EQ(frame.request.deadline, request.deadline);
+  EXPECT_EQ(frame.request.config, request.config);
+  // The same payload under a v2 header is exactly 4 bytes longer.
+  std::vector<std::uint8_t> v2;
+  encode_request(21, request, v2);
+  EXPECT_EQ(v2.size(), bytes.size() + (kHeaderSize - kHeaderSizeV1));
+}
+
+TEST(NetWire, V1ResponseAndErrorRoundTrip) {
+  {
+    serve::Response response;
+    response.status = serve::Status::kOk;
+    response.mean = 123.5;
+    std::vector<std::uint8_t> bytes;
+    encode_response(8, serve::Endpoint::kPredict, response, bytes, /*tenant=*/0,
+                    /*version=*/1);
+    Frame frame;
+    std::size_t consumed = 0;
+    ASSERT_EQ(decode(bytes, frame, consumed), DecodeStatus::kOk);
+    EXPECT_EQ(frame.version, 1);
+    EXPECT_EQ(frame.response.mean, 123.5);
+  }
+  {
+    std::vector<std::uint8_t> bytes;
+    encode_error(9, WireError::kBadFrame, bytes, /*tenant=*/0, /*version=*/1);
+    EXPECT_EQ(bytes.size(), kHeaderSizeV1);
+    Frame frame;
+    std::size_t consumed = 0;
+    ASSERT_EQ(decode(bytes, frame, consumed), DecodeStatus::kOk);
+    EXPECT_EQ(frame.version, 1);
+    EXPECT_EQ(frame.error, WireError::kBadFrame);
+  }
+}
+
+TEST(NetWire, V1TruncationAtEveryLengthNeedsMore) {
+  serve::Request request;
+  request.read_ratio = 0.5;
+  std::vector<std::uint8_t> bytes;
+  encode_request(4, request, bytes, /*version=*/1);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    Frame frame;
+    std::size_t consumed = 99;
+    EXPECT_EQ(decode_frame(bytes.data(), len, kDefaultMaxPayload, frame, consumed),
+              DecodeStatus::kNeedMore)
+        << "at length " << len;
+    EXPECT_EQ(consumed, 0u) << "at length " << len;
+  }
+}
+
+TEST(NetWire, V1HostileLengthPrefixIsRejected) {
+  std::vector<std::uint8_t> bytes;
+  encode_request(4, serve::Request{}, bytes, /*version=*/1);
+  patch_u32(bytes, kOffPayloadLenV1, std::numeric_limits<std::uint32_t>::max());
+  Frame frame;
+  std::size_t consumed = 99;
+  EXPECT_EQ(decode(bytes, frame, consumed), DecodeStatus::kBadLength);
+  EXPECT_EQ(consumed, 0u);
 }
 
 TEST(NetWire, ResponseRoundTripIsBitExactForEveryStatus) {
@@ -201,12 +323,17 @@ TEST(NetWire, GarbageMagicIsFatal) {
 }
 
 TEST(NetWire, UnknownVersionIsFatal) {
-  auto bytes = request_bytes(1, serve::Request{});
-  bytes[kOffVersion] = kProtocolVersion + 1;
-  Frame frame;
-  std::size_t consumed = 99;
-  EXPECT_EQ(decode(bytes, frame, consumed), DecodeStatus::kBadVersion);
-  EXPECT_EQ(consumed, 0u);
+  // Above the current version and below the minimum (0) are both fatal:
+  // only the [kMinProtocolVersion, kProtocolVersion] window decodes.
+  for (const std::uint8_t hostile :
+       {static_cast<std::uint8_t>(kProtocolVersion + 1), static_cast<std::uint8_t>(0)}) {
+    auto bytes = request_bytes(1, serve::Request{});
+    bytes[kOffVersion] = hostile;
+    Frame frame;
+    std::size_t consumed = 99;
+    EXPECT_EQ(decode(bytes, frame, consumed), DecodeStatus::kBadVersion);
+    EXPECT_EQ(consumed, 0u);
+  }
   EXPECT_FALSE(decode_recoverable(DecodeStatus::kBadVersion));
 }
 
@@ -391,7 +518,9 @@ TEST(NetWire, FuzzedInputNeverOverconsumes) {
       EXPECT_EQ(consumed, 0u);
     }
     if (status == DecodeStatus::kOk) {
-      EXPECT_GE(consumed, kHeaderSize);
+      // A mutation can legally flip the version byte to 1 (a valid v1
+      // frame), so the floor is the smaller v1 header.
+      EXPECT_GE(consumed, kHeaderSizeV1);
     }
   }
 }

@@ -107,7 +107,7 @@ PATH_PATTERN_RULES = {
 # calls default to seq_cst, which both over-synchronizes and — worse — hides
 # whether the author *thought* about the required ordering. Scoped to the
 # concurrent serving stack; the offline math code has no atomics to audit.
-MEMORY_ORDER_PREFIXES = ("src/serve/", "src/net/")
+MEMORY_ORDER_PREFIXES = ("src/serve/", "src/net/", "src/tenant/")
 ATOMIC_CALL_RE = re.compile(
     r"(?:\.|->)\s*(?P<op>load|store|exchange|fetch_add|fetch_sub|fetch_and|"
     r"fetch_or|fetch_xor|compare_exchange_weak|compare_exchange_strong)\s*\("

@@ -1,9 +1,10 @@
 // rafiki_client — command-line client for the tuning service's RPC
 // front-end (net/wire.h protocol).
 //
-//   rafiki_client predict  [--host H] [--port P] [--rr R] [--set name=value ...]
-//   rafiki_client optimize [--host H] [--port P] [--rr R]
-//   rafiki_client observe  [--host H] [--port P] [--rr R]
+//   rafiki_client predict  [--host H] [--port P] [--tenant T] [--rr R]
+//                          [--set name=value ...]
+//   rafiki_client optimize [--host H] [--port P] [--tenant T] [--rr R]
+//   rafiki_client observe  [--host H] [--port P] [--tenant T] [--rr R]
 //
 // `predict` scores a configuration (defaults, overridden per --set) for the
 // given read ratio; `optimize` asks the server's GA for the best config;
@@ -26,7 +27,7 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s predict|optimize|observe [--host H] [--port P] "
-               "[--rr R] [--set name=value ...]\n",
+               "[--tenant T] [--rr R] [--set name=value ...]\n",
                argv0);
 }
 
@@ -91,6 +92,7 @@ int main(int argc, char** argv) {
 
   std::string host = "127.0.0.1";
   int port = 7117;
+  long tenant = 0;
   double read_ratio = 0.5;
   auto config = engine::Config::defaults();
   for (int i = 2; i < argc; ++i) {
@@ -99,6 +101,8 @@ int main(int argc, char** argv) {
       host = argv[++i];
     } else if (arg == "--port" && i + 1 < argc) {
       port = std::atoi(argv[++i]);
+    } else if (arg == "--tenant" && i + 1 < argc) {
+      tenant = std::atol(argv[++i]);
     } else if (arg == "--rr" && i + 1 < argc) {
       read_ratio = std::atof(argv[++i]);
     } else if (arg == "--set" && i + 1 < argc) {
@@ -124,6 +128,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "invalid port %d\n", port);
     return 2;
   }
+  if (tenant < 0 || tenant > 0xFFFFFFFFL) {
+    std::fprintf(stderr, "invalid tenant %ld\n", tenant);
+    return 2;
+  }
 
   net::Client client;
   const auto connected = client.connect(host, static_cast<std::uint16_t>(port));
@@ -134,6 +142,7 @@ int main(int argc, char** argv) {
   }
 
   serve::Request request;
+  request.tenant = static_cast<serve::TenantId>(tenant);
   request.endpoint = endpoint;
   request.read_ratio = read_ratio;
   request.config = config;

@@ -1,33 +1,52 @@
 // rafiki_serverd — standalone serving daemon: trains a small surrogate
 // pipeline, publishes the snapshot, and serves the RPC protocol until stdin
-// closes (or EOF in a pipe), then drains gracefully and prints the stats
-// tables. The counterpart of tools/rafiki_client.
+// closes (or EOF in a pipe) or SIGINT/SIGTERM arrives, then drains
+// gracefully and prints the stats tables. The counterpart of
+// tools/rafiki_client.
 //
 //   rafiki_serverd [--port P] [--host H] [--io-threads N] [--workers N]
-//                  [--shards N] [--full]
+//                  [--shards N] [--tenants N] [--full]
 //
 // --shards N (N > 1) serves through the ShardedTuningService router —
-// per-read-ratio-band shards, each with its own queue/workers/batcher — and
-// prints the cross-shard merged stats table on drain.
+// per-(tenant, read-ratio-band) shards, each with its own queue/workers/
+// batcher — and prints the cross-shard merged stats table on drain.
+//
+// --tenants N (N > 1) serves a multi-tenant fleet (tenant::TenantFleet):
+// each tenant gets its own model slot and OnlineTuner, requests route by the
+// RKF2 header's tenant field, and the drain report includes the fleet's
+// admission fairness counters. Tenant ids 0..N-1 are valid; anything else
+// answers kNotReady.
 //
 // The default training profile is the CI smoke profile (seconds); --full
 // trains the mid-sized ensemble the benches use (minutes).
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "core/online.h"
 #include "core/rafiki.h"
 #include "engine/params.h"
-#include <memory>
-
 #include "net/server.h"
 #include "serve/service.h"
 #include "serve/shard.h"
 #include "serve/snapshot.h"
+#include "tenant/fleet.h"
 
 using namespace rafiki;
+
+namespace {
+
+// Async-signal-safe shutdown flag; the handler only sets it. Installed
+// WITHOUT SA_RESTART so the blocking fgets() on stdin returns EINTR and the
+// serve loop falls through to the same graceful drain that EOF triggers.
+volatile std::sig_atomic_t g_shutdown_signal = 0;
+
+void on_shutdown_signal(int signo) { g_shutdown_signal = signo; }
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
@@ -35,6 +54,7 @@ int main(int argc, char** argv) {
   std::size_t io_threads = 2;
   std::size_t workers = 2;
   std::size_t shards = 1;
+  std::size_t tenants = 1;
   bool full = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -48,12 +68,14 @@ int main(int argc, char** argv) {
       workers = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (arg == "--shards" && i + 1 < argc) {
       shards = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--tenants" && i + 1 < argc) {
+      tenants = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (arg == "--full") {
       full = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--host H] [--port P] [--io-threads N] "
-                   "[--workers N] [--shards N] [--full]\n",
+                   "[--workers N] [--shards N] [--tenants N] [--full]\n",
                    argv[0]);
       return 2;
     }
@@ -62,6 +84,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "invalid port %d\n", port);
     return 2;
   }
+  if (tenants == 0) tenants = 1;
 
   core::RafikiOptions options;
   options.workload_grid = full ? std::vector<double>{0.1, 0.5, 0.9}
@@ -83,9 +106,19 @@ int main(int argc, char** argv) {
 
   serve::ServiceOptions service_options;
   service_options.workers = workers;
-  core::OnlineTuner tuner(rafiki);
+  core::OnlineTuner tuner(rafiki);  // tenant-0 tuner for the non-fleet paths
   std::unique_ptr<serve::TuningBackend> backend;
-  if (shards > 1) {
+  tenant::TenantFleet* fleet = nullptr;
+  if (tenants > 1) {
+    tenant::FleetOptions fleet_options;
+    fleet_options.tenants = tenants;
+    fleet_options.shard.shards = shards;
+    fleet_options.shard.service = service_options;
+    auto owned = std::make_unique<tenant::TenantFleet>(fleet_options);
+    owned->attach_rafiki(rafiki);
+    fleet = owned.get();
+    backend = std::move(owned);
+  } else if (shards > 1) {
     serve::ShardOptions shard_options;
     shard_options.shards = shards;
     shard_options.service = service_options;
@@ -95,7 +128,7 @@ int main(int argc, char** argv) {
   }
   serve::TuningBackend& service = *backend;
   service.publish(serve::make_snapshot(rafiki));
-  service.attach_tuner(tuner);
+  if (fleet == nullptr) service.attach_tuner(tuner);
   service.start();
 
   net::ServerOptions server_options;
@@ -108,26 +141,64 @@ int main(int argc, char** argv) {
     service.stop();
     return 1;
   }
-  std::printf("serving on %s:%u (model version %llu, %zu shard%s); "
-              "close stdin to stop\n",
+
+  // Graceful shutdown on SIGINT/SIGTERM: no SA_RESTART, so the fgets() below
+  // is interrupted (EINTR -> nullptr) and the normal drain path runs —
+  // in-flight requests finish, stats tables still print.
+  struct sigaction sa{};
+  sa.sa_handler = on_shutdown_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+
+  std::printf("serving on %s:%u (model version %llu, %zu shard%s, %zu tenant%s); "
+              "close stdin or SIGINT/SIGTERM to stop\n",
               host.c_str(), server.port(),
               static_cast<unsigned long long>(service.model_version()), shards,
-              shards == 1 ? "" : "s");
+              shards == 1 ? "" : "s", tenants, tenants == 1 ? "" : "s");
   std::fflush(stdout);
 
   // Serve until stdin closes — works interactively (Ctrl-D), under a pipe,
-  // and under process supervisors that hold stdin open for the lifetime.
+  // and under process supervisors that hold stdin open for the lifetime —
+  // or until a shutdown signal interrupts the read.
   char buffer[256];
-  while (std::fgets(buffer, sizeof buffer, stdin) != nullptr) {
+  while (g_shutdown_signal == 0 &&
+         std::fgets(buffer, sizeof buffer, stdin) != nullptr) {
   }
 
-  std::printf("draining...\n");
+  if (g_shutdown_signal != 0) {
+    std::printf("caught %s, draining...\n",
+                g_shutdown_signal == SIGTERM ? "SIGTERM" : "SIGINT");
+  } else {
+    std::printf("stdin closed, draining...\n");
+  }
+  const auto before = service.stats().wire_counters();
   server.stop();
   service.stop();
+  const auto after = service.stats().wire_counters();
+
+  // Drain report: what the graceful shutdown actually flushed.
+  std::printf("drained: %llu frame(s) answered during drain, %llu connection(s) "
+              "closed, %llu frame(s) total in / %llu out\n",
+              static_cast<unsigned long long>(after.frames_out - before.frames_out),
+              static_cast<unsigned long long>(after.connections_closed -
+                                              before.connections_closed),
+              static_cast<unsigned long long>(after.frames_in),
+              static_cast<unsigned long long>(after.frames_out));
 
   // stats_table() merges across shards for the sharded backend; wire-level
   // telemetry always lives in the backend's front-end stats object.
   std::printf("\n=== request stats ===\n%s", service.stats_table().render().c_str());
   std::printf("\n=== wire stats ===\n%s", service.stats().wire_table().render().c_str());
+  if (fleet != nullptr) {
+    const auto fc = fleet->fleet_counters();
+    std::printf("\n=== fleet admission ===\nadmitted %llu | quota rejected %llu | "
+                "in-flight rejected %llu | unknown tenant %llu\n",
+                static_cast<unsigned long long>(fc.admitted),
+                static_cast<unsigned long long>(fc.quota_rejected),
+                static_cast<unsigned long long>(fc.inflight_rejected),
+                static_cast<unsigned long long>(fc.unknown_tenant));
+  }
   return 0;
 }

@@ -20,10 +20,13 @@
 //      snapshot versions, and (without sanitizers) ObserveWindow p99 far
 //      below the mean background-retrain latency — proof the request path
 //      no longer absorbs optimizer spikes.
-//   E. Shard scaling — the same closed loop at shards in {1, 2, 4, 8}
-//      (max_batch = 1, clients in {1, 8, 64}), plus a bit-parity sweep proving
-//      the sharded router returns exactly the unsharded (and scalar)
-//      predictions.
+//   E. Shard scaling — a callback closed loop (1 / 64 / 256 logical clients,
+//      zero client threads; max_batch = 1) against shards in {1, 2, 4, 8}
+//      after an untimed route warm-up, with per-shard request / worker-CPU /
+//      queue-depth accounting, plus a bit-parity sweep proving the sharded
+//      router returns exactly the unsharded (and scalar) predictions. The
+//      bar (on >= 8 hardware threads): no shard count below 0.9x unsharded
+//      64-client QPS, and — full profile — 4 shards >= 3x unsharded.
 //   F. Rebalance under fire — hot bands pinned to one shard, clients
 //      hammering them while the router migrates the hottest band away; the
 //      bar is zero failed or lost requests and at least one migration.
@@ -31,9 +34,12 @@
 // Results go to stdout (ASCII tables) and BENCH_serve.json. `--smoke` keeps
 // everything tiny for CI; `--out <path>` redirects the JSON; `--shards N`
 // routes phases B-D through an N-shard router.
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <future>
 #include <memory>
 #include <string>
 #include <thread>
@@ -92,14 +98,26 @@ struct RegimeResult {
   double retrain_mean_us = 0.0;  // what each miss *would* have cost inline
 };
 
+/// Post-run accounting for one shard (or the single unsharded service).
+struct ShardMetrics {
+  std::uint64_t requests = 0;      // Predict completions on this shard
+  std::size_t workers = 0;         // budgeted worker threads
+  double cpu_s = 0.0;              // worker CPU time (exact: read post-join)
+  double mean_queue_depth = 0.0;   // sampled at each admission
+  double max_queue_depth = 0.0;
+};
+
 struct ScalingResult {
   std::size_t shards = 0;
+  std::size_t workers = 0;  // fleet-wide resolved worker budget
   double clients1_qps = 0.0;
-  double clients8_qps = 0.0;
   double clients64_qps = 0.0;
-  double scaling = 0.0;
+  double clients256_qps = 0.0;
+  /// 64-client QPS relative to the 1-shard row (filled after the sweep).
+  double speedup64 = 0.0;
   std::uint64_t failed = 0;
   std::uint64_t spills = 0;
+  std::vector<ShardMetrics> per_shard;
 };
 
 struct ParityResult {
@@ -444,6 +462,136 @@ RebalanceResult rebalance_bench(const core::Rafiki& rafiki, std::size_t clients,
   return result;
 }
 
+/// Shared state of one closed-loop run: `concurrency` logical clients, each a
+/// self-perpetuating submit -> completion -> next-submit chain, drawing
+/// tickets from one global counter until `total` requests have been issued.
+struct ClosedLoop {
+  serve::TuningBackend* service = nullptr;
+  std::uint64_t total = 0;
+  std::atomic<std::uint64_t> issued{0};
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> failed{0};
+  std::atomic<std::uint64_t> live{0};  // chains still running
+  std::promise<void> done;
+};
+
+/// Advances one chain: takes the next ticket and submits it; the completion
+/// callback (running on whichever worker served the request) re-enters here
+/// for the next ticket. An inline rejection (Overloaded at every shard)
+/// continues the loop on this thread instead of recursing, so the stack
+/// stays flat no matter how hot the admission path runs.
+void run_chain(const std::shared_ptr<ClosedLoop>& loop) {
+  for (;;) {
+    const std::uint64_t ticket = loop->issued.fetch_add(1, std::memory_order_relaxed);
+    if (ticket >= loop->total) {
+      if (loop->live.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        loop->done.set_value();
+      }
+      return;
+    }
+    serve::Request request;
+    request.endpoint = serve::Endpoint::kPredict;
+    // Cycle the full band space so the router actually spreads the stream
+    // over every shard (and the unsharded run sees the identical mix).
+    request.read_ratio = 0.01 * static_cast<double>(ticket % 101);
+    serve::Status admitted = loop->service->try_submit(
+        request, [loop](serve::Response response) {
+          if (response.ok()) {
+            loop->ok.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            loop->failed.fetch_add(1, std::memory_order_relaxed);
+          }
+          run_chain(loop);
+        });
+    if (admitted == serve::Status::kOk) return;  // chain continues on completion
+    loop->failed.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+/// Runs `total` requests through `concurrency` chains; returns QPS (completed
+/// ok per wall second) and accumulates failures into `failed_out`.
+double closed_loop_qps(serve::TuningBackend& service, std::size_t concurrency,
+                       std::uint64_t total, std::uint64_t& failed_out) {
+  auto loop = std::make_shared<ClosedLoop>();
+  loop->service = &service;
+  loop->total = total;
+  loop->live.store(concurrency, std::memory_order_relaxed);
+  auto finished = loop->done.get_future();
+  // det:ok(wall-clock): benchmark timing
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < concurrency; ++c) run_chain(loop);
+  finished.wait();
+  const double elapsed = seconds_since(t0);
+  failed_out += loop->failed.load(std::memory_order_relaxed);
+  return elapsed > 0.0 ? static_cast<double>(loop->ok.load(std::memory_order_relaxed)) /
+                             elapsed
+                       : 0.0;
+}
+
+/// Per-shard accounting, read after stop() (worker CPU time is exact only
+/// post-join). The unsharded service reports itself as one shard.
+std::vector<ShardMetrics> collect_shard_metrics(const serve::TuningBackend& backend) {
+  const auto of_service = [](const serve::TuningService& service) {
+    ShardMetrics m;
+    m.requests = service.stats().counters(serve::Endpoint::kPredict).completed;
+    m.workers = service.worker_count();
+    m.cpu_s = static_cast<double>(service.worker_cpu_us()) / 1e6;
+    m.mean_queue_depth = service.stats().mean_queue_depth();
+    m.max_queue_depth = service.stats().max_queue_depth();
+    return m;
+  };
+  std::vector<ShardMetrics> out;
+  if (const auto* sharded = dynamic_cast<const serve::ShardedTuningService*>(&backend)) {
+    for (std::size_t i = 0; i < sharded->shard_count(); ++i) {
+      out.push_back(of_service(sharded->shard(i)));
+    }
+  } else if (const auto* single = dynamic_cast<const serve::TuningService*>(&backend)) {
+    out.push_back(of_service(*single));
+  }
+  return out;
+}
+
+ScalingResult scaling_bench(const core::Rafiki& rafiki, std::size_t n_shards,
+                            std::uint64_t calls1, std::uint64_t total64,
+                            std::uint64_t total256) {
+  serve::ServiceOptions options;
+  options.workers = 2;
+  options.max_batch = 1;
+  options.queue_capacity = 4096;
+  auto service = make_backend(n_shards, options);
+  service->publish(serve::make_snapshot(rafiki));
+  service->start();
+
+  ScalingResult result;
+  result.shards = n_shards;
+  if (const auto* sharded =
+          dynamic_cast<const serve::ShardedTuningService*>(service.get())) {
+    result.workers = sharded->resolved_worker_budget();
+  } else if (const auto* single =
+                 dynamic_cast<const serve::TuningService*>(service.get())) {
+    result.workers = single->worker_count();
+  }
+
+  // Route warm-up: one untimed request per band primes every shard's worker
+  // pool, queue, snapshot deref, and stats stripes. The 1-client row used to
+  // absorb all of that cold-start cost into its first timed requests (the
+  // "1 client beats 8" anomaly in earlier runs of this table).
+  for (std::size_t band = 0; band < 101; ++band) {
+    serve::Request request;
+    request.endpoint = serve::Endpoint::kPredict;
+    request.read_ratio = 0.01 * static_cast<double>(band);
+    (void)service->call(request);
+  }
+
+  result.clients1_qps = closed_loop_qps(*service, 1, calls1, result.failed);
+  result.clients64_qps = closed_loop_qps(*service, 64, total64, result.failed);
+  result.clients256_qps = closed_loop_qps(*service, 256, total256, result.failed);
+  result.spills = backend_spills(*service);
+  service->stop();
+  result.per_shard = collect_shard_metrics(*service);
+  return result;
+}
+
 void write_json(const std::string& path, const std::vector<MicroResult>& micro,
                 const std::vector<LoadResult>& load, const SwapResult& swap,
                 const RegimeResult& regime, const std::vector<ScalingResult>& scaling,
@@ -504,13 +652,23 @@ void write_json(const std::string& path, const std::vector<MicroResult>& micro,
   for (std::size_t i = 0; i < scaling.size(); ++i) {
     const auto& s = scaling[i];
     std::fprintf(out,
-                 "    {\"shards\": %zu, \"clients1_qps\": %.1f, \"clients8_qps\": %.1f, "
-                 "\"clients64_qps\": %.1f, \"scaling\": %.2f, \"failed\": %llu, "
-                 "\"spills\": %llu}%s\n",
-                 s.shards, s.clients1_qps, s.clients8_qps, s.clients64_qps, s.scaling,
-                 static_cast<unsigned long long>(s.failed),
-                 static_cast<unsigned long long>(s.spills),
-                 i + 1 < scaling.size() ? "," : "");
+                 "    {\"shards\": %zu, \"workers\": %zu, \"clients1_qps\": %.1f, "
+                 "\"clients64_qps\": %.1f, \"clients256_qps\": %.1f, "
+                 "\"speedup64_vs_1shard\": %.2f, \"failed\": %llu, \"spills\": %llu, "
+                 "\"per_shard\": [",
+                 s.shards, s.workers, s.clients1_qps, s.clients64_qps, s.clients256_qps,
+                 s.speedup64, static_cast<unsigned long long>(s.failed),
+                 static_cast<unsigned long long>(s.spills));
+    for (std::size_t j = 0; j < s.per_shard.size(); ++j) {
+      const auto& p = s.per_shard[j];
+      std::fprintf(out,
+                   "{\"requests\": %llu, \"workers\": %zu, \"cpu_s\": %.3f, "
+                   "\"mean_queue_depth\": %.2f, \"max_queue_depth\": %.0f}%s",
+                   static_cast<unsigned long long>(p.requests), p.workers, p.cpu_s,
+                   p.mean_queue_depth, p.max_queue_depth,
+                   j + 1 < s.per_shard.size() ? ", " : "");
+    }
+    std::fprintf(out, "]}%s\n", i + 1 < scaling.size() ? "," : "");
   }
   std::fprintf(out,
                "  ],\n  \"sharded_parity\": {\"requests\": %llu, "
@@ -641,35 +799,37 @@ int main(int argc, char** argv) {
                      Table::num(regime.observe_p99_us, 1) + " us vs " +
                          Table::num(regime.retrain_mean_us, 1) + " us");
 
-  // Phase E: shard scaling sweep + bit parity across backends.
-  // The 64-client point stresses admission under far more closed-loop
-  // producers than workers; a shorter per-client loop keeps its wall time in
-  // line with the rest of the sweep.
-  const std::size_t calls64 = smoke ? 20 : 100;
+  // Phase E: shard scaling sweep + bit parity across backends. A callback
+  // closed loop (64 / 256 logical clients, zero client threads) drives each
+  // shard count after an untimed route warm-up; the speedup column is each
+  // row's 64-client QPS over the unsharded row's — the number that used to
+  // go BELOW 1.0 at 8 shards before the fleet worker budget (DESIGN.md §5d).
+  const std::uint64_t calls1 = smoke ? 200 : 2000;
+  const std::uint64_t total64 = smoke ? 64 * 20 : 64 * 300;
+  const std::uint64_t total256 = smoke ? 256 * 8 : 256 * 100;
   std::vector<ScalingResult> scaling;
   for (std::size_t n_shards : {1u, 2u, 4u, 8u}) {
-    ScalingResult entry;
-    entry.shards = n_shards;
-    const auto one = load_bench(rafiki, n_shards, 1, 1, calls);
-    const auto eight = load_bench(rafiki, n_shards, 8, 1, calls);
-    const auto sixty_four = load_bench(rafiki, n_shards, 64, 1, calls64);
-    entry.clients1_qps = one.qps;
-    entry.clients8_qps = eight.qps;
-    entry.clients64_qps = sixty_four.qps;
-    entry.scaling = one.qps > 0.0 ? eight.qps / one.qps : 0.0;
-    entry.failed = one.failed + eight.failed + sixty_four.failed;
-    entry.spills = one.spills + eight.spills + sixty_four.spills;
-    scaling.push_back(entry);
+    scaling.push_back(scaling_bench(rafiki, n_shards, calls1, total64, total256));
   }
-  Table scaling_table({"shards", "QPS (1 client)", "QPS (8 clients)",
-                       "QPS (64 clients)", "scaling", "failed"});
+  const double base64 = scaling.front().clients64_qps;
+  for (auto& s : scaling) s.speedup64 = base64 > 0.0 ? s.clients64_qps / base64 : 0.0;
+  Table scaling_table({"shards", "workers", "QPS (1 client)", "QPS (64 clients)",
+                       "QPS (256 clients)", "vs 1 shard", "failed"});
   for (const auto& s : scaling) {
-    scaling_table.add_row({std::to_string(s.shards), Table::ops(s.clients1_qps),
-                           Table::ops(s.clients8_qps), Table::ops(s.clients64_qps),
-                           Table::num(s.scaling, 2) + "x",
-                           std::to_string(s.failed)});
+    scaling_table.add_row({std::to_string(s.shards), std::to_string(s.workers),
+                           Table::ops(s.clients1_qps), Table::ops(s.clients64_qps),
+                           Table::ops(s.clients256_qps),
+                           Table::num(s.speedup64, 2) + "x", std::to_string(s.failed)});
   }
-  benchutil::emit(scaling_table, "Phase E: shard scaling (max_batch = 1)");
+  benchutil::emit(scaling_table, "Phase E: shard scaling (closed loop, max_batch = 1)");
+  for (const auto& s : scaling) {
+    std::string split;
+    for (std::size_t j = 0; j < s.per_shard.size(); ++j) {
+      split += (j > 0 ? "/" : "") + std::to_string(s.per_shard[j].requests);
+    }
+    benchutil::note(std::to_string(s.shards) + " shard(s): requests per shard = " +
+                    split);
+  }
   const auto parity = parity_bench(rafiki, 4, smoke ? 128 : 512);
   benchutil::compare("sharded == unsharded == scalar predictions", "bit-identical",
                      parity.sharded_equals_unsharded && parity.unsharded_equals_scalar
@@ -705,9 +865,9 @@ int main(int argc, char** argv) {
 #else
   constexpr bool kPerfGate = true;
 #endif
-  // The 1-to-8-client scaling bar additionally needs 8 hardware threads to
-  // be physically reachable; on smaller machines the sweep still runs (and
-  // its numbers are recorded) but the ratio is not gated.
+  // The shard-scaling bars additionally need 8 hardware threads for the
+  // shards to run on; on smaller machines the sweep still runs (and its
+  // numbers are recorded) but the ratios are not gated.
   const bool scaling_gate = kPerfGate && std::thread::hardware_concurrency() >= 8;
 
   bool pass = (!kPerfGate || accept.speedup >= 4.0) && swap.failed == 0;
@@ -740,11 +900,18 @@ int main(int argc, char** argv) {
   pass = pass && rebalance.failed == 0 && rebalance.rebalances >= 1 &&
          rebalance.route_changed;
   if (scaling_gate) {
-    bool scaled = false;
-    for (const auto& s : scaling) {
-      if (s.shards >= 4 && s.scaling >= 4.0) scaled = true;
+    // No-regression bar (smoke and full, the CI assertion): no shard count
+    // may fall below 0.9x the unsharded 64-client throughput — the exact
+    // de-scaling the fleet worker budget removed.
+    for (const auto& s : scaling) pass = pass && s.speedup64 >= 0.9;
+    // Full-profile bar: 4 shards reach >= 3x unsharded at 64 clients.
+    if (!smoke) {
+      bool scaled = false;
+      for (const auto& s : scaling) {
+        if (s.shards == 4 && s.speedup64 >= 3.0) scaled = true;
+      }
+      pass = pass && scaled;
     }
-    pass = pass && scaled;
   }
   std::printf("\nserve_load: %s%s%s\n", pass ? "PASS" : "FAIL",
               kPerfGate ? "" : " (perf gates skipped: sanitizer build)",

@@ -6,13 +6,13 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <future>
 #include <memory>
 
 #include "serve/snapshot.h"
 #include "serve/stats.h"
 #include "serve/types.h"
+#include "util/func.h"
 #include "util/table.h"
 
 namespace rafiki::core {
@@ -22,8 +22,11 @@ class OnlineTuner;
 namespace rafiki::serve {
 
 /// Completion callback for try_submit. Invoked exactly once, from a worker
-/// thread (or from stop()'s drain when no worker ever ran).
-using ResponseCallback = std::function<void(Response)>;
+/// thread (or from stop()'s drain when no worker ever ran). Move-only with
+/// small-buffer storage (util/func.h): the callback is never copied on the
+/// submit path — a rejected admission hands it back to the caller intact,
+/// and hot-path captures up to MoveFunc's inline size never touch the heap.
+using ResponseCallback = MoveFunc<void(Response)>;
 
 class TuningBackend {
  public:

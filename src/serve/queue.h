@@ -7,16 +7,33 @@
 // micro-batcher's real-time flush window — nothing a request *returns*
 // depends on these waits, so the determinism contract is untouched.
 //
+// Hot-path discipline (the shard de-scaling fix, DESIGN.md §5d):
+//   * try_push takes an rvalue and moves from it ONLY on kOk — a rejected
+//     item is handed back intact, so the sharded spill loop can retry the
+//     same callback on a sibling shard without ever copying it.
+//   * Producers notify AFTER releasing the mutex, and only when a consumer
+//     is actually blocked (waiters_ > 0): a hot queue whose consumers are
+//     spinning or mid-drain costs zero futex syscalls per push.
+//   * Consumers spin briefly on a relaxed size hint before taking the lock
+//     (pop/pop_until), so under sustained load they never sleep-wake per
+//     request. The spin is disabled on single-hardware-thread machines,
+//     where it could only steal cycles from the producer.
+//
 // The locking discipline is a compile-time contract (util/sync.h): every
 // mutable field is GUARDED_BY(mutex_) and take_locked() REQUIRES it, so an
-// unlocked access is a build error under the `tsa` preset.
+// unlocked access is a build error under the `tsa` preset. The atomic
+// hints (size_hint_, closed_hint_, waiters_) are deliberately outside that
+// contract: they are advisory, every decision is re-checked under mutex_,
+// and the mutex provides the happens-before edge the relaxed loads ride on.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <thread>
 #include <utility>
 
 #include "util/sync.h"
@@ -45,22 +62,36 @@ class BoundedQueue {
   /// Admission control: enqueues and returns kOk, or reports — without
   /// blocking — why the item was turned away. The reason is decided under
   /// the same lock that rejected the push, so it cannot be contradicted by
-  /// a concurrent close().
-  PushResult try_push(T item) {
+  /// a concurrent close(). `item` is moved from ONLY on kOk; on kFull /
+  /// kClosed it is left exactly as passed, so callers can retry elsewhere
+  /// (the sharded spill path) without copying.
+  PushResult try_push(T&& item) {
     {
       MutexLock lock(mutex_);
       if (closed_) return PushResult::kClosed;
       if (items_.size() >= capacity_) return PushResult::kFull;
       items_.push_back(std::move(item));
+      size_hint_.store(items_.size(), std::memory_order_relaxed);
     }
-    ready_.notify_one();
+    // Wake outside the lock, and only when someone is actually blocked: the
+    // woken consumer acquires an uncontended mutex, and a spinning/draining
+    // consumer costs the producer nothing at all. A consumer only blocks
+    // after re-checking emptiness under the lock and bumping waiters_ while
+    // holding it, so a push that lands afterwards is guaranteed to observe
+    // the incremented count (mutex release/acquire orders the relaxed load).
+    if (waiters_.load(std::memory_order_relaxed) > 0) ready_.notify_one();
     return PushResult::kOk;
   }
 
   /// Blocks until an item is available or the queue is closed and drained.
   std::optional<T> pop() {
+    spin_for_hint();
     MutexLock lock(mutex_);
-    while (!closed_ && items_.empty()) ready_.wait(mutex_);
+    if (!closed_ && items_.empty()) {
+      waiters_.fetch_add(1, std::memory_order_relaxed);
+      while (!closed_ && items_.empty()) ready_.wait(mutex_);
+      waiters_.fetch_sub(1, std::memory_order_relaxed);
+    }
     return take_locked();
   }
 
@@ -71,11 +102,19 @@ class BoundedQueue {
   }
 
   /// Blocks until an item arrives, the queue closes, or `deadline` (real
-  /// time) passes — the micro-batcher's flush-window wait.
+  /// time) passes — the micro-batcher's flush-window wait. Whatever ended
+  /// the wait (arrival, close, or timeout racing an arrival), anything
+  /// already queued is still drained: the final take runs under the lock
+  /// after the wait loop, so a timeout-adjacent push is returned, not lost.
   std::optional<T> pop_until(std::chrono::steady_clock::time_point deadline) {
+    spin_for_hint();
     MutexLock lock(mutex_);
-    while (!closed_ && items_.empty()) {
-      if (ready_.wait_until(mutex_, deadline) == std::cv_status::timeout) break;
+    if (!closed_ && items_.empty()) {
+      waiters_.fetch_add(1, std::memory_order_relaxed);
+      while (!closed_ && items_.empty()) {
+        if (ready_.wait_until(mutex_, deadline) == std::cv_status::timeout) break;
+      }
+      waiters_.fetch_sub(1, std::memory_order_relaxed);
     }
     return take_locked();
   }
@@ -87,6 +126,8 @@ class BoundedQueue {
       MutexLock lock(mutex_);
       closed_ = true;
     }
+    closed_hint_.store(true, std::memory_order_relaxed);
+    // Unconditional: close is rare and must reach every blocked consumer.
     ready_.notify_all();
   }
 
@@ -100,6 +141,13 @@ class BoundedQueue {
     return items_.size();
   }
 
+  /// Lock-free approximate depth (relaxed; may lag concurrent pushes/pops
+  /// by a few items). Telemetry sampling only — admission decisions always
+  /// go through try_push's locked check.
+  std::size_t approx_size() const noexcept {
+    return size_hint_.load(std::memory_order_relaxed);
+  }
+
   std::size_t capacity() const noexcept { return capacity_; }
 
  private:
@@ -107,7 +155,38 @@ class BoundedQueue {
     if (items_.empty()) return std::nullopt;
     std::optional<T> item(std::move(items_.front()));
     items_.pop_front();
+    size_hint_.store(items_.size(), std::memory_order_relaxed);
     return item;
+  }
+
+  /// Hybrid spin-then-wait: burn a few dozen PAUSE iterations on the size
+  /// hint before paying a mutex + condvar sleep. Under sustained load the
+  /// next item lands within the spin window and the consumer never blocks;
+  /// on an idle queue the spin bounds the wasted work to ~a microsecond.
+  void spin_for_hint() const noexcept {
+    for (std::uint32_t i = spin_iterations(); i > 0; --i) {
+      if (size_hint_.load(std::memory_order_relaxed) > 0 ||
+          closed_hint_.load(std::memory_order_relaxed)) {
+        return;
+      }
+      cpu_relax();
+    }
+  }
+
+  static void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#endif
+  }
+
+  static std::uint32_t spin_iterations() noexcept {
+    // On a single hardware thread the producer cannot make progress while a
+    // consumer spins — go straight to the blocking wait there.
+    static const std::uint32_t iterations =
+        std::thread::hardware_concurrency() > 1 ? 128 : 0;
+    return iterations;
   }
 
   const std::size_t capacity_;
@@ -115,6 +194,14 @@ class BoundedQueue {
   CondVar ready_;
   std::deque<T> items_ GUARDED_BY(mutex_);
   bool closed_ GUARDED_BY(mutex_) = false;
+  /// Advisory mirrors of the guarded state for the lock-free fast paths;
+  /// updated under mutex_, read relaxed (see header comment).
+  std::atomic<std::size_t> size_hint_{0};
+  std::atomic<bool> closed_hint_{false};
+  /// Consumers currently blocked in a condvar wait. Incremented under
+  /// mutex_ before the wait releases it, so producers that push later are
+  /// ordered after the increment and cannot skip a needed notify.
+  std::atomic<std::uint32_t> waiters_{0};
 };
 
 }  // namespace rafiki::serve

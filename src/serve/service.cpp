@@ -2,6 +2,12 @@
 
 #include <utility>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#include <time.h>
+#endif
+
 #include "core/online.h"
 
 namespace rafiki::serve {
@@ -15,6 +21,32 @@ double elapsed_us(std::chrono::steady_clock::time_point since,
 ServiceOptions sanitize(ServiceOptions options) {
   if (options.tenants == 0) options.tenants = 1;
   return options;
+}
+
+/// Pins the calling thread to one CPU (no-op off Linux or on failure —
+/// affinity is a performance hint, never a correctness requirement).
+void pin_current_thread(int cpu) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu), &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)cpu;
+#endif
+}
+
+/// CPU time this thread has burned so far, in microseconds (telemetry only).
+std::uint64_t thread_cpu_us() {
+#if defined(__linux__)
+  timespec ts{};
+  // det:ok(wall-clock): per-thread CPU-time telemetry; no result depends on it
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1000ull;
+#else
+  return 0;
+#endif
 }
 
 }  // namespace
@@ -117,49 +149,48 @@ void TuningService::publish_tuned(TenantId tenant, int bucket,
   publish_locked(tenant, std::move(next));
 }
 
-Status TuningService::admit(Job job) {
-  const Endpoint endpoint = job.request.endpoint;
+Status TuningService::offer(const Request& request, ResponseCallback& done) {
+  Job job;
+  job.request = request;
+  job.done = std::move(done);
+  // det:ok(wall-clock): reporting-only latency timestamp; results never depend on it
+  job.enqueued = std::chrono::steady_clock::now();
+
+  const Endpoint endpoint = request.endpoint;
   const PushResult pushed = queue_.try_push(std::move(job));
   if (pushed != PushResult::kOk) {
     // The push itself reports why it failed — atomically, under the queue
     // lock — so a concurrent close() can never turn a full-queue rejection
-    // into a spurious kShuttingDown.
+    // into a spurious kShuttingDown. The rejected job is intact (try_push
+    // moves only on kOk): hand the callback back for a spill retry.
+    done = std::move(job.done);
     const Status reason =
         pushed == PushResult::kClosed ? Status::kShuttingDown : Status::kOverloaded;
     stats_.record_reject(endpoint, reason);
     return reason;
   }
-  stats_.record_accept(endpoint, queue_.size());
+  // Depth is sampled from the lock-free hint: the exact size() re-took the
+  // queue mutex once per accepted request just for telemetry.
+  stats_.record_accept(endpoint, queue_.approx_size());
   return Status::kOk;
 }
 
 std::future<Response> TuningService::submit(Request request) {
-  Job job;
-  job.request = request;
-  // det:ok(wall-clock): reporting-only latency timestamp; results never depend on it
-  job.enqueued = std::chrono::steady_clock::now();
-  auto future = job.promise.get_future();
-
-  const Status admitted = admit(std::move(job));
+  auto promise = std::make_shared<std::promise<Response>>();
+  auto future = promise->get_future();
+  const Status admitted = try_submit(
+      std::move(request),
+      [promise](Response response) { promise->set_value(std::move(response)); });
   if (admitted != Status::kOk) {
-    // The rejected job (promise included) was consumed by the failed push;
-    // answer through a fresh, already-satisfied promise.
     Response response;
     response.status = admitted;
-    std::promise<Response> rejected;
-    future = rejected.get_future();
-    rejected.set_value(response);
+    promise->set_value(std::move(response));
   }
   return future;
 }
 
 Status TuningService::try_submit(Request request, ResponseCallback done) {
-  Job job;
-  job.request = request;
-  job.callback = std::move(done);
-  // det:ok(wall-clock): reporting-only latency timestamp; results never depend on it
-  job.enqueued = std::chrono::steady_clock::now();
-  return admit(std::move(job));
+  return offer(request, done);
 }
 
 void TuningService::start() {
@@ -169,7 +200,7 @@ void TuningService::start() {
   retrain_.start();
   workers_.reserve(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -197,7 +228,11 @@ void TuningService::stop() {
   }
 }
 
-void TuningService::worker_loop() {
+void TuningService::worker_loop(std::size_t worker_index) {
+  if (!options_.cpu_affinity.empty()) {
+    pin_current_thread(
+        options_.cpu_affinity[worker_index % options_.cpu_affinity.size()]);
+  }
   while (auto job = queue_.pop()) {
     if (job->request.endpoint != Endpoint::kPredict) {
       run_single(std::move(*job));
@@ -235,17 +270,14 @@ void TuningService::worker_loop() {
     run_predict_batch(std::move(batch));
     if (carry) run_single(std::move(*carry));
   }
+  worker_cpu_us_.fetch_add(thread_cpu_us(), std::memory_order_relaxed);
 }
 
 void TuningService::finish(Job& job, Response response) {
   // det:ok(wall-clock): reporting-only latency measurement
   const auto now = std::chrono::steady_clock::now();
   stats_.record_done(job.request.endpoint, response.status, elapsed_us(job.enqueued, now));
-  if (job.callback) {
-    job.callback(std::move(response));
-  } else {
-    job.promise.set_value(std::move(response));
-  }
+  job.done(std::move(response));
 }
 
 void TuningService::run_predict_batch(std::vector<Job> batch) {

@@ -56,7 +56,15 @@ struct ServiceOptions {
   std::size_t tenants = 1;
   /// Worker threads spawned by start(). 0 is valid (and useful in tests):
   /// requests queue deterministically until start() is called with workers.
+  /// Inside a ShardedTuningService this is overwritten per shard from the
+  /// fleet-level worker budget (ShardOptions::worker_budget) — a shard never
+  /// sizes its own pool.
   std::size_t workers = 2;
+  /// CPUs to pin worker threads to: worker i lands on
+  /// cpu_affinity[i % cpu_affinity.size()]. Empty (the default) = no
+  /// pinning. The sharded router fills this per shard when
+  /// ShardOptions::pin_shards is set; ignored off Linux.
+  std::vector<int> cpu_affinity;
   /// Bounded request queue capacity; the admission-control limit.
   std::size_t queue_capacity = 256;
   /// Micro-batcher: flush a Predict batch at this many coalesced requests...
@@ -157,6 +165,14 @@ class TuningService : public TuningBackend {
   std::future<Response> submit(Request request) override;
   Status try_submit(Request request, ResponseCallback done) override;
 
+  /// Spill-friendly admission: moves `done` into the queue ONLY on kOk. On
+  /// Overloaded / ShuttingDown the callback is handed back in `done`
+  /// exactly as passed, so the sharded router retries sibling shards with
+  /// the same callback — zero copies, zero allocations per attempt (the
+  /// pre-fix router copied the std::function once per attempt, including
+  /// the common no-spill case).
+  Status offer(const Request& request, ResponseCallback& done);
+
   /// Spawns the worker pool (idempotent). Requests submitted before start()
   /// wait in the queue.
   void start() override;
@@ -183,6 +199,15 @@ class TuningService : public TuningBackend {
   double mean_batch_size() const override { return stats_.mean_batch_size(); }
   double mean_retrain_latency_us() const override { return stats_.mean_retrain_latency_us(); }
   std::size_t queue_depth() const { return queue_.size(); }
+  /// Planned worker-pool size (ServiceOptions::workers after any router
+  /// budgeting) — the number start() spawns.
+  std::size_t worker_count() const noexcept { return options_.workers; }
+  /// Total CPU time burned by worker threads that have exited, in
+  /// microseconds. Exact only after stop() has joined the pool; the bench's
+  /// per-shard CPU accounting reads it post-drain.
+  std::uint64_t worker_cpu_us() const noexcept {
+    return worker_cpu_us_.load(std::memory_order_relaxed);
+  }
   /// Retrain tasks queued behind the background worker.
   std::size_t retrain_depth() const { return retrain_.depth(); }
   /// Blocks until the background retrain worker is idle — the barrier tests
@@ -193,16 +218,15 @@ class TuningService : public TuningBackend {
  private:
   struct Job {
     Request request;
-    /// Exactly one completion channel is armed per job: `callback` when the
-    /// job came through try_submit, `promise` otherwise.
-    std::promise<Response> promise;
-    ResponseCallback callback;
+    /// The single completion channel, armed for every job. submit() adapts
+    /// its future through a shared promise inside a callback; jobs no
+    /// longer carry an eagerly-allocated std::promise shared state (a heap
+    /// allocation per request, paid even on the callback path).
+    ResponseCallback done;
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  Status admit(Job job);
-
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
   void run_single(Job job);
   void run_predict_batch(std::vector<Job> batch);
   void finish(Job& job, Response response);
@@ -240,6 +264,8 @@ class TuningService : public TuningBackend {
   Mutex lifecycle_mutex_;
   bool started_ GUARDED_BY(lifecycle_mutex_) = false;
   bool stopped_ GUARDED_BY(lifecycle_mutex_) = false;
+  /// Summed CPU time of exited workers (relaxed; exact after join).
+  std::atomic<std::uint64_t> worker_cpu_us_{0};
   /// Per-tenant tuner pointers, indexed by TenantId; null until bound.
   std::deque<std::atomic<core::OnlineTuner*>> tuners_;
 };

@@ -11,6 +11,35 @@ namespace {
 
 constexpr auto kRelaxed = std::memory_order_relaxed;
 
+std::size_t hw_threads() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+/// Fleet worker budget for N shards. An explicit budget is taken as given
+/// (floored at one worker per shard so no shard deadlocks its queue); the
+/// derived budget caps the legacy shards*workers sizing at the machine's
+/// hardware threads — the oversubscription that made 8 shards slower than 1.
+std::size_t resolve_budget(const ShardOptions& options, std::size_t shards) noexcept {
+  if (options.worker_budget > 0) return std::max(options.worker_budget, shards);
+  if (options.service.workers == 0) return 0;  // test mode: no workers anywhere
+  const std::size_t requested = shards * options.service.workers;
+  return std::max(shards, std::min(hw_threads(), requested));
+}
+
+/// Contiguous CPU slice for shard i of n: [i*H/n, (i+1)*H/n). With more
+/// shards than CPUs the slice is empty — fall back to a single shared CPU
+/// (i % H) so pinning still separates shards as far as the machine allows.
+std::vector<int> shard_cpu_slice(std::size_t shard, std::size_t shards) {
+  const std::size_t hw = hw_threads();
+  const std::size_t lo = shard * hw / shards;
+  const std::size_t hi = (shard + 1) * hw / shards;
+  std::vector<int> cpus;
+  for (std::size_t cpu = lo; cpu < hi; ++cpu) cpus.push_back(static_cast<int>(cpu));
+  if (cpus.empty()) cpus.push_back(static_cast<int>(shard % hw));
+  return cpus;
+}
+
 }  // namespace
 
 std::size_t ShardedTuningService::band_of(double read_ratio) noexcept {
@@ -42,8 +71,17 @@ ShardedTuningService::ShardedTuningService(ShardOptions options)
     : options_(std::move(options)), router_stats_(options_.service.stats) {
   options_.shards = std::clamp<std::size_t>(options_.shards, 1, 128);
   shards_.reserve(options_.shards);
-  for (std::size_t i = 0; i < options_.shards; ++i)
-    shards_.push_back(std::make_unique<TuningService>(options_.service));
+  // Divide the fleet budget across shards instead of handing every shard its
+  // own full pool: budget/N each, +1 for the first budget%N shards, so the
+  // division is deterministic for a given (budget, shards) and the total
+  // never exceeds the budget.
+  const std::size_t budget = resolve_budget(options_, options_.shards);
+  for (std::size_t i = 0; i < options_.shards; ++i) {
+    ServiceOptions per_shard = options_.service;
+    per_shard.workers = budget / options_.shards + (i < budget % options_.shards ? 1 : 0);
+    if (options_.pin_shards) per_shard.cpu_affinity = shard_cpu_slice(i, options_.shards);
+    shards_.push_back(std::make_unique<TuningService>(std::move(per_shard)));
+  }
   for (std::size_t slot = 0; slot < kRouteSlots; ++slot) {
     // Initial slot->shard spread reuses the same pure mix (of the slot
     // index), keeping the table identical across restarts.
@@ -136,15 +174,17 @@ Status ShardedTuningService::try_submit(Request request, ResponseCallback done) 
   slot_hits_[slot].fetch_add(1, kRelaxed);
   const std::size_t home = route_[slot].load(kRelaxed) % shards_.size();
 
-  // `done` is passed by copy per attempt: a failed admission consumes the
-  // callback it was handed, and the next shard needs a live one.
-  Status verdict = shards_[home]->try_submit(request, done);
+  // offer() moves `done` into the queue only on kOk and hands it back intact
+  // on rejection, so home admission and every spill retry reuse the one
+  // callback — the pre-fix router copied the std::function per attempt,
+  // including on the no-spill fast path.
+  Status verdict = shards_[home]->offer(request, done);
   if (verdict != Status::kOverloaded) return verdict;
 
   const std::size_t tries = std::min(options_.spill_limit, shards_.size() - 1);
   for (std::size_t i = 1; i <= tries; ++i) {
     const std::size_t sibling = (home + i) % shards_.size();
-    verdict = shards_[sibling]->try_submit(request, done);
+    verdict = shards_[sibling]->offer(request, done);
     if (verdict == Status::kOk) {
       spills_.fetch_add(1, kRelaxed);
       return verdict;
@@ -248,6 +288,12 @@ bool ShardedTuningService::rebalance_hottest() {
   route_[hottest_slot[most]].store(static_cast<std::uint8_t>(least), kRelaxed);
   rebalances_.fetch_add(1, kRelaxed);
   return true;
+}
+
+std::size_t ShardedTuningService::resolved_worker_budget() const noexcept {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->worker_count();
+  return total;
 }
 
 ServiceStats::Counters ShardedTuningService::endpoint_counters(Endpoint endpoint) const {

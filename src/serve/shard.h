@@ -62,6 +62,21 @@ struct ShardOptions {
   /// `service` (queue, worker pool, batcher, retrain worker).
   std::size_t shards = 4;
   ServiceOptions service{};
+  /// Fleet-level worker budget, divided across shards (shard i gets
+  /// budget/N workers, +1 for the first budget%N shards). 0 (the default)
+  /// derives the budget from `service.workers` capped by the machine:
+  /// min(hardware_concurrency, shards * service.workers), floored at one
+  /// worker per shard. This is the de-scaling fix — the pre-budget router
+  /// gave every shard its own full `service.workers` pool, so 8 shards x
+  /// (2 workers + a retrain thread) oversubscribed any host with fewer
+  /// than ~24 hardware threads and the shard curve went flat or negative.
+  /// An explicit budget is clamped to at least one worker per shard.
+  /// service.workers == 0 keeps every shard at zero workers (test mode).
+  std::size_t worker_budget = 0;
+  /// Pin each shard's workers to a contiguous CPU range (shard i gets CPUs
+  /// [i*H/N, (i+1)*H/N) of H = hardware_concurrency). Off (the default):
+  /// the scheduler places threads freely. Linux-only; elsewhere a no-op.
+  bool pin_shards = false;
   /// On a home-shard Overloaded verdict, try up to this many sibling shards
   /// (in route order) before reporting Overloaded to the caller. 0 disables
   /// spilling.
@@ -152,6 +167,12 @@ class ShardedTuningService : public TuningBackend {
   void wait_retrain_idle() override;
 
   std::size_t shard_count() const noexcept { return shards_.size(); }
+  /// Total worker threads across all shards after budget resolution — the
+  /// sum of every shard's worker_count(). Never exceeds
+  /// max(worker_budget, shards) for an explicit budget, nor
+  /// max(min(hardware_concurrency, shards * service.workers), shards) for
+  /// the derived one (0 when service.workers == 0).
+  std::size_t resolved_worker_budget() const noexcept;
   TuningService& shard(std::size_t index) { return *shards_[index]; }
   const TuningService& shard(std::size_t index) const { return *shards_[index]; }
   /// Current route of a tenant-0 read ratio / band (lock-free relaxed load).

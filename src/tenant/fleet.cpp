@@ -96,7 +96,7 @@ serve::Status TenantFleet::try_submit(serve::Request request,
   // Wrap the completion to release the in-flight slot exactly once. The
   // registry outlives the router (member order), so `state` stays valid for
   // as long as any backend callback can fire.
-  auto wrapped = [state, done = std::move(done)](serve::Response response) {
+  auto wrapped = [state, done = std::move(done)](serve::Response response) mutable {
     state->quota.end_request();
     done(std::move(response));
   };

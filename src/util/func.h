@@ -1,0 +1,149 @@
+// Move-only function wrapper with small-buffer storage: the serve layer's
+// completion-callback type. std::function cost the submit hot path twice —
+// it requires copyable targets (so the sharded spill loop had to copy the
+// callback per admission attempt), and realistic captures (two shared_ptrs
+// plus wire bookkeeping in net::Server) spilled past libstdc++'s 16-byte
+// inline buffer into a heap allocation per request. MoveFunc stores any
+// nothrow-movable target up to kInlineSize bytes in place, accepts move-only
+// captures (a promise, a unique_ptr, another MoveFunc), and never copies:
+// ownership moves through the bounded queue with the Job that carries it.
+//
+// Contract:
+//   * Move-only. Moving from a MoveFunc leaves it empty (operator bool
+//     false); invoking an empty one is undefined (callers arm exactly one
+//     completion channel and check before calling, same as std::function
+//     minus the throw).
+//   * Targets larger than kInlineSize (or over-aligned, or with throwing
+//     moves) fall back to one heap allocation — correctness is unchanged,
+//     only the no-alloc guarantee. stores_inline<F>() reports the placement
+//     at compile time so tests can pin hot-path captures to the buffer.
+//   * The wrapper itself is nothrow-movable regardless of placement, so a
+//     deque<Job> reallocation never throws mid-move.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rafiki {
+
+template <typename Signature>
+class MoveFunc;
+
+template <typename R, typename... Args>
+class MoveFunc<R(Args...)> {
+ public:
+  /// Inline storage size. Sized for the biggest hot-path capture in the
+  /// tree: net::Server's response callback (shared_ptr connection +
+  /// shared_ptr waker + stats pointer + frame ids + a time_point = 72
+  /// bytes) plus a little headroom. tests/serve_callback_test pins that
+  /// shape to the buffer.
+  static constexpr std::size_t kInlineSize = 80;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+  /// True when F is stored in the inline buffer (no allocation on
+  /// construction, destruction, or move).
+  template <typename F>
+  static constexpr bool stores_inline() noexcept {
+    return sizeof(F) <= kInlineSize && alignof(F) <= kInlineAlign &&
+           std::is_nothrow_move_constructible_v<F>;
+  }
+
+  MoveFunc() noexcept = default;
+  MoveFunc(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, MoveFunc> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  MoveFunc(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Target = std::decay_t<F>;
+    if constexpr (stores_inline<Target>()) {
+      ::new (static_cast<void*>(&storage_)) Target(std::forward<F>(f));
+      vtable_ = &inline_vtable<Target>;
+    } else {
+      ::new (static_cast<void*>(&storage_))
+          Target*(new Target(std::forward<F>(f)));
+      vtable_ = &heap_vtable<Target>;
+    }
+  }
+
+  MoveFunc(MoveFunc&& other) noexcept : vtable_(other.vtable_) {
+    if (vtable_ != nullptr) vtable_->relocate(&other.storage_, &storage_);
+    other.vtable_ = nullptr;
+  }
+
+  MoveFunc& operator=(MoveFunc&& other) noexcept {
+    if (this != &other) {
+      reset();
+      vtable_ = other.vtable_;
+      if (vtable_ != nullptr) vtable_->relocate(&other.storage_, &storage_);
+      other.vtable_ = nullptr;
+    }
+    return *this;
+  }
+
+  MoveFunc(const MoveFunc&) = delete;
+  MoveFunc& operator=(const MoveFunc&) = delete;
+
+  ~MoveFunc() { reset(); }
+
+  explicit operator bool() const noexcept { return vtable_ != nullptr; }
+
+  R operator()(Args... args) {
+    return vtable_->invoke(&storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct VTable {
+    R (*invoke)(void* storage, Args&&... args);
+    /// Move-constructs the target from `from` into `to`, then destroys the
+    /// `from` remnant (trivial pointer copy for heap targets).
+    void (*relocate)(void* from, void* to) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(&storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  template <typename Target>
+  static constexpr VTable inline_vtable = {
+      [](void* storage, Args&&... args) -> R {
+        return (*std::launder(reinterpret_cast<Target*>(storage)))(
+            std::forward<Args>(args)...);
+      },
+      [](void* from, void* to) noexcept {
+        Target* source = std::launder(reinterpret_cast<Target*>(from));
+        ::new (to) Target(std::move(*source));
+        source->~Target();
+      },
+      [](void* storage) noexcept {
+        std::launder(reinterpret_cast<Target*>(storage))->~Target();
+      },
+  };
+
+  template <typename Target>
+  static constexpr VTable heap_vtable = {
+      [](void* storage, Args&&... args) -> R {
+        return (**std::launder(reinterpret_cast<Target**>(storage)))(
+            std::forward<Args>(args)...);
+      },
+      [](void* from, void* to) noexcept {
+        ::new (to) Target*(*std::launder(reinterpret_cast<Target**>(from)));
+      },
+      [](void* storage) noexcept {
+        delete *std::launder(reinterpret_cast<Target**>(storage));
+      },
+  };
+
+  const VTable* vtable_ = nullptr;
+  alignas(kInlineAlign) std::byte storage_[kInlineSize];
+};
+
+}  // namespace rafiki

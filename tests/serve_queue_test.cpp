@@ -3,8 +3,10 @@
 // FIFO ordering, close() wakes blocked consumers and drains the backlog —
 // is what the service's Overloaded / ShuttingDown semantics are built on.
 #include <chrono>
+#include <memory>
 #include <optional>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -33,7 +35,10 @@ TEST(BoundedQueue, RejectsWhenFullWithoutBlocking) {
 
 TEST(BoundedQueue, FifoOrder) {
   BoundedQueue<int> queue(8);
-  for (int i = 0; i < 8; ++i) ASSERT_EQ(PushResult::kOk, queue.try_push(i));
+  for (int i = 0; i < 8; ++i) {
+    int item = i;
+    ASSERT_EQ(PushResult::kOk, queue.try_push(std::move(item)));
+  }
   for (int i = 0; i < 8; ++i) EXPECT_EQ(queue.try_pop().value(), i);
   EXPECT_FALSE(queue.try_pop().has_value());
 }
@@ -110,6 +115,64 @@ TEST(BoundedQueue, PopUntilReturnsItemArrivingBeforeDeadline) {
   producer.join();
 }
 
+TEST(BoundedQueue, RejectedPushLeavesItemIntact) {
+  // The sharded spill contract: try_push moves from its argument ONLY on
+  // kOk, so a rejected item (move-only payload included) can be retried on a
+  // sibling queue without ever being copied — and without arriving there
+  // moved-from.
+  BoundedQueue<std::unique_ptr<int>> full(1);
+  ASSERT_EQ(PushResult::kOk, full.try_push(std::make_unique<int>(1)));
+
+  auto payload = std::make_unique<int>(42);
+  EXPECT_EQ(full.try_push(std::move(payload)), PushResult::kFull);
+  ASSERT_NE(payload, nullptr) << "kFull must not consume the item";
+  EXPECT_EQ(*payload, 42);
+
+  BoundedQueue<std::unique_ptr<int>> closed(1);
+  closed.close();
+  EXPECT_EQ(closed.try_push(std::move(payload)), PushResult::kClosed);
+  ASSERT_NE(payload, nullptr) << "kClosed must not consume the item";
+  EXPECT_EQ(*payload, 42);
+
+  // The spill destination gets the original, intact.
+  BoundedQueue<std::unique_ptr<int>> sibling(1);
+  EXPECT_EQ(PushResult::kOk, sibling.try_push(std::move(payload)));
+  EXPECT_EQ(payload, nullptr);
+  EXPECT_EQ(**sibling.try_pop(), 42);
+}
+
+TEST(BoundedQueue, PopUntilDrainsRemainingItemsAfterTimeout) {
+  // Regression: a pop_until whose wait ends by timeout must still return
+  // anything already queued — the final take runs under the lock after the
+  // wait loop, so a timeout racing an arrival drains, never drops. An
+  // already-expired deadline is the deterministic worst case.
+  BoundedQueue<int> queue(4);
+  ASSERT_EQ(PushResult::kOk, queue.try_push(1));
+  ASSERT_EQ(PushResult::kOk, queue.try_push(2));
+  // det:ok(wall-clock): pop_until takes a real steady_clock deadline by design
+  const auto expired = std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  EXPECT_EQ(queue.pop_until(expired).value(), 1);
+  EXPECT_EQ(queue.pop_until(expired).value(), 2);
+  EXPECT_FALSE(queue.pop_until(expired).has_value());
+
+  // Same contract across a close(): the backlog outlives the timeout path.
+  ASSERT_EQ(PushResult::kOk, queue.try_push(3));
+  queue.close();
+  EXPECT_EQ(queue.pop_until(expired).value(), 3);
+  EXPECT_FALSE(queue.pop_until(expired).has_value());
+}
+
+TEST(BoundedQueue, ApproxSizeTracksLockedSize) {
+  BoundedQueue<int> queue(8);
+  EXPECT_EQ(queue.approx_size(), 0u);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(PushResult::kOk, queue.try_push(std::move(i)));
+    EXPECT_EQ(queue.approx_size(), queue.size());
+  }
+  (void)queue.try_pop();
+  EXPECT_EQ(queue.approx_size(), 4u);
+}
+
 TEST(BoundedQueue, ConcurrentProducersConsumersDeliverEverythingOnce) {
   constexpr int kProducers = 4;
   constexpr int kPerProducer = 200;
@@ -119,8 +182,11 @@ TEST(BoundedQueue, ConcurrentProducersConsumersDeliverEverythingOnce) {
   for (int p = 0; p < kProducers; ++p) {
     producers.emplace_back([&queue, p] {
       for (int i = 0; i < kPerProducer; ++i) {
-        const int item = p * kPerProducer + i;
-        while (queue.try_push(item) != PushResult::kOk) std::this_thread::yield();
+        int item = p * kPerProducer + i;
+        // try_push moves only on kOk, so retrying the same lvalue is sound.
+        while (queue.try_push(std::move(item)) != PushResult::kOk) {
+          std::this_thread::yield();
+        }
       }
     });
   }

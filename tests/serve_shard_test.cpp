@@ -3,6 +3,7 @@
 // lockstep publish fan-out, sharded-vs-unsharded bit parity, and the striped
 // ServiceStats merge-on-read contract under concurrent writers (the latter is
 // the suite's tsan probe).
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <future>
@@ -236,6 +237,87 @@ TEST_F(ServeShard, ShardedPredictMatchesUnshardedBitForBit) {
 
   // Routing must be a pure dispatch optimization: whatever shard answers,
   // the bits match the direct ensemble evaluation.
+  const auto config = engine::Config::defaults().with(engine::key_params()[0], 2.0);
+  for (const double rr : {0.05, 0.35, 0.50, 0.81, 0.99}) {
+    const auto response = sharded.call(predict_request(rr, config));
+    ASSERT_TRUE(response.ok()) << "rr " << rr;
+    EXPECT_EQ(response.mean, rafiki_->predict(rr, config)) << "rr " << rr;
+  }
+  sharded.stop();
+}
+
+TEST(ShardWorkerBudget, ExplicitBudgetDividesDeterministically) {
+  // budget/N each, +1 for the first budget%N shards: budget 6 over 4 shards
+  // is {2, 2, 1, 1}, and the total is exactly the budget.
+  ShardOptions options;
+  options.shards = 4;
+  options.worker_budget = 6;
+  ShardedTuningService service(options);
+  EXPECT_EQ(service.shard(0).worker_count(), 2u);
+  EXPECT_EQ(service.shard(1).worker_count(), 2u);
+  EXPECT_EQ(service.shard(2).worker_count(), 1u);
+  EXPECT_EQ(service.shard(3).worker_count(), 1u);
+  EXPECT_EQ(service.resolved_worker_budget(), 6u);
+}
+
+TEST(ShardWorkerBudget, ExplicitBudgetFloorsAtOneWorkerPerShard) {
+  // A budget below the shard count would starve some queues forever; it is
+  // clamped so every shard keeps exactly one worker.
+  ShardOptions options;
+  options.shards = 4;
+  options.worker_budget = 2;
+  ShardedTuningService service(options);
+  for (std::size_t i = 0; i < service.shard_count(); ++i) {
+    EXPECT_EQ(service.shard(i).worker_count(), 1u) << "shard " << i;
+  }
+  EXPECT_EQ(service.resolved_worker_budget(), 4u);
+}
+
+TEST(ShardWorkerBudget, DerivedBudgetNeverOversubscribesTheMachine) {
+  // The de-scaling regression: 8 shards x workers used to spawn the full
+  // product regardless of the host. The derived budget caps at the hardware
+  // threads (floored at one worker per shard), for every shard count.
+  const std::size_t hw = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    ShardOptions options;
+    options.shards = shards;
+    options.service.workers = 4;
+    ShardedTuningService service(options);
+    const std::size_t total = service.resolved_worker_budget();
+    EXPECT_LE(total, std::max(hw, shards)) << shards << " shards";
+    EXPECT_GE(total, shards) << shards << " shards";
+    EXPECT_LE(total, shards * options.service.workers) << shards << " shards";
+    // Deterministic for a fixed config on a fixed machine.
+    ShardedTuningService again(options);
+    EXPECT_EQ(again.resolved_worker_budget(), total) << shards << " shards";
+  }
+}
+
+TEST(ShardWorkerBudget, ZeroWorkersStaysZeroEverywhere) {
+  // Test mode (workers == 0: requests queue until drained by stop) must
+  // survive budgeting — no floor kicks in when no pool was asked for.
+  ShardOptions options;
+  options.shards = 4;
+  options.service.workers = 0;
+  ShardedTuningService service(options);
+  for (std::size_t i = 0; i < service.shard_count(); ++i) {
+    EXPECT_EQ(service.shard(i).worker_count(), 0u) << "shard " << i;
+  }
+  EXPECT_EQ(service.resolved_worker_budget(), 0u);
+}
+
+TEST_F(ServeShard, ParityHoldsUnderBudgetAndPinning) {
+  // The budget division and CPU pinning are pure scheduling changes: with an
+  // uneven worker split and pinned shards, every predict still matches the
+  // direct ensemble evaluation bit for bit.
+  ShardOptions sharded_options;
+  sharded_options.shards = 3;
+  sharded_options.worker_budget = 4;  // splits {2, 1, 1}
+  sharded_options.pin_shards = true;
+  ShardedTuningService sharded(sharded_options);
+  sharded.publish(make_snapshot(*rafiki_));
+  sharded.start();
+
   const auto config = engine::Config::defaults().with(engine::key_params()[0], 2.0);
   for (const double rr : {0.05, 0.35, 0.50, 0.81, 0.99}) {
     const auto response = sharded.call(predict_request(rr, config));

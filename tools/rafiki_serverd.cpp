@@ -5,11 +5,15 @@
 // tools/rafiki_client.
 //
 //   rafiki_serverd [--port P] [--host H] [--io-threads N] [--workers N]
-//                  [--shards N] [--tenants N] [--full]
+//                  [--shards N] [--tenants N] [--worker-budget N]
+//                  [--pin-shards] [--full]
 //
 // --shards N (N > 1) serves through the ShardedTuningService router —
 // per-(tenant, read-ratio-band) shards, each with its own queue/workers/
 // batcher — and prints the cross-shard merged stats table on drain.
+// --worker-budget N caps the fleet's total worker threads (divided across
+// shards; default derives from --workers capped at the hardware threads) and
+// --pin-shards pins each shard's workers to a contiguous CPU range.
 //
 // --tenants N (N > 1) serves a multi-tenant fleet (tenant::TenantFleet):
 // each tenant gets its own model slot and OnlineTuner, requests route by the
@@ -55,6 +59,8 @@ int main(int argc, char** argv) {
   std::size_t workers = 2;
   std::size_t shards = 1;
   std::size_t tenants = 1;
+  std::size_t worker_budget = 0;
+  bool pin_shards = false;
   bool full = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -70,12 +76,17 @@ int main(int argc, char** argv) {
       shards = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (arg == "--tenants" && i + 1 < argc) {
       tenants = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--worker-budget" && i + 1 < argc) {
+      worker_budget = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--pin-shards") {
+      pin_shards = true;
     } else if (arg == "--full") {
       full = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--host H] [--port P] [--io-threads N] "
-                   "[--workers N] [--shards N] [--tenants N] [--full]\n",
+                   "[--workers N] [--shards N] [--tenants N] "
+                   "[--worker-budget N] [--pin-shards] [--full]\n",
                    argv[0]);
       return 2;
     }
@@ -114,6 +125,8 @@ int main(int argc, char** argv) {
     fleet_options.tenants = tenants;
     fleet_options.shard.shards = shards;
     fleet_options.shard.service = service_options;
+    fleet_options.shard.worker_budget = worker_budget;
+    fleet_options.shard.pin_shards = pin_shards;
     auto owned = std::make_unique<tenant::TenantFleet>(fleet_options);
     owned->attach_rafiki(rafiki);
     fleet = owned.get();
@@ -122,6 +135,8 @@ int main(int argc, char** argv) {
     serve::ShardOptions shard_options;
     shard_options.shards = shards;
     shard_options.service = service_options;
+    shard_options.worker_budget = worker_budget;
+    shard_options.pin_shards = pin_shards;
     backend = std::make_unique<serve::ShardedTuningService>(shard_options);
   } else {
     backend = std::make_unique<serve::TuningService>(service_options);

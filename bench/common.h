@@ -6,11 +6,30 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/rafiki.h"
 #include "util/table.h"
 
 namespace rafiki::benchutil {
+
+/// Hardware threads visible to this run — recorded in every BENCH_*.json so
+/// a reader can interpret hardware-conditional gates.
+inline unsigned hw_threads() { return std::thread::hardware_concurrency(); }
+
+/// Renders a JSON string array, e.g. ["scaling", "ratio"]. Used for the
+/// `gates_skipped` field every bench JSON carries: the explicit list of
+/// gates this run did NOT check (sanitizer build, too few cores), so
+/// "passed" is never conflated with "not checked".
+inline std::string json_string_array(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    out += "\"" + items[i] + "\"";
+    if (i + 1 < items.size()) out += ", ";
+  }
+  return out + "]";
+}
 
 /// The paper's data-collection protocol: 11 read ratios x 20 configurations,
 /// 5-minute (simulated) benchmark per point, ~9% of samples lost to harness

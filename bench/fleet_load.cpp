@@ -405,7 +405,8 @@ VictimRun victim_run(const core::Rafiki& rafiki, std::size_t shards,
 }
 
 void write_json(const std::string& path, const ReplayResult& replay,
-                const IsolationResult& isolation, bool smoke) {
+                const IsolationResult& isolation, bool smoke,
+                const std::vector<std::string>& gates_skipped) {
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "fleet_load: cannot write %s\n", path.c_str());
@@ -413,6 +414,8 @@ void write_json(const std::string& path, const ReplayResult& replay,
   }
   std::fprintf(out, "{\n  \"bench\": \"fleet_load\",\n  \"smoke\": %s,\n",
                smoke ? "true" : "false");
+  std::fprintf(out, "  \"hw_threads\": %u,\n  \"gates_skipped\": %s,\n",
+               benchutil::hw_threads(), benchutil::json_string_array(gates_skipped).c_str());
   std::fprintf(out,
                "  \"fleet_replay\": {\"tenants\": %zu, \"shards\": %zu, "
                "\"traces\": %zu, \"qps\": %.1f, \"predict_ok\": %llu, "
@@ -571,8 +574,6 @@ int main(int argc, char** argv) {
   benchutil::compare("contended victim p99 vs solo", "<= 2x",
                      Table::num(isolation.p99_ratio, 2) + "x");
 
-  write_json(out_path, replay, isolation, smoke);
-
   // Perf gates are meaningless under sanitizer instrumentation, and the
   // isolation ratio needs the victim, the two noisy clients, and the four
   // server IO threads to actually run in parallel: on fewer cores a noisy
@@ -590,6 +591,11 @@ int main(int argc, char** argv) {
   constexpr bool kPerfGate = true;
 #endif
   const bool ratio_gate = kPerfGate && std::thread::hardware_concurrency() >= 8;
+
+  std::vector<std::string> gates_skipped;
+  if (!kPerfGate) gates_skipped.push_back("perf");
+  if (!ratio_gate) gates_skipped.push_back("isolation_p99_ratio");
+  write_json(out_path, replay, isolation, smoke, gates_skipped);
 
   // Phase A structural gates (always on, sanitizers included).
   bool pass = replay.failed == 0 && replay.decode_errors == 0;

@@ -339,6 +339,10 @@ void write_json(const std::string& path, const std::vector<WireLoadResult>& load
   std::fprintf(out,
                "{\n  \"bench\": \"net_load\",\n  \"smoke\": %s,\n  \"shards\": %zu,\n",
                smoke ? "true" : "false", shards);
+  // Every net_load gate is structural (transport correctness) and runs on
+  // any machine, sanitizers included — nothing is ever skipped.
+  std::fprintf(out, "  \"hw_threads\": %u,\n  \"gates_skipped\": %s,\n",
+               benchutil::hw_threads(), benchutil::json_string_array({}).c_str());
   std::fprintf(out, "  \"wire_load\": [\n");
   for (std::size_t i = 0; i < load.size(); ++i) {
     const auto& l = load[i];

@@ -596,7 +596,7 @@ void write_json(const std::string& path, const std::vector<MicroResult>& micro,
                 const std::vector<LoadResult>& load, const SwapResult& swap,
                 const RegimeResult& regime, const std::vector<ScalingResult>& scaling,
                 const ParityResult& parity, const RebalanceResult& rebalance, bool smoke,
-                std::size_t shards) {
+                std::size_t shards, const std::vector<std::string>& gates_skipped) {
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "serve_load: cannot write %s\n", path.c_str());
@@ -604,6 +604,8 @@ void write_json(const std::string& path, const std::vector<MicroResult>& micro,
   }
   std::fprintf(out, "{\n  \"bench\": \"serve_load\",\n  \"smoke\": %s,\n  \"shards\": %zu,\n",
                smoke ? "true" : "false", shards);
+  std::fprintf(out, "  \"hw_threads\": %u,\n  \"gates_skipped\": %s,\n",
+               benchutil::hw_threads(), benchutil::json_string_array(gates_skipped).c_str());
   std::fprintf(out, "  \"microbench\": [\n");
   for (std::size_t i = 0; i < micro.size(); ++i) {
     const auto& m = micro[i];
@@ -848,9 +850,6 @@ int main(int argc, char** argv) {
   benchutil::compare("failed/lost requests across rebalance", "0",
                      std::to_string(rebalance.failed));
 
-  write_json(out_path, micro, load, swap, regime, scaling, parity, rebalance, smoke,
-             shards);
-
   // Sanitizer builds run this as a concurrency smoke: correctness gates
   // (bitwise equality, zero failures) still apply, but the speedup bars are
   // only meaningful without instrumentation overhead.
@@ -869,6 +868,17 @@ int main(int argc, char** argv) {
   // shards to run on; on smaller machines the sweep still runs (and its
   // numbers are recorded) but the ratios are not gated.
   const bool scaling_gate = kPerfGate && std::thread::hardware_concurrency() >= 8;
+
+  // What the recorded numbers were NOT held to, so a BENCH_serve.json from a
+  // sanitizer build or a small machine is self-describing.
+  std::vector<std::string> gates_skipped;
+  if (!kPerfGate) gates_skipped.push_back("perf");
+  if (kPerfGate && std::thread::hardware_concurrency() < 2) {
+    gates_skipped.push_back("offpath_retrain");
+  }
+  if (!scaling_gate) gates_skipped.push_back("shard_scaling");
+  write_json(out_path, micro, load, swap, regime, scaling, parity, rebalance, smoke,
+             shards, gates_skipped);
 
   bool pass = (!kPerfGate || accept.speedup >= 4.0) && swap.failed == 0;
   for (const auto& m : micro) pass = pass && m.bitwise_equal;

@@ -170,6 +170,13 @@ Dataset Dataset::from_csv(const std::string& csv,
 
 std::vector<engine::Config> sample_configs(const std::vector<engine::ParamId>& params,
                                            std::size_t count, std::uint64_t seed) {
+  return sample_configs_focused(params, params, count, seed);
+}
+
+std::vector<engine::Config> sample_configs_focused(
+    const std::vector<engine::ParamId>& params,
+    const std::vector<engine::ParamId>& active, std::size_t count,
+    std::uint64_t seed) {
   std::vector<engine::Config> configs;
   configs.push_back(engine::Config::defaults());
   // Coverage rule (Section 3.5): every parameter's minimum and maximum occur
@@ -186,10 +193,15 @@ std::vector<engine::Config> sample_configs(const std::vector<engine::ParamId>& p
     add_unique(engine::Config::defaults().with(id, engine::param_spec(id).hi));
   }
 
+  // Random fill varies only `active` jointly; everything else stays at its
+  // default. A surrogate whose search will pin inactive knobs to defaults is
+  // only ever evaluated on that slice, so that is where joint (interaction)
+  // support matters — axis-aligned extremes alone leave a 22-D model assuming
+  // additivity exactly where the GA pushes hardest.
   rafiki::Rng rng(seed);
   while (configs.size() < count) {
     engine::Config config;
-    for (auto id : params) {
+    for (auto id : active) {
       const auto& spec = engine::param_spec(id);
       config.set(id, rng.uniform(spec.lo, spec.hi));  // set() snaps integrals
     }

@@ -67,6 +67,17 @@ class Dataset {
 std::vector<engine::Config> sample_configs(const std::vector<engine::ParamId>& params,
                                            std::size_t count, std::uint64_t seed);
 
+/// Subspace-focused variant for dynamic knob selection: the coverage rule
+/// (default + per-parameter extremes) still spans ALL of `params` so every
+/// registry dimension has at least axis-aligned support, but the random fill
+/// varies only `active` jointly and leaves the rest at their defaults — the
+/// exact slice a pinned-subspace GA will later search. With `active ==
+/// params` this is bit-identical to sample_configs.
+std::vector<engine::Config> sample_configs_focused(
+    const std::vector<engine::ParamId>& params,
+    const std::vector<engine::ParamId>& active, std::size_t count,
+    std::uint64_t seed);
+
 struct CollectOptions {
   MeasureOptions measure;
   /// Probability a sample is lost to harness faults (the paper dropped 20

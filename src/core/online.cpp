@@ -71,7 +71,22 @@ OnlineTuner::Decision OnlineTuner::decide(double read_ratio) {
   return decide_locked(read_ratio);
 }
 
+void OnlineTuner::observe_sample(double read_ratio, const engine::Config& config,
+                                 double throughput) {
+  rafiki_->observe_sample(read_ratio, config, throughput);
+}
+
 bool OnlineTuner::run_optimize(double read_ratio) {
+  // Dynamic knob mode: re-screen before searching, so the GA always runs in
+  // the freshest active subspace. This rides the background optimize path
+  // (the serve layer's RetrainWorker), never a request thread. When the
+  // active set changed, the memoized configs were cut for the old subspace —
+  // drop them so every bucket re-optimizes in the new one.
+  if (rafiki_->rescreen()) {
+    MutexLock lock(mutex_);
+    cache_.clear();
+  }
+
   const int bucket = bucket_for(read_ratio);
   {
     MutexLock lock(mutex_);

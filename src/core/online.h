@@ -76,6 +76,12 @@ class OnlineTuner {
   /// through the async-optimize hook when one is set.
   void prefetch(double read_ratio);
 
+  /// Streams one measured (workload, configuration, throughput) sample into
+  /// the Rafiki's knob screen (no-op on a static-mode Rafiki). Cheap: no
+  /// model evaluation, no tuner lock — replay harnesses call it per window.
+  void observe_sample(double read_ratio, const engine::Config& config,
+                      double throughput);
+
   /// Called whenever a freshly optimized configuration enters the memo cache
   /// (run_optimize, on_window miss, or prefetch). The serve layer hooks this
   /// to republish the result through its versioned snapshot registry, so

@@ -5,11 +5,40 @@
 #include <stdexcept>
 
 #include "engine/scylla.h"
+#include "util/sync.h"
 
 namespace rafiki::core {
 
+/// Side-car state for dynamic knob selection. Lives behind a unique_ptr so
+/// Rafiki stays movable and the serve layer's const references can stream
+/// observations into it.
+struct Rafiki::DynamicKnobs {
+  DynamicKnobs(const tune::ScreenOptions& screen_options,
+               const tune::SubspaceOptions& subspace_options)
+      : screen(screen_options), subspace(subspace_options) {}
+
+  mutable Mutex mutex;
+  tune::KnobScreen screen GUARDED_BY(mutex);
+  tune::ActiveSubspace subspace GUARDED_BY(mutex);
+  /// Whether the screen has been seeded from the offline ANOVA sweep.
+  bool seeded GUARDED_BY(mutex) = false;
+};
+
 Rafiki::Rafiki(RafikiOptions options) : options_(std::move(options)) {
   options_.collect.measure.scylla = options_.scylla;
+  if (options_.dynamic_knobs) {
+    dynamic_ = std::make_unique<DynamicKnobs>(options_.screen, options_.subspace);
+  }
+}
+
+Rafiki::~Rafiki() = default;
+Rafiki::Rafiki(Rafiki&&) noexcept = default;
+Rafiki& Rafiki::operator=(Rafiki&&) noexcept = default;
+
+void Rafiki::ensure_full_key_params() {
+  if (!key_params_.empty()) return;
+  key_params_.reserve(engine::kParamCount);
+  for (const auto& spec : engine::param_registry()) key_params_.push_back(spec.id);
 }
 
 const std::vector<ParamRanking>& Rafiki::rank_parameters() {
@@ -53,6 +82,29 @@ const std::vector<ParamRanking>& Rafiki::rank_parameters() {
 }
 
 const std::vector<engine::ParamId>& Rafiki::select_key_params() {
+  if (dynamic_) {
+    // Dynamic mode: the surrogate's feature layout is the FULL registry (so
+    // re-cuts never invalidate the model); "selection" means seeding the
+    // streaming screen from the offline sweep and cutting the first active
+    // set. A frozen (forced) subspace skips the expensive sweep entirely.
+    ensure_full_key_params();
+    bool need_seed = false;
+    {
+      MutexLock lock(dynamic_->mutex);
+      need_seed = !dynamic_->seeded && !dynamic_->subspace.frozen();
+    }
+    if (need_seed) {
+      const auto& ranking = rank_parameters();  // OAT sweep, no lock held
+      MutexLock lock(dynamic_->mutex);
+      if (!dynamic_->seeded) {
+        for (const auto& entry : ranking) dynamic_->screen.seed(entry.id, entry.score);
+        dynamic_->subspace.recut(dynamic_->screen.ranking());
+        dynamic_->seeded = true;
+      }
+    }
+    return key_params_;
+  }
+
   if (!key_params_.empty()) return key_params_;
   const auto& ranking = rank_parameters();
 
@@ -89,13 +141,72 @@ const std::vector<engine::ParamId>& Rafiki::select_key_params() {
 }
 
 void Rafiki::set_key_params(std::vector<engine::ParamId> params) {
+  // In dynamic mode a "known-good selection" means pinning the ACTIVE set —
+  // the feature layout stays the full registry regardless.
+  if (dynamic_) {
+    set_active_params(std::move(params));
+    return;
+  }
   key_params_ = std::move(params);
+}
+
+void Rafiki::set_active_params(std::vector<engine::ParamId> params) {
+  if (!dynamic_) {
+    key_params_ = std::move(params);
+    return;
+  }
+  ensure_full_key_params();
+  MutexLock lock(dynamic_->mutex);
+  dynamic_->subspace.force(std::move(params));
+}
+
+void Rafiki::observe_sample(double read_ratio, const engine::Config& config,
+                            double throughput) const {
+  if (!dynamic_) return;
+  MutexLock lock(dynamic_->mutex);
+  dynamic_->screen.observe(read_ratio, config, throughput);
+}
+
+bool Rafiki::rescreen() const {
+  if (!dynamic_) return false;
+  MutexLock lock(dynamic_->mutex);
+  return dynamic_->subspace.recut(dynamic_->screen.ranking());
+}
+
+std::vector<engine::ParamId> Rafiki::active_params() const {
+  if (!dynamic_) return key_params_;
+  MutexLock lock(dynamic_->mutex);
+  return dynamic_->subspace.active();
+}
+
+std::vector<tune::KnobScore> Rafiki::knob_ranking() const {
+  if (!dynamic_) return {};
+  MutexLock lock(dynamic_->mutex);
+  return dynamic_->screen.ranking();
+}
+
+Rafiki::TuneStats Rafiki::tune_stats() const {
+  TuneStats stats;
+  if (!dynamic_) return stats;
+  MutexLock lock(dynamic_->mutex);
+  stats.observations = dynamic_->screen.observations();
+  stats.recuts = dynamic_->subspace.recuts();
+  stats.changes = dynamic_->subspace.changes();
+  stats.active = dynamic_->subspace.active().size();
+  return stats;
 }
 
 collect::Dataset Rafiki::collect() {
   const auto& params = select_key_params();
-  const auto configs =
-      collect::sample_configs(params, options_.n_configs, options_.collect.seed);
+  // Dynamic mode trains over the full registry but searches a pinned
+  // subspace, so the random fill of the collection plan concentrates joint
+  // samples on the active slice (coverage extremes still span every knob).
+  const auto configs = dynamic_
+                           ? collect::sample_configs_focused(
+                                 params, active_params(), options_.n_configs,
+                                 options_.collect.seed)
+                           : collect::sample_configs(params, options_.n_configs,
+                                                     options_.collect.seed);
   return collect::collect_dataset(configs, options_.workload_grid, options_.base_workload,
                                   options_.collect);
 }
@@ -140,8 +251,20 @@ opt::SearchSpace Rafiki::key_space() const {
   return opt::SearchSpace(std::move(dims));
 }
 
+std::vector<double> Rafiki::fitness_batch(const std::vector<std::vector<double>>& rows) const {
+  if (options_.ga_risk_aversion <= 0.0) return surrogate_.predict_batch(rows);
+  const auto preds = surrogate_.predict_batch_with_uncertainty(rows);
+  std::vector<double> values;
+  values.reserve(preds.size());
+  for (const auto& p : preds) {
+    values.push_back(p.mean - options_.ga_risk_aversion * p.stddev);
+  }
+  return values;
+}
+
 Rafiki::OptimizeResult Rafiki::optimize(double read_ratio) const {
   if (!surrogate_.trained()) throw std::logic_error("Rafiki::optimize: train() first");
+  if (dynamic_) return optimize_dynamic(read_ratio);
   const auto space = key_space();
 
   // Whole-cohort surrogate evaluation: the GA scores each generation through
@@ -157,7 +280,7 @@ Rafiki::OptimizeResult Rafiki::optimize(double read_ratio) const {
       features.insert(features.end(), point.begin(), point.end());
       rows.push_back(std::move(features));
     }
-    return surrogate_.predict_batch(rows);
+    return fitness_batch(rows);
   };
 
   // det:ok(wall-clock): wall_seconds is reporting-only; no result depends on it
@@ -168,9 +291,84 @@ Rafiki::OptimizeResult Rafiki::optimize(double read_ratio) const {
 
   OptimizeResult result;
   result.config = engine::Config::from_vector(key_params_, ga.best_point);
-  result.predicted_throughput = ga.best_fitness;
+  // best_fitness is the (possibly risk-penalized) GA objective; report the
+  // raw predicted mean for the chosen configuration.
+  result.predicted_throughput = options_.ga_risk_aversion > 0.0
+                                    ? predict(read_ratio, result.config)
+                                    : ga.best_fitness;
   result.surrogate_evaluations = ga.evaluations;
   result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.best_history = ga.best_history;
+  result.config_history.reserve(ga.best_point_history.size());
+  for (const auto& genome : ga.best_point_history) {
+    result.config_history.push_back(genome.empty()
+                                        ? engine::Config::defaults()
+                                        : engine::Config::from_vector(key_params_, genome));
+  }
+  return result;
+}
+
+Rafiki::OptimizeResult Rafiki::optimize_dynamic(double read_ratio) const {
+  // Snapshot the current subspace mapping, then run the whole search without
+  // the knob lock: a concurrent re-cut only affects the NEXT optimize.
+  opt::SubspaceMap map = [&] {
+    MutexLock lock(dynamic_->mutex);
+    if (dynamic_->subspace.active().empty()) {
+      throw std::logic_error("Rafiki::optimize: dynamic mode has no active knobs — "
+                             "run select_key_params() or set_active_params() first");
+    }
+    return dynamic_->subspace.map();
+  }();
+
+  // The surrogate consumes the FULL registry layout; the GA's genome is only
+  // the active subspace, expanded per evaluation with inactive knobs pinned.
+  const auto objective = [&](const std::vector<std::vector<double>>& points) {
+    std::vector<std::vector<double>> rows;
+    rows.reserve(points.size());
+    for (const auto& point : points) {
+      const auto full = map.expand(point);
+      std::vector<double> features;
+      features.reserve(full.size() + 1);
+      features.push_back(read_ratio);
+      features.insert(features.end(), full.begin(), full.end());
+      rows.push_back(std::move(features));
+    }
+    return fitness_batch(rows);
+  };
+
+  // Warm-start from the incumbent (pinned) configuration so a freshly re-cut
+  // genome never searches from scratch: what previous optimizations learned
+  // about the surviving knobs enters the initial population.
+  opt::GaOptions ga_options = options_.ga;
+  ga_options.seed_points.push_back(map.restrict(map.pinned()));
+
+  // det:ok(wall-clock): wall_seconds is reporting-only; no result depends on it
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto ga = opt::ga_optimize_batched(map.reduced(), objective, ga_options);
+  // det:ok(wall-clock): wall_seconds is reporting-only; no result depends on it
+  const auto t1 = std::chrono::steady_clock::now();
+
+  OptimizeResult result;
+  result.config = engine::Config::from_vector(key_params_, map.expand(ga.best_point));
+  result.predicted_throughput = options_.ga_risk_aversion > 0.0
+                                    ? predict(read_ratio, result.config)
+                                    : ga.best_fitness;
+  result.surrogate_evaluations = ga.evaluations;
+  result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.best_history = ga.best_history;
+  result.config_history.reserve(ga.best_point_history.size());
+  for (const auto& genome : ga.best_point_history) {
+    result.config_history.push_back(
+        genome.empty() ? engine::Config::defaults()
+                       : engine::Config::from_vector(key_params_, map.expand(genome)));
+  }
+
+  // The winner becomes the pin: if a later re-cut drops one of today's
+  // active knobs, it keeps serving at the value search just chose for it.
+  {
+    MutexLock lock(dynamic_->mutex);
+    dynamic_->subspace.pin(result.config);
+  }
   return result;
 }
 

@@ -55,6 +55,13 @@ GaResult ga_optimize_batched(const SearchSpace& space, const BatchObjective& obj
 
   std::vector<Individual> population(options.population);
   for (auto& ind : population) ind.genome = space.random_point(rng);
+  // Warm starts overwrite genomes only after every random draw above, so the
+  // RNG stream is untouched and seedless runs stay bit-identical.
+  std::size_t seeded = 0;
+  for (const auto& point : options.seed_points) {
+    if (point.size() != space.size() || seeded >= population.size()) continue;
+    population[seeded++].genome = space.snap(point);
+  }
   evaluate_from(population, 0);
 
   auto rescore = [&](std::vector<Individual>& pop) {
@@ -89,6 +96,7 @@ GaResult ga_optimize_batched(const SearchSpace& space, const BatchObjective& obj
       if (ind.violation == 0.0 && ind.raw > best_feasible.raw) best_feasible = ind;
     }
     result.best_history.push_back(best_feasible.raw);
+    result.best_point_history.push_back(space.snap(best_feasible.genome));
   };
   track_best(population);
 

@@ -28,6 +28,13 @@ struct GaOptions {
   /// Penalty applied per unit of constraint violation, scaled by the
   /// population's fitness spread.
   double penalty_weight = 2.0;
+  /// Warm-start points injected into the initial population (snapped into
+  /// the space; entries whose size mismatches the space are skipped). They
+  /// replace the first random genomes AFTER the whole population is drawn,
+  /// so the RNG stream — and therefore every run without seed points — is
+  /// bit-identical to before this option existed. Used by the online tuner
+  /// to keep the incumbent configuration competitive across re-cuts.
+  std::vector<std::vector<double>> seed_points{};
   std::uint64_t seed = 99;
 };
 
@@ -36,6 +43,11 @@ struct GaResult {
   double best_fitness = 0.0;       ///< objective at best_point
   std::size_t evaluations = 0;     ///< objective calls (the "surrogate calls")
   std::vector<double> best_history;  ///< best feasible fitness per generation
+  /// Best feasible genome per generation (snapped), parallel to
+  /// best_history; empty entries until the first feasible individual
+  /// appears. Lets convergence studies re-score the search trajectory
+  /// against a ground-truth objective.
+  std::vector<std::vector<double>> best_point_history;
 };
 
 /// Vectorized objective: fitness for a whole set of points at once. The GA

@@ -96,4 +96,51 @@ std::vector<std::vector<double>> SearchSpace::grid(
   return points;
 }
 
+namespace {
+
+std::vector<Dimension> select_dims(const std::vector<Dimension>& full,
+                                   const std::vector<std::size_t>& active) {
+  if (active.empty()) throw std::invalid_argument("SubspaceMap: no active dimensions");
+  std::vector<Dimension> dims;
+  dims.reserve(active.size());
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    if (active[i] >= full.size()) {
+      throw std::invalid_argument("SubspaceMap: active index out of range");
+    }
+    if (i > 0 && active[i] <= active[i - 1]) {
+      throw std::invalid_argument("SubspaceMap: active indices must be strictly increasing");
+    }
+    dims.push_back(full[active[i]]);
+  }
+  return dims;
+}
+
+}  // namespace
+
+SubspaceMap::SubspaceMap(std::vector<Dimension> full_dims, std::vector<std::size_t> active,
+                         std::vector<double> pinned)
+    : active_(std::move(active)),
+      pinned_(std::move(pinned)),
+      reduced_(select_dims(full_dims, active_)) {
+  if (pinned_.size() != full_dims.size()) {
+    throw std::invalid_argument("SubspaceMap: pinned size must match full dimensions");
+  }
+}
+
+std::vector<double> SubspaceMap::expand(std::span<const double> reduced_point) const {
+  std::vector<double> full = pinned_;
+  const std::size_t n = std::min(reduced_point.size(), active_.size());
+  for (std::size_t i = 0; i < n; ++i) full[active_[i]] = reduced_point[i];
+  return full;
+}
+
+std::vector<double> SubspaceMap::restrict(std::span<const double> full_point) const {
+  std::vector<double> reduced;
+  reduced.reserve(active_.size());
+  for (std::size_t index : active_) {
+    reduced.push_back(index < full_point.size() ? full_point[index] : 0.0);
+  }
+  return reduced;
+}
+
 }  // namespace rafiki::opt

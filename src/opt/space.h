@@ -54,4 +54,37 @@ class SearchSpace {
   std::vector<Dimension> dims_;
 };
 
+/// Maps between a full search space and a reduced subspace spanned by a
+/// subset of its dimensions, with every non-selected dimension pinned at a
+/// fixed value. The significance-aware tuning layer (src/tune/) searches the
+/// reduced space while models keep consuming full-dimensional points, so
+/// re-cutting the subspace never invalidates anything trained on the full
+/// space. Kept generic (index-based, no engine dependency) like the rest of
+/// this header.
+class SubspaceMap {
+ public:
+  /// `active` must be strictly increasing, in range, and non-empty;
+  /// `pinned` must carry one value per full dimension (active entries are
+  /// ignored on expand — the reduced point overrides them).
+  SubspaceMap(std::vector<Dimension> full_dims, std::vector<std::size_t> active,
+              std::vector<double> pinned);
+
+  /// The reduced search space (one Dimension per active index).
+  const SearchSpace& reduced() const noexcept { return reduced_; }
+  std::size_t full_size() const noexcept { return pinned_.size(); }
+  const std::vector<std::size_t>& active() const noexcept { return active_; }
+  const std::vector<double>& pinned() const noexcept { return pinned_; }
+
+  /// Full-dimensional point: pinned values with the reduced point's values
+  /// substituted at the active indices.
+  std::vector<double> expand(std::span<const double> reduced_point) const;
+  /// Reduced point: the full point's values at the active indices.
+  std::vector<double> restrict(std::span<const double> full_point) const;
+
+ private:
+  std::vector<std::size_t> active_;
+  std::vector<double> pinned_;
+  SearchSpace reduced_;
+};
+
 }  // namespace rafiki::opt

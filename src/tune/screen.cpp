@@ -1,0 +1,100 @@
+#include "tune/screen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace rafiki::tune {
+
+KnobScreen::KnobScreen(ScreenOptions options) : options_(options) {
+  knobs_.resize(engine::kParamCount);
+  for (const auto& spec : engine::param_registry()) {
+    knobs_[static_cast<std::size_t>(spec.id)].levels.resize(level_count(spec));
+  }
+}
+
+std::size_t KnobScreen::level_count(const engine::ParamSpec& spec) const noexcept {
+  std::size_t levels = std::max<std::size_t>(options_.levels, 2);
+  if (spec.type != engine::ParamType::kReal) {
+    const auto distinct = static_cast<std::size_t>(spec.hi - spec.lo) + 1;
+    levels = std::min(levels, distinct);
+  }
+  return levels;
+}
+
+std::size_t KnobScreen::level_of(const engine::ParamSpec& spec, double value) const noexcept {
+  const std::size_t levels = knobs_[static_cast<std::size_t>(spec.id)].levels.size();
+  if (spec.hi <= spec.lo || levels <= 1) return 0;
+  const double frac = (spec.snap(value) - spec.lo) / (spec.hi - spec.lo);
+  const auto idx = static_cast<std::size_t>(frac * static_cast<double>(levels));
+  return std::min(idx, levels - 1);
+}
+
+void KnobScreen::seed(engine::ParamId id, double score) {
+  auto& state = knobs_.at(static_cast<std::size_t>(id));
+  state.seed_score = score;
+  state.seeded = true;
+}
+
+void KnobScreen::observe(double read_ratio, const engine::Config& config,
+                         double throughput) {
+  // Workload effect first: the residual is measured against the running mean
+  // of this read-ratio bucket *including* the new sample, so a bucket's first
+  // observation contributes a zero residual (no knob evidence) instead of its
+  // absolute throughput.
+  const int bucket = static_cast<int>(std::round(read_ratio / options_.rr_bucket));
+  auto& baseline = rr_baseline_[bucket];
+  baseline.add(throughput);
+  const double residual = throughput - baseline.mean;
+
+  for (const auto& spec : engine::param_registry()) {
+    auto& state = knobs_[static_cast<std::size_t>(spec.id)];
+    state.levels[level_of(spec, config.get(spec.id))].add(residual);
+    ++state.samples;
+  }
+  ++observations_;
+}
+
+double KnobScreen::stream_score(const KnobState& state) const {
+  std::vector<double> means;
+  means.reserve(state.levels.size());
+  for (const auto& level : state.levels) {
+    if (level.n > 0) means.push_back(level.mean);
+  }
+  if (means.size() < 2) return 0.0;
+  return rafiki::stddev(means);
+}
+
+double KnobScreen::blended(const KnobState& state) const {
+  const double w = state.seeded ? options_.seed_weight : 0.0;
+  const auto n = static_cast<double>(state.samples);
+  if (w + n <= 0.0) return 0.0;
+  return (w * state.seed_score + n * stream_score(state)) / (w + n);
+}
+
+double KnobScreen::score(engine::ParamId id) const {
+  return blended(knobs_.at(static_cast<std::size_t>(id)));
+}
+
+std::vector<KnobScore> KnobScreen::ranking() const {
+  std::vector<KnobScore> ranking;
+  ranking.reserve(knobs_.size());
+  for (std::size_t i = 0; i < knobs_.size(); ++i) {
+    const auto& state = knobs_[i];
+    KnobScore entry;
+    entry.id = static_cast<engine::ParamId>(i);
+    entry.seed_score = state.seed_score;
+    entry.stream_score = stream_score(state);
+    entry.samples = state.samples;
+    entry.score = blended(state);
+    ranking.push_back(entry);
+  }
+  std::sort(ranking.begin(), ranking.end(), [](const KnobScore& a, const KnobScore& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  });
+  return ranking;
+}
+
+}  // namespace rafiki::tune

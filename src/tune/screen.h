@@ -1,0 +1,109 @@
+// Streaming knob-significance screen over the full parameter registry.
+//
+// The paper freezes Rafiki's tunable subspace with a one-shot offline ANOVA
+// (Section 3.4): five knobs in, seventeen out, forever. Tuneful (PAPERS.md)
+// shows the same significance analysis can run *online*: every observed
+// (configuration, throughput) sample is weak evidence about which knobs move
+// throughput, and accumulating that evidence incrementally lets the active
+// subspace follow the workload instead of the bootstrap sweep.
+//
+// KnobScreen keeps, per registered parameter, a small set of per-level
+// residual means updated from observed samples. The workload effect is
+// removed first (a running mean of throughput per read-ratio bucket), so a
+// regime change does not masquerade as every knob suddenly mattering; what
+// remains per sample is a residual attributed to the knob levels the sampled
+// configuration actually ran with. A knob's streaming score is the standard
+// deviation of its per-level residual means — the same "level-mean stddev"
+// statistic the offline ANOVA ranks by (Figure 5), so seed and stream scores
+// share units and can be blended: the offline sweep enters as a pseudo-count
+// prior that real observations gradually out-vote.
+//
+// Everything is deterministic: no clocks, no RNG, scores depend only on the
+// seeded baseline and the observation sequence.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "engine/config.h"
+#include "engine/params.h"
+
+namespace rafiki::tune {
+
+struct ScreenOptions {
+  /// Pseudo-count weight of the seeded (offline ANOVA) score: the seed
+  /// behaves like this many observed samples per knob, so early streaming
+  /// noise cannot overturn the bootstrap sweep, while sustained evidence
+  /// eventually dominates the blend.
+  double seed_weight = 32.0;
+  /// Residual-mean levels per knob. Integral knobs with fewer distinct
+  /// values than this use their natural level count (a binary categorical
+  /// gets 2 levels, not 4 half-empty ones).
+  std::size_t levels = 4;
+  /// Read-ratio bucket width of the workload-effect baseline. Matches the
+  /// OnlineTuner's memo granularity so one observed window feeds one bucket.
+  double rr_bucket = 0.1;
+};
+
+/// One ranked entry of the screen: the blended significance plus both of its
+/// components, for telemetry and the knob-ablation bench.
+struct KnobScore {
+  engine::ParamId id = engine::ParamId::kCount;
+  double score = 0.0;         ///< blended significance (sort key)
+  double seed_score = 0.0;    ///< offline ANOVA component
+  double stream_score = 0.0;  ///< streaming residual component
+  std::size_t samples = 0;    ///< observations folded into stream_score
+};
+
+class KnobScreen {
+ public:
+  explicit KnobScreen(ScreenOptions options = {});
+
+  /// Installs the offline baseline for one knob (the one-way ANOVA sweep's
+  /// level-mean stddev). Does not clear accumulated streaming state.
+  void seed(engine::ParamId id, double score);
+
+  /// Folds one observed sample into the screen: the workload baseline for
+  /// the sample's read-ratio bucket is updated first, and the residual
+  /// against it is attributed to every knob's level under `config`.
+  void observe(double read_ratio, const engine::Config& config, double throughput);
+
+  /// Blended significance of one knob.
+  double score(engine::ParamId id) const;
+
+  /// All registered knobs sorted by descending blended score (ties broken by
+  /// registry order, so the ranking is deterministic).
+  std::vector<KnobScore> ranking() const;
+
+  std::size_t observations() const noexcept { return observations_; }
+  const ScreenOptions& options() const noexcept { return options_; }
+
+ private:
+  struct RunningMean {
+    double mean = 0.0;
+    std::size_t n = 0;
+    void add(double x) noexcept {
+      ++n;
+      mean += (x - mean) / static_cast<double>(n);
+    }
+  };
+  struct KnobState {
+    double seed_score = 0.0;
+    bool seeded = false;
+    std::size_t samples = 0;
+    std::vector<RunningMean> levels;
+  };
+
+  std::size_t level_count(const engine::ParamSpec& spec) const noexcept;
+  std::size_t level_of(const engine::ParamSpec& spec, double value) const noexcept;
+  double stream_score(const KnobState& state) const;
+  double blended(const KnobState& state) const;
+
+  ScreenOptions options_;
+  std::vector<KnobState> knobs_;  ///< indexed by ParamId
+  std::map<int, RunningMean> rr_baseline_;
+  std::size_t observations_ = 0;
+};
+
+}  // namespace rafiki::tune

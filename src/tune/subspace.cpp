@@ -1,0 +1,107 @@
+#include "tune/subspace.h"
+
+#include <algorithm>
+#include <string>
+
+#include "ml/anova.h"
+
+namespace rafiki::tune {
+
+ActiveSubspace::ActiveSubspace(SubspaceOptions options) : options_(options) {}
+
+bool ActiveSubspace::is_active(engine::ParamId id) const {
+  return std::find(active_.begin(), active_.end(), id) != active_.end();
+}
+
+bool ActiveSubspace::recut(const std::vector<KnobScore>& ranking) {
+  if (frozen_) return false;
+  ++recuts_;
+
+  // Canonicalize: a redundant knob's evidence belongs to its canonical knob
+  // (they move the same mechanism), so fold the larger score forward and
+  // keep only canonical knobs as candidates.
+  std::vector<double> folded(engine::kParamCount, 0.0);
+  for (const auto& entry : ranking) {
+    if (entry.id == engine::ParamId::kCount) continue;
+    const auto& spec = engine::param_spec(entry.id);
+    const auto target =
+        spec.redundant_with == engine::ParamId::kCount ? entry.id : spec.redundant_with;
+    auto& slot = folded[static_cast<std::size_t>(target)];
+    slot = std::max(slot, entry.score);
+  }
+
+  struct Candidate {
+    engine::ParamId id;
+    double boosted;
+  };
+  std::vector<Candidate> candidates;
+  for (std::size_t i = 0; i < engine::kParamCount; ++i) {
+    const auto id = static_cast<engine::ParamId>(i);
+    if (engine::param_spec(id).redundant_with != engine::ParamId::kCount) continue;
+    double score = folded[i];
+    // Hysteresis: incumbents compete with a (1 + h) boost, so a challenger
+    // must beat an active knob by that margin to displace it.
+    if (is_active(id)) score *= 1.0 + options_.hysteresis;
+    candidates.push_back({id, score});
+  }
+  std::sort(candidates.begin(), candidates.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.boosted != b.boosted) return a.boosted > b.boosted;
+    return a.id < b.id;
+  });
+
+  std::vector<ml::AnovaRanking> scored;
+  scored.reserve(candidates.size());
+  for (const auto& c : candidates) {
+    scored.push_back({std::string(engine::param_name(c.id)), c.boosted, 0.0, 1.0});
+  }
+  std::size_t k = ml::distinct_drop_cutoff(scored, options_.min_k, options_.max_k);
+  k = std::min(k, candidates.size());
+
+  std::vector<engine::ParamId> next;
+  next.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) next.push_back(candidates[i].id);
+  std::sort(next.begin(), next.end());  // genome layout is registry order
+
+  if (next == active_) return false;
+  active_ = std::move(next);
+  ++changes_;
+  return true;
+}
+
+void ActiveSubspace::force(std::vector<engine::ParamId> params) {
+  std::sort(params.begin(), params.end());
+  params.erase(std::unique(params.begin(), params.end()), params.end());
+  if (params != active_) ++changes_;
+  active_ = std::move(params);
+  frozen_ = true;
+}
+
+opt::SearchSpace ActiveSubspace::space() const { return map().reduced(); }
+
+opt::SubspaceMap ActiveSubspace::map() const {
+  std::vector<opt::Dimension> full;
+  full.reserve(engine::kParamCount);
+  std::vector<double> pinned(engine::kParamCount, 0.0);
+  for (const auto& spec : engine::param_registry()) {
+    full.push_back({std::string(spec.name), spec.type != engine::ParamType::kReal,
+                    spec.lo, spec.hi});
+    pinned[static_cast<std::size_t>(spec.id)] = pinned_.get(spec.id);
+  }
+  std::vector<std::size_t> active;
+  active.reserve(active_.size());
+  for (auto id : active_) active.push_back(static_cast<std::size_t>(id));
+  return opt::SubspaceMap(std::move(full), std::move(active), std::move(pinned));
+}
+
+engine::Config ActiveSubspace::to_config(const std::vector<double>& genome) const {
+  engine::Config config = pinned_;
+  const std::size_t n = std::min(genome.size(), active_.size());
+  for (std::size_t i = 0; i < n; ++i) config.set(active_[i], genome[i]);
+  return config;
+}
+
+std::vector<double> ActiveSubspace::to_genome(const engine::Config& config) const {
+  return config.vector_for(active_);
+}
+
+}  // namespace rafiki::tune

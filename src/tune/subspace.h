@@ -1,0 +1,104 @@
+// The dynamic active knob set and its genome mapping.
+//
+// ActiveSubspace owns which of the registry's parameters the GA currently
+// searches. A re-cut takes a fresh KnobScreen ranking, canonicalizes
+// redundant knobs (a knob with redundant_with set folds its evidence into
+// its canonical knob and is never selected itself — Section 4.5's flush-
+// frequency argument), applies the paper's "distinct drop" cutoff to choose
+// k, and adopts the new top-k set — under a hysteresis rule so sampling
+// noise cannot thrash the set:
+//
+//   incumbent boost — during a re-cut every currently-active knob's score
+//   counts as (1 + hysteresis) x its measured score. A challenger therefore
+//   only displaces an incumbent by beating it with that margin; equal-
+//   evidence reshuffles keep the current set. The first cut (no incumbents)
+//   adopts unconditionally.
+//
+// The subspace also maps between the GA's reduced genome and full
+// configurations: inactive knobs are pinned at their best-known values (the
+// most recent optimized configuration), so shrinking the genome never
+// forgets what search already learned about the knobs it dropped. The
+// mapping itself is the generic opt::SubspaceMap; this class binds it to
+// engine::ParamId space.
+//
+// Deterministic by construction: re-cuts are pure functions of the ranking
+// and the current set, active order is registry order, ties break low-id.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "engine/config.h"
+#include "engine/params.h"
+#include "opt/space.h"
+#include "tune/screen.h"
+
+namespace rafiki::tune {
+
+struct SubspaceOptions {
+  /// Bounds on the active-set size handed to ml::distinct_drop_cutoff.
+  std::size_t min_k = 3;
+  std::size_t max_k = 8;
+  /// Incumbent score boost: an active knob survives a re-cut unless a
+  /// challenger beats (1 + hysteresis) x its score. 0 disables hysteresis.
+  double hysteresis = 0.25;
+};
+
+class ActiveSubspace {
+ public:
+  explicit ActiveSubspace(SubspaceOptions options = {});
+
+  /// Re-cuts the active set from a blended ranking (KnobScreen::ranking()).
+  /// Returns true when the active set actually changed. No-op (false) while
+  /// the set is frozen via force().
+  bool recut(const std::vector<KnobScore>& ranking);
+
+  /// Pins the active set explicitly and freezes it against future re-cuts —
+  /// the "paper-fixed-5" and "naive-full-22" ablation arms, and tests.
+  /// Redundancy canonicalization is deliberately NOT applied: a forced set
+  /// is the caller's to choose.
+  void force(std::vector<engine::ParamId> params);
+  bool frozen() const noexcept { return frozen_; }
+
+  /// Active knobs in registry order (the genome layout). Empty until the
+  /// first recut()/force().
+  const std::vector<engine::ParamId>& active() const noexcept { return active_; }
+  bool is_active(engine::ParamId id) const;
+
+  /// GA search space spanned by the active knobs.
+  opt::SearchSpace space() const;
+
+  /// Generic index-space mapping for the current active set: one dimension
+  /// per registry parameter, inactive dimensions pinned at pinned()'s
+  /// values. The optimizer searches map().reduced(); surrogate feature rows
+  /// are map().expand()ed back to the full registry layout, which is what
+  /// keeps the trained model valid across re-cuts. Throws while the active
+  /// set is empty.
+  opt::SubspaceMap map() const;
+
+  /// Full configuration for a reduced genome: active knobs take the genome's
+  /// values (snapped into domain), inactive knobs stay pinned.
+  engine::Config to_config(const std::vector<double>& genome) const;
+  /// Reduced genome of a full configuration (active knobs' values).
+  std::vector<double> to_genome(const engine::Config& config) const;
+
+  /// Best-known full configuration; inactive knobs are served from here.
+  void pin(const engine::Config& config) { pinned_ = config; }
+  const engine::Config& pinned() const noexcept { return pinned_; }
+
+  /// Telemetry: re-cut attempts vs. re-cuts that changed the set.
+  std::size_t recuts() const noexcept { return recuts_; }
+  std::size_t changes() const noexcept { return changes_; }
+
+  const SubspaceOptions& options() const noexcept { return options_; }
+
+ private:
+  SubspaceOptions options_;
+  std::vector<engine::ParamId> active_;
+  engine::Config pinned_ = engine::Config::defaults();
+  bool frozen_ = false;
+  std::size_t recuts_ = 0;
+  std::size_t changes_ = 0;
+};
+
+}  // namespace rafiki::tune

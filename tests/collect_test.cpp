@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "collect/dataset.h"
@@ -78,6 +79,52 @@ TEST(SampleConfigs, RandomFillStaysInDomain) {
       EXPECT_TRUE(engine::param_spec(id).feasible(config.get(id)))
           << engine::param_name(id);
     }
+  }
+}
+
+TEST(SampleConfigsFocused, FullActiveSetIsBitIdenticalToSampleConfigs) {
+  const auto& params = engine::key_params();
+  EXPECT_EQ(sample_configs_focused(params, params, 30, 9),
+            sample_configs(params, 30, 9));
+}
+
+TEST(SampleConfigsFocused, FillVariesOnlyActiveKnobs) {
+  std::vector<engine::ParamId> params;
+  for (const auto& spec : engine::param_registry()) params.push_back(spec.id);
+  const std::vector<engine::ParamId> active = {
+      engine::ParamId::kCompactionMethod, engine::ParamId::kConcurrentWrites,
+      engine::ParamId::kFileCacheSizeMb};
+  // Past the coverage block (default + 2 per param), every fill config must
+  // sit on the pinned slice: inactive knobs at defaults, active knobs varied.
+  const std::size_t coverage = 1 + 2 * params.size();
+  const std::size_t count = coverage + 12;
+  const auto configs = sample_configs_focused(params, active, count, 7);
+  ASSERT_EQ(configs.size(), count);
+  const auto defaults = engine::Config::defaults();
+  bool some_active_moved = false;
+  for (std::size_t i = coverage; i < configs.size(); ++i) {
+    for (auto id : params) {
+      const bool is_active =
+          std::find(active.begin(), active.end(), id) != active.end();
+      if (!is_active) {
+        EXPECT_EQ(configs[i].get(id), defaults.get(id)) << engine::param_name(id);
+      } else if (configs[i].get(id) != defaults.get(id)) {
+        some_active_moved = true;
+      }
+    }
+  }
+  EXPECT_TRUE(some_active_moved);
+
+  // The coverage rule still spans the FULL registry, not just the active set.
+  for (auto id : params) {
+    const auto& spec = engine::param_spec(id);
+    bool saw_min = false, saw_max = false;
+    for (const auto& config : configs) {
+      saw_min |= config.get(id) == spec.lo;
+      saw_max |= config.get(id) == spec.hi;
+    }
+    EXPECT_TRUE(saw_min) << engine::param_name(id);
+    EXPECT_TRUE(saw_max) << engine::param_name(id);
   }
 }
 

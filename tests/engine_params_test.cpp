@@ -1,0 +1,83 @@
+// Registry sanity for all 22 tunable-parameter specs: domains, defaults,
+// snap/feasible coherence, name lookups and the redundancy graph. The tune/
+// layer walks the whole registry, so every entry must hold these invariants,
+// not just the five the paper tunes.
+#include "engine/params.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace rafiki::engine {
+namespace {
+
+TEST(ParamRegistry, CoversEveryIdInOrder) {
+  const auto& registry = param_registry();
+  ASSERT_EQ(registry.size(), kParamCount);
+  for (std::size_t i = 0; i < kParamCount; ++i) {
+    EXPECT_EQ(static_cast<std::size_t>(registry[i].id), i);
+  }
+}
+
+TEST(ParamRegistry, DomainsAreOrderedAndDefaultsInside) {
+  for (const auto& spec : param_registry()) {
+    EXPECT_LT(spec.lo, spec.hi) << spec.name;
+    EXPECT_LE(spec.lo, spec.def) << spec.name;
+    EXPECT_LE(spec.def, spec.hi) << spec.name;
+    EXPECT_TRUE(spec.feasible(spec.def)) << spec.name;
+    EXPECT_GE(spec.anova_levels, 2) << spec.name;
+  }
+}
+
+TEST(ParamRegistry, SnapIsIdempotentAndLandsInDomain) {
+  for (const auto& spec : param_registry()) {
+    // Probe below, inside, above and at a fractional midpoint.
+    const double probes[] = {spec.lo - 10.0, spec.lo, (spec.lo + spec.hi) / 2.0 + 0.3,
+                             spec.hi, spec.hi + 10.0};
+    for (const double raw : probes) {
+      const double snapped = spec.snap(raw);
+      EXPECT_TRUE(spec.feasible(snapped)) << spec.name << " raw=" << raw;
+      EXPECT_DOUBLE_EQ(spec.snap(snapped), snapped) << spec.name << " raw=" << raw;
+      if (spec.type != ParamType::kReal) {
+        EXPECT_DOUBLE_EQ(snapped, std::round(snapped)) << spec.name;
+      }
+    }
+  }
+}
+
+TEST(ParamRegistry, NamesAreUniqueAndFindable) {
+  std::set<std::string_view> seen;
+  for (const auto& spec : param_registry()) {
+    EXPECT_FALSE(spec.name.empty());
+    EXPECT_TRUE(seen.insert(spec.name).second) << "duplicate name " << spec.name;
+    EXPECT_EQ(find_param(spec.name), spec.id) << spec.name;
+    EXPECT_EQ(param_name(spec.id), spec.name);
+  }
+  EXPECT_EQ(find_param("no_such_parameter"), ParamId::kCount);
+}
+
+TEST(ParamRegistry, RedundancyGraphIsAcyclicAndShallow) {
+  for (const auto& spec : param_registry()) {
+    if (spec.redundant_with == ParamId::kCount) continue;
+    EXPECT_NE(spec.redundant_with, spec.id) << spec.name << " is redundant with itself";
+    // One hop only: the canonical knob must itself be canonical, so folding
+    // evidence (tune::ActiveSubspace::recut) terminates in a single pass.
+    const auto& canonical = param_spec(spec.redundant_with);
+    EXPECT_EQ(canonical.redundant_with, ParamId::kCount)
+        << spec.name << " -> " << canonical.name << " is not canonical";
+  }
+}
+
+TEST(ParamRegistry, PaperKeyParamsAreRegistryEntries) {
+  const auto& keys = key_params();
+  ASSERT_EQ(keys.size(), 5u);
+  for (const auto id : keys) {
+    EXPECT_LT(static_cast<std::size_t>(id), kParamCount);
+    // No key parameter may be a redundant alias.
+    EXPECT_EQ(param_spec(id).redundant_with, ParamId::kCount);
+  }
+}
+
+}  // namespace
+}  // namespace rafiki::engine

@@ -87,5 +87,47 @@ TEST(DistinctDrop, RespectsBounds) {
   EXPECT_LE(distinct_drop_cutoff(ranking, 2, 3), 3u);
 }
 
+TEST(DistinctDrop, AllEqualScoresFallBackToMinK) {
+  // Every consecutive ratio is 1.0, so no drop is "distinct"; the heuristic
+  // keeps the smallest allowed set rather than inventing a gap.
+  std::vector<AnovaRanking> ranking(7, {"x", 5.0, 0, 0});
+  EXPECT_EQ(distinct_drop_cutoff(ranking, 3, 6), 3u);
+}
+
+TEST(DistinctDrop, TiesAtTheCutDoNotSplitAGroup) {
+  // A tied plateau right after a real gap: the cut lands on the gap, and the
+  // ties below it stay together (out of the set).
+  std::vector<AnovaRanking> ranking = {
+      {"a", 90.0, 0, 0}, {"b", 88.0, 0, 0}, {"c", 86.0, 0, 0},
+      {"d", 10.0, 0, 0}, {"e", 10.0, 0, 0}, {"f", 10.0, 0, 0},
+  };
+  EXPECT_EQ(distinct_drop_cutoff(ranking, 2, 5), 3u);
+}
+
+TEST(DistinctDrop, ShortRankingsReturnTheirSize) {
+  std::vector<AnovaRanking> ranking = {{"a", 9.0, 0, 0}, {"b", 3.0, 0, 0}};
+  // size <= min_k: nothing to cut, keep everything.
+  EXPECT_EQ(distinct_drop_cutoff(ranking, 3, 8), 2u);
+  EXPECT_EQ(distinct_drop_cutoff({}, 3, 8), 0u);
+}
+
+TEST(DistinctDrop, ResultIsClampedToTheRequestedRange) {
+  // The by-far largest drop sits at k=6, outside [2, 4]: the cut must still
+  // land inside the range (at the largest in-range drop, k=2).
+  std::vector<AnovaRanking> ranking = {
+      {"a", 100.0, 0, 0}, {"b", 98.0, 0, 0},  {"c", 49.0, 0, 0}, {"d", 48.0, 0, 0},
+      {"e", 47.0, 0, 0},  {"f", 46.0, 0, 0},  {"g", 0.1, 0, 0},  {"h", 0.05, 0, 0},
+  };
+  const auto k = distinct_drop_cutoff(ranking, 2, 4);
+  EXPECT_EQ(k, 2u);
+  // max_k also clamps against the ranking length itself.
+  EXPECT_LE(distinct_drop_cutoff(ranking, 2, 100), ranking.size());
+  // A zero score below the cut yields an infinite ratio and still respects
+  // the bounds.
+  std::vector<AnovaRanking> with_zero = {
+      {"a", 10.0, 0, 0}, {"b", 5.0, 0, 0}, {"c", 0.0, 0, 0}, {"d", 0.0, 0, 0}};
+  EXPECT_EQ(distinct_drop_cutoff(with_zero, 2, 3), 2u);
+}
+
 }  // namespace
 }  // namespace rafiki::ml

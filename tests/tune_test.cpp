@@ -1,0 +1,283 @@
+// Unit tests for the online knob-selection layer (src/tune/): the streaming
+// significance screen, the active-subspace re-cut rules, and the reduced
+// genome mapping through opt::SubspaceMap.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "engine/config.h"
+#include "engine/params.h"
+#include "opt/ga.h"
+#include "opt/space.h"
+#include "tune/screen.h"
+#include "tune/subspace.h"
+
+namespace rafiki::tune {
+namespace {
+
+using engine::Config;
+using engine::ParamId;
+
+TEST(KnobScreen, SeedOnlyScoreIsTheSeed) {
+  KnobScreen screen;
+  screen.seed(ParamId::kConcurrentWrites, 12.5);
+  EXPECT_DOUBLE_EQ(screen.score(ParamId::kConcurrentWrites), 12.5);
+  // Unseeded, unobserved knobs score zero.
+  EXPECT_DOUBLE_EQ(screen.score(ParamId::kRowCacheSizeMb), 0.0);
+  const auto ranking = screen.ranking();
+  EXPECT_EQ(ranking.front().id, ParamId::kConcurrentWrites);
+  EXPECT_EQ(ranking.front().samples, 0u);
+}
+
+TEST(KnobScreen, FirstBucketSampleContributesNoKnobEvidence) {
+  KnobScreen screen;
+  // The residual is taken against the bucket mean *including* the sample, so
+  // the first observation of a bucket is pure workload baseline.
+  screen.observe(0.5, Config::defaults(), 50000.0);
+  EXPECT_EQ(screen.observations(), 1u);
+  for (const auto& entry : screen.ranking()) {
+    EXPECT_DOUBLE_EQ(entry.stream_score, 0.0) << "knob " << static_cast<int>(entry.id);
+  }
+}
+
+TEST(KnobScreen, WorkloadShiftIsAbsorbedByTheBaseline) {
+  KnobScreen screen;
+  // Identical config, wildly different throughput across read-ratio regimes:
+  // all of it is workload effect, none of it knob evidence.
+  for (int i = 0; i < 5; ++i) {
+    screen.observe(0.1, Config::defaults(), 40000.0);
+    screen.observe(0.9, Config::defaults(), 90000.0);
+  }
+  for (const auto& entry : screen.ranking()) {
+    EXPECT_NEAR(entry.stream_score, 0.0, 1e-9);
+  }
+}
+
+TEST(KnobScreen, ConsistentKnobEffectBuildsStreamScore) {
+  KnobScreen screen;
+  const auto lo = Config::defaults().with(ParamId::kConcurrentWrites, 16.0);
+  const auto hi = Config::defaults().with(ParamId::kConcurrentWrites, 96.0);
+  // Same workload bucket; the hi-CW config consistently measures faster.
+  for (int i = 0; i < 8; ++i) {
+    screen.observe(0.5, lo, 40000.0);
+    screen.observe(0.5, hi, 60000.0);
+  }
+  const auto ranking = screen.ranking();
+  double cw_stream = 0.0;
+  for (const auto& entry : ranking) {
+    if (entry.id == ParamId::kConcurrentWrites) cw_stream = entry.stream_score;
+  }
+  EXPECT_GT(cw_stream, 0.0);
+  // A knob both configs hold at the default has one populated level -> no
+  // stream evidence.
+  for (const auto& entry : ranking) {
+    if (entry.id == ParamId::kRowCacheSizeMb) {
+      EXPECT_DOUBLE_EQ(entry.stream_score, 0.0);
+    }
+  }
+}
+
+TEST(KnobScreen, BlendFollowsThePseudoCountFormula) {
+  ScreenOptions options;
+  options.seed_weight = 32.0;
+  KnobScreen screen(options);
+  screen.seed(ParamId::kConcurrentWrites, 10.0);
+  const auto lo = Config::defaults().with(ParamId::kConcurrentWrites, 16.0);
+  const auto hi = Config::defaults().with(ParamId::kConcurrentWrites, 96.0);
+  for (int i = 0; i < 3; ++i) {
+    screen.observe(0.5, lo, 40000.0);
+    screen.observe(0.5, hi, 60000.0);
+  }
+  const auto ranking = screen.ranking();
+  for (const auto& entry : ranking) {
+    if (entry.id != ParamId::kConcurrentWrites) continue;
+    const auto n = static_cast<double>(entry.samples);
+    EXPECT_EQ(entry.samples, 6u);
+    EXPECT_NEAR(entry.score, (32.0 * 10.0 + n * entry.stream_score) / (32.0 + n), 1e-12);
+  }
+}
+
+/// Ranking fixture: the given ids get descending high scores, everything
+/// else a uniform low floor, producing one distinct drop after the set.
+std::vector<KnobScore> ranking_with_top(const std::vector<ParamId>& top,
+                                        double floor = 1.0) {
+  std::vector<KnobScore> ranking;
+  for (const auto& spec : engine::param_registry()) {
+    KnobScore entry;
+    entry.id = spec.id;
+    entry.score = floor;
+    for (std::size_t i = 0; i < top.size(); ++i) {
+      if (top[i] == spec.id) entry.score = 100.0 - 5.0 * static_cast<double>(i);
+    }
+    ranking.push_back(entry);
+  }
+  return ranking;
+}
+
+TEST(ActiveSubspace, FirstCutAdoptsTheDistinctDropSet) {
+  ActiveSubspace subspace;
+  const std::vector<ParamId> top = {ParamId::kCompactionMethod, ParamId::kConcurrentWrites,
+                                    ParamId::kConcurrentReads};
+  EXPECT_TRUE(subspace.recut(ranking_with_top(top)));
+  ASSERT_EQ(subspace.active().size(), 3u);
+  // Registry order, not score order.
+  EXPECT_EQ(subspace.active()[0], ParamId::kCompactionMethod);
+  EXPECT_EQ(subspace.active()[1], ParamId::kConcurrentWrites);
+  EXPECT_EQ(subspace.active()[2], ParamId::kConcurrentReads);
+  EXPECT_EQ(subspace.recuts(), 1u);
+  EXPECT_EQ(subspace.changes(), 1u);
+}
+
+TEST(ActiveSubspace, RedundantKnobFoldsIntoItsCanonical) {
+  ActiveSubspace subspace;
+  // memtable_flush_writers is redundant_with memtable_cleanup_threshold: even
+  // a dominant score on the redundant knob must elect the canonical one.
+  auto ranking = ranking_with_top({ParamId::kCompactionMethod, ParamId::kConcurrentWrites,
+                                   ParamId::kConcurrentReads});
+  for (auto& entry : ranking) {
+    if (entry.id == ParamId::kMemtableFlushWriters) entry.score = 500.0;
+  }
+  EXPECT_TRUE(subspace.recut(ranking));
+  EXPECT_TRUE(subspace.is_active(ParamId::kMemtableCleanupThreshold));
+  EXPECT_FALSE(subspace.is_active(ParamId::kMemtableFlushWriters));
+}
+
+/// Ranking fixture with explicit per-knob scores (unlisted knobs get 1.0).
+std::vector<KnobScore> ranking_with_scores(
+    const std::vector<std::pair<ParamId, double>>& scores) {
+  std::vector<KnobScore> ranking;
+  for (const auto& spec : engine::param_registry()) {
+    KnobScore entry;
+    entry.id = spec.id;
+    entry.score = 1.0;
+    for (const auto& [id, score] : scores) {
+      if (id == spec.id) entry.score = score;
+    }
+    ranking.push_back(entry);
+  }
+  return ranking;
+}
+
+TEST(ActiveSubspace, HysteresisKeepsIncumbentsAgainstSmallMargins) {
+  SubspaceOptions options;
+  options.hysteresis = 0.25;
+  ActiveSubspace subspace(options);
+  ASSERT_TRUE(subspace.recut(ranking_with_top({ParamId::kCompactionMethod,
+                                               ParamId::kConcurrentWrites,
+                                               ParamId::kConcurrentReads})));
+
+  // A challenger 10% above the weakest incumbent (inside the 25% boost), with
+  // a tightly packed tail below it so the distinct drop stays at k = 3: the
+  // boosted incumbent (50 x 1.25 = 62.5) still tops the challenger's 55.
+  const std::vector<std::pair<ParamId, double>> tail = {
+      {ParamId::kRowCacheSizeMb, 54.0},      {ParamId::kCommitlogSyncPeriodMs, 53.0},
+      {ParamId::kCommitlogSegmentSizeMb, 52.0}, {ParamId::kSstableSizeMb, 51.0},
+      {ParamId::kMinCompactionThreshold, 50.0}, {ParamId::kMaxCompactionThreshold, 49.0}};
+  auto close_call = tail;
+  close_call.insert(close_call.end(), {{ParamId::kCompactionMethod, 100.0},
+                                       {ParamId::kConcurrentWrites, 95.0},
+                                       {ParamId::kConcurrentReads, 50.0},
+                                       {ParamId::kKeyCacheSizeMb, 55.0}});
+  EXPECT_FALSE(subspace.recut(ranking_with_scores(close_call)));
+  EXPECT_TRUE(subspace.is_active(ParamId::kConcurrentReads));
+  EXPECT_FALSE(subspace.is_active(ParamId::kKeyCacheSizeMb));
+
+  // The same challenger at 2x the incumbent: clears the boost and displaces.
+  auto clear_win = tail;
+  clear_win.insert(clear_win.end(), {{ParamId::kCompactionMethod, 100.0},
+                                     {ParamId::kConcurrentWrites, 95.0},
+                                     {ParamId::kConcurrentReads, 50.0},
+                                     {ParamId::kKeyCacheSizeMb, 100.0}});
+  EXPECT_TRUE(subspace.recut(ranking_with_scores(clear_win)));
+  EXPECT_TRUE(subspace.is_active(ParamId::kKeyCacheSizeMb));
+  EXPECT_FALSE(subspace.is_active(ParamId::kConcurrentReads));
+}
+
+TEST(ActiveSubspace, ForceFreezesTheSet) {
+  ActiveSubspace subspace;
+  subspace.force({ParamId::kConcurrentWrites, ParamId::kCompactionMethod});
+  EXPECT_TRUE(subspace.frozen());
+  ASSERT_EQ(subspace.active().size(), 2u);
+  EXPECT_EQ(subspace.active()[0], ParamId::kCompactionMethod);  // sorted
+  const auto before = subspace.active();
+  EXPECT_FALSE(subspace.recut(ranking_with_top({ParamId::kRowCacheSizeMb,
+                                                ParamId::kKeyCacheSizeMb,
+                                                ParamId::kTrickleFsync})));
+  EXPECT_EQ(subspace.active(), before);
+}
+
+TEST(ActiveSubspace, GenomeMappingPinsInactiveKnobs) {
+  ActiveSubspace subspace;
+  subspace.force({ParamId::kConcurrentWrites, ParamId::kFileCacheSizeMb});
+  const auto pinned =
+      Config::defaults().with(ParamId::kConcurrentCompactors, 7.0);
+  subspace.pin(pinned);
+
+  const auto config = subspace.to_config({64.0, 1024.0});
+  EXPECT_DOUBLE_EQ(config.get(ParamId::kConcurrentWrites), 64.0);
+  EXPECT_DOUBLE_EQ(config.get(ParamId::kFileCacheSizeMb), 1024.0);
+  EXPECT_DOUBLE_EQ(config.get(ParamId::kConcurrentCompactors), 7.0);  // pinned
+  EXPECT_EQ(subspace.to_genome(config), (std::vector<double>{64.0, 1024.0}));
+
+  const auto map = subspace.map();
+  EXPECT_EQ(map.full_size(), engine::kParamCount);
+  EXPECT_EQ(map.reduced().size(), 2u);
+  const auto full = map.expand(std::vector<double>{64.0, 1024.0});
+  EXPECT_DOUBLE_EQ(full[static_cast<std::size_t>(ParamId::kConcurrentWrites)], 64.0);
+  EXPECT_DOUBLE_EQ(full[static_cast<std::size_t>(ParamId::kConcurrentCompactors)], 7.0);
+  EXPECT_EQ(map.restrict(full), (std::vector<double>{64.0, 1024.0}));
+}
+
+TEST(SubspaceMap, ValidatesItsArguments) {
+  const std::vector<opt::Dimension> dims = {
+      {"a", false, 0, 1}, {"b", false, 0, 1}, {"c", false, 0, 1}};
+  const std::vector<double> pinned = {0.5, 0.5, 0.5};
+  EXPECT_THROW(opt::SubspaceMap(dims, {}, pinned), std::invalid_argument);
+  EXPECT_THROW(opt::SubspaceMap(dims, {3}, pinned), std::invalid_argument);
+  EXPECT_THROW(opt::SubspaceMap(dims, {1, 1}, pinned), std::invalid_argument);
+  EXPECT_THROW(opt::SubspaceMap(dims, {2, 1}, pinned), std::invalid_argument);
+  EXPECT_THROW(opt::SubspaceMap(dims, {0, 2}, {0.5}), std::invalid_argument);
+  EXPECT_NO_THROW(opt::SubspaceMap(dims, {0, 2}, pinned));
+}
+
+TEST(GaSeedPoints, WarmStartDoesNotPerturbSeedlessRuns) {
+  const opt::SearchSpace space({{"x", false, -5, 5}, {"y", false, -5, 5}});
+  const auto sphere = [](std::span<const double> p) {
+    return -(p[0] * p[0] + p[1] * p[1]);
+  };
+  opt::GaOptions options;
+  options.population = 12;
+  options.generations = 8;
+  options.seed = 31;
+  const auto base = opt::ga_optimize(space, sphere, options);
+  // A size-mismatched seed point is skipped entirely -> bit-identical run.
+  options.seed_points = {{1.0, 2.0, 3.0}};
+  const auto skipped = opt::ga_optimize(space, sphere, options);
+  EXPECT_EQ(base.best_point, skipped.best_point);
+  EXPECT_EQ(base.best_history, skipped.best_history);
+}
+
+TEST(GaSeedPoints, SeededOptimumIsNeverLost) {
+  const opt::SearchSpace space({{"x", false, -5, 5}, {"y", false, -5, 5}});
+  const auto sphere = [](std::span<const double> p) {
+    return -(p[0] * p[0] + p[1] * p[1]);
+  };
+  opt::GaOptions options;
+  options.population = 12;
+  options.generations = 4;
+  options.seed = 31;
+  options.seed_points = {{0.0, 0.0}};
+  const auto result = opt::ga_optimize(space, sphere, options);
+  // The optimum is in the initial population, so every generation's best is
+  // already optimal, and the history tracks the genome that achieved it.
+  ASSERT_FALSE(result.best_history.empty());
+  EXPECT_DOUBLE_EQ(result.best_history.front(), 0.0);
+  ASSERT_EQ(result.best_point_history.size(), result.best_history.size());
+  EXPECT_EQ(result.best_point_history.front(), (std::vector<double>{0.0, 0.0}));
+  EXPECT_EQ(result.best_point, (std::vector<double>{0.0, 0.0}));
+}
+
+}  // namespace
+}  // namespace rafiki::tune

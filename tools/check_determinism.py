@@ -26,7 +26,8 @@ Rules (ids used in findings and det:ok() suppressions):
 
 Concurrency-contract rules (same suppression syntax):
   memory-order    atomic load/store/RMW without an explicit std::memory_order
-                  argument under src/serve/ or src/net/ — the bare seq_cst
+                  argument under src/serve/, src/net/, src/tenant/ or
+                  src/tune/ — the bare seq_cst
                   default hides the intended ordering from reviewers and from
                   the registry/stats visibility audits. Named constexpr
                   aliases (kRelaxed, kAcquire, ...) count as explicit.
@@ -106,8 +107,10 @@ PATH_PATTERN_RULES = {
 # Member calls on std::atomic that take an optional std::memory_order. Bare
 # calls default to seq_cst, which both over-synchronizes and — worse — hides
 # whether the author *thought* about the required ordering. Scoped to the
-# concurrent serving stack; the offline math code has no atomics to audit.
-MEMORY_ORDER_PREFIXES = ("src/serve/", "src/net/", "src/tenant/")
+# concurrent serving stack plus the online tuning layer (whose screen state
+# is shared with request threads); the offline math code has no atomics to
+# audit.
+MEMORY_ORDER_PREFIXES = ("src/serve/", "src/net/", "src/tenant/", "src/tune/")
 ATOMIC_CALL_RE = re.compile(
     r"(?:\.|->)\s*(?P<op>load|store|exchange|fetch_add|fetch_sub|fetch_and|"
     r"fetch_or|fetch_xor|compare_exchange_weak|compare_exchange_strong)\s*\("
@@ -376,9 +379,13 @@ def selftest() -> int:
         root = Path(tmp)
         (root / "src" / "net").mkdir(parents=True)
         (root / "src" / "serve").mkdir(parents=True)
+        (root / "src" / "tune").mkdir(parents=True)
         (root / "src" / "bad.cpp").write_text(SELFTEST_BAD)
         (root / "src" / "net" / "codec.cpp").write_text(SELFTEST_WIRE_BAD)
         (root / "src" / "serve" / "hot.cpp").write_text(SELFTEST_SERVE_BAD)
+        # src/tune/ is memory-order scoped too: the same bare atomics must
+        # fire there (fixture shares the serve snippet).
+        (root / "src" / "tune" / "screen.cpp").write_text(SELFTEST_SERVE_BAD)
         # The identical atomic calls outside src/serve+src/net must not fire;
         # NO_THREAD_SAFETY_ANALYSIS is checked everywhere (one more expected).
         (root / "src" / "outside.cpp").write_text(SELFTEST_SERVE_BAD)
@@ -397,14 +404,17 @@ def selftest() -> int:
             if outside:
                 print(f"selftest FAILED: {rule} fired outside {prefixes}")
                 return 1
-        bare = [f for f in bad_findings
-                if f[2] == "memory-order" and f[0].as_posix() == "src/serve/hot.cpp"]
-        if len(bare) != 4:  # load, store, multi-line fetch_add, CAS
-            print(f"selftest FAILED: expected 4 memory-order findings, got {len(bare)}")
-            return 1
+        for scoped in ("src/serve/hot.cpp", "src/tune/screen.cpp"):
+            bare = [f for f in bad_findings
+                    if f[2] == "memory-order" and f[0].as_posix() == scoped]
+            if len(bare) != 4:  # load, store, multi-line fetch_add, CAS
+                print(f"selftest FAILED: expected 4 memory-order findings in "
+                      f"{scoped}, got {len(bare)}")
+                return 1
         (root / "src" / "bad.cpp").write_text(SELFTEST_CLEAN)
         (root / "src" / "net" / "codec.cpp").write_text(SELFTEST_WIRE_CLEAN)
         (root / "src" / "serve" / "hot.cpp").write_text(SELFTEST_SERVE_CLEAN)
+        (root / "src" / "tune" / "screen.cpp").write_text(SELFTEST_SERVE_CLEAN)
         (root / "src" / "outside.cpp").unlink()
         clean_findings = scan_tree(root)
         if clean_findings:

@@ -1,0 +1,166 @@
+// rafiki_knobs — inspect the tunable-parameter registry and the latest
+// online knob-selection results.
+//
+//   rafiki_knobs registry
+//       Dump all registered parameters: domain, default, type, ANOVA levels
+//       and redundancy links — the ground truth the tune/ layer screens.
+//
+//   rafiki_knobs ranking [--json PATH]
+//       Print the blended significance ranking and the pruned arm's active
+//       set from a knob-ablation run (default PATH: BENCH_knobs.json, as
+//       written by bench/knob_ablation).
+//
+// Exit status: 0 on success, 1 on bad usage or unreadable/unparsable input.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/params.h"
+
+using namespace rafiki;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s registry | ranking [--json PATH]\n", argv0);
+}
+
+const char* type_name(engine::ParamType type) {
+  switch (type) {
+    case engine::ParamType::kCategorical: return "categorical";
+    case engine::ParamType::kInteger: return "integer";
+    case engine::ParamType::kReal: return "real";
+  }
+  return "?";
+}
+
+int dump_registry() {
+  std::printf("%-32s %-12s %10s %10s %10s %7s  %s\n", "param", "type", "lo", "hi",
+              "default", "levels", "redundant_with");
+  for (const auto& spec : engine::param_registry()) {
+    const std::string redundant =
+        spec.redundant_with == engine::ParamId::kCount
+            ? "-"
+            : std::string(engine::param_name(spec.redundant_with));
+    std::printf("%-32s %-12s %10g %10g %10g %7d  %s\n",
+                std::string(spec.name).c_str(), type_name(spec.type), spec.lo, spec.hi,
+                spec.def, spec.anova_levels, redundant.c_str());
+  }
+  std::printf("\n%zu parameters registered\n", engine::param_registry().size());
+  return 0;
+}
+
+// --- minimal extraction over bench-written JSON ----------------------------
+// BENCH_knobs.json is machine-written by bench/knob_ablation with a fixed
+// shape; these helpers scan for known keys rather than parsing generally.
+
+/// The span of the array following `"key": [`, starting at `from`.
+std::string array_after(const std::string& text, const std::string& key,
+                        std::size_t from = 0) {
+  const auto at = text.find("\"" + key + "\"", from);
+  if (at == std::string::npos) return {};
+  const auto open = text.find('[', at);
+  if (open == std::string::npos) return {};
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '[') ++depth;
+    if (text[i] == ']' && --depth == 0) return text.substr(open + 1, i - open - 1);
+  }
+  return {};
+}
+
+std::string string_field(const std::string& object, const std::string& key) {
+  const auto at = object.find("\"" + key + "\"");
+  if (at == std::string::npos) return {};
+  const auto open = object.find('"', object.find(':', at));
+  if (open == std::string::npos) return {};
+  const auto close = object.find('"', open + 1);
+  if (close == std::string::npos) return {};
+  return object.substr(open + 1, close - open - 1);
+}
+
+double number_field(const std::string& object, const std::string& key) {
+  const auto at = object.find("\"" + key + "\"");
+  if (at == std::string::npos) return 0.0;
+  const auto colon = object.find(':', at);
+  if (colon == std::string::npos) return 0.0;
+  return std::strtod(object.c_str() + colon + 1, nullptr);
+}
+
+/// Top-level objects of a JSON array body.
+std::vector<std::string> array_objects(const std::string& body) {
+  std::vector<std::string> objects;
+  int depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    if (body[i] == '{' && depth++ == 0) start = i;
+    if (body[i] == '}' && --depth == 0) objects.push_back(body.substr(start, i - start + 1));
+  }
+  return objects;
+}
+
+int print_ranking(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "rafiki_knobs: cannot read %s (run bench/knob_ablation first)\n",
+                 path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  const auto entries = array_objects(array_after(text, "ranking"));
+  if (entries.empty()) {
+    std::fprintf(stderr, "rafiki_knobs: no \"ranking\" array in %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("blended knob ranking (%s):\n", path.c_str());
+  std::printf("%4s  %-32s %12s %12s %12s %8s\n", "rank", "param", "blended", "seed",
+              "stream", "samples");
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& entry = entries[i];
+    std::printf("%4zu  %-32s %12.1f %12.1f %12.1f %8.0f\n", i + 1,
+                string_field(entry, "param").c_str(), number_field(entry, "score"),
+                number_field(entry, "seed_score"), number_field(entry, "stream_score"),
+                number_field(entry, "samples"));
+  }
+
+  // The pruned arm's active set, if the file carries the arms section.
+  for (const auto& arm : array_objects(array_after(text, "arms"))) {
+    if (string_field(arm, "arm") != "pruned") continue;
+    std::printf("\npruned active set:");
+    const auto active = array_after(arm, "active");
+    std::size_t pos = 0;
+    while ((pos = active.find('"', pos)) != std::string::npos) {
+      const auto close = active.find('"', pos + 1);
+      if (close == std::string::npos) break;
+      std::printf(" %s", active.substr(pos + 1, close - pos - 1).c_str());
+      pos = close + 1;
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage(argv[0]);
+    return 1;
+  }
+  if (std::strcmp(argv[1], "registry") == 0) return dump_registry();
+  if (std::strcmp(argv[1], "ranking") == 0) {
+    std::string path = "BENCH_knobs.json";
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) path = argv[++i];
+    }
+    return print_ranking(path);
+  }
+  usage(argv[0]);
+  return 1;
+}

@@ -1,0 +1,151 @@
+// net::EventPoller — the IO-readiness engine behind net::Server.
+//
+// Two backends sit behind one interface:
+//
+//   * kPoll  — a persistent ::poll() set (level-triggered). The pollfd array
+//     is maintained incrementally (add/mod/del), never rebuilt per pass, but
+//     the kernel still scans every registered fd on each wait. Portable
+//     fallback; kept fully testable everywhere.
+//   * kEpoll — edge-triggered epoll (Linux only). Every fd is registered
+//     once with EPOLLIN|EPOLLOUT|EPOLLET and never re-armed: wait() is
+//     O(ready), and interest changes never touch the kernel.
+//
+// Edge-trigger contract (what the server relies on):
+//
+//   * A readiness event is reported once per *transition* (and once at
+//     registration if the fd is already ready). The consumer must remember
+//     reported readiness in its own state ("read-ready" / "write-ready"
+//     flags) and keep consuming until the syscall says EAGAIN — only EAGAIN
+//     clears the remembered state, because only a fresh transition will be
+//     reported again.
+//   * mod() is a level-triggered concern (POLLIN/POLLOUT interest masks);
+//     the epoll backend accepts it as a no-op since it always subscribes to
+//     both directions and lets the consumer's flags do the filtering.
+//
+// Waker lifecycle: the Waker below is the cross-thread doorbell (eventfd on
+// Linux, a pipe elsewhere). Producers may hold it past the consumer's exit —
+// the server ref-counts it — so it owns its fds and wake() stays safe after
+// the loop stops reading. A relaxed-free pending flag coalesces wake
+// syscalls: any number of producer wakes between two consumer drains cost
+// one write().
+#pragma once
+
+#include <atomic>
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace rafiki::net {
+
+/// Which readiness engine an IO loop runs on.
+enum class IoBackend : std::uint8_t {
+  kPoll = 0,   ///< level-triggered ::poll(); portable fallback
+  kEpoll = 1,  ///< edge-triggered epoll; Linux only
+};
+
+/// "poll" / "epoll".
+const char* io_backend_name(IoBackend backend) noexcept;
+/// Whether this build can construct the backend (epoll is Linux-only).
+bool io_backend_available(IoBackend backend) noexcept;
+/// Platform default: epoll where available, poll elsewhere.
+IoBackend default_io_backend() noexcept;
+/// Parses "poll"/"epoll" into `out`; false on anything else.
+bool parse_io_backend(const char* text, IoBackend& out) noexcept;
+/// Every backend this build can run, default first (for test/bench sweeps).
+std::vector<IoBackend> available_io_backends();
+
+/// One ready fd out of EventPoller::wait(). `data` is whatever the caller
+/// registered; `fd` disambiguates registrations that share a data pointer
+/// (the server's waker/listener sentinels).
+struct PollerEvent {
+  int fd = -1;
+  void* data = nullptr;
+  bool readable = false;
+  bool writable = false;
+  /// POLLERR/POLLHUP (or epoll equivalents). The consumer should attempt a
+  /// read: it surfaces the error/EOF through the normal recv() path.
+  bool hangup = false;
+};
+
+/// Readiness multiplexer. Not thread-safe: one loop thread owns an instance
+/// (registration, waits, and teardown all happen there).
+class EventPoller {
+ public:
+  virtual ~EventPoller() = default;
+
+  /// Registers fd. Level-triggered backends honor the want_* interest mask
+  /// (adjust later via mod()); the edge-triggered backend subscribes to both
+  /// directions once and ignores the mask. False on kernel refusal.
+  virtual bool add(int fd, bool want_read, bool want_write, void* data) = 0;
+  /// Updates the interest mask (level-triggered backends only; edge-triggered
+  /// registrations never need re-arming). False if fd is unknown.
+  virtual bool mod(int fd, bool want_read, bool want_write) = 0;
+  /// Deregisters fd. Call before close(): a closed fd silently vanishes from
+  /// epoll but would poison a poll() set. False if fd is unknown.
+  virtual bool del(int fd) = 0;
+  /// Blocks up to timeout_ms (-1 = forever, 0 = non-blocking) and appends
+  /// ready fds to `out` (which is not cleared). Returns the number appended.
+  /// EINTR reports as 0 events so the caller re-evaluates deadlines instead
+  /// of silently restarting the full timeout.
+  virtual std::size_t wait(int timeout_ms, std::vector<PollerEvent>& out) = 0;
+
+  virtual IoBackend backend() const noexcept = 0;
+  /// True when readiness is reported per transition rather than per wait —
+  /// the consumer must keep its own ready flags (see contract above).
+  virtual bool edge_triggered() const noexcept = 0;
+
+  /// Constructs the backend, or nullptr when it is unavailable on this
+  /// platform / the kernel refuses (epoll_create failure).
+  static std::unique_ptr<EventPoller> create(IoBackend backend);
+};
+
+/// Cross-thread doorbell for an IO loop: eventfd on Linux, a pipe elsewhere.
+/// wake() is safe from any thread and after the consuming loop has exited;
+/// drain() belongs to the single consumer thread.
+class Waker {
+ public:
+  Waker();
+  ~Waker();
+  Waker(const Waker&) = delete;
+  Waker& operator=(const Waker&) = delete;
+
+  bool valid() const noexcept { return read_fd_ >= 0; }
+  /// The fd the consumer registers for read readiness.
+  int read_fd() const noexcept { return read_fd_; }
+
+  /// Rouses the consumer. Coalesced: while a previous wake is still
+  /// undrained, this is a single atomic exchange and no syscall.
+  void wake() noexcept;
+  /// Consumer side: swallow pending wake bytes and re-open the coalescing
+  /// window. Must be called every time the read fd reports readable (an
+  /// edge-triggered registration is not re-armed until the counter drains).
+  void drain() noexcept;
+
+ private:
+  int read_fd_ = -1;
+  /// Equals read_fd_ when backed by an eventfd; the pipe's write end
+  /// otherwise.
+  int write_fd_ = -1;
+  /// True from a producer's wake() until the consumer's next drain().
+  /// Exchanges on both sides (acq_rel) keep the RMW chain on this flag
+  /// totally ordered, which is what makes skipping the syscall safe: a
+  /// producer that reads `true` knows the corresponding wake byte has not
+  /// been consumed by a completed drain yet.
+  std::atomic<bool> pending_{false};
+};
+
+/// Retries fn() while it fails with EINTR. Every raw byte-moving syscall in
+/// src/net/ (send/recv/accept4/read/write) goes through this; poll and
+/// epoll_wait instead surface EINTR as "0 events" so callers re-evaluate
+/// drain deadlines rather than restarting the full timeout.
+template <typename Fn>
+auto retry_eintr(Fn&& fn) -> decltype(fn()) {
+  for (;;) {
+    const auto r = fn();
+    if (r >= 0 || errno != EINTR) return r;
+  }
+}
+
+}  // namespace rafiki::net

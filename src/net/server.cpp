@@ -1,10 +1,8 @@
 #include "net/server.h"
 
 #include <arpa/inet.h>
-#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -15,9 +13,6 @@
 
 namespace rafiki::net {
 namespace {
-
-/// How long a draining loop sleeps in poll() between completion checks.
-constexpr int kDrainPollMs = 50;
 
 double elapsed_us(std::chrono::steady_clock::time_point since,
                   std::chrono::steady_clock::time_point until) {
@@ -42,27 +37,19 @@ WireError wire_error_for(DecodeStatus status, FrameType type) {
 
 }  // namespace
 
-Server::Waker::~Waker() {
-  if (read_fd >= 0) ::close(read_fd);
-  if (write_fd >= 0) ::close(write_fd);
-}
-
-void Server::Waker::wake() const noexcept {
-  const std::uint8_t byte = 1;
-  // A full pipe already guarantees a pending wakeup; the result is moot.
-  [[maybe_unused]] const ssize_t n = ::write(write_fd, &byte, 1);
-}
-
-void Server::Waker::drain() const noexcept {
-  std::uint8_t sink[256];
-  while (::read(read_fd, sink, sizeof sink) > 0) {
+void Server::Mailbox::post(ConnectionPtr conn) {
+  {
+    MutexLock lock(mutex);
+    dirty.push_back(std::move(conn));
   }
+  waker.wake();
 }
 
 Server::Server(serve::TuningBackend& service, ServerOptions options)
     : service_(service), options_(std::move(options)), stats_(service.stats()) {
   if (options_.io_threads == 0) options_.io_threads = 1;
   if (options_.read_chunk == 0) options_.read_chunk = 4096;
+  if (options_.max_output_buffer == 0) options_.max_output_buffer = 1 << 16;
 }
 
 Server::~Server() { stop(); }
@@ -72,6 +59,12 @@ bool Server::start() {
   if (started_) return !stopped_;
   if (stopped_) return false;
 
+  if (!io_backend_available(options_.io_backend)) {
+    last_error_ = std::string("io backend '") + io_backend_name(options_.io_backend) +
+                  "' is unavailable on this platform";
+    return false;
+  }
+
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) {
     last_error_ = "socket() failed";
@@ -79,6 +72,11 @@ bool Server::start() {
   }
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (options_.so_sndbuf > 0) {
+    // Accepted sockets inherit the (now autotune-pinned) send buffer.
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_SNDBUF, &options_.so_sndbuf,
+                 sizeof options_.so_sndbuf);
+  }
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -110,17 +108,20 @@ bool Server::start() {
   loops_.clear();
   for (std::size_t i = 0; i < options_.io_threads; ++i) {
     auto loop = std::make_unique<Loop>();
-    loop->waker = std::make_shared<Waker>();
-    int pipe_fds[2];
-    if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) != 0) {
-      last_error_ = "pipe2() failed";
+    loop->mailbox = std::make_shared<Mailbox>();
+    loop->poller = EventPoller::create(options_.io_backend);
+    // Registration happens here (single-threaded) so failures surface as a
+    // start() error instead of a silently deaf loop.
+    if (!loop->mailbox->waker.valid() || loop->poller == nullptr ||
+        !loop->poller->add(loop->mailbox->waker.read_fd(), true, false, nullptr) ||
+        (i == 0 && !loop->poller->add(listen_fd_, true, false, nullptr))) {
+      last_error_ = std::string("io loop setup failed for backend '") +
+                    io_backend_name(options_.io_backend) + "'";
       ::close(listen_fd_);
       listen_fd_ = -1;
       loops_.clear();
       return false;
     }
-    loop->waker->read_fd = pipe_fds[0];
-    loop->waker->write_fd = pipe_fds[1];
     loops_.push_back(std::move(loop));
   }
   for (std::size_t i = 0; i < loops_.size(); ++i) {
@@ -138,7 +139,7 @@ void Server::stop() {
   }
   draining_.store(true, std::memory_order_release);
   for (auto& loop : loops_) {
-    if (loop->waker) loop->waker->wake();
+    if (loop->mailbox) loop->mailbox->waker.wake();
   }
   for (auto& loop : loops_) {
     if (loop->thread.joinable()) loop->thread.join();
@@ -151,14 +152,16 @@ void Server::stop() {
       // future acceptor that might outlive them), not a live race.
       MutexLock lock(loop->incoming_mutex);
       for (auto& conn : loop->incoming) {
-        if (conn->fd >= 0) close_connection(*conn);
+        if (conn->fd >= 0) close_connection(*loop, *conn);
       }
       loop->incoming.clear();
     }
     for (auto& conn : loop->conns) {
-      if (conn->fd >= 0) close_connection(*conn);
+      if (conn->fd >= 0) close_connection(*loop, *conn);
     }
     loop->conns.clear();
+    loop->read_set.clear();
+    loop->flush_set.clear();
   }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -169,16 +172,11 @@ void Server::stop() {
 void Server::loop_main(std::size_t index) {
   Loop& loop = *loops_[index];
   const bool acceptor = index == 0;
-  std::vector<pollfd> pfds;
   bool drain_deadline_set = false;
   std::chrono::steady_clock::time_point drain_deadline{};
 
   for (;;) {
-    {
-      MutexLock lock(loop.incoming_mutex);
-      for (auto& conn : loop.incoming) loop.conns.push_back(std::move(conn));
-      loop.incoming.clear();
-    }
+    adopt_incoming(loop);
     const bool draining = draining_.load(std::memory_order_acquire);
     if (draining && !drain_deadline_set) {
       drain_deadline_set = true;
@@ -198,72 +196,69 @@ void Server::loop_main(std::size_t index) {
       continue;  // late handoff or backlog adoption: serve it next pass
     }
 
-    pfds.clear();
-    pfds.push_back({loop.waker->read_fd, POLLIN, 0});
-    const bool poll_listen = acceptor;
-    if (poll_listen) pfds.push_back({listen_fd_, POLLIN, 0});
-    const std::size_t base = pfds.size();
-    for (const auto& conn : loop.conns) {
-      short events = 0;
-      // dead is loop-thread-local state (see server.h): relaxed suffices.
-      if (!conn->read_closed && !conn->fatal &&
-          !conn->dead.load(std::memory_order_relaxed)) {
-        events = static_cast<short>(events | POLLIN);
-      }
-      {
-        MutexLock out_lock(conn->out_mutex);
-        if (conn->opos < conn->obuf.size()) events = static_cast<short>(events | POLLOUT);
-      }
-      pfds.push_back({conn->fd, events, 0});
-    }
-    // do_accept below may append to loop.conns; only the first `polled`
-    // entries have a pollfd, so bound the revents walk by this snapshot.
-    const std::size_t polled = loop.conns.size();
-
-    ::poll(pfds.data(), pfds.size(), draining ? kDrainPollMs : -1);
-    loop.waker->drain();
-    if (poll_listen && (pfds[1].revents & POLLIN) != 0) do_accept(loop);
-
-    for (std::size_t i = 0; i < polled; ++i) {
-      const ConnectionPtr& conn = loop.conns[i];
-      const short revents = pfds[base + i].revents;
-      if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) handle_read(*conn);
-      process_frames(conn);
-      flush(*conn);
+    // Believed-unread data (rbuf-cap leftovers, resumed readers) means more
+    // work right now; a draining loop otherwise sleeps exactly until the
+    // grace deadline — the next event (completion, FIN, racing bytes) wakes
+    // it earlier.
+    int timeout_ms = -1;
+    if (!loop.read_set.empty()) {
+      timeout_ms = 0;
+    } else if (draining) {
+      // det:ok(wall-clock): the drain grace bounds real elapsed time by design
+      const auto now = std::chrono::steady_clock::now();
+      timeout_ms = now >= drain_deadline
+                       ? 0
+                       : static_cast<int>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                              drain_deadline - now)
+                                              .count()) +
+                             1;
     }
 
-    for (std::size_t i = 0; i < loop.conns.size();) {
-      const ConnectionPtr& conn = loop.conns[i];
-      bool close = should_close(*conn);
-      if (!close && draining && idle(*conn)) {
-        // Catch bytes that raced in just before (or during) the drain and
-        // answer them (kShuttingDown). An idle connection is then the
-        // peer's to release: a client mid-burst may have frames on the wire
-        // that a momentary idle observation would lose, so hold the
-        // connection until its FIN arrives (read_closed -> should_close) —
-        // or the drain grace expires, which bounds stop() against silent
-        // peers.
-        handle_read(*conn);
-        process_frames(conn);
-        flush(*conn);
-        // det:ok(wall-clock): the drain grace bounds real elapsed time by design
-        const bool grace_expired = std::chrono::steady_clock::now() >= drain_deadline;
-        close = should_close(*conn) || (idle(*conn) && grace_expired);
-      }
-      if (close) {
-        close_connection(*conn);
-        loop.conns.erase(loop.conns.begin() + static_cast<std::ptrdiff_t>(i));
-      } else {
-        ++i;
-      }
-    }
+    loop.events.clear();
+    loop.poller->wait(timeout_ms, loop.events);
+    const bool saw_accept = dispatch_events(loop);
+    if (acceptor && saw_accept) do_accept(loop);
+    grab_mailbox(loop);
+    read_pass(loop);
+    absorb_completions(loop, acceptor);
+    flush_pass(loop);
+    if (draining) drain_sweep(loop, drain_deadline);
   }
+}
+
+void Server::adopt_incoming(Loop& loop) {
+  loop.grabbed.clear();
+  {
+    MutexLock lock(loop.incoming_mutex);
+    loop.grabbed.swap(loop.incoming);
+  }
+  for (auto& conn : loop.grabbed) register_conn(loop, std::move(conn));
+  loop.grabbed.clear();
+}
+
+void Server::register_conn(Loop& loop, ConnectionPtr conn) {
+  if (!loop.poller->add(conn->fd, true, false, conn.get())) {
+    close_connection(loop, *conn);
+    return;
+  }
+  conn->conn_index = loop.conns.size();
+  // The socket may have carried bytes before registration; the first read
+  // pass finds out (edge-triggered backends also report pre-existing
+  // readiness at add, but remembering it here costs one EAGAIN at most).
+  conn->read_ready = true;
+  conn->in_read_set = true;
+  loop.read_set.push_back(conn);
+  loop.conns.push_back(std::move(conn));
 }
 
 void Server::do_accept(Loop& loop) {
   for (;;) {
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
-    if (fd < 0) return;  // EAGAIN (or a transient error): try again next poll
+    // EINTR must retry, not bail: under edge triggering a connection already
+    // in the backlog re-arms no readiness edge, so a dropped iteration here
+    // could strand it until the next unrelated arrival.
+    const int fd = retry_eintr(
+        [&] { return ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC); });
+    if (fd < 0) return;  // EAGAIN (or a transient error): the next edge retries
     // Approximate admission bound: closes on other loops may lag a beat,
     // which only makes the cap momentarily conservative. Relaxed is enough.
     if (open_connections_.load(std::memory_order_relaxed) >= options_.max_connections) {
@@ -279,53 +274,220 @@ void Server::do_accept(Loop& loop) {
 
     // During a drain, sibling loops may already have exited; keep backlog
     // adoptions on the accepting loop so every registered connection is
-    // polled until it is answered and closed. The drain grace still bounds
+    // served until it is answered and closed. The drain grace still bounds
     // how long any of them can linger.
     const bool draining = draining_.load(std::memory_order_acquire);
     Loop& target = draining ? loop : *loops_[next_loop_];
     if (!draining) next_loop_ = (next_loop_ + 1) % loops_.size();
-    conn->waker = target.waker;
+    conn->mailbox = target.mailbox;
     if (&target == &loop) {
-      loop.conns.push_back(std::move(conn));
+      register_conn(loop, std::move(conn));
     } else {
       {
         MutexLock lock(target.incoming_mutex);
         target.incoming.push_back(std::move(conn));
       }
-      target.waker->wake();
+      target.mailbox->waker.wake();
     }
   }
 }
 
-void Server::handle_read(Connection& conn) {
-  if (conn.read_closed || conn.fatal || conn.dead.load(std::memory_order_relaxed)) return;
+bool Server::dispatch_events(Loop& loop) {
+  bool saw_accept = false;
+  for (const PollerEvent& ev : loop.events) {
+    if (ev.data == nullptr) {
+      // The two data-less registrations: this loop's waker and (loop 0
+      // only) the listener.
+      if (ev.fd == loop.mailbox->waker.read_fd()) {
+        loop.mailbox->waker.drain();
+      } else {
+        saw_accept = true;
+      }
+      continue;
+    }
+    auto* conn = static_cast<Connection*>(ev.data);
+    if (conn->fd < 0) continue;
+    if (ev.hangup) {
+      // POLLERR/HUP report regardless of interest masks; let the read path
+      // surface the error even on a read-throttled connection.
+      conn->read_paused = false;
+    }
+    if (ev.readable || ev.hangup) conn->read_ready = true;
+    if (ev.writable) {
+      conn->write_ready = true;
+      MutexLock lock(conn->out_mutex);
+      if (conn->opos < conn->obuf.size() && !conn->flush_queued) {
+        conn->flush_queued = true;
+        loop.flush_set.push_back(conn->shared_from_this());
+      }
+    }
+    if (conn->read_ready && !conn->read_paused && !conn->in_read_set) {
+      conn->in_read_set = true;
+      loop.read_set.push_back(conn->shared_from_this());
+    }
+  }
+  loop.events.clear();
+  return saw_accept;
+}
+
+void Server::grab_mailbox(Loop& loop) {
+  loop.grabbed.clear();
+  {
+    MutexLock lock(loop.mailbox->mutex);
+    loop.grabbed.swap(loop.mailbox->dirty);
+  }
+  for (auto& conn : loop.grabbed) {
+    if (conn->fd < 0) continue;  // closed while parked in the mailbox
+    loop.flush_set.push_back(std::move(conn));
+  }
+  loop.grabbed.clear();
+}
+
+void Server::read_pass(Loop& loop) {
+  // Entries appended during the pass (flush resumptions) are next pass's
+  // work; snapshot the size so the compaction below stays simple.
+  const std::size_t n = loop.read_set.size();
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ConnectionPtr conn = std::move(loop.read_set[i]);
+    conn->in_read_set = false;
+    if (conn->fd < 0) continue;
+    if (!conn->read_ready || conn->read_paused) continue;
+    handle_read(loop, *conn);
+    process_frames(loop, conn);
+    if (should_close(*conn)) {
+      close_connection(loop, *conn);
+      remove_conn(loop, *conn);
+      continue;
+    }
+    if (conn->read_ready && !conn->read_paused) {
+      conn->in_read_set = true;
+      loop.read_set[kept++] = std::move(conn);
+    }
+  }
+  // Compact: drop the processed prefix, keep late appendees.
+  if (kept < n) {
+    loop.read_set.erase(loop.read_set.begin() + static_cast<std::ptrdiff_t>(kept),
+                        loop.read_set.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+}
+
+void Server::absorb_completions(Loop& loop, bool acceptor) {
+  if (!loop.poller->edge_triggered() || options_.flush_absorb_rounds == 0) return;
+  if (loop.flush_set.empty() &&
+      loop.mailbox->outstanding.load(std::memory_order_relaxed) == 0) {
+    return;
+  }
+  // Completions race the pass: a response finishing while we were still
+  // reading other connections would otherwise flush alone next pass. Under
+  // edge triggering a zero-timeout re-wait is O(ready) — effectively free —
+  // so give the workers a beat (yield) and fold whatever landed into this
+  // pass's flushes. Bounded rounds keep the added latency to microseconds
+  // even when a slow request (a GA optimize) pins `outstanding` high.
+  for (std::size_t round = 0; round < options_.flush_absorb_rounds; ++round) {
+    if (loop.mailbox->outstanding.load(std::memory_order_relaxed) > 0) {
+      std::this_thread::yield();
+    }
+    loop.events.clear();
+    const std::size_t got = loop.poller->wait(0, loop.events);
+    if (got == 0 &&
+        loop.mailbox->outstanding.load(std::memory_order_relaxed) == 0) {
+      break;
+    }
+    if (got > 0) {
+      const bool saw_accept = dispatch_events(loop);
+      if (acceptor && saw_accept) do_accept(loop);
+      grab_mailbox(loop);
+      read_pass(loop);
+    }
+  }
+}
+
+void Server::flush_pass(Loop& loop) {
+  for (std::size_t i = 0; i < loop.flush_set.size(); ++i) {
+    ConnectionPtr conn = std::move(loop.flush_set[i]);
+    if (conn->fd < 0) continue;
+    flush(loop, *conn);
+    if (should_close(*conn)) {
+      close_connection(loop, *conn);
+      remove_conn(loop, *conn);
+    }
+  }
+  loop.flush_set.clear();
+}
+
+void Server::drain_sweep(Loop& loop, std::chrono::steady_clock::time_point deadline) {
+  for (std::size_t i = 0; i < loop.conns.size();) {
+    const ConnectionPtr conn = loop.conns[i];
+    bool close = should_close(*conn);
+    if (!close && idle(*conn)) {
+      // Catch bytes that raced in just before (or during) the drain and
+      // answer them (kShuttingDown). An idle connection is then the
+      // peer's to release: a client mid-burst may have frames on the wire
+      // that a momentary idle observation would lose, so hold the
+      // connection until its FIN arrives (read_closed -> should_close) —
+      // or the drain grace expires, which bounds stop() against silent
+      // peers.
+      handle_read(loop, *conn);
+      process_frames(loop, conn);
+      flush(loop, *conn);
+      // det:ok(wall-clock): the drain grace bounds real elapsed time by design
+      const bool grace_expired = std::chrono::steady_clock::now() >= deadline;
+      close = should_close(*conn) || (idle(*conn) && grace_expired);
+    }
+    if (close) {
+      close_connection(loop, *conn);
+      remove_conn(loop, *conn);  // swap-erase: re-examine slot i
+    } else {
+      ++i;
+    }
+  }
+}
+
+void Server::handle_read(Loop& loop, Connection& conn) {
+  if (conn.read_closed || conn.fatal || conn.dead.load(std::memory_order_relaxed)) {
+    conn.read_ready = false;
+    return;
+  }
   // Bound unprocessed buffering: one oversized-frame claim is rejected at
   // decode, so two max frames of slack is plenty.
   const std::size_t cap = 2 * (options_.max_payload + kHeaderSize);
   for (;;) {
-    if (conn.rbuf.size() - conn.rpos >= cap) return;
+    if (conn.obuf_bytes.load(std::memory_order_relaxed) >= options_.max_output_buffer) {
+      // Output high-water: the peer is not draining its responses. Stop
+      // reading (flush() resumes below half) so its pipeline backs up into
+      // its own TCP window instead of server memory. read_ready survives —
+      // under edge triggering no new readiness edge will announce the bytes
+      // we deliberately left in the kernel.
+      conn.read_paused = true;
+      set_interest(loop, conn, false, conn.want_write);
+      return;
+    }
+    if (conn.rbuf.size() - conn.rpos >= cap) return;  // decode backlog bound
     const std::size_t old = conn.rbuf.size();
     conn.rbuf.resize(old + options_.read_chunk);
-    const ssize_t n = ::recv(conn.fd, conn.rbuf.data() + old, options_.read_chunk, 0);
+    const ssize_t n = retry_eintr(
+        [&] { return ::recv(conn.fd, conn.rbuf.data() + old, options_.read_chunk, 0); });
     if (n > 0) {
       conn.rbuf.resize(old + static_cast<std::size_t>(n));
       stats_.record_wire_read(static_cast<std::size_t>(n));
       continue;
     }
     conn.rbuf.resize(old);
+    conn.read_ready = false;  // EOF/EAGAIN/error: nothing left until a new edge
     if (n == 0) {
       conn.read_closed = true;  // peer FIN; finish in-flight work, then close
+      set_interest(loop, conn, false, conn.want_write);
       return;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-    if (errno == EINTR) continue;
     // Loop-thread-only flag (see server.h): relaxed store, no ordering needed.
     conn.dead.store(true, std::memory_order_relaxed);
     return;
   }
 }
 
-void Server::process_frames(const ConnectionPtr& conn) {
+void Server::process_frames(Loop& loop, const ConnectionPtr& conn) {
   for (;;) {
     Frame frame;
     std::size_t consumed = 0;
@@ -340,11 +502,11 @@ void Server::process_frames(const ConnectionPtr& conn) {
       // the version of the last well-formed frame it sent.
       conn->wire_version = frame.version;
       if (frame.type == FrameType::kRequest) {
-        handle_request(conn, frame);
+        handle_request(loop, conn, frame);
       } else {
         // A client must only send requests; answer the misuse, keep the
         // stream (the frame itself was well-formed).
-        queue_error(*conn, frame.request_id, WireError::kBadFrame, frame.tenant);
+        queue_error(loop, *conn, frame.request_id, WireError::kBadFrame, frame.tenant);
       }
       continue;
     }
@@ -352,12 +514,12 @@ void Server::process_frames(const ConnectionPtr& conn) {
     const WireError error = wire_error_for(status, frame.type);
     if (decode_recoverable(status)) {
       conn->rpos += consumed;
-      queue_error(*conn, frame.request_id, error);
+      queue_error(loop, *conn, frame.request_id, error);
       continue;
     }
     // Fatal: the stream offset is untrustworthy. One last error frame (id 0:
     // no header could be believed), then close once it flushes.
-    queue_error(*conn, 0, error);
+    queue_error(loop, *conn, 0, error);
     conn->fatal = true;
     break;
   }
@@ -371,7 +533,7 @@ void Server::process_frames(const ConnectionPtr& conn) {
   }
 }
 
-void Server::handle_request(const ConnectionPtr& conn, const Frame& frame) {
+void Server::handle_request(Loop& loop, const ConnectionPtr& conn, const Frame& frame) {
   const std::uint64_t id = frame.request_id;
   const serve::Endpoint endpoint = frame.endpoint;
   const serve::TenantId tenant = frame.tenant;
@@ -379,7 +541,7 @@ void Server::handle_request(const ConnectionPtr& conn, const Frame& frame) {
   if (draining_.load(std::memory_order_acquire)) {
     serve::Response response;
     response.status = serve::Status::kShuttingDown;
-    queue_response(*conn, id, endpoint, response, tenant);
+    queue_response(loop, *conn, id, endpoint, response, tenant);
     return;
   }
   // Loop-thread admission check: we see our own increments; a worker's
@@ -389,7 +551,7 @@ void Server::handle_request(const ConnectionPtr& conn, const Frame& frame) {
     // TCP: the client sees a typed kOverloaded and can back off.
     serve::Response response;
     response.status = serve::Status::kOverloaded;
-    queue_response(*conn, id, endpoint, response, tenant);
+    queue_response(loop, *conn, id, endpoint, response, tenant);
     return;
   }
 
@@ -398,40 +560,52 @@ void Server::handle_request(const ConnectionPtr& conn, const Frame& frame) {
   // The submit handoff (queue mutex) publishes this increment to workers.
   conn->in_flight.fetch_add(1, std::memory_order_relaxed);
   serve::ServiceStats* stats = &stats_;
-  const std::shared_ptr<Waker> waker = conn->waker;
+  const std::shared_ptr<Mailbox> mailbox = conn->mailbox;
+  mailbox->outstanding.fetch_add(1, std::memory_order_relaxed);
   // The callback snapshots the peer's dialect at submit time: wire_version
   // is loop-thread-owned, so a worker thread must not read it later.
   const std::uint8_t version = conn->wire_version;
   const serve::Status admitted = service_.try_submit(
       frame.request,
-      [conn, waker, stats, id, endpoint, tenant, version, t0](serve::Response response) {
+      [conn, mailbox, stats, id, endpoint, tenant, version, t0](serve::Response response) {
         // Runs on a service worker thread. Touches only ref-counted state
-        // (connection buffers, the waker pipe) — never the Server itself.
+        // (connection buffers, the mailbox) — never the Server itself.
         std::vector<std::uint8_t> bytes;
         encode_response(id, endpoint, response, bytes, tenant, version);
+        bool need_post;
         {
           MutexLock lock(conn->out_mutex);
           conn->obuf.insert(conn->obuf.end(), bytes.begin(), bytes.end());
+          ++conn->obuf_frames;
+          conn->obuf_bytes.store(conn->obuf.size() - conn->opos, std::memory_order_relaxed);
+          // First writer into a quiet buffer posts; later completions
+          // piggyback on the pending flush — that is the write coalescing.
+          need_post = !conn->flush_queued;
+          conn->flush_queued = true;
         }
         stats->record_frame_out();
         // det:ok(wall-clock): reporting-only wire-latency measurement
         const auto t1 = std::chrono::steady_clock::now();
         stats->record_wire_latency(endpoint, elapsed_us(t0, t1));
         conn->in_flight.fetch_sub(1, std::memory_order_release);
-        waker->wake();
+        mailbox->outstanding.fetch_sub(1, std::memory_order_relaxed);
+        // Post after the decrement: the mailbox mutex publishes it, so the
+        // loop's close check on this very wakeup already sees it.
+        if (need_post) mailbox->post(conn);
       });
   if (admitted != serve::Status::kOk) {
     // Not admitted — the callback will never fire. Answer inline with the
     // admission verdict (Overloaded / ShuttingDown).
-    // Same-thread undo of the increment above; nothing to publish.
+    // Same-thread undo of the increments above; nothing to publish.
     conn->in_flight.fetch_sub(1, std::memory_order_relaxed);
+    mailbox->outstanding.fetch_sub(1, std::memory_order_relaxed);
     serve::Response response;
     response.status = admitted;
-    queue_response(*conn, id, endpoint, response, tenant);
+    queue_response(loop, *conn, id, endpoint, response, tenant);
   }
 }
 
-void Server::queue_response(Connection& conn, std::uint64_t request_id,
+void Server::queue_response(Loop& loop, Connection& conn, std::uint64_t request_id,
                             serve::Endpoint endpoint, const serve::Response& response,
                             serve::TenantId tenant) {
   std::vector<std::uint8_t> bytes;
@@ -439,43 +613,111 @@ void Server::queue_response(Connection& conn, std::uint64_t request_id,
   {
     MutexLock lock(conn.out_mutex);
     conn.obuf.insert(conn.obuf.end(), bytes.begin(), bytes.end());
+    ++conn.obuf_frames;
+    conn.obuf_bytes.store(conn.obuf.size() - conn.opos, std::memory_order_relaxed);
+    if (!conn.flush_queued) {
+      conn.flush_queued = true;
+      loop.flush_set.push_back(conn.shared_from_this());
+    }
   }
   stats_.record_frame_out();
   stats_.record_wire_latency(endpoint, 0.0);  // answered inline, no queueing
 }
 
-void Server::queue_error(Connection& conn, std::uint64_t request_id, WireError error,
-                         serve::TenantId tenant) {
+void Server::queue_error(Loop& loop, Connection& conn, std::uint64_t request_id,
+                         WireError error, serve::TenantId tenant) {
   std::vector<std::uint8_t> bytes;
   encode_error(request_id, error, bytes, tenant, conn.wire_version);
   {
     MutexLock lock(conn.out_mutex);
     conn.obuf.insert(conn.obuf.end(), bytes.begin(), bytes.end());
+    ++conn.obuf_frames;
+    conn.obuf_bytes.store(conn.obuf.size() - conn.opos, std::memory_order_relaxed);
+    if (!conn.flush_queued) {
+      conn.flush_queued = true;
+      loop.flush_set.push_back(conn.shared_from_this());
+    }
   }
   stats_.record_frame_out();
   stats_.record_error_frame();
 }
 
-void Server::flush(Connection& conn) {
-  if (conn.dead.load(std::memory_order_relaxed)) return;
+void Server::flush(Loop& loop, Connection& conn) {
   MutexLock lock(conn.out_mutex);
+  conn.flush_queued = false;
+  if (conn.dead.load(std::memory_order_relaxed) || conn.fd < 0) {
+    conn.obuf.clear();
+    conn.opos = 0;
+    conn.obuf_frames = 0;
+    conn.obuf_bytes.store(0, std::memory_order_relaxed);
+    return;
+  }
+  // Parked on a previous EAGAIN: only a writability edge can clear it, and
+  // its dispatch re-queues the flush. Skipping the speculative send here is
+  // what makes edge-triggered write handling syscall-free while blocked.
+  if (!conn.write_ready) return;
+  std::size_t syscalls = 0;
+  bool hit_eagain = false;
   while (conn.opos < conn.obuf.size()) {
-    const ssize_t n = ::send(conn.fd, conn.obuf.data() + conn.opos,
-                             conn.obuf.size() - conn.opos, MSG_NOSIGNAL);
+    const ssize_t n = retry_eintr([&] {
+      return ::send(conn.fd, conn.obuf.data() + conn.opos, conn.obuf.size() - conn.opos,
+                    MSG_NOSIGNAL);
+    });
+    ++syscalls;
     if (n > 0) {
       conn.opos += static_cast<std::size_t>(n);
       stats_.record_wire_write(static_cast<std::size_t>(n));
       continue;
     }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;  // POLLOUT resumes
-    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Partial write: remember unwritability until the poller reports the
+      // socket drained (EPOLLOUT edge / POLLOUT level), then resume from
+      // opos. The level-triggered backend needs the interest bit flipped on.
+      conn.write_ready = false;
+      hit_eagain = true;
+      set_interest(loop, conn, conn.want_read, true);
+      break;
+    }
     conn.dead.store(true, std::memory_order_relaxed);  // peer is gone; drop the rest
     conn.obuf.clear();
     conn.opos = 0;
-    return;
+    conn.obuf_frames = 0;
+    conn.obuf_bytes.store(0, std::memory_order_relaxed);
+    break;
   }
-  conn.obuf.clear();
-  conn.opos = 0;
+  std::size_t frames_flushed = 0;
+  if (!conn.dead.load(std::memory_order_relaxed) && conn.opos >= conn.obuf.size()) {
+    // Fully drained: credit every buffered frame to this flush's batch.
+    frames_flushed = conn.obuf_frames;
+    conn.obuf_frames = 0;
+    conn.obuf.clear();
+    conn.opos = 0;
+    conn.obuf_bytes.store(0, std::memory_order_relaxed);
+    if (conn.want_write) set_interest(loop, conn, conn.want_read, false);
+  } else if (conn.opos < conn.obuf.size()) {
+    conn.obuf_bytes.store(conn.obuf.size() - conn.opos, std::memory_order_relaxed);
+  }
+  if (syscalls > 0) stats_.record_wire_flush(frames_flushed, syscalls, hit_eagain);
+  if (conn.read_paused &&
+      conn.obuf_bytes.load(std::memory_order_relaxed) <= options_.max_output_buffer / 2) {
+    // The slow reader caught up: resume reads (and re-queue the edge-trigger
+    // memory — no fresh edge will announce bytes we already left behind).
+    conn.read_paused = false;
+    if (!conn.read_closed && !conn.fatal) {
+      set_interest(loop, conn, true, conn.want_write);
+      if (conn.read_ready && !conn.in_read_set) {
+        conn.in_read_set = true;
+        loop.read_set.push_back(conn.shared_from_this());
+      }
+    }
+  }
+}
+
+void Server::set_interest(Loop& loop, Connection& conn, bool want_read, bool want_write) {
+  if (conn.want_read == want_read && conn.want_write == want_write) return;
+  conn.want_read = want_read;
+  conn.want_write = want_write;
+  loop.poller->mod(conn.fd, want_read, want_write);
 }
 
 bool Server::idle(Connection& conn) const {
@@ -499,13 +741,25 @@ bool Server::should_close(Connection& conn) const {
   return conn.opos >= conn.obuf.size();
 }
 
-void Server::close_connection(Connection& conn) {
+void Server::close_connection(Loop& loop, Connection& conn) {
   if (conn.fd >= 0) {
+    loop.poller->del(conn.fd);  // before close(): a poll() set keeps raw fds
     ::close(conn.fd);
     conn.fd = -1;
     stats_.record_connection_close();
     open_connections_.fetch_sub(1, std::memory_order_relaxed);
   }
+}
+
+void Server::remove_conn(Loop& loop, Connection& conn) {
+  const std::size_t i = conn.conn_index;
+  if (i >= loop.conns.size() || loop.conns[i].get() != &conn) return;
+  const std::size_t last = loop.conns.size() - 1;
+  if (i != last) {
+    loop.conns[i] = std::move(loop.conns[last]);
+    loop.conns[i]->conn_index = i;
+  }
+  loop.conns.pop_back();
 }
 
 }  // namespace rafiki::net

@@ -1,8 +1,12 @@
 // net::Server — the RPC front-end over a serve::TuningBackend (the single
-// TuningService or the ShardedTuningService router): a poll-driven,
+// TuningService or the ShardedTuningService router): an event-driven,
 // multi-threaded TCP server speaking the length-prefixed binary protocol of
 // net/wire.h.
 //
+//   * IO readiness comes from a net::EventPoller — edge-triggered epoll on
+//     Linux, a persistent level-triggered poll() set as the portable
+//     fallback (ServerOptions::io_backend). Every fd registers once; a loop
+//     pass touches only ready connections, never the whole set.
 //   * Non-blocking sockets throughout; each connection is owned by exactly
 //     one IO loop thread (round-robin assignment at accept), so read-side
 //     state needs no locks. Loop 0 doubles as the acceptor.
@@ -10,11 +14,20 @@
 //     flight per connection; responses carry the request id they answer and
 //     may return out of order. Completion uses TuningService::try_submit's
 //     callback path: a worker thread encodes the response into the
-//     connection's (mutex-guarded) output buffer and wakes the owning loop
-//     through a pipe — the loop never blocks on a future.
+//     connection's (mutex-guarded) output buffer and posts the connection to
+//     the owning loop's mailbox — the loop never blocks on a future.
+//   * Write coalescing: every response completed by the time a pass flushes
+//     sits in the connection's output buffer already, so one send() carries
+//     them all; an edge-triggered loop additionally runs bounded zero-timeout
+//     "absorb" rounds before flushing to merge completions that landed while
+//     the pass ran. Flush batch sizes and syscall counts fold into
+//     ServiceStats' wire table.
 //   * Backpressure maps to the wire, not to TCP stalls: a full service queue
 //     or a full per-connection pipeline answers with a typed kOverloaded
-//     response immediately; the socket keeps draining.
+//     response immediately; the socket keeps draining. The reverse direction
+//     is bounded too: a peer that stops reading pins its responses in the
+//     output buffer, and past max_output_buffer the server stops reading
+//     from it (resuming below half) so a slow reader costs bounded memory.
 //   * Malformed frames: recoverable ones (bad enum/payload under a valid
 //     header) are answered with an error frame and the stream continues;
 //     fatal ones (bad magic/version/oversized length) get one final error
@@ -25,9 +38,12 @@
 //     handshake completed before the drain (still sitting in the accept
 //     backlog) are adopted and answered too, instead of being RST by the
 //     listener close. Idle connections are held until the peer closes (its
-//     frames may still be on the wire), bounded by ServerOptions::drain_grace.
-//   * Wire telemetry (connections, frames, bytes, decode errors, per-endpoint
-//     wire latency) folds into the service's ServiceStats.
+//     frames may still be on the wire), bounded by ServerOptions::drain_grace
+//     — the draining loop sleeps exactly until that deadline (or the next
+//     event), not on a fixed re-poll cadence.
+//   * Wire telemetry (connections, frames, bytes, decode errors, flush
+//     batching, per-endpoint wire latency) folds into the service's
+//     ServiceStats.
 #pragma once
 
 #include <atomic>
@@ -38,6 +54,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/poller.h"
 #include "net/wire.h"
 #include "serve/backend.h"
 #include "util/sync.h"
@@ -70,6 +87,29 @@ struct ServerOptions {
   /// releases the connection immediately — the grace only bounds how long a
   /// silent, healthy peer can hold up stop().
   std::chrono::milliseconds drain_grace{250};
+  /// Readiness engine for the IO loops (default_io_backend() is epoll on
+  /// Linux, poll elsewhere). start() fails if the build cannot serve it.
+  IoBackend io_backend = default_io_backend();
+  /// Per-connection output high-water mark: once this many bytes of
+  /// responses sit unflushed (the peer is not reading), the server stops
+  /// reading from that connection until the backlog drains below half.
+  /// Backpressure lands on the slow reader's TCP window, not server memory.
+  std::size_t max_output_buffer = 1 << 20;
+  /// Edge-triggered loops only: after the read stage, up to this many
+  /// zero-timeout re-waits (each preceded by a yield while completions are
+  /// outstanding) absorb responses that finished while the pass ran, so the
+  /// per-connection flush carries them all in one send(). 0 disables.
+  /// Level-triggered poll keeps the plain one-flush-per-pass behavior — a
+  /// zero-timeout re-wait there re-scans and re-reports every registered
+  /// fd, which is exactly the O(connections) cost this backend is the
+  /// fallback for.
+  std::size_t flush_absorb_rounds = 4;
+  /// When > 0, pins SO_SNDBUF on the listener (inherited by every accepted
+  /// connection), which also disables kernel send-buffer autotuning. 0 keeps
+  /// the kernel default. Mainly a test/diagnostic hook: a small pinned
+  /// buffer forces the partial-write (EAGAIN) paths that autotuned loopback
+  /// sockets otherwise absorb silently.
+  int so_sndbuf = 0;
 };
 
 class Server {
@@ -81,8 +121,8 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens, and spawns the IO loops. False on socket errors (see
-  /// last_error()). Idempotent.
+  /// Binds, listens, and spawns the IO loops. False on socket errors or an
+  /// unavailable io_backend (see last_error()). Idempotent.
   bool start();
   /// Graceful drain: answer everything already on the wire (including
   /// connections still in the accept backlog), flush, close, join.
@@ -101,22 +141,27 @@ class Server {
   }
 
  private:
-  /// Wakeup pipe shared between an IO loop and the response callbacks that
-  /// need to rouse it. Callbacks can outlive stop() by a few instructions
-  /// (a worker mid-callback while the loops join), so the pipe's lifetime is
-  /// ref-counted rather than tied to the Server.
-  struct Waker {
-    int read_fd = -1;
-    int write_fd = -1;
-    ~Waker();
-    void wake() const noexcept;
-    void drain() const noexcept;
+  struct Connection;
+  using ConnectionPtr = std::shared_ptr<Connection>;
+
+  /// Completion handoff between service workers and an IO loop: `dirty`
+  /// names connections with freshly appended output, the waker rouses the
+  /// loop, and `outstanding` counts the loop's submitted-but-unanswered
+  /// requests (advisory — it steers the absorb stage). Ref-counted because
+  /// a worker mid-callback can outlive stop() by a few instructions and
+  /// must still find live fds and buffers.
+  struct Mailbox {
+    Waker waker;
+    rafiki::Mutex mutex;
+    std::vector<ConnectionPtr> dirty GUARDED_BY(mutex);
+    std::atomic<std::size_t> outstanding{0};
+    void post(ConnectionPtr conn);
   };
 
-  struct Connection {
+  struct Connection : std::enable_shared_from_this<Connection> {
     int fd = -1;
-    /// Owning loop's waker; response callbacks use it to rouse the loop.
-    std::shared_ptr<Waker> waker;
+    /// Owning loop's mailbox; response callbacks post here.
+    std::shared_ptr<Mailbox> mailbox;
     // --- owned by the loop thread ---
     std::vector<std::uint8_t> rbuf;
     std::size_t rpos = 0;
@@ -126,10 +171,31 @@ class Server {
     /// (loop-thread only). Responses and error frames are encoded in the
     /// peer's own dialect, so a v1 client never receives a 24-byte header.
     std::uint8_t wire_version = kProtocolVersion;
+    /// Edge-trigger memory: readiness reported by the poller persists here
+    /// until the matching syscall says EAGAIN (see poller.h contract).
+    bool read_ready = true;
+    bool write_ready = true;
+    /// Output high-water reached — reads throttled until flush() resumes.
+    bool read_paused = false;
+    bool in_read_set = false;  ///< member of the loop's pending-read list
+    /// Level-triggered interest currently registered with the poller
+    /// (ignored by the edge-triggered backend, which subscribes once).
+    bool want_read = true;
+    bool want_write = false;
+    std::size_t conn_index = 0;  ///< slot in the owning loop's conns vector
     // --- shared with response callbacks ---
     rafiki::Mutex out_mutex;
     std::vector<std::uint8_t> obuf GUARDED_BY(out_mutex);
     std::size_t opos GUARDED_BY(out_mutex) = 0;
+    /// Response/error frames currently buffered in obuf — the flush that
+    /// drains the buffer credits them to the batch-size counters.
+    std::size_t obuf_frames GUARDED_BY(out_mutex) = 0;
+    /// True while the connection sits in the mailbox or a loop flush list;
+    /// the first writer to queue output posts, later ones piggyback.
+    bool flush_queued GUARDED_BY(out_mutex) = false;
+    /// Relaxed mirror of obuf.size() - opos, so the loop's read path can
+    /// check the high-water mark without taking out_mutex.
+    std::atomic<std::size_t> obuf_bytes{0};
     /// Socket broken: discard output. Written and read on the owning loop
     /// thread only (handle_read / flush); atomic so that invariant is a
     /// tearing-safe implementation detail, not a correctness cliff.
@@ -139,34 +205,69 @@ class Server {
     /// with acquire to order against the callback's buffer writes.
     std::atomic<std::size_t> in_flight{0};
   };
-  using ConnectionPtr = std::shared_ptr<Connection>;
 
   struct Loop {
-    std::shared_ptr<Waker> waker;
+    std::shared_ptr<Mailbox> mailbox;
+    std::unique_ptr<EventPoller> poller;  ///< loop-thread after start()
     rafiki::Mutex incoming_mutex;
     /// Handoff from the acceptor.
     std::vector<ConnectionPtr> incoming GUARDED_BY(incoming_mutex);
-    std::vector<ConnectionPtr> conns;  ///< loop-thread only
+    // --- loop-thread only ---
+    std::vector<ConnectionPtr> conns;
+    /// Connections with believed-unread socket data (edge-trigger memory
+    /// plus leftovers bounded away by the rbuf cap); persists across passes.
+    std::vector<ConnectionPtr> read_set;
+    /// Connections with output to flush this pass (mailbox grabs, inline
+    /// responses, EPOLLOUT resumptions); drained every pass.
+    std::vector<ConnectionPtr> flush_set;
+    std::vector<ConnectionPtr> grabbed;  ///< mailbox swap scratch
+    std::vector<PollerEvent> events;     ///< wait() scratch
     std::thread thread;
   };
 
   void loop_main(std::size_t index);
+  void adopt_incoming(Loop& loop);
+  /// Registers a freshly accepted/adopted connection with the loop's poller
+  /// and queues its first read. Closes it on registration failure.
+  void register_conn(Loop& loop, ConnectionPtr conn);
   void do_accept(Loop& loop);
-  void handle_read(Connection& conn);
-  void process_frames(const ConnectionPtr& conn);
-  void handle_request(const ConnectionPtr& conn, const Frame& frame);
+  /// Turns loop.events into connection state (edge-trigger flags, read/flush
+  /// queue membership) and drains the waker. True if the listener fired.
+  bool dispatch_events(Loop& loop);
+  /// Moves mailbox.dirty into loop.flush_set.
+  void grab_mailbox(Loop& loop);
+  /// Reads + decodes + submits for every connection in read_set; retains
+  /// entries that still have believed-unread data.
+  void read_pass(Loop& loop);
+  /// Edge-triggered only: bounded zero-timeout re-waits that merge
+  /// completions landing mid-pass into this pass's flushes.
+  void absorb_completions(Loop& loop, bool acceptor);
+  /// Flushes and clears flush_set, closing connections that finished.
+  void flush_pass(Loop& loop);
+  /// The draining pass's full sweep: answer racing bytes, flush, and close
+  /// idle connections once the grace deadline passes (old behavior, now
+  /// event-driven between sweeps).
+  void drain_sweep(Loop& loop, std::chrono::steady_clock::time_point deadline);
+  void handle_read(Loop& loop, Connection& conn);
+  void process_frames(Loop& loop, const ConnectionPtr& conn);
+  void handle_request(Loop& loop, const ConnectionPtr& conn, const Frame& frame);
   /// Encodes in the connection's wire_version, echoing the request's tenant.
-  void queue_response(Connection& conn, std::uint64_t request_id,
+  void queue_response(Loop& loop, Connection& conn, std::uint64_t request_id,
                       serve::Endpoint endpoint, const serve::Response& response,
                       serve::TenantId tenant);
-  void queue_error(Connection& conn, std::uint64_t request_id, WireError error,
-                   serve::TenantId tenant = 0);
-  void flush(Connection& conn);
+  void queue_error(Loop& loop, Connection& conn, std::uint64_t request_id,
+                   WireError error, serve::TenantId tenant = 0);
+  void flush(Loop& loop, Connection& conn);
+  /// Updates the level-triggered interest mask if it changed (no-op syscall-
+  /// wise under epoll).
+  void set_interest(Loop& loop, Connection& conn, bool want_read, bool want_write);
   /// No pending work in either direction and the peer is still healthy —
   /// the draining loop's criterion for letting a connection go.
   bool idle(Connection& conn) const;
   bool should_close(Connection& conn) const;
-  void close_connection(Connection& conn);
+  void close_connection(Loop& loop, Connection& conn);
+  /// Swap-erases a closed connection from loop.conns (conn_index bookkeeping).
+  void remove_conn(Loop& loop, Connection& conn);
 
   serve::TuningBackend& service_;
   ServerOptions options_;

@@ -201,6 +201,15 @@ void ServiceStats::record_error_frame() {
   stripe().wire[kIdxErrFrames].fetch_add(1, kRelaxed);
 }
 
+void ServiceStats::record_wire_flush(std::size_t frames, std::size_t syscalls,
+                                     bool hit_eagain) {
+  auto& wire = stripe().wire;
+  wire[kIdxFlushes].fetch_add(1, kRelaxed);
+  wire[kIdxFlushSyscalls].fetch_add(syscalls, kRelaxed);
+  wire[kIdxFlushedFrames].fetch_add(frames, kRelaxed);
+  if (hit_eagain) wire[kIdxFlushEagain].fetch_add(1, kRelaxed);
+}
+
 void ServiceStats::record_wire_latency(Endpoint endpoint, double latency_us) {
   auto& per = endpoint_stripe(endpoint);
   per.wire_latency.add(latency_us);
@@ -355,6 +364,10 @@ ServiceStats::WireCounters ServiceStats::wire_counters() const {
     out.error_frames_sent += s->wire[kIdxErrFrames].load(kRelaxed);
     out.bytes_in += s->wire[kIdxBytesIn].load(kRelaxed);
     out.bytes_out += s->wire[kIdxBytesOut].load(kRelaxed);
+    out.flushes += s->wire[kIdxFlushes].load(kRelaxed);
+    out.flush_syscalls += s->wire[kIdxFlushSyscalls].load(kRelaxed);
+    out.flushed_frames += s->wire[kIdxFlushedFrames].load(kRelaxed);
+    out.flush_eagain += s->wire[kIdxFlushEagain].load(kRelaxed);
   }
   return out;
 }
@@ -505,6 +518,11 @@ Table ServiceStats::wire_table() const {
   table.add_row({"error frames sent", std::to_string(wire.error_frames_sent)});
   table.add_row({"bytes in", std::to_string(wire.bytes_in)});
   table.add_row({"bytes out", std::to_string(wire.bytes_out)});
+  table.add_row({"wire flushes", std::to_string(wire.flushes)});
+  table.add_row({"flush syscalls", std::to_string(wire.flush_syscalls)});
+  table.add_row({"flush EAGAIN", std::to_string(wire.flush_eagain)});
+  table.add_row({"frames per flush", Table::num(wire.frames_per_flush(), 2)});
+  table.add_row({"flush syscalls per frame", Table::num(wire.flush_syscalls_per_frame(), 3)});
   for (std::size_t i = 0; i < kEndpointCount; ++i) {
     const auto endpoint = static_cast<Endpoint>(i);
     const std::string name = endpoint_name(endpoint);

@@ -129,8 +129,27 @@ class ServiceStats {
     std::uint64_t error_frames_sent = 0;
     std::uint64_t bytes_in = 0;
     std::uint64_t bytes_out = 0;
+    /// Write-coalescing telemetry: one "flush" is one per-connection drain
+    /// attempt that issued at least one send(); `flushed_frames` counts the
+    /// response/error frames those drains completed, so flushed_frames /
+    /// flushes is the mean wire batch size and flush_syscalls / frames_out
+    /// is the syscall cost per frame.
+    std::uint64_t flushes = 0;
+    std::uint64_t flush_syscalls = 0;
+    std::uint64_t flushed_frames = 0;
+    /// Flushes that hit EAGAIN (partial write parked for writability).
+    std::uint64_t flush_eagain = 0;
     /// Connections still open: accepted - closed.
     std::uint64_t active() const noexcept { return connections_accepted - connections_closed; }
+    double frames_per_flush() const noexcept {
+      return flushes != 0 ? static_cast<double>(flushed_frames) / static_cast<double>(flushes)
+                          : 0.0;
+    }
+    double flush_syscalls_per_frame() const noexcept {
+      return frames_out != 0
+                 ? static_cast<double>(flush_syscalls) / static_cast<double>(frames_out)
+                 : 0.0;
+    }
   };
 
   /// Merge-on-read view of one endpoint: every stripe of this stats object
@@ -176,6 +195,10 @@ class ServiceStats {
   void record_error_frame();
   /// Wire-side latency (decode -> response queued for write) per endpoint.
   void record_wire_latency(Endpoint endpoint, double latency_us);
+  /// One per-connection flush: `frames` completed in `syscalls` send()s
+  /// (frames is 0 when the drain parked on EAGAIN — the completing flush
+  /// credits them); `hit_eagain` marks a partial write.
+  void record_wire_flush(std::size_t frames, std::size_t syscalls, bool hit_eagain);
 
   // --- fleet-admission recording (called by tenant::TenantFleet) ---
   void record_tenant_admit();
@@ -278,6 +301,10 @@ class ServiceStats {
     kIdxErrFrames,
     kIdxBytesIn,
     kIdxBytesOut,
+    kIdxFlushes,
+    kIdxFlushSyscalls,
+    kIdxFlushedFrames,
+    kIdxFlushEagain,
     kWireCount,
   };
 

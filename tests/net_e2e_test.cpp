@@ -8,12 +8,16 @@
 // for garbage bytes, and a graceful drain that answers every in-flight frame.
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -32,8 +36,10 @@ namespace rafiki::net {
 namespace {
 
 // One tiny trained pipeline shared by every test; training dominates the
-// suite's cost and all tests only read from it.
-class NetE2E : public ::testing::Test {
+// suite's cost and all tests only read from it. The whole suite runs once per
+// available IO backend (epoll and the poll() fallback on Linux) so the drain
+// and pipelining contracts are proven against both event loops.
+class NetE2E : public ::testing::TestWithParam<IoBackend> {
  protected:
   static void SetUpTestSuite() {
     core::RafikiOptions options;
@@ -54,6 +60,14 @@ class NetE2E : public ::testing::Test {
   static void TearDownTestSuite() {
     delete rafiki_;
     rafiki_ = nullptr;
+  }
+
+  /// Server options pinned to the backend under test; tests layer their own
+  /// tweaks (io_threads, max_pipeline, ...) on top.
+  ServerOptions server_options() const {
+    ServerOptions options;
+    options.io_backend = GetParam();
+    return options;
   }
 
   static serve::Request predict_request(double read_ratio = 0.3) {
@@ -78,13 +92,13 @@ class NetE2E : public ::testing::Test {
 
 core::Rafiki* NetE2E::rafiki_ = nullptr;
 
-TEST_F(NetE2E, PredictParityWithInProcessSubmit) {
+TEST_P(NetE2E, PredictParityWithInProcessSubmit) {
   serve::ServiceOptions options;
   options.workers = 1;
   serve::TuningService service(options);
   service.publish(serve::make_snapshot(*rafiki_));
   service.start();
-  Server server(service);
+  Server server(service, server_options());
   ASSERT_TRUE(server.start()) << server.last_error();
   ASSERT_NE(server.port(), 0);
 
@@ -122,7 +136,7 @@ TEST_F(NetE2E, PredictParityWithInProcessSubmit) {
   service.stop();
 }
 
-TEST_F(NetE2E, OptimizeParityWithInProcessSubmit) {
+TEST_P(NetE2E, OptimizeParityWithInProcessSubmit) {
   serve::ServiceOptions options;
   options.workers = 1;
   options.ga.population = 10;
@@ -130,7 +144,7 @@ TEST_F(NetE2E, OptimizeParityWithInProcessSubmit) {
   serve::TuningService service(options);
   service.publish(serve::make_snapshot(*rafiki_));
   service.start();
-  Server server(service);
+  Server server(service, server_options());
   ASSERT_TRUE(server.start()) << server.last_error();
 
   Client client;
@@ -156,7 +170,7 @@ TEST_F(NetE2E, OptimizeParityWithInProcessSubmit) {
   service.stop();
 }
 
-TEST_F(NetE2E, ObserveWindowParityThroughRetrainCycle) {
+TEST_P(NetE2E, ObserveWindowParityThroughRetrainCycle) {
   serve::ServiceOptions options;
   options.workers = 1;
   core::OnlineTuner tuner(*rafiki_);
@@ -164,7 +178,7 @@ TEST_F(NetE2E, ObserveWindowParityThroughRetrainCycle) {
   service.publish(serve::make_snapshot(*rafiki_));
   service.attach_tuner(tuner);
   service.start();
-  Server server(service);
+  Server server(service, server_options());
   ASSERT_TRUE(server.start()) << server.last_error();
 
   Client client;
@@ -201,7 +215,7 @@ TEST_F(NetE2E, ObserveWindowParityThroughRetrainCycle) {
   service.stop();
 }
 
-TEST_F(NetE2E, PipelinedRequestsSurviveSnapshotRepublishMidStream) {
+TEST_P(NetE2E, PipelinedRequestsSurviveSnapshotRepublishMidStream) {
   constexpr std::uint64_t kPerPhase = 8;
 
   serve::ServiceOptions options;
@@ -210,9 +224,9 @@ TEST_F(NetE2E, PipelinedRequestsSurviveSnapshotRepublishMidStream) {
   serve::TuningService service(options);
   service.publish(serve::make_snapshot(*rafiki_));
   service.start();
-  ServerOptions server_options;
-  server_options.io_threads = 2;
-  Server server(service, server_options);
+  ServerOptions opts = server_options();
+  opts.io_threads = 2;
+  Server server(service, opts);
   ASSERT_TRUE(server.start()) << server.last_error();
 
   Client client;
@@ -258,7 +272,7 @@ TEST_F(NetE2E, PipelinedRequestsSurviveSnapshotRepublishMidStream) {
   service.stop();
 }
 
-TEST_F(NetE2E, GracefulDrainAnswersEveryInFlightFrame) {
+TEST_P(NetE2E, GracefulDrainAnswersEveryInFlightFrame) {
   constexpr std::uint64_t kInFlight = 16;
 
   serve::ServiceOptions options;
@@ -267,7 +281,7 @@ TEST_F(NetE2E, GracefulDrainAnswersEveryInFlightFrame) {
   serve::TuningService service(options);
   service.publish(serve::make_snapshot(*rafiki_));
   service.start();
-  Server server(service);
+  Server server(service, server_options());
   ASSERT_TRUE(server.start()) << server.last_error();
   const auto port = server.port();
 
@@ -319,7 +333,7 @@ TEST_F(NetE2E, GracefulDrainAnswersEveryInFlightFrame) {
 // worst) rather than let the listener close RST it. Regression test: every
 // client below connects and fully sends *before* stop(), so every frame must
 // come back typed, accepted or not.
-TEST_F(NetE2E, DrainAdoptsConnectionsStillInTheAcceptBacklog) {
+TEST_P(NetE2E, DrainAdoptsConnectionsStillInTheAcceptBacklog) {
   constexpr std::size_t kClients = 8;
 
   serve::ServiceOptions options;
@@ -327,7 +341,7 @@ TEST_F(NetE2E, DrainAdoptsConnectionsStillInTheAcceptBacklog) {
   serve::TuningService service(options);
   service.publish(serve::make_snapshot(*rafiki_));
   service.start();
-  Server server(service);
+  Server server(service, server_options());
   ASSERT_TRUE(server.start()) << server.last_error();
 
   std::vector<Client> fleet(kClients);
@@ -352,7 +366,7 @@ TEST_F(NetE2E, DrainAdoptsConnectionsStillInTheAcceptBacklog) {
   service.stop();
 }
 
-TEST_F(NetE2E, ServiceShutdownMapsToTypedShuttingDownResponse) {
+TEST_P(NetE2E, ServiceShutdownMapsToTypedShuttingDownResponse) {
   serve::ServiceOptions options;
   options.workers = 1;
   serve::TuningService service(options);
@@ -360,7 +374,7 @@ TEST_F(NetE2E, ServiceShutdownMapsToTypedShuttingDownResponse) {
   service.start();
   service.stop();  // service is gone; the wire front-end is still up
 
-  Server server(service);
+  Server server(service, server_options());
   ASSERT_TRUE(server.start()) << server.last_error();
   Client client;
   ASSERT_EQ(client.connect("127.0.0.1", server.port()), NetStatus::kOk);
@@ -373,15 +387,15 @@ TEST_F(NetE2E, ServiceShutdownMapsToTypedShuttingDownResponse) {
   server.stop();
 }
 
-TEST_F(NetE2E, PipelineLimitMapsToTypedOverloadedResponse) {
+TEST_P(NetE2E, PipelineLimitMapsToTypedOverloadedResponse) {
   serve::ServiceOptions options;
   options.workers = 0;  // nobody drains: the first request parks in flight
   serve::TuningService service(options);
   service.publish(serve::make_snapshot(*rafiki_));
   service.start();
-  ServerOptions server_options;
-  server_options.max_pipeline = 1;
-  Server server(service, server_options);
+  ServerOptions opts = server_options();
+  opts.max_pipeline = 1;
+  Server server(service, opts);
   ASSERT_TRUE(server.start()) << server.last_error();
 
   Client client;
@@ -407,13 +421,13 @@ TEST_F(NetE2E, PipelineLimitMapsToTypedOverloadedResponse) {
   server.stop();
 }
 
-TEST_F(NetE2E, GarbageBytesGetOneErrorFrameThenClose) {
+TEST_P(NetE2E, GarbageBytesGetOneErrorFrameThenClose) {
   serve::ServiceOptions options;
   options.workers = 1;
   serve::TuningService service(options);
   service.publish(serve::make_snapshot(*rafiki_));
   service.start();
-  Server server(service);
+  Server server(service, server_options());
   ASSERT_TRUE(server.start()) << server.last_error();
 
   // Raw socket, no protocol: the server must answer with exactly one error
@@ -460,7 +474,7 @@ TEST_F(NetE2E, GarbageBytesGetOneErrorFrameThenClose) {
   service.stop();
 }
 
-TEST_F(NetE2E, ManyClientsAcrossIoThreads) {
+TEST_P(NetE2E, ManyClientsAcrossIoThreads) {
   constexpr int kClients = 4;
   constexpr int kCallsPerClient = 10;
 
@@ -470,9 +484,9 @@ TEST_F(NetE2E, ManyClientsAcrossIoThreads) {
   serve::TuningService service(options);
   service.publish(serve::make_snapshot(*rafiki_));
   service.start();
-  ServerOptions server_options;
-  server_options.io_threads = 2;
-  Server server(service, server_options);
+  ServerOptions opts = server_options();
+  opts.io_threads = 2;
+  Server server(service, opts);
   ASSERT_TRUE(server.start()) << server.last_error();
 
   std::vector<std::thread> threads;
@@ -506,6 +520,225 @@ TEST_F(NetE2E, ManyClientsAcrossIoThreads) {
   const auto text = service.stats().wire_table().render();
   EXPECT_NE(text.find("frames in"), std::string::npos);
 }
+
+// A client that floods pipelined requests but never reads responses must not
+// let the server buffer without bound: once the connection's output backlog
+// crosses the high-water mark the server stops *reading* it, so the client's
+// own sends eventually hit EAGAIN. Meanwhile a well-behaved client on the
+// same IO loop keeps making progress, and when the slow reader finally
+// drains, every frame it managed to send comes back exactly once — partial
+// writes resumed, nothing lost, nothing duplicated.
+TEST_P(NetE2E, SlowReaderBackpressureBoundsBufferingWithoutStallingOthers) {
+  constexpr std::uint64_t kRequests = 3000;
+
+  serve::ServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = 256;
+  serve::TuningService service(options);
+  service.publish(serve::make_snapshot(*rafiki_));
+  service.start();
+  ServerOptions opts = server_options();
+  opts.io_threads = 1;  // slow and fast client share one loop on purpose
+  opts.max_output_buffer = 1 << 14;
+  opts.so_sndbuf = 4096;  // pinned small so partial writes actually happen
+  Server server(service, opts);
+  ASSERT_TRUE(server.start()) << server.last_error();
+
+  // Raw nonblocking socket with a tiny receive buffer (set before connect so
+  // the window is negotiated small): kernel-side slack is minimal, so the
+  // server's send() hits EAGAIN quickly once we stop reading.
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  ASSERT_GE(fd, 0);
+  const int small_buf = 4096;
+  ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &small_buf, sizeof small_buf), 0);
+  ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &small_buf, sizeof small_buf), 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    ASSERT_EQ(errno, EINPROGRESS);
+    pollfd pfd{fd, POLLOUT, 0};
+    ASSERT_GT(::poll(&pfd, 1, 5000), 0);
+  }
+
+  // Each request carries a full explicit config so the flood dwarfs whatever
+  // the kernel will buffer on either side of the loopback pair.
+  std::vector<std::uint8_t> outbound;
+  for (std::uint64_t id = 1; id <= kRequests; ++id) {
+    auto request = predict_request(0.2 + 0.0001 * static_cast<double>(id));
+    request.config = engine::Config::defaults();
+    encode_request(id, request, outbound);
+  }
+
+  // Phase 1: push without reading until the pipe is wedged — our send blocked
+  // on EAGAIN *and* the server has logged a short write of its own. That pair
+  // proves the backlog is bounded on both sides of the connection.
+  std::size_t pushed = 0;
+  const auto pump_sends = [&]() -> bool {  // true while progress is possible
+    while (pushed < outbound.size()) {
+      const ssize_t n = ::send(fd, outbound.data() + pushed,
+                               outbound.size() - pushed, MSG_NOSIGNAL);
+      if (n > 0) {
+        pushed += static_cast<std::size_t>(n);
+        continue;
+      }
+      EXPECT_TRUE(errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+          << "unexpected send errno " << errno;
+      return false;
+    }
+    return true;
+  };
+  ASSERT_TRUE(spin_until([&] {
+    return !pump_sends() &&
+           service.stats().wire_counters().flush_eagain > 0;
+  }));
+  ASSERT_LT(pushed, outbound.size())
+      << "server kept reading an unread connection; backpressure never engaged";
+
+  // Phase 2: a polite client on the same (single) IO loop is not starved by
+  // the wedged one.
+  Client polite;
+  ASSERT_EQ(polite.connect("127.0.0.1", server.port()), NetStatus::kOk);
+  constexpr std::uint64_t kPoliteCalls = 3;
+  for (std::uint64_t i = 0; i < kPoliteCalls; ++i) {
+    ASSERT_TRUE(polite.predict(0.5 + 0.01 * static_cast<double>(i)).ok());
+  }
+
+  // Phase 3: start draining responses (and finish sending) — the server must
+  // resume the paused read side and the parked partial write, answering every
+  // request id exactly once with zero framing damage.
+  std::vector<bool> seen(kRequests + 1, false);
+  std::uint64_t answered = 0;
+  std::vector<std::uint8_t> inbound;
+  std::uint8_t chunk[4096];
+  bool done_sending = false;
+  for (int i = 0; i < 200000 && answered < kRequests; ++i) {
+    if (!done_sending) done_sending = pump_sends();
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      inbound.insert(inbound.end(), chunk, chunk + n);
+    } else if (n == 0) {
+      break;  // premature FIN: the loop exit assertions will report it
+    } else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      break;
+    } else {
+      pollfd pfd{fd, static_cast<short>(POLLIN | (done_sending ? 0 : POLLOUT)), 0};
+      ::poll(&pfd, 1, 10);
+    }
+    std::size_t offset = 0;
+    for (;;) {
+      Frame frame;
+      std::size_t consumed = 0;
+      if (decode_frame(inbound.data() + offset, inbound.size() - offset,
+                       kDefaultMaxPayload, frame, consumed) != DecodeStatus::kOk) {
+        break;
+      }
+      offset += consumed;
+      ASSERT_EQ(frame.type, FrameType::kResponse);
+      ASSERT_GE(frame.request_id, 1u);
+      ASSERT_LE(frame.request_id, kRequests);
+      ASSERT_FALSE(seen[frame.request_id]) << "duplicate response " << frame.request_id;
+      seen[frame.request_id] = true;
+      ++answered;
+    }
+    inbound.erase(inbound.begin(),
+                  inbound.begin() + static_cast<std::ptrdiff_t>(offset));
+  }
+  EXPECT_TRUE(done_sending);
+  EXPECT_EQ(answered, kRequests);
+  ::close(fd);
+
+  server.stop();
+  service.stop();
+  const auto counters = service.stats().wire_counters();
+  EXPECT_EQ(counters.frames_in, kRequests + kPoliteCalls);
+  EXPECT_EQ(counters.frames_out, kRequests + kPoliteCalls);
+  EXPECT_EQ(counters.decode_errors, 0u);
+  EXPECT_GT(counters.flush_eagain, 0u);
+}
+
+// Satellite: every raw syscall in the server retries (or re-evaluates) on
+// EINTR. A no-SA_RESTART handler plus a process-wide signal storm makes
+// accept/recv/send/poll/epoll_wait fail with EINTR constantly; pipelined load
+// must still come back complete with zero framing damage.
+TEST_P(NetE2E, SignalStormDuringPipelinedLoadDropsNoFrames) {
+  struct sigaction action {};
+  action.sa_handler = +[](int) {};
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // deliberately no SA_RESTART: syscalls must cope
+  struct sigaction previous {};
+  ASSERT_EQ(::sigaction(SIGUSR1, &action, &previous), 0);
+
+  serve::ServiceOptions options;
+  options.workers = 2;
+  options.queue_capacity = 256;
+  serve::TuningService service(options);
+  service.publish(serve::make_snapshot(*rafiki_));
+  service.start();
+  ServerOptions opts = server_options();
+  opts.io_threads = 2;
+  Server server(service, opts);
+  ASSERT_TRUE(server.start()) << server.last_error();
+
+  std::atomic<bool> storm{true};
+  std::thread bomber([&storm] {
+    while (storm.load(std::memory_order_acquire)) {
+      ::kill(::getpid(), SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  constexpr int kClients = 2;
+  constexpr std::uint64_t kBurst = 32;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client;
+      if (client.connect("127.0.0.1", server.port()) != NetStatus::kOk) {
+        failures[static_cast<std::size_t>(c)] = 1;
+        return;
+      }
+      std::vector<std::uint64_t> ids;
+      for (std::uint64_t i = 0; i < kBurst; ++i) {
+        const auto id = client.send(predict_request(0.2 + 0.01 * static_cast<double>(i)));
+        if (id == 0) {
+          ++failures[static_cast<std::size_t>(c)];
+          continue;
+        }
+        ids.push_back(id);
+      }
+      for (const auto id : ids) {
+        const auto result = client.wait(id);
+        if (result.net != NetStatus::kOk || !result.response.ok()) {
+          ++failures[static_cast<std::size_t>(c)];
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  storm.store(false, std::memory_order_release);
+  bomber.join();
+  ASSERT_EQ(::sigaction(SIGUSR1, &previous, nullptr), 0);
+
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[static_cast<std::size_t>(c)], 0) << "client " << c;
+  }
+  const auto counters = service.stats().wire_counters();
+  EXPECT_EQ(counters.frames_in, static_cast<std::uint64_t>(kClients) * kBurst);
+  EXPECT_EQ(counters.frames_out, counters.frames_in);
+  EXPECT_EQ(counters.decode_errors, 0u);
+
+  server.stop();
+  service.stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(IoBackends, NetE2E,
+                         ::testing::ValuesIn(available_io_backends()),
+                         [](const ::testing::TestParamInfo<IoBackend>& pinfo) {
+                           return std::string(io_backend_name(pinfo.param));
+                         });
 
 }  // namespace
 }  // namespace rafiki::net

@@ -372,6 +372,40 @@ void hot(std::atomic<int>& a, std::atomic<bool>& flag) {
 """
 
 
+SELFTEST_NET_WAKER_BAD = """\
+#include <atomic>
+// Mirrors the src/net/ poller Waker: the pending-flag handshake between
+// wake() and drain() is exactly the kind of cross-thread edge the
+// memory-order rule exists to audit.
+struct Waker {
+  std::atomic<bool> pending{false};
+  void wake() {
+    if (!pending.exchange(true)) ring();  // bare seq_cst RMW on the wake edge
+  }
+  void drain() {
+    pending.store(false);                 // bare seq_cst store after fd drain
+  }
+  bool armed() { return pending.load(); } // bare seq_cst load
+  void ring();
+};
+"""
+
+SELFTEST_NET_WAKER_CLEAN = """\
+#include <atomic>
+struct Waker {
+  std::atomic<bool> pending{false};
+  void wake() {
+    // acq_rel: the winning wake must publish pre-wake writes to the drainer,
+    // and the drainer's store must be visible to the next winning exchange.
+    if (!pending.exchange(true, std::memory_order_acq_rel)) ring();
+  }
+  void drain() { pending.store(false, std::memory_order_release); }
+  bool armed() { return pending.load(std::memory_order_acquire); }
+  void ring();
+};
+"""
+
+
 def selftest() -> int:
     expected = {"c-rand", "random-device", "mt19937", "wall-clock", "thread-id",
                 "unordered-iter", "wire-memcpy", "memory-order", "tsa-justification"}
@@ -382,6 +416,9 @@ def selftest() -> int:
         (root / "src" / "tune").mkdir(parents=True)
         (root / "src" / "bad.cpp").write_text(SELFTEST_BAD)
         (root / "src" / "net" / "codec.cpp").write_text(SELFTEST_WIRE_BAD)
+        # src/net/ is memory-order scoped: the waker's bare atomic handshake
+        # (exchange/store/load on the pending flag) must fire there.
+        (root / "src" / "net" / "waker.cpp").write_text(SELFTEST_NET_WAKER_BAD)
         (root / "src" / "serve" / "hot.cpp").write_text(SELFTEST_SERVE_BAD)
         # src/tune/ is memory-order scoped too: the same bare atomics must
         # fire there (fixture shares the serve snippet).
@@ -404,15 +441,19 @@ def selftest() -> int:
             if outside:
                 print(f"selftest FAILED: {rule} fired outside {prefixes}")
                 return 1
-        for scoped in ("src/serve/hot.cpp", "src/tune/screen.cpp"):
+        # load, store, multi-line fetch_add, CAS in the serve/tune fixtures;
+        # exchange, store, load in the waker fixture.
+        for scoped, want in (("src/serve/hot.cpp", 4), ("src/tune/screen.cpp", 4),
+                             ("src/net/waker.cpp", 3)):
             bare = [f for f in bad_findings
                     if f[2] == "memory-order" and f[0].as_posix() == scoped]
-            if len(bare) != 4:  # load, store, multi-line fetch_add, CAS
-                print(f"selftest FAILED: expected 4 memory-order findings in "
-                      f"{scoped}, got {len(bare)}")
+            if len(bare) != want:
+                print(f"selftest FAILED: expected {want} memory-order findings "
+                      f"in {scoped}, got {len(bare)}")
                 return 1
         (root / "src" / "bad.cpp").write_text(SELFTEST_CLEAN)
         (root / "src" / "net" / "codec.cpp").write_text(SELFTEST_WIRE_CLEAN)
+        (root / "src" / "net" / "waker.cpp").write_text(SELFTEST_NET_WAKER_CLEAN)
         (root / "src" / "serve" / "hot.cpp").write_text(SELFTEST_SERVE_CLEAN)
         (root / "src" / "tune" / "screen.cpp").write_text(SELFTEST_SERVE_CLEAN)
         (root / "src" / "outside.cpp").unlink()

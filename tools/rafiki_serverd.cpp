@@ -6,7 +6,11 @@
 //
 //   rafiki_serverd [--port P] [--host H] [--io-threads N] [--workers N]
 //                  [--shards N] [--tenants N] [--worker-budget N]
-//                  [--pin-shards] [--full]
+//                  [--io-backend poll|epoll] [--pin-shards] [--full]
+//
+// --io-backend pins the IO loops' readiness engine (default: edge-triggered
+// epoll on Linux, the portable poll() fallback elsewhere); the drain report
+// names the backend that actually served.
 //
 // --shards N (N > 1) serves through the ShardedTuningService router —
 // per-(tenant, read-ratio-band) shards, each with its own queue/workers/
@@ -60,6 +64,7 @@ int main(int argc, char** argv) {
   std::size_t shards = 1;
   std::size_t tenants = 1;
   std::size_t worker_budget = 0;
+  net::IoBackend io_backend = net::default_io_backend();
   bool pin_shards = false;
   bool full = false;
   for (int i = 1; i < argc; ++i) {
@@ -78,6 +83,16 @@ int main(int argc, char** argv) {
       tenants = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (arg == "--worker-budget" && i + 1 < argc) {
       worker_budget = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--io-backend" && i + 1 < argc) {
+      if (!net::parse_io_backend(argv[++i], io_backend)) {
+        std::fprintf(stderr, "unknown io backend '%s' (poll|epoll)\n", argv[i]);
+        return 2;
+      }
+      if (!net::io_backend_available(io_backend)) {
+        std::fprintf(stderr, "io backend '%s' is unavailable on this platform\n",
+                     net::io_backend_name(io_backend));
+        return 2;
+      }
     } else if (arg == "--pin-shards") {
       pin_shards = true;
     } else if (arg == "--full") {
@@ -86,7 +101,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--host H] [--port P] [--io-threads N] "
                    "[--workers N] [--shards N] [--tenants N] "
-                   "[--worker-budget N] [--pin-shards] [--full]\n",
+                   "[--worker-budget N] [--io-backend poll|epoll] "
+                   "[--pin-shards] [--full]\n",
                    argv[0]);
       return 2;
     }
@@ -150,6 +166,7 @@ int main(int argc, char** argv) {
   server_options.host = host;
   server_options.port = static_cast<std::uint16_t>(port);
   server_options.io_threads = io_threads;
+  server_options.io_backend = io_backend;
   net::Server server(service, server_options);
   if (!server.start()) {
     std::fprintf(stderr, "server start failed: %s\n", server.last_error().c_str());
@@ -167,11 +184,12 @@ int main(int argc, char** argv) {
   sigaction(SIGINT, &sa, nullptr);
   sigaction(SIGTERM, &sa, nullptr);
 
-  std::printf("serving on %s:%u (model version %llu, %zu shard%s, %zu tenant%s); "
-              "close stdin or SIGINT/SIGTERM to stop\n",
+  std::printf("serving on %s:%u (model version %llu, %zu shard%s, %zu tenant%s, "
+              "%s io backend); close stdin or SIGINT/SIGTERM to stop\n",
               host.c_str(), server.port(),
               static_cast<unsigned long long>(service.model_version()), shards,
-              shards == 1 ? "" : "s", tenants, tenants == 1 ? "" : "s");
+              shards == 1 ? "" : "s", tenants, tenants == 1 ? "" : "s",
+              net::io_backend_name(io_backend));
   std::fflush(stdout);
 
   // Serve until stdin closes — works interactively (Ctrl-D), under a pipe,
@@ -193,7 +211,9 @@ int main(int argc, char** argv) {
   service.stop();
   const auto after = service.stats().wire_counters();
 
-  // Drain report: what the graceful shutdown actually flushed.
+  // Drain report: what the graceful shutdown actually flushed, and how the
+  // event loop batched it (one flush = one per-connection drain attempt; the
+  // syscalls-per-frame figure is the wire's hardware-independent cost).
   std::printf("drained: %llu frame(s) answered during drain, %llu connection(s) "
               "closed, %llu frame(s) total in / %llu out\n",
               static_cast<unsigned long long>(after.frames_out - before.frames_out),
@@ -201,6 +221,14 @@ int main(int argc, char** argv) {
                                               before.connections_closed),
               static_cast<unsigned long long>(after.frames_in),
               static_cast<unsigned long long>(after.frames_out));
+  std::printf("io backend %s: %llu flush(es), %llu flush syscall(s), "
+              "%.2f frame(s)/flush, %.4f syscall(s)/frame, %llu EAGAIN "
+              "partial write(s)\n",
+              net::io_backend_name(io_backend),
+              static_cast<unsigned long long>(after.flushes),
+              static_cast<unsigned long long>(after.flush_syscalls),
+              after.frames_per_flush(), after.flush_syscalls_per_frame(),
+              static_cast<unsigned long long>(after.flush_eagain));
 
   // stats_table() merges across shards for the sharded backend; wire-level
   // telemetry always lives in the backend's front-end stats object.
